@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out, beyond
+ * the paper's published sweeps:
+ *
+ *  1. ANL geometry — table entries x region size (the paper fixes
+ *     16 entries / 1 KB regions; §VI-D argues small regions minimise
+ *     overprediction).
+ *  2. FCP level — private L2 only vs. L2 + shared L3 (the paper's
+ *     §VIII-D suggests L3 partitioning for graph-heavy workloads).
+ *  3. NPU integration latency — how fast the CPU-NPU link must be for
+ *     AXAR to profit (the original NPU work demands 1-4 cycles).
+ */
+
+#include "bench_util.hh"
+
+#include "core/anl.hh"
+
+using namespace tartan::bench;
+using namespace tartan::workloads;
+
+namespace {
+
+void
+anlGeometry()
+{
+    std::printf("\n-- ANL geometry (MoveBot, norm. time and coverage) "
+                "--\n");
+    std::printf("%-8s %-8s %10s %10s %10s\n", "entries", "region",
+                "norm.time", "coverage", "accuracy");
+    auto base = runMoveBot(MachineSpec::baseline(),
+                           options(SoftwareTier::Optimized, 1.0, 123));
+    for (std::uint32_t entries : {8u, 16u, 32u, 64u}) {
+        for (std::uint32_t region : {512u, 1024u, 2048u}) {
+            auto spec = MachineSpec::baseline();
+            spec.useAnl = true;
+            spec.anlCfg.entries = entries;
+            spec.anlCfg.regionBytes = region;
+            spec.anlCfg.lineBytes = spec.sys.lineBytes;
+            auto res = runMoveBot(
+                spec, options(SoftwareTier::Optimized, 1.0, 123));
+            const double hits =
+                double(res.pfHitsTimely + res.pfHitsLate);
+            std::printf("%-8u %-8u %10.3f %9.0f%% %9.0f%%\n", entries,
+                        region,
+                        double(res.wallCycles) / double(base.wallCycles),
+                        100.0 * hits /
+                            std::max(1.0, hits + double(res.l2Misses)),
+                        100.0 * hits /
+                            std::max<double>(1.0, double(res.pfIssued)));
+        }
+    }
+}
+
+void
+fcpLevel()
+{
+    std::printf("\n-- FCP level (CarriBot, norm. time / L2 misses) --\n");
+    std::printf("%-10s %10s %12s\n", "config", "norm.time", "l2misses");
+    auto base = runCarriBot(MachineSpec::baseline(),
+                            options(SoftwareTier::Optimized, 0.6));
+    struct Config {
+        const char *name;
+        bool l2;
+        bool l3;
+    };
+    for (const Config &c : {Config{"none", false, false},
+                            Config{"L2", true, false},
+                            Config{"L2+L3", true, true}}) {
+        auto spec = MachineSpec::baseline();
+        spec.sys.fcpEnabled = c.l2;
+        spec.sys.fcpAtL3 = c.l3;
+        auto res = runCarriBot(spec,
+                               options(SoftwareTier::Optimized, 0.6));
+        std::printf("%-10s %10.3f %12llu\n", c.name,
+                    double(res.wallCycles) / double(base.wallCycles),
+                    static_cast<unsigned long long>(res.l2Misses));
+    }
+}
+
+void
+npuLinkLatency()
+{
+    std::printf("\n-- CPU-NPU link latency (FlyBot AXAR, norm. time) "
+                "--\n");
+    std::printf("%-10s %10s\n", "cycles", "norm.time");
+    auto exact = runFlyBot(MachineSpec::tartan(),
+                           options(SoftwareTier::Optimized));
+    for (tartan::sim::Cycles lat : {1u, 4u, 16u, 48u, 104u}) {
+        auto spec = MachineSpec::tartan();
+        spec.npuCfg.commLatency = lat;
+        auto res = runFlyBot(spec, options(SoftwareTier::Approximate));
+        std::printf("%-10llu %10.3f\n",
+                    static_cast<unsigned long long>(lat),
+                    double(res.wallCycles) / double(exact.wallCycles));
+    }
+    std::printf("(paper/[99]: the link must stay in the 1-4 cycle "
+                "range for fine-grained approximate acceleration)\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    header("abl_sensitivity — design-choice ablations",
+           "extensions beyond the paper's sweeps: ANL geometry, FCP "
+           "cache level, NPU link latency");
+    anlGeometry();
+    fcpLevel();
+    npuLinkLatency();
+    return 0;
+}

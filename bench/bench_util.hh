@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: row
+ * printing, normalisation, and geometric means. Every bench prints the
+ * paper's expected shape next to the measured values so the output can
+ * be diffed against EXPERIMENTS.md.
+ */
+
+#ifndef TARTAN_BENCH_UTIL_HH
+#define TARTAN_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workloads/robots.hh"
+
+namespace tartan::bench {
+
+using workloads::MachineSpec;
+using workloads::RunResult;
+using workloads::SoftwareTier;
+using workloads::WorkloadOptions;
+
+inline void
+header(const char *title, const char *paper_note)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title);
+    std::printf("paper: %s\n", paper_note);
+    std::printf("================================================================\n");
+}
+
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+/** Normalised value helper (baseline / value = speedup). */
+inline double
+speedup(double baseline, double value)
+{
+    return value > 0.0 ? baseline / value : 0.0;
+}
+
+/** Default per-bench workload scale (kept small for sweep benches). */
+inline WorkloadOptions
+options(SoftwareTier tier, double scale = 1.0, std::uint64_t seed = 42)
+{
+    WorkloadOptions opt;
+    opt.tier = tier;
+    opt.scale = scale;
+    opt.seed = seed;
+    return opt;
+}
+
+} // namespace tartan::bench
+
+#endif // TARTAN_BENCH_UTIL_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 8 reproduction: neural acceleration of the three approximable
+ * robots under Baseline (exact software), Hardware NPU (integrated,
+ * 4 PEs), Software-executed neural model, and Co-processor NPU
+ * (FSD-style: 104-cycle messages, zero-cycle inference). Reports
+ * normalised execution time and dynamic instructions.
+ */
+
+#include "bench_util.hh"
+
+using namespace tartan::bench;
+using namespace tartan::workloads;
+
+int
+main()
+{
+    header("fig08_npu — neural acceleration placements",
+           "H beats B (target-fn speedups 3.85x/1.52x/2.7x); S slows "
+           "down (3.2-10.7x more instructions); C only helps native "
+           "nets (PatrolBot), hurts fine-grained AXAR/TRAP robots");
+
+    struct Target {
+        const char *name;
+        tartan::workloads::RobotFn run;
+    };
+    const Target targets[] = {{"PatrolBot", runPatrolBot},
+                              {"HomeBot", runHomeBot},
+                              {"FlyBot", runFlyBot}};
+
+    for (const auto &target : targets) {
+        std::printf("\n-- %s --\n", target.name);
+        std::printf("%-3s %14s %14s %11s %11s %10s\n", "cfg", "cycles",
+                    "instructions", "norm.time", "norm.inst",
+                    "npu-calls");
+        double base_cycles = 0, base_instr = 0;
+
+        struct Config {
+            const char *label;
+            SoftwareTier tier;
+            bool sw_nn;
+            bool coproc;
+        };
+        const Config configs[] = {
+            {"B", SoftwareTier::Optimized, false, false},
+            {"H", SoftwareTier::Approximate, false, false},
+            {"S", SoftwareTier::Approximate, true, false},
+            {"C", SoftwareTier::Approximate, false, true},
+        };
+        for (const auto &cfg : configs) {
+            auto spec = MachineSpec::tartan();
+            if (cfg.coproc)
+                spec.npuCfg.placement =
+                    tartan::core::NpuPlacement::Coprocessor;
+            auto opt = options(cfg.tier);
+            opt.softwareNeural = cfg.sw_nn;
+            auto res = target.run(spec, opt);
+            if (cfg.label[0] == 'B') {
+                base_cycles = double(res.wallCycles);
+                base_instr = double(res.instructions);
+            }
+            std::printf("%-3s %14llu %14llu %10.3f %10.3f %10llu\n",
+                        cfg.label,
+                        static_cast<unsigned long long>(res.wallCycles),
+                        static_cast<unsigned long long>(res.instructions),
+                        double(res.wallCycles) / base_cycles,
+                        double(res.instructions) / base_instr,
+                        static_cast<unsigned long long>(
+                            res.npuInvocations));
+        }
+    }
+    std::printf("\nShape check: H < B everywhere; S > B (instruction "
+                "blow-up); C < B only for PatrolBot's coarse-grained "
+                "native network.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 12 reproduction: end-to-end Tartan speedup over the upgraded
+ * baseline for the three software tiers — legacy software (hardware-
+ * only techniques apply), software optimised for Tartan without
+ * approximation, and approximable software (NPU enabled).
+ */
+
+#include "bench_util.hh"
+
+using namespace tartan::bench;
+using namespace tartan::workloads;
+
+int
+main()
+{
+    header("fig12_endtoend — Tartan end-to-end speedups",
+           "legacy 1.2x (up to 1.4x); optimized non-approximable 1.61x "
+           "(up to 3.54x); approximable 2.11x (up to 3.87x)");
+
+    std::printf("%-10s %12s %12s %12s\n", "robot", "legacy",
+                "optimized", "approx");
+
+    std::vector<double> legacy_s, opt_s, approx_s;
+    for (const auto &robot : robotSuite()) {
+        const auto base = robot.run(MachineSpec::baseline(),
+                                    options(SoftwareTier::Legacy));
+        const double base_cycles = double(base.wallCycles);
+
+        const auto legacy = robot.run(MachineSpec::tartan(),
+                                      options(SoftwareTier::Legacy));
+        const auto optimized = robot.run(
+            MachineSpec::tartan(), options(SoftwareTier::Optimized));
+        const auto approx = robot.run(
+            MachineSpec::tartan(), options(SoftwareTier::Approximate));
+
+        const double sl = speedup(base_cycles, double(legacy.wallCycles));
+        const double so =
+            speedup(base_cycles, double(optimized.wallCycles));
+        const double sa =
+            speedup(base_cycles, double(approx.wallCycles));
+        std::printf("%-10s %11.2fx %11.2fx %11.2fx\n", robot.name, sl,
+                    so, sa);
+        legacy_s.push_back(sl);
+        opt_s.push_back(so);
+        approx_s.push_back(sa);
+    }
+
+    std::printf("%-10s %11.2fx %11.2fx %11.2fx   <- GMean "
+                "(paper: 1.2x / 1.61x / 2.11x)\n",
+                "GMean", geomean(legacy_s), geomean(opt_s),
+                geomean(approx_s));
+    std::printf("\nShape check: approx >= optimized >= legacy >= ~1 for "
+                "every robot; NPU-less robots show approx == "
+                "optimized.\n");
+    return 0;
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Table II reproduction: the three neural workloads — topology,
+ * training regime, and resulting error.
+ *
+ *  - AXAR / FlyBot heuristic (6/16/16/1): error measured as the
+ *    increase of the final path cost over the exact run (paper: 0%).
+ *  - TRAP / HomeBot T prediction (192/32/32/6): geometric mean of
+ *    relative rotation and translation errors (paper: 6.8%).
+ *  - Native / PatrolBot classification (50/1024/512/1 on PCA(50)):
+ *    misclassification rate (paper: 1.3%).
+ */
+
+#include "bench_util.hh"
+
+#include <cmath>
+
+#include "nn/mlp.hh"
+#include "nn/pca.hh"
+#include "robotics/geometry.hh"
+#include "robotics/icp.hh"
+#include "sim/rng.hh"
+
+using namespace tartan;
+using namespace tartan::bench;
+using namespace tartan::workloads;
+
+namespace {
+
+double
+flybotPathError()
+{
+    auto exact = runFlyBot(MachineSpec::tartan(),
+                           options(SoftwareTier::Optimized));
+    auto axar = runFlyBot(MachineSpec::tartan(),
+                          options(SoftwareTier::Approximate));
+    const double e = exact.metrics.at("planCost");
+    const double a = axar.metrics.at("planCost");
+    std::printf("  FlyBot plan costs: exact %.4f, AXAR %.4f, "
+                "supervisor rollbacks %.0f\n",
+                e, a, axar.metrics.at("rollbacks"));
+    return e > 0 ? 100.0 * (a - e) / e : 0.0;
+}
+
+/** Synthetic T-prediction dataset: downsampled cloud pairs -> pose. */
+double
+homebotTransformError()
+{
+    sim::Rng rng(7);
+    nn::MlpConfig mc;
+    mc.layers = {192, 32, 32, 6};
+    mc.loss = nn::Loss::Mse;
+    mc.learningRate = 0.02f;
+    mc.l2Lambda = 0.0001f;
+    nn::Mlp net(mc, rng);
+
+    // Targets are scaled up for training and back for evaluation.
+    const float tscale = 5.0f;
+    auto make_sample = [&](sim::Rng &r, std::vector<float> &in,
+                           float out[6]) {
+        const double rots[3] = {r.uniform(-0.1, 0.1),
+                                r.uniform(-0.1, 0.1),
+                                r.uniform(-0.1, 0.1)};
+        const robotics::Vec3 t{r.uniform(-0.3, 0.3),
+                               r.uniform(-0.3, 0.3),
+                               r.uniform(-0.1, 0.1)};
+        const auto tf =
+            robotics::makeTransform(rots[0], rots[1], rots[2], t);
+        in.clear();
+        std::vector<float> moved;
+        for (int p = 0; p < 32; ++p) {
+            // Fixed depth-image downsampling lattice (8x4 grid): the
+            // source slots are constant, as when subsampling frames at
+            // fixed pixel positions.
+            const robotics::Vec3 v{(p % 8) * 0.5 + 0.25,
+                                   ((p / 8) % 4) * 1.0 + 0.5,
+                                   (p / 8) * 0.5};
+            robotics::Vec3 w = tf.apply(v);
+            w.x += r.gaussian(0, 0.005);
+            w.y += r.gaussian(0, 0.005);
+            w.z += r.gaussian(0, 0.005);
+            in.push_back(float(v.x / 4));
+            in.push_back(float(v.y / 4));
+            in.push_back(float(v.z / 4));
+            moved.push_back(float(w.x / 4));
+            moved.push_back(float(w.y / 4));
+            moved.push_back(float(w.z / 4));
+        }
+        in.insert(in.end(), moved.begin(), moved.end());
+        out[0] = float(rots[0]) * tscale;
+        out[1] = float(rots[1]) * tscale;
+        out[2] = float(rots[2]) * tscale;
+        out[3] = float(t.x) * tscale;
+        out[4] = float(t.y) * tscale;
+        out[5] = float(t.z) * tscale;
+    };
+
+    // Train on one synthetic domain (paper: ICL-NUIM-style train set).
+    sim::Rng train_rng(11);
+    std::vector<std::vector<float>> ins;
+    std::vector<std::array<float, 6>> outs;
+    for (int s = 0; s < 2500; ++s) {
+        std::vector<float> in;
+        float out[6];
+        make_sample(train_rng, in, out);
+        ins.push_back(std::move(in));
+        outs.push_back({out[0], out[1], out[2], out[3], out[4], out[5]});
+    }
+    float lr = 0.02f;
+    for (int e = 0; e < 320; ++e) {
+        net.setLearningRate(lr);
+        for (std::size_t s = 0; s < ins.size(); ++s)
+            net.trainSample(ins[s], outs[s]);
+        lr *= 0.992f;
+    }
+
+    // Test on a distinct domain (paper: Hypersim-style test set).
+    sim::Rng test_rng(5013);
+    double rot_err = 0, trans_err = 0, rot_mag = 0, trans_mag = 0;
+    const int tests = 200;
+    for (int s = 0; s < tests; ++s) {
+        std::vector<float> in;
+        float truth[6], pred[6];
+        make_sample(test_rng, in, truth);
+        net.forward(in, pred);
+        for (int k = 0; k < 3; ++k) {
+            rot_err += std::fabs(pred[k] - truth[k]);
+            rot_mag += std::fabs(truth[k]);
+            trans_err += std::fabs(pred[k + 3] - truth[k + 3]);
+            trans_mag += std::fabs(truth[k + 3]);
+        }
+    }
+    const double rot_rel = 100.0 * rot_err / rot_mag;
+    const double trans_rel = 100.0 * trans_err / trans_mag;
+    std::printf("  HomeBot rotation error %.1f%%, translation error "
+                "%.1f%%\n", rot_rel, trans_rel);
+    return std::sqrt(rot_rel * trans_rel);
+}
+
+double
+patrolbotClassificationError()
+{
+    sim::Rng rng(21);
+    // The detection signal is weak relative to the clutter, so the
+    // classifier has a realistic (non-zero) error rate.
+    auto make_image = [&](sim::Rng &r, bool suspicious) {
+        std::vector<float> img(256);
+        for (auto &px : img)
+            px = float(r.uniform());
+        if (suspicious) {
+            const int ox = int(r.uniformInt(8)), oy = int(r.uniformInt(8));
+            for (int y = 0; y < 5; ++y)
+                for (int x = 0; x < 5; ++x)
+                    img[(y + 4 + oy) * 16 + (x + 4 + ox)] += 0.9f;
+        }
+        return img;
+    };
+
+    // Calibration set for PCA + training.
+    const std::size_t cal = 360;
+    std::vector<float> calib;
+    for (std::size_t s = 0; s < cal; ++s) {
+        auto img = make_image(rng, s % 2 == 0);
+        calib.insert(calib.end(), img.begin(), img.end());
+    }
+    nn::Pca pca(calib, cal, 256, 50, rng, 12);
+
+    nn::MlpConfig mc;
+    mc.layers = {50, 1024, 512, 1};
+    mc.loss = nn::Loss::Bce;
+    mc.sigmoidOutput = true;
+    mc.learningRate = 0.02f;
+    nn::Mlp net(mc, rng);
+    std::vector<float> reduced(50);
+    for (int epoch = 0; epoch < 8; ++epoch)
+        for (std::size_t s = 0; s < cal; ++s) {
+            pca.transform({calib.data() + s * 256, 256}, reduced);
+            const float target = s % 2 == 0 ? 1.0f : 0.0f;
+            net.trainSample(reduced, {&target, 1});
+        }
+
+    sim::Rng test_rng(4242);
+    int wrong = 0;
+    const int tests = 400;
+    for (int s = 0; s < tests; ++s) {
+        const bool label = s % 2 == 0;
+        auto img = make_image(test_rng, label);
+        pca.transform(img, reduced);
+        float score[1];
+        net.forward(reduced, score);
+        if ((score[0] > 0.5f) != label)
+            ++wrong;
+    }
+    return 100.0 * wrong / tests;
+}
+
+} // namespace
+
+int
+main()
+{
+    header("tab02_nn_error — the neural network workloads",
+           "AXAR FlyBot 6/16/16/1 err 0%; TRAP HomeBot 192/32/32/6 "
+           "err 6.8%; Native PatrolBot 50/1024/512/1 err 1.3%");
+
+    std::printf("%-7s %-10s %-14s %-14s %10s\n", "type", "robot",
+                "function", "topology", "error");
+
+    const double fly = flybotPathError();
+    std::printf("%-7s %-10s %-14s %-14s %9.2f%%\n", "AXAR", "FlyBot",
+                "HeuristicCost", "6/16/16/1", fly);
+
+    const double home = homebotTransformError();
+    std::printf("%-7s %-10s %-14s %-14s %9.2f%%\n", "TRAP", "HomeBot",
+                "T Prediction", "192/32/32/6", home);
+
+    const double patrol = patrolbotClassificationError();
+    std::printf("%-7s %-10s %-14s %-14s %9.2f%%\n", "Native",
+                "PatrolBot", "Classification", "50/1024/512/1", patrol);
+    return 0;
+}

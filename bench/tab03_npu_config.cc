@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table III reproduction: NPU configurations with 2, 4 and 8 PEs —
+ * SRAM footprint, silicon area, and the geometric-mean speedup of the
+ * three approximable robots over their exact (non-NPU) runs.
+ */
+
+#include "bench_util.hh"
+
+#include "core/npu.hh"
+
+using namespace tartan::bench;
+using namespace tartan::workloads;
+
+int
+main()
+{
+    header("tab03_npu_config — NPU design-space sweep",
+           "2 PEs: 10.5KB/1.25x/920um2; 4 PEs: 18.8KB/1.58x/1661um2; "
+           "8 PEs: 35.3KB/1.68x/3144um2 (8-PE gains accrue mostly to "
+           "PatrolBot)");
+
+    struct Target {
+        const char *name;
+        tartan::workloads::RobotFn run;
+    };
+    const Target targets[] = {{"PatrolBot", runPatrolBot},
+                              {"HomeBot", runHomeBot},
+                              {"FlyBot", runFlyBot}};
+
+    // Exact (non-NPU) reference runs.
+    std::vector<double> base_cycles;
+    for (const auto &t : targets)
+        base_cycles.push_back(double(
+            t.run(MachineSpec::tartan(), options(SoftwareTier::Optimized))
+                .wallCycles));
+
+    std::printf("%-4s %10s %10s %14s", "PEs", "mem[KB]", "area[um2]",
+                "GMean speedup");
+    for (const auto &t : targets)
+        std::printf(" %10s", t.name);
+    std::printf("\n");
+
+    for (std::uint32_t pes : {2u, 4u, 8u}) {
+        auto spec = MachineSpec::tartan();
+        spec.npuCfg.pes = pes;
+        tartan::core::NpuModel npu(spec.npuCfg);
+
+        std::vector<double> speedups;
+        for (std::size_t i = 0; i < 3; ++i) {
+            auto res = targets[i].run(spec,
+                                      options(SoftwareTier::Approximate));
+            speedups.push_back(base_cycles[i] /
+                               double(res.wallCycles));
+        }
+        std::printf("%-4u %10.1f %10.0f %13.2fx", pes, npu.memoryKB(),
+                    npu.areaUm2(), geomean(speedups));
+        for (double s : speedups)
+            std::printf(" %9.2fx", s);
+        std::printf("\n");
+    }
+    std::printf("\nShape check: memory/area grow with PEs; speedup "
+                "saturates past 4 PEs (the paper picks 4).\n");
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Table IV reproduction: silicon overhead of Tartan's components on
+ * the 133 mm^2 14 nm host die.
+ */
+
+#include "bench_util.hh"
+
+#include "core/area.hh"
+
+using namespace tartan::bench;
+
+int
+main()
+{
+    header("tab04_overhead — area and metadata overheads",
+           "4xOVEC 258um2; 1xNPU 18.8KB/1661um2; 4xANL 480B/30um2; "
+           "4xFCP 12B/~1um2; total ~1949um2, ~0.001% of the die");
+
+    tartan::core::AreaModel model(4, 4);
+    std::printf("%-10s %6s %12s %12s\n", "component", "count",
+                "memory[B]", "area[um2]");
+    for (const auto &row : model.rows())
+        std::printf("%-10s %6u %12.0f %12.1f\n", row.component.c_str(),
+                    row.count, row.memoryBytes, row.areaUm2);
+    std::printf("%-10s %6s %12.0f %12.1f\n", "Total", "",
+                model.totalMemoryBytes(), model.totalAreaUm2());
+    std::printf("\nDie fraction: %.5f%% of %.0f mm^2 (paper: ~0.001%%)\n",
+                100.0 * model.dieFraction(),
+                tartan::core::AreaModel::hostDieUm2 / 1e6);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Arm motion planning with pluggable nearest-neighbour search (the
+ * MoveBot scenario).
+ *
+ * A 5-DoF arm plans a three-goal mission with RRT; the planner's
+ * bottleneck is nearest-neighbour search over the growing tree. The
+ * demo swaps the NNS backend — brute force, k-d tree, FLANN-style
+ * scalar LSH, and Tartan's vectorised VLN — and reports cycles and
+ * planning outcomes for each.
+ */
+
+#include <cstdio>
+
+#include "workloads/robots.hh"
+
+using namespace tartan::workloads;
+
+int
+main()
+{
+    std::printf("MoveBot: RRT arm planning across NNS backends\n\n");
+
+    struct Backend {
+        const char *name;
+        NnsKind kind;
+    };
+    const Backend backends[] = {
+        {"brute force (RoWild)", NnsKind::Brute},
+        {"k-d tree (OMPL-style)", NnsKind::KdTree},
+        {"scalar LSH (FLANN-style)", NnsKind::Lsh},
+        {"VLN (Tartan, vectorised)", NnsKind::Vln},
+    };
+
+    std::printf("%-26s %14s %10s %10s %10s\n", "NNS backend", "cycles",
+                "speedup", "goals", "nodes");
+    double base_cycles = 0.0;
+    for (const auto &backend : backends) {
+        WorkloadOptions opt;
+        opt.seed = 123;
+        opt.nns = backend.kind;
+        opt.nnsExplicit = true;
+        auto res = runMoveBot(MachineSpec::baseline(), opt);
+        if (backend.kind == NnsKind::Brute)
+            base_cycles = double(res.wallCycles);
+        std::printf("%-26s %14llu %9.2fx %10.0f %10.0f\n", backend.name,
+                    static_cast<unsigned long long>(res.wallCycles),
+                    base_cycles / double(res.wallCycles),
+                    res.metrics.at("reachedGoals"),
+                    res.metrics.at("treeNodes"));
+    }
+
+    std::printf("\nRRT's stochastic sampling absorbs LSH's approximate "
+                "answers: mission outcomes stay comparable across\n"
+                "backends while the time differs widely (paper "
+                "§VI-B).\n");
+    return 0;
+}

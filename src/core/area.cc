@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Overhead-table construction.
+ */
+
+#include "core/area.hh"
+
+#include "core/anl.hh"
+#include "core/npu.hh"
+#include "core/ovec.hh"
+
+namespace tartan::core {
+
+AreaModel::AreaModel(std::uint32_t npu_pes, std::uint32_t cores)
+{
+    // OVEC: one address generator per core.
+    table.push_back(OverheadRow{
+        "OVEC", cores, 0.0,
+        OvecEngine::unitAreaUm2() * cores});
+
+    // NPU: a single instance on one core.
+    NpuConfig npu_cfg;
+    npu_cfg.pes = npu_pes;
+    NpuModel npu(npu_cfg);
+    table.push_back(OverheadRow{
+        "NPU", 1, npu.memoryKB() * 1024.0, npu.areaUm2()});
+
+    // ANL: a 120 B table per core plus a few comparators.
+    AnlPrefetcher anl(AnlConfig{});
+    table.push_back(OverheadRow{
+        "ANL", cores,
+        static_cast<double>(anl.storageBits()) / 8.0 * cores,
+        7.5 * cores});
+
+    // FCP: an 8-entry m(x) lookup table (3 B) per L2 plus index wiring.
+    table.push_back(OverheadRow{"FCP", cores, 3.0 * cores, 0.25 * cores});
+}
+
+double
+AreaModel::totalAreaUm2() const
+{
+    double acc = 0.0;
+    for (const auto &row : table)
+        acc += row.areaUm2;
+    return acc;
+}
+
+double
+AreaModel::totalMemoryBytes() const
+{
+    double acc = 0.0;
+    for (const auto &row : table)
+        acc += row.memoryBytes;
+    return acc;
+}
+
+double
+AreaModel::dieFraction() const
+{
+    return totalAreaUm2() / hostDieUm2;
+}
+
+} // namespace tartan::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Silicon-overhead model for Tartan's components (paper Table IV).
+ *
+ * Area constants are the paper's 14 nm figures derived from [78] and
+ * [154]; the memory figures follow directly from each component's
+ * metadata layout. The host die is the 133 mm^2 mobile part the
+ * baseline i7 is fabricated on.
+ */
+
+#ifndef TARTAN_CORE_AREA_HH
+#define TARTAN_CORE_AREA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tartan::core {
+
+/** One row of the overhead table. */
+struct OverheadRow {
+    std::string component;
+    std::uint32_t count;       //!< instances (per-core units x 4, etc.)
+    double memoryBytes;        //!< total metadata/SRAM bytes
+    double areaUm2;            //!< total silicon area
+};
+
+/** The full Tartan overhead breakdown. */
+class AreaModel
+{
+  public:
+    /**
+     * @param npu_pes PEs of the single integrated NPU
+     * @param cores cores carrying OVEC/ANL/FCP units
+     */
+    AreaModel(std::uint32_t npu_pes = 4, std::uint32_t cores = 4);
+
+    const std::vector<OverheadRow> &rows() const { return table; }
+
+    double totalAreaUm2() const;
+    double totalMemoryBytes() const;
+    /** Fraction of the host die (133 mm^2 mobile die in 14 nm). */
+    double dieFraction() const;
+
+    static constexpr double hostDieUm2 = 133.0e6;
+
+  private:
+    std::vector<OverheadRow> table;
+};
+
+} // namespace tartan::core
+
+#endif // TARTAN_CORE_AREA_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * AXAR: Approximate eXecution, Accurate Results (paper §V).
+ *
+ * The runtime drives Anytime A* (ATA*, epsilon from 8 down to 1) with
+ * a software supervisor. The first iteration always runs the exact
+ * heuristic on the CPU. From the second iteration on, heuristic cost
+ * calculation is offloaded to the NPU; after each *iteration* the
+ * supervisor compares the exact path cost against the previous
+ * iteration's — a cost increase exposes NPU overestimation and the
+ * iteration is re-run on the CPU. The first-iteration-on-CPU rule
+ * preserves ATA*'s anytime property: a viable path exists even if
+ * execution is interrupted later.
+ */
+
+#ifndef TARTAN_CORE_AXAR_HH
+#define TARTAN_CORE_AXAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "robotics/astar.hh"
+
+namespace tartan::core {
+
+using robotics::AnytimeIteration;
+using robotics::HeuristicFn;
+using robotics::Mem;
+using robotics::SearchArrays;
+
+/** ATA* / AXAR schedule options. */
+struct AxarOptions {
+    double epsStart = 8.0;
+    double epsStep = 1.0;
+    double epsEnd = 1.0;
+    /** Supervisor tolerance on cost regressions (FP noise). */
+    double costTolerance = 1e-6;
+};
+
+/** Full ATA* / AXAR outcome. */
+struct AxarResult {
+    bool found = false;
+    double finalCost = 0.0;
+    std::vector<std::uint32_t> finalPath;
+    std::vector<AnytimeIteration> iterations;
+    std::uint64_t rollbacks = 0;      //!< iterations re-run on the CPU
+    std::uint64_t totalExpansions = 0;
+};
+
+/**
+ * Run Anytime A*. When @p approx is non-null, iterations after the
+ * first use it (the NPU-backed heuristic) under supervision; a null
+ * @p approx gives the plain exact ATA* baseline.
+ */
+template <typename ExpandFn>
+AxarResult
+anytimeAStar(Mem &mem, SearchArrays &arrays, std::uint32_t start,
+             std::uint32_t goal, ExpandFn &&expand,
+             const HeuristicFn &exact, const HeuristicFn *approx,
+             const AxarOptions &opt = {})
+{
+    AxarResult result;
+    bool first = true;
+    bool has_prev = false;
+    double prev_cost = 0.0;
+
+    for (double eps = opt.epsStart; eps >= opt.epsEnd - 1e-9;
+         eps -= opt.epsStep) {
+        const bool use_npu = !first && approx != nullptr;
+        const HeuristicFn &h = use_npu ? *approx : exact;
+
+        auto search =
+            robotics::weightedAStar(mem, arrays, start, goal, expand, h,
+                                    eps);
+        result.totalExpansions += search.expansions;
+
+        AnytimeIteration iter;
+        iter.epsilon = eps;
+        iter.expansions = search.expansions;
+
+        if (!search.found) {
+            // No path at this inflation; tighter iterations cannot help
+            // less, but record and continue to stay anytime.
+            iter.cost = -1.0;
+            result.iterations.push_back(iter);
+            first = false;
+            continue;
+        }
+
+        if (use_npu && has_prev &&
+            search.cost > prev_cost + opt.costTolerance) {
+            // Supervisor: the NPU overestimated somewhere — the path
+            // got worse. Re-run this iteration exactly on the CPU.
+            ++result.rollbacks;
+            search = robotics::weightedAStar(mem, arrays, start, goal,
+                                             expand, exact, eps);
+            result.totalExpansions += search.expansions;
+            iter.rerunOnCpu = true;
+            iter.expansions += search.expansions;
+        }
+
+        iter.cost = search.cost;
+        result.iterations.push_back(iter);
+        result.found = true;
+        result.finalCost = search.cost;
+        result.finalPath = std::move(search.path);
+        prev_cost = search.cost;
+        has_prev = true;
+        first = false;
+    }
+    return result;
+}
+
+} // namespace tartan::core
+
+#endif // TARTAN_CORE_AXAR_HH

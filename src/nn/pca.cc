@@ -1,0 +1,94 @@
+/**
+ * @file
+ * PCA implementation (covariance power iteration with deflation).
+ */
+
+#include "nn/pca.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tartan::nn {
+
+Pca::Pca(std::span<const float> data, std::size_t count, std::size_t d,
+         std::size_t components, tartan::sim::Rng &rng,
+         std::size_t iterations)
+    : dim(d), numComponents(components)
+{
+    TARTAN_ASSERT(data.size() >= count * dim, "PCA data underflow");
+    TARTAN_ASSERT(components <= dim, "more components than dimensions");
+
+    mean.assign(dim, 0.0f);
+    for (std::size_t s = 0; s < count; ++s)
+        for (std::size_t j = 0; j < dim; ++j)
+            mean[j] += data[s * dim + j];
+    for (float &m : mean)
+        m /= static_cast<float>(count);
+
+    // Covariance matrix (dim x dim).
+    std::vector<double> cov(dim * dim, 0.0);
+    std::vector<float> centered(dim);
+    for (std::size_t s = 0; s < count; ++s) {
+        for (std::size_t j = 0; j < dim; ++j)
+            centered[j] = data[s * dim + j] - mean[j];
+        for (std::size_t i = 0; i < dim; ++i) {
+            const double ci = centered[i];
+            for (std::size_t j = i; j < dim; ++j)
+                cov[i * dim + j] += ci * centered[j];
+        }
+    }
+    for (std::size_t i = 0; i < dim; ++i)
+        for (std::size_t j = i; j < dim; ++j) {
+            cov[i * dim + j] /= static_cast<double>(count);
+            cov[j * dim + i] = cov[i * dim + j];
+        }
+
+    basis.assign(numComponents * dim, 0.0f);
+    eigenvalues.assign(numComponents, 0.0f);
+    std::vector<double> v(dim), next(dim);
+    for (std::size_t c = 0; c < numComponents; ++c) {
+        for (std::size_t j = 0; j < dim; ++j)
+            v[j] = rng.gaussian();
+        double lambda = 0.0;
+        for (std::size_t it = 0; it < iterations; ++it) {
+            for (std::size_t i = 0; i < dim; ++i) {
+                double acc = 0.0;
+                for (std::size_t j = 0; j < dim; ++j)
+                    acc += cov[i * dim + j] * v[j];
+                next[i] = acc;
+            }
+            double norm = 0.0;
+            for (double x : next)
+                norm += x * x;
+            norm = std::sqrt(norm);
+            if (norm < 1e-12)
+                break;
+            lambda = norm;
+            for (std::size_t j = 0; j < dim; ++j)
+                v[j] = next[j] / norm;
+        }
+        eigenvalues[c] = static_cast<float>(lambda);
+        for (std::size_t j = 0; j < dim; ++j)
+            basis[c * dim + j] = static_cast<float>(v[j]);
+        // Deflate: cov -= lambda * v v^T.
+        for (std::size_t i = 0; i < dim; ++i)
+            for (std::size_t j = 0; j < dim; ++j)
+                cov[i * dim + j] -= lambda * v[i] * v[j];
+    }
+}
+
+void
+Pca::transform(std::span<const float> sample, std::span<float> out) const
+{
+    TARTAN_ASSERT(sample.size() == dim, "PCA sample size mismatch");
+    TARTAN_ASSERT(out.size() == numComponents, "PCA output size mismatch");
+    for (std::size_t c = 0; c < numComponents; ++c) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < dim; ++j)
+            acc += (sample[j] - mean[j]) * basis[c * dim + j];
+        out[c] = static_cast<float>(acc);
+    }
+}
+
+} // namespace tartan::nn

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Principal component analysis by power iteration with deflation.
+ *
+ * PatrolBot's NPU path (paper §VIII-B) reduces flattened image features
+ * to k = 50 principal components before the 50/1024/512/1 classifier
+ * MLP; this is the dimensionality-reduction stage.
+ */
+
+#ifndef TARTAN_NN_PCA_HH
+#define TARTAN_NN_PCA_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace tartan::nn {
+
+/** PCA projection learned from data. */
+class Pca
+{
+  public:
+    /**
+     * Fit @p components principal directions.
+     *
+     * @param data row-major samples (count x dim)
+     * @param count number of samples
+     * @param dim feature dimensionality
+     * @param iterations power-iteration steps per component
+     */
+    Pca(std::span<const float> data, std::size_t count, std::size_t dim,
+        std::size_t components, tartan::sim::Rng &rng,
+        std::size_t iterations = 40);
+
+    /** Project one sample onto the learned components. */
+    void transform(std::span<const float> sample,
+                   std::span<float> out) const;
+
+    std::size_t components() const { return numComponents; }
+    std::size_t dimension() const { return dim; }
+    /** Eigenvalue of component @p c (variance explained). */
+    float eigenvalue(std::size_t c) const { return eigenvalues[c]; }
+
+  private:
+    std::size_t dim;
+    std::size_t numComponents;
+    std::vector<float> mean;
+    std::vector<float> basis;  //!< row-major components x dim
+    std::vector<float> eigenvalues;
+};
+
+} // namespace tartan::nn
+
+#endif // TARTAN_NN_PCA_HH

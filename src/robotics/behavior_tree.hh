@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Minimal behaviour-tree engine (HomeBot's planning stage).
+ *
+ * Sequence and Selector composites over leaf actions; ticks are cheap
+ * by design (planning is not HomeBot's bottleneck) but instrumented so
+ * the stage shows up in the breakdown.
+ */
+
+#ifndef TARTAN_ROBOTICS_BEHAVIOR_TREE_HH
+#define TARTAN_ROBOTICS_BEHAVIOR_TREE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "robotics/trace.hh"
+
+namespace tartan::robotics {
+
+/** Tick outcome. */
+enum class BtStatus { Success, Failure, Running };
+
+/** Behaviour-tree node. */
+class BtNode
+{
+  public:
+    explicit BtNode(std::string name) : nodeName(std::move(name)) {}
+    virtual ~BtNode() = default;
+
+    virtual BtStatus tick(Mem &mem) = 0;
+
+    const std::string &name() const { return nodeName; }
+
+  private:
+    std::string nodeName;
+};
+
+/** Leaf executing a callable. */
+class BtAction : public BtNode
+{
+  public:
+    using Fn = std::function<BtStatus(Mem &)>;
+
+    BtAction(std::string name, Fn fn)
+        : BtNode(std::move(name)), action(std::move(fn))
+    {
+    }
+
+    BtStatus
+    tick(Mem &mem) override
+    {
+        mem.exec(4);
+        return action(mem);
+    }
+
+  private:
+    Fn action;
+};
+
+/** Runs children in order; fails on the first failure. */
+class BtSequence : public BtNode
+{
+  public:
+    explicit BtSequence(std::string name) : BtNode(std::move(name)) {}
+
+    void add(std::unique_ptr<BtNode> child)
+    {
+        children.push_back(std::move(child));
+    }
+
+    BtStatus
+    tick(Mem &mem) override
+    {
+        for (auto &child : children) {
+            mem.exec(2);
+            const BtStatus s = child->tick(mem);
+            if (s != BtStatus::Success)
+                return s;
+        }
+        return BtStatus::Success;
+    }
+
+  private:
+    std::vector<std::unique_ptr<BtNode>> children;
+};
+
+/** Runs children in order; succeeds on the first success. */
+class BtSelector : public BtNode
+{
+  public:
+    explicit BtSelector(std::string name) : BtNode(std::move(name)) {}
+
+    void add(std::unique_ptr<BtNode> child)
+    {
+        children.push_back(std::move(child));
+    }
+
+    BtStatus
+    tick(Mem &mem) override
+    {
+        for (auto &child : children) {
+            mem.exec(2);
+            const BtStatus s = child->tick(mem);
+            if (s != BtStatus::Failure)
+                return s;
+        }
+        return BtStatus::Failure;
+    }
+
+  private:
+    std::vector<std::unique_ptr<BtNode>> children;
+};
+
+} // namespace tartan::robotics
+
+#endif // TARTAN_ROBOTICS_BEHAVIOR_TREE_HH

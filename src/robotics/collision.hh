@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Collision-detection kernels.
+ *
+ * Two flavours used by the RoWild robots:
+ *  - footprint collision checking in (x, y, theta) space (CarriBot):
+ *    the robot's rectangular footprint is swept along oriented lines
+ *    over the occupancy grid — the second big consumer of oriented
+ *    loads (paper §III-B, §IV);
+ *  - cuboid-cuboid collision detection, CCCD (MoveBot): obstacles and
+ *    robot links are bounded by cuboids and tested pairwise.
+ */
+
+#ifndef TARTAN_ROBOTICS_COLLISION_HH
+#define TARTAN_ROBOTICS_COLLISION_HH
+
+#include <cstdint>
+
+#include "robotics/geometry.hh"
+#include "robotics/grid.hh"
+#include "robotics/oriented.hh"
+
+namespace tartan::robotics {
+
+namespace collision_pc {
+inline constexpr PcId footprint = 110;
+inline constexpr PcId cuboid = 111;
+} // namespace collision_pc
+
+/** Rectangular robot footprint. */
+struct Footprint {
+    double length = 8.0;  //!< cells along the heading
+    double width = 4.0;   //!< cells across the heading
+    std::uint32_t sweepLines = 3;  //!< oriented lines checked
+};
+
+/**
+ * Check whether the footprint at @p pose intersects an obstacle by
+ * casting `sweepLines` oriented traversals of length `length` through
+ * the grid. Returns true on collision.
+ */
+bool footprintCollides(Mem &mem, const OccupancyGrid2D &grid,
+                       const Pose2 &pose, const Footprint &fp,
+                       OrientedEngine &engine);
+
+/** Reference (uninstrumented, unbatched) footprint check for tests. */
+bool footprintCollidesReference(const OccupancyGrid2D &grid,
+                                const Pose2 &pose, const Footprint &fp);
+
+/**
+ * Cuboid-cuboid collision detection: tests every robot cuboid against
+ * every obstacle cuboid with instrumented loads; returns true if any
+ * pair overlaps. Iterates the obstacle range [first, last) so callers
+ * can shard the work across threads (paper: CCCD runs on 8 threads).
+ */
+bool cuboidsCollide(Mem &mem, const Cuboid *robot, std::size_t robot_count,
+                    const Cuboid *obstacles, std::size_t first,
+                    std::size_t last);
+
+} // namespace tartan::robotics
+
+#endif // TARTAN_ROBOTICS_COLLISION_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Extended Kalman filter for planar localisation (PatrolBot).
+ *
+ * State: (x, y, theta). Motion model: unicycle odometry. Measurements:
+ * range-bearing observations of known landmarks. Small dense matrix
+ * algebra, instrumented per update.
+ */
+
+#ifndef TARTAN_ROBOTICS_EKF_HH
+#define TARTAN_ROBOTICS_EKF_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "robotics/geometry.hh"
+#include "robotics/trace.hh"
+
+namespace tartan::robotics {
+
+namespace ekf_pc {
+inline constexpr PcId state = 150;
+} // namespace ekf_pc
+
+/** Planar landmark-based EKF. */
+class Ekf
+{
+  public:
+    /** @param landmarks known landmark positions */
+    explicit Ekf(std::vector<Vec2> landmarks);
+
+    /** Reset to a pose with the given position uncertainty. */
+    void reset(const Pose2 &pose, double pos_var, double theta_var);
+
+    /** Odometry prediction step: forward velocity v, yaw rate w, dt. */
+    void predict(Mem &mem, double v, double w, double dt);
+
+    /**
+     * Range-bearing correction against landmark @p id.
+     *
+     * @param range measured distance
+     * @param bearing measured bearing relative to heading
+     */
+    void correct(Mem &mem, std::size_t id, double range, double bearing);
+
+    Pose2 pose() const { return Pose2{state[0], state[1], state[2]}; }
+    /** Trace of the position covariance (uncertainty proxy). */
+    double positionUncertainty() const { return cov[0] + cov[4]; }
+
+  private:
+    std::vector<Vec2> landmarks;
+    std::array<double, 3> state{};
+    std::array<double, 9> cov{};  //!< row-major 3x3
+    double motionNoise = 0.05;
+    double measurementNoise = 0.04;
+};
+
+} // namespace tartan::robotics
+
+#endif // TARTAN_ROBOTICS_EKF_HH

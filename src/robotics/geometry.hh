@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Small geometry toolkit: vectors, poses, cuboids, angle helpers.
+ */
+
+#ifndef TARTAN_ROBOTICS_GEOMETRY_HH
+#define TARTAN_ROBOTICS_GEOMETRY_HH
+
+#include <cmath>
+
+namespace tartan::robotics {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/** Wrap an angle into (-pi, pi]. */
+inline double
+wrapAngle(double a)
+{
+    while (a > kPi)
+        a -= 2.0 * kPi;
+    while (a <= -kPi)
+        a += 2.0 * kPi;
+    return a;
+}
+
+/** 2D vector. */
+struct Vec2 {
+    double x = 0.0;
+    double y = 0.0;
+
+    Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(double s) const { return {x * s, y * s}; }
+    double dot(const Vec2 &o) const { return x * o.x + y * o.y; }
+    double norm() const { return std::sqrt(x * x + y * y); }
+};
+
+/** 3D vector. */
+struct Vec3 {
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    double dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+    Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+    double norm() const { return std::sqrt(dot(*this)); }
+};
+
+/** Planar pose. */
+struct Pose2 {
+    double x = 0.0;
+    double y = 0.0;
+    double theta = 0.0;
+};
+
+/** Axis-aligned cuboid used by cuboid-cuboid collision detection. */
+struct Cuboid {
+    Vec3 center;
+    Vec3 halfExtent;
+
+    bool
+    overlaps(const Cuboid &o) const
+    {
+        return std::fabs(center.x - o.center.x) <=
+                   halfExtent.x + o.halfExtent.x &&
+               std::fabs(center.y - o.center.y) <=
+                   halfExtent.y + o.halfExtent.y &&
+               std::fabs(center.z - o.center.z) <=
+                   halfExtent.z + o.halfExtent.z;
+    }
+};
+
+/** Euclidean distance between two 2D points. */
+inline double
+dist2(double ax, double ay, double bx, double by)
+{
+    const double dx = ax - bx;
+    const double dy = ay - by;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+/** Euclidean distance between two 3D points. */
+inline double
+dist3(const Vec3 &a, const Vec3 &b)
+{
+    return (a - b).norm();
+}
+
+} // namespace tartan::robotics
+
+#endif // TARTAN_ROBOTICS_GEOMETRY_HH

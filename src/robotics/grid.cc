@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Occupancy-grid construction and synthetic environment generators.
+ */
+
+#include "robotics/grid.hh"
+
+#include <algorithm>
+
+namespace tartan::robotics {
+
+OccupancyGrid2D::OccupancyGrid2D(std::uint32_t width, std::uint32_t height,
+                                 tartan::sim::Arena &arena)
+    : gridW(width), gridH(height),
+      cellData(arena.alloc<float>(static_cast<std::size_t>(width) * height))
+{
+    clearWithBorder();
+}
+
+void
+OccupancyGrid2D::clearWithBorder()
+{
+    std::fill(cellData, cellData + cells(), 0.0f);
+    for (std::uint32_t x = 0; x < gridW; ++x) {
+        at(x, 0) = 1.0f;
+        at(x, gridH - 1) = 1.0f;
+    }
+    for (std::uint32_t y = 0; y < gridH; ++y) {
+        at(0, y) = 1.0f;
+        at(gridW - 1, y) = 1.0f;
+    }
+}
+
+void
+OccupancyGrid2D::addRect(std::uint32_t x0, std::uint32_t y0,
+                         std::uint32_t x1, std::uint32_t y1)
+{
+    x1 = std::min(x1, gridW);
+    y1 = std::min(y1, gridH);
+    for (std::uint32_t y = y0; y < y1; ++y)
+        for (std::uint32_t x = x0; x < x1; ++x)
+            at(x, y) = 1.0f;
+}
+
+void
+OccupancyGrid2D::scatterObstacles(tartan::sim::Rng &rng, double density,
+                                  std::uint32_t max_size)
+{
+    const double target =
+        density * static_cast<double>(cells());
+    double covered = 0.0;
+    while (covered < target) {
+        const std::uint32_t size =
+            1 + static_cast<std::uint32_t>(rng.uniformInt(max_size));
+        const std::uint32_t x =
+            1 + static_cast<std::uint32_t>(rng.uniformInt(gridW - size - 2));
+        const std::uint32_t y =
+            1 + static_cast<std::uint32_t>(rng.uniformInt(gridH - size - 2));
+        addRect(x, y, x + size, y + size);
+        covered += static_cast<double>(size) * size;
+    }
+}
+
+void
+OccupancyGrid2D::makeHeterogeneous(tartan::sim::Rng &rng,
+                                   double sparse_density,
+                                   double dense_density)
+{
+    clearWithBorder();
+    // Left half sparse.
+    const double sparse_target =
+        sparse_density * 0.5 * static_cast<double>(cells());
+    double covered = 0.0;
+    while (covered < sparse_target) {
+        const std::uint32_t size =
+            1 + static_cast<std::uint32_t>(rng.uniformInt(6));
+        const std::uint32_t x = 1 + static_cast<std::uint32_t>(
+            rng.uniformInt(gridW / 2 - size - 2));
+        const std::uint32_t y = 1 + static_cast<std::uint32_t>(
+            rng.uniformInt(gridH - size - 2));
+        addRect(x, y, x + size, y + size);
+        covered += static_cast<double>(size) * size;
+    }
+    // Right half dense.
+    const double dense_target =
+        dense_density * 0.5 * static_cast<double>(cells());
+    covered = 0.0;
+    while (covered < dense_target) {
+        const std::uint32_t size =
+            1 + static_cast<std::uint32_t>(rng.uniformInt(6));
+        const std::uint32_t x = gridW / 2 + static_cast<std::uint32_t>(
+            rng.uniformInt(gridW / 2 - size - 2));
+        const std::uint32_t y = 1 + static_cast<std::uint32_t>(
+            rng.uniformInt(gridH - size - 2));
+        addRect(x, y, x + size, y + size);
+        covered += static_cast<double>(size) * size;
+    }
+}
+
+void
+OccupancyGrid2D::makeForkedCorridors(std::uint32_t lanes)
+{
+    clearWithBorder();
+    // Large obstacles splitting the middle band into `lanes` corridors
+    // running left to right.
+    const std::uint32_t band_y0 = gridH / 8;
+    const std::uint32_t band_y1 = gridH - gridH / 8;
+    const std::uint32_t band = band_y1 - band_y0;
+    const std::uint32_t walls = lanes - 1;
+    if (walls == 0)
+        return;
+    const std::uint32_t lane_h = band / lanes;
+    for (std::uint32_t w = 0; w < walls; ++w) {
+        const std::uint32_t y = band_y0 + (w + 1) * lane_h;
+        addRect(gridW / 6, y, gridW - gridW / 6, y + 2);
+    }
+}
+
+OccupancyGrid3D::OccupancyGrid3D(std::uint32_t width, std::uint32_t height,
+                                 std::uint32_t depth,
+                                 tartan::sim::Arena &arena)
+    : gridW(width), gridH(height), gridD(depth),
+      cellData(arena.alloc<float>(static_cast<std::size_t>(width) * height *
+                                  depth))
+{
+    std::fill(cellData, cellData + cells(), 0.0f);
+}
+
+void
+OccupancyGrid3D::makeCity(tartan::sim::Rng &rng, std::uint32_t buildings)
+{
+    std::fill(cellData, cellData + cells(), 0.0f);
+    // Ground plane.
+    for (std::uint32_t y = 0; y < gridH; ++y)
+        for (std::uint32_t x = 0; x < gridW; ++x)
+            at(x, y, 0) = 1.0f;
+    for (std::uint32_t b = 0; b < buildings; ++b) {
+        const std::uint32_t w =
+            2 + static_cast<std::uint32_t>(rng.uniformInt(gridW / 8));
+        const std::uint32_t h =
+            2 + static_cast<std::uint32_t>(rng.uniformInt(gridH / 8));
+        const std::uint32_t tall =
+            2 + static_cast<std::uint32_t>(rng.uniformInt(gridD - 3));
+        const std::uint32_t x0 =
+            static_cast<std::uint32_t>(rng.uniformInt(gridW - w - 1));
+        const std::uint32_t y0 =
+            static_cast<std::uint32_t>(rng.uniformInt(gridH - h - 1));
+        for (std::uint32_t z = 0; z < tall; ++z)
+            for (std::uint32_t y = y0; y < y0 + h; ++y)
+                for (std::uint32_t x = x0; x < x0 + w; ++x)
+                    at(x, y, z) = 1.0f;
+    }
+}
+
+} // namespace tartan::robotics

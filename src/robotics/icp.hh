@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Point-cloud registration (ICP) and point-based fusion (HomeBot,
+ * paper §III-B): transformation (T) prediction by matching point
+ * clouds — many NNS operations plus heavy floating-point solves.
+ */
+
+#ifndef TARTAN_ROBOTICS_ICP_HH
+#define TARTAN_ROBOTICS_ICP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "robotics/geometry.hh"
+#include "robotics/nns.hh"
+
+namespace tartan::robotics {
+
+namespace icp_pc {
+inline constexpr PcId cloud = 160;
+} // namespace icp_pc
+
+/** Rigid transform: rotation (row-major 3x3) plus translation. */
+struct Transform3 {
+    double r[9] = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+    Vec3 t;
+
+    Vec3
+    apply(const Vec3 &p) const
+    {
+        return Vec3{r[0] * p.x + r[1] * p.y + r[2] * p.z + t.x,
+                    r[3] * p.x + r[4] * p.y + r[5] * p.z + t.y,
+                    r[6] * p.x + r[7] * p.y + r[8] * p.z + t.z};
+    }
+
+    /** Compose: this after @p other. */
+    Transform3 compose(const Transform3 &other) const;
+
+    /** Rotation angle (radians) of the rotation part. */
+    double rotationAngle() const;
+};
+
+/** Build a transform from XYZ Euler angles and a translation. */
+Transform3 makeTransform(double rx, double ry, double rz, const Vec3 &t);
+
+/** ICP configuration. */
+struct IcpConfig {
+    std::uint32_t iterations = 8;
+    double maxPairDistance = 5.0;  //!< reject far correspondences
+};
+
+/** ICP result. */
+struct IcpResult {
+    Transform3 transform;          //!< maps source onto destination
+    double meanResidual = 0.0;     //!< mean correspondence distance
+    std::uint64_t correspondences = 0;
+};
+
+/**
+ * Estimate the rigid transform aligning @p src onto @p dst with
+ * point-to-point ICP (Horn's quaternion closed form per iteration).
+ *
+ * @param src row-major xyz floats (count triplets); modified in place
+ *        as iterations apply the running transform
+ * @param nns backend indexing the destination cloud
+ */
+IcpResult icpAlign(Mem &mem, std::vector<float> &src, std::size_t count,
+                   NnsBackend &nns, const float *dst_store,
+                   const IcpConfig &cfg, std::uint32_t dst_stride = 3);
+
+/**
+ * Point-based fusion: merge a registered frame into the global map.
+ * Points with a neighbour within @p merge_radius are averaged into it
+ * (confidence counting); others are appended.
+ *
+ * @return number of newly inserted points
+ */
+std::size_t fusePoints(Mem &mem, std::vector<float> &map_points,
+                       std::vector<float> &confidence,
+                       const std::vector<float> &frame, std::size_t count,
+                       NnsBackend &map_nns, double merge_radius,
+                       std::uint32_t map_stride = 3);
+
+} // namespace tartan::robotics
+
+#endif // TARTAN_ROBOTICS_ICP_HH

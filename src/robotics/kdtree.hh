@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Incrementally-built k-d tree NNS backend.
+ *
+ * Mirrors the OMPL-style structures the paper critiques (§VI): node
+ * records are heap-scattered, traversal is pointer chasing (dependent
+ * misses, full stalls), and high dimensionality erodes pruning.
+ */
+
+#ifndef TARTAN_ROBOTICS_KDTREE_HH
+#define TARTAN_ROBOTICS_KDTREE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "robotics/nns.hh"
+
+namespace tartan::robotics {
+
+/** Unbalanced incremental k-d tree. */
+class KdTreeNns : public NnsBackend
+{
+  public:
+    KdTreeNns(const float *store, std::uint32_t dim,
+              std::uint32_t stride = 0);
+
+    void insert(Mem &mem, std::uint32_t id) override;
+    std::int32_t nearest(Mem &mem, const float *query) override;
+    void radius(Mem &mem, const float *query, float eps,
+                std::vector<std::uint32_t> &out) override;
+    const char *name() const override { return "kdtree"; }
+
+    std::size_t size() const { return nodes.size(); }
+
+  private:
+    struct Node {
+        std::uint32_t id = 0;
+        std::uint32_t splitDim = 0;
+        std::int32_t left = -1;
+        std::int32_t right = -1;
+    };
+
+    void nearestRec(Mem &mem, std::int32_t node, const float *query,
+                    std::int32_t &best, float &best_d);
+    void radiusRec(Mem &mem, std::int32_t node, const float *query,
+                   float eps_sq, std::vector<std::uint32_t> &out);
+
+    /** Nodes are allocated individually to model heap scatter. */
+    std::vector<std::unique_ptr<Node>> nodes;
+    std::int32_t root = -1;
+};
+
+} // namespace tartan::robotics
+
+#endif // TARTAN_ROBOTICS_KDTREE_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ray casting over 2D occupancy grids (paper §IV, Fig. 2).
+ *
+ * A ray starts at the laser origin, advances in steps of length d along
+ * orientation theta, and reports the distance to the first occupied
+ * cell. Following the paper, the fractional (x, y) position is
+ * flattened to a fractional array index (y * W + x) whose floor selects
+ * the memory cell, which makes the access stream an *oriented* pattern
+ * with stride dy * W + dx — the pattern OVEC vectorises.
+ *
+ * The optional trilinear/bilinear interpolation mode reproduces the
+ * high-accuracy variant targeted by Intel's ray-casting accelerator
+ * (paper Fig. 7).
+ */
+
+#ifndef TARTAN_ROBOTICS_RAYCAST_HH
+#define TARTAN_ROBOTICS_RAYCAST_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "robotics/grid.hh"
+#include "robotics/oriented.hh"
+
+namespace tartan::robotics {
+
+/** Load-site identifiers for the ray-casting kernel. */
+namespace raycast_pc {
+inline constexpr PcId map = 100;
+inline constexpr PcId interp = 101;
+} // namespace raycast_pc
+
+/** Ray-casting parameters. */
+struct RayConfig {
+    double step = 1.0;       //!< step length d in cells
+    double maxRange = 200.0; //!< give up after this many cells
+    bool interpolate = false;
+    /** Interpolation executed in software or by an Intel-style ASIC. */
+    bool interpOnAccelerator = false;
+};
+
+/**
+ * Local voxel storage of the Intel accelerator model: each distinct
+ * cell pays the cache latency once, repeats are serviced locally.
+ */
+class LocalVoxelStorage
+{
+  public:
+    /** @return true if the cell was already resident (load is free). */
+    bool
+    lookup(std::size_t cell)
+    {
+        return !resident.insert(cell).second;
+    }
+
+    void clear() { resident.clear(); }
+    std::size_t size() const { return resident.size(); }
+
+  private:
+    std::unordered_set<std::size_t> resident;
+};
+
+/**
+ * Cast one ray; returns the travelled distance (in cells) to the first
+ * obstacle, or cfg.maxRange when nothing is hit.
+ *
+ * @param engine oriented-load engine (scalar / OVEC / Gather / RACOD)
+ * @param lvs optional Intel-style local voxel storage (nullptr: absent)
+ */
+double castRay(Mem &mem, const OccupancyGrid2D &grid, double ox, double oy,
+               double theta, const RayConfig &cfg, OrientedEngine &engine,
+               LocalVoxelStorage *lvs = nullptr);
+
+/**
+ * Reference implementation used by tests: same flattening semantics,
+ * no batching, no instrumentation.
+ */
+double castRayReference(const OccupancyGrid2D &grid, double ox, double oy,
+                        double theta, const RayConfig &cfg);
+
+} // namespace tartan::robotics
+
+#endif // TARTAN_ROBOTICS_RAYCAST_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * RRT planner non-template pieces.
+ */
+
+#include "robotics/rrt.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tartan::robotics {
+
+RrtPlanner::RrtPlanner(const RrtConfig &config, tartan::sim::Arena &arena)
+    : cfg(config),
+      coords(arena.alloc<float>(
+          static_cast<std::size_t>(config.maxNodes) *
+          (config.strideFloats ? config.strideFloats : config.dim)))
+{
+    parents.reserve(cfg.maxNodes);
+}
+
+std::uint32_t
+RrtPlanner::addNode(Mem &mem, NnsBackend &nns, const float *q,
+                    std::uint32_t parent)
+{
+    TARTAN_ASSERT(nodeCount < cfg.maxNodes, "RRT node capacity exceeded");
+    const std::uint32_t id = nodeCount++;
+    float *dst = coords + static_cast<std::size_t>(id) * stride();
+    for (std::uint32_t d = 0; d < cfg.dim; ++d)
+        mem.storev(dst + d, q[d], nns_pc::brute);
+    // The remaining record fields cache FK/collision metadata.
+    for (std::uint32_t d = cfg.dim; d < stride(); ++d)
+        dst[d] = 0.0f;
+    parents.push_back(id == 0 ? 0 : parent);
+    nns.insert(mem, id);
+    return id;
+}
+
+double
+RrtPlanner::nodeDistance(std::uint32_t a, std::uint32_t b) const
+{
+    const float *pa = node(a);
+    const float *pb = node(b);
+    double acc = 0.0;
+    for (std::uint32_t d = 0; d < cfg.dim; ++d) {
+        const double diff = pa[d] - pb[d];
+        acc += diff * diff;
+    }
+    return std::sqrt(acc);
+}
+
+} // namespace tartan::robotics

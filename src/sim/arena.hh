@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Aligned bump allocator for workload data structures.
+ *
+ * Workloads allocate their hot arrays from an Arena so that the relative
+ * layout (and hence cache-set mapping, region structure, and prefetcher
+ * behaviour) is deterministic across runs regardless of heap ASLR.
+ */
+
+#ifndef TARTAN_SIM_ARENA_HH
+#define TARTAN_SIM_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+#include "sim/logging.hh"
+
+namespace tartan::sim {
+
+/** A bump allocator over one large allocation aligned to its own size. */
+class Arena
+{
+  public:
+    /** Create an arena of @p bytes, base-aligned to 2 MB. */
+    explicit Arena(std::size_t bytes)
+        : capacity(bytes),
+          storage(static_cast<std::byte *>(
+              ::operator new(bytes, std::align_val_t{baseAlign})))
+    {
+    }
+
+    ~Arena() { ::operator delete(storage, std::align_val_t{baseAlign}); }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate @p count default-initialised objects of type T, aligned to
+     * at least 64 bytes so every array starts on a cacheline boundary.
+     */
+    template <typename T>
+    T *
+    alloc(std::size_t count, std::size_t align = 64)
+    {
+        std::size_t off = (offset + align - 1) & ~(align - 1);
+        const std::size_t bytes = count * sizeof(T);
+        TARTAN_ASSERT(off + bytes <= capacity, "arena exhausted");
+        offset = off + bytes;
+        T *ptr = reinterpret_cast<T *>(storage + off);
+        for (std::size_t i = 0; i < count; ++i)
+            new (ptr + i) T();
+        return ptr;
+    }
+
+    /** Bytes handed out so far. */
+    std::size_t used() const { return offset; }
+
+    /** Base address; useful for computing deterministic offsets. */
+    std::uintptr_t base() const
+    {
+        return reinterpret_cast<std::uintptr_t>(storage);
+    }
+
+  private:
+    static constexpr std::size_t baseAlign = 1ull << 21;
+
+    std::size_t capacity;
+    std::byte *storage;
+    std::size_t offset = 0;
+};
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_ARENA_HH

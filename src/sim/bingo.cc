@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bingo-like spatial prefetcher implementation.
+ */
+
+#include "sim/bingo.hh"
+
+#include "sim/logging.hh"
+
+namespace tartan::sim {
+
+BingoPrefetcher::BingoPrefetcher(std::uint32_t line_bytes,
+                                 std::uint32_t page_bytes,
+                                 std::uint32_t history_entries)
+    : lineBytes(line_bytes),
+      pageBytes(page_bytes),
+      linesPerPage(page_bytes / line_bytes),
+      historyCapacity(history_entries)
+{
+    TARTAN_ASSERT(linesPerPage <= 64, "footprint bitmap limited to 64 lines");
+}
+
+std::uint32_t
+BingoPrefetcher::lineOffset(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr % pageBytes) / lineBytes);
+}
+
+std::uint64_t
+BingoPrefetcher::triggerKey(PcId pc, std::uint32_t offset) const
+{
+    return (static_cast<std::uint64_t>(pc) << 6) | offset;
+}
+
+void
+BingoPrefetcher::retire(std::uint64_t page)
+{
+    auto it = active.find(page);
+    if (it == active.end())
+        return;
+    if (history.find(it->second.triggerKey) == history.end()) {
+        if (history.size() >= historyCapacity && fifoHead < historyFifo.size()) {
+            history.erase(historyFifo[fifoHead]);
+            ++fifoHead;
+        }
+        historyFifo.push_back(it->second.triggerKey);
+    }
+    history[it->second.triggerKey] = it->second.footprint;
+    active.erase(it);
+}
+
+void
+BingoPrefetcher::observe(const PrefetchObservation &obs,
+                         std::vector<Addr> &out)
+{
+    const std::uint64_t page = pageOf(obs.addr);
+    const std::uint32_t offset = lineOffset(obs.addr);
+
+    auto it = active.find(page);
+    if (it != active.end()) {
+        it->second.footprint |= (1ull << offset);
+        return;
+    }
+
+    // Trigger access for this page: replay the learned footprint.
+    const std::uint64_t key = triggerKey(obs.pc, offset);
+    ActiveRegion region;
+    region.triggerKey = key;
+    region.footprint = (1ull << offset);
+    active.emplace(page, region);
+
+    auto hist = history.find(key);
+    if (hist != history.end()) {
+        const Addr page_base = page * pageBytes;
+        for (std::uint32_t line = 0; line < linesPerPage; ++line) {
+            if (line == offset)
+                continue;
+            if (hist->second & (1ull << line))
+                out.push_back(page_base + line * lineBytes);
+        }
+    }
+}
+
+void
+BingoPrefetcher::onEviction(Addr line_addr)
+{
+    // A page whose lines start leaving the cache has finished its
+    // residency; learn its footprint.
+    retire(pageOf(line_addr));
+}
+
+std::uint64_t
+BingoPrefetcher::storageBits() const
+{
+    // History entry: ~30-bit tag + 64-bit footprint (original Bingo uses
+    // long events and PHT rows; this is the same order of magnitude).
+    return static_cast<std::uint64_t>(historyCapacity) * (30 + 64);
+}
+
+} // namespace tartan::sim

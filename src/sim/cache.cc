@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Set-associative cache model implementation.
+ */
+
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace tartan::sim {
+
+namespace {
+
+/** True LRU promotion helper: lines younger than @p old_rec age by one. */
+std::uint32_t
+log2u(std::uint32_t v)
+{
+    std::uint32_t bits = 0;
+    while ((1u << bits) < v)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params)
+    : config(params),
+      indexing(params.indexing ? params.indexing : &defaultIndexing)
+{
+    TARTAN_ASSERT(config.sizeBytes % (config.assoc * config.lineBytes) == 0,
+                  "cache geometry must divide evenly");
+    setCount = config.sizeBytes / (config.assoc * config.lineBytes);
+    TARTAN_ASSERT(std::has_single_bit(setCount),
+                  "set count must be a power of two");
+    lineBits = log2u(config.lineBytes);
+    maxRecency = config.assoc - 1;
+    sets.assign(setCount, std::vector<Line>(config.assoc));
+}
+
+std::uint64_t
+Cache::setIndex(std::uint64_t line_number) const
+{
+    return indexing->index(line_number, setCount);
+}
+
+std::uint64_t
+Cache::regionOf(std::uint64_t line_number) const
+{
+    TARTAN_ASSERT(config.fcp, "regionOf requires an FCP configuration");
+    const std::uint32_t region_lines_bits =
+        log2u(config.fcp->regionBytes / config.lineBytes);
+    return line_number >> region_lines_bits;
+}
+
+void
+Cache::touch(Line &line, Addr addr, std::uint32_t size)
+{
+    if (!config.trackUdm)
+        return;
+    const std::uint32_t off = static_cast<std::uint32_t>(
+        addr & (config.lineBytes - 1));
+    const std::uint32_t first = off / 4;
+    const std::uint32_t last =
+        (off + (size ? size - 1 : 0)) >= config.lineBytes
+            ? (config.lineBytes - 1) / 4
+            : (off + (size ? size - 1 : 0)) / 4;
+    for (std::uint32_t chunk = first; chunk <= last; ++chunk)
+        line.touched |= (1ull << chunk);
+}
+
+Cache::LookupResult
+Cache::access(Addr addr, AccessType type, std::uint32_t size, Cycles now)
+{
+    const std::uint64_t line_number = addr >> lineBits;
+    auto &set = sets[setIndex(line_number)];
+
+    for (std::uint32_t way = 0; way < config.assoc; ++way) {
+        Line &line = set[way];
+        if (line.valid && line.lineNumber == line_number) {
+            ++statsData.hits;
+            LookupResult res{true, line.prefetched, 0};
+            if (line.prefetched) {
+                ++statsData.prefetchHits;
+                if (line.readyAt > now)
+                    res.latePenalty = line.readyAt - now;
+                line.prefetched = false;
+            }
+            if (type == AccessType::Store)
+                line.dirty = true;
+            touch(line, addr, size);
+            promote(set, way);
+            return res;
+        }
+    }
+    ++statsData.misses;
+    return LookupResult{false, false};
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::uint64_t line_number = addr >> lineBits;
+    const auto &set = sets[setIndex(line_number)];
+    for (const Line &line : set)
+        if (line.valid && line.lineNumber == line_number)
+            return true;
+    return false;
+}
+
+void
+Cache::promote(std::vector<Line> &set, std::uint32_t way)
+{
+    const std::uint32_t old_rec = set[way].recency;
+    for (Line &line : set)
+        if (line.valid && line.recency < old_rec)
+            ++line.recency;
+    set[way].recency = 0;
+}
+
+std::uint32_t
+Cache::victimWay(const std::vector<Line> &set) const
+{
+    std::uint32_t victim = 0;
+    std::uint32_t best = 0;
+    bool found = false;
+    for (std::uint32_t way = 0; way < config.assoc; ++way) {
+        const Line &line = set[way];
+        if (!line.valid)
+            return way;
+        if (!found || line.recency > best) {
+            best = line.recency;
+            victim = way;
+            found = true;
+        }
+    }
+    return victim;
+}
+
+void
+Cache::evictLine(Line &line)
+{
+    ++statsData.evictions;
+    if (line.dirty)
+        ++statsData.dirtyEvictions;
+    if (line.prefetched)
+        ++statsData.prefetchUnused;
+    if (config.trackUdm) {
+        statsData.udmFetchedBytes += config.lineBytes;
+        statsData.udmUsedBytes +=
+            4ull * static_cast<std::uint64_t>(std::popcount(line.touched));
+    }
+    if (evictionListener)
+        evictionListener(line.lineNumber << lineBits);
+    line.valid = false;
+    line.touched = 0;
+}
+
+Cache::Eviction
+Cache::fill(Addr addr, bool prefetch, bool dirty, Cycles ready_at)
+{
+    const std::uint64_t line_number = addr >> lineBits;
+    auto &set = sets[setIndex(line_number)];
+
+    // Refilling a resident line is a no-op apart from flag updates.
+    for (std::uint32_t way = 0; way < config.assoc; ++way) {
+        Line &line = set[way];
+        if (line.valid && line.lineNumber == line_number) {
+            line.dirty = line.dirty || dirty;
+            promote(set, way);
+            return Eviction{};
+        }
+    }
+
+    const std::uint32_t way = victimWay(set);
+    Line &line = set[way];
+    Eviction ev;
+    if (line.valid) {
+        ev.valid = true;
+        ev.lineAddr = line.lineNumber << lineBits;
+        ev.dirty = line.dirty;
+        evictLine(line);
+    }
+    // Insertion: age every resident line (saturating at the natural LRU
+    // maximum) and install the new line at MRU.
+    for (Line &other : set)
+        if (other.valid && other.recency < maxRecency)
+            ++other.recency;
+    line.lineNumber = line_number;
+    line.valid = true;
+    line.dirty = dirty;
+    line.prefetched = prefetch;
+    line.touched = 0;
+    line.recency = 0;
+    line.readyAt = prefetch ? ready_at : 0;
+    if (prefetch)
+        ++statsData.prefetchFills;
+
+    // FCP: age every same-region line in this set through m(x), making
+    // regions that already occupy much of the set evict sooner. The
+    // manipulated recency may exceed the natural LRU maximum (up to
+    // manipCeiling) so that an over-occupying region's lines outrank
+    // naturally old lines of other regions at eviction time.
+    if (config.fcp) {
+        const std::uint32_t ceiling = manipCeiling();
+        const std::uint64_t region = regionOf(line_number);
+        for (std::uint32_t w = 0; w < config.assoc; ++w) {
+            Line &other = set[w];
+            if (w == way || !other.valid)
+                continue;
+            if (regionOf(other.lineNumber) == region) {
+                const std::uint32_t manipulated =
+                    config.fcp->apply(other.recency);
+                other.recency =
+                    manipulated > ceiling ? ceiling : manipulated;
+            }
+        }
+    }
+    return ev;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const std::uint64_t line_number = addr >> lineBits;
+    auto &set = sets[setIndex(line_number)];
+    for (Line &line : set) {
+        if (line.valid && line.lineNumber == line_number) {
+            evictLine(line);
+            return;
+        }
+    }
+}
+
+std::uint64_t
+Cache::dirtyLines() const
+{
+    std::uint64_t count = 0;
+    for (const auto &set : sets)
+        for (const Line &line : set)
+            if (line.valid && line.dirty)
+                ++count;
+    return count;
+}
+
+void
+Cache::setEvictionListener(EvictionListener listener)
+{
+    evictionListener = std::move(listener);
+}
+
+} // namespace tartan::sim

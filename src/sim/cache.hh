@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Set-associative cache model with pluggable indexing, LRU replacement,
+ * FCP replacement-metadata manipulation, prefetched-line tracking,
+ * unnecessary-data-movement (UDM) accounting, and eviction listeners.
+ */
+
+#ifndef TARTAN_SIM_CACHE_HH
+#define TARTAN_SIM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/indexing.hh"
+#include "sim/types.hh"
+
+namespace tartan::sim {
+
+/**
+ * FCP replacement-metadata manipulation (paper §VII-B).
+ *
+ * On a fill of line X, every resident line in the set that shares X's
+ * region has its LRU recency passed through m(x) (clamped to the maximum
+ * recency), accelerating its eviction and preventing any single region
+ * from monopolising the set.
+ */
+struct FcpReplacement {
+    /** Manipulation function family evaluated in the paper (Fig. 11). */
+    enum class Func { XPlus1, TwoX, XSquared };
+
+    std::uint32_t regionBytes = 1024;
+    Func func = Func::XSquared;
+
+    /** Apply m(x) to a recency value. */
+    std::uint32_t
+    apply(std::uint32_t x) const
+    {
+        switch (func) {
+          case Func::XPlus1:
+            return x + 1;
+          case Func::TwoX:
+            return 2 * x;
+          case Func::XSquared:
+            return x * x;
+        }
+        return x;
+    }
+};
+
+/** Static configuration of one cache. */
+struct CacheParams {
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t lineBytes = 64;
+    Cycles latency = 4;
+    /** Track per-line touched bytes for UDM accounting (L1 only). */
+    bool trackUdm = false;
+    /** Optional non-standard indexing (owned by the caller/system). */
+    const IndexingPolicy *indexing = nullptr;
+    /** Optional FCP replacement manipulation. */
+    const FcpReplacement *fcp = nullptr;
+};
+
+/** Aggregate statistics of a cache. */
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+    std::uint64_t prefetchFills = 0;
+    std::uint64_t prefetchHits = 0;     //!< demand hits on prefetched lines
+    std::uint64_t prefetchUnused = 0;   //!< prefetched lines evicted unused
+    std::uint64_t udmFetchedBytes = 0;  //!< bytes brought in (UDM tracking)
+    std::uint64_t udmUsedBytes = 0;     //!< bytes actually referenced
+
+    std::uint64_t accesses() const { return hits + misses; }
+    double
+    missRatio() const
+    {
+        const std::uint64_t a = accesses();
+        return a ? static_cast<double>(misses) / static_cast<double>(a) : 0.0;
+    }
+};
+
+/**
+ * One level of the cache hierarchy.
+ *
+ * The cache stores full line numbers as tags, so any one-to-one indexing
+ * permutation is trivially correct. Fill/eviction is driven externally by
+ * the MemorySystem, which models the hierarchy walk.
+ */
+class Cache
+{
+  public:
+    /** Result of a demand lookup. */
+    struct LookupResult {
+        bool hit = false;
+        bool prefetched = false;  //!< line had been prefetched and unused
+        Cycles latePenalty = 0;   //!< residual latency of a late prefetch
+    };
+
+    /** Describes the line displaced by a fill. */
+    struct Eviction {
+        bool valid = false;
+        Addr lineAddr = 0;
+        bool dirty = false;
+    };
+
+    /** Callback invoked on every eviction of a valid line. */
+    using EvictionListener = std::function<void(Addr line_addr)>;
+
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Demand access. On a hit the line is promoted to MRU and (for
+     * stores) marked dirty; the caller handles the miss path.
+     *
+     * @param addr byte address
+     * @param type load or store
+     * @param size access footprint in bytes (UDM accounting)
+     * @param now current core cycle (for prefetch-timeliness accounting)
+     */
+    LookupResult access(Addr addr, AccessType type, std::uint32_t size,
+                        Cycles now = 0);
+
+    /** Check residency without perturbing any state. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Install a line (after fetching it from below). Returns the victim.
+     *
+     * @param prefetch the fill was triggered by a prefetcher
+     * @param dirty install in modified state
+     * @param ready_at cycle at which a prefetched line becomes usable
+     */
+    Eviction fill(Addr addr, bool prefetch = false, bool dirty = false,
+                  Cycles ready_at = 0);
+
+    /** Invalidate a line if present (used by write-through stores). */
+    void invalidate(Addr addr);
+
+    /** Number of resident dirty lines (end-of-run drain accounting). */
+    std::uint64_t dirtyLines() const;
+
+    /** Register an eviction listener (e.g. ANL region termination). */
+    void setEvictionListener(EvictionListener listener);
+
+    const CacheParams &params() const { return config; }
+    const CacheStats &stats() const { return statsData; }
+    CacheStats &stats() { return statsData; }
+    std::uint32_t numSets() const { return setCount; }
+
+    /** Line-aligned address of @p addr. */
+    Addr
+    lineAddr(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(config.lineBytes - 1);
+    }
+
+  private:
+    struct Line {
+        std::uint64_t lineNumber = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        std::uint32_t recency = 0;  //!< 0 = MRU, grows towards eviction
+        std::uint64_t touched = 0;  //!< 4-byte-granule touched bitmap
+        Cycles readyAt = 0;         //!< when a prefetched line arrives
+    };
+
+    std::uint64_t setIndex(std::uint64_t line_number) const;
+    /** Upper bound on FCP-manipulated recency values. */
+    std::uint32_t manipCeiling() const { return 4 * maxRecency + 1; }
+    void promote(std::vector<Line> &set, std::uint32_t way);
+    std::uint32_t victimWay(const std::vector<Line> &set) const;
+    void evictLine(Line &line);
+    void touch(Line &line, Addr addr, std::uint32_t size);
+    std::uint64_t regionOf(std::uint64_t line_number) const;
+
+    CacheParams config;
+    StandardIndexing defaultIndexing;
+    const IndexingPolicy *indexing;
+    std::uint32_t setCount;
+    std::uint32_t lineBits;
+    std::uint32_t maxRecency;
+    std::vector<std::vector<Line>> sets;
+    CacheStats statsData;
+    EvictionListener evictionListener;
+};
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_CACHE_HH

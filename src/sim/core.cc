@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Core timing-model implementation.
+ */
+
+#include "sim/core.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tartan::sim {
+
+Core::Core(const CoreParams &params, MemPath *mem_path)
+    : config(params), memPath(mem_path)
+{
+    TARTAN_ASSERT(memPath, "Core requires a memory path");
+    TARTAN_ASSERT(config.issueWidth > 0 && config.missOverlap > 0,
+                  "core widths must be positive");
+    kernelData.push_back(KernelCounters{"other", 0, 0, 0});
+}
+
+std::uint32_t
+Core::registerKernel(const std::string &name)
+{
+    kernelData.push_back(KernelCounters{name, 0, 0, 0});
+    return static_cast<std::uint32_t>(kernelData.size() - 1);
+}
+
+void
+Core::setKernel(std::uint32_t id)
+{
+    TARTAN_ASSERT(id < kernelData.size(), "unknown kernel id");
+    kernelId = id;
+}
+
+void
+Core::addCycles(Cycles c)
+{
+    totalCycles += c;
+    kernelData[kernelId].cycles += c;
+}
+
+void
+Core::addMemStall(Cycles c)
+{
+    totalMemStall += c;
+    kernelData[kernelId].memStallCycles += c;
+    addCycles(c);
+}
+
+void
+Core::addInstructions(std::uint64_t n)
+{
+    totalInstructions += n;
+    kernelData[kernelId].instructions += n;
+}
+
+void
+Core::exec(std::uint64_t ops, OpClass cls)
+{
+    (void)cls;  // all scalar classes share the issue width in this model
+    addInstructions(ops);
+    opCarry += ops;
+    const Cycles whole = opCarry / config.issueWidth;
+    opCarry %= config.issueWidth;
+    if (whole)
+        addCycles(whole);
+}
+
+void
+Core::stall(Cycles cycles)
+{
+    addCycles(cycles);
+}
+
+void
+Core::countInstructions(std::uint64_t n)
+{
+    addInstructions(n);
+}
+
+Cycles
+Core::loadStall(const AccessResult &res, MemDep dep)
+{
+    const Cycles l1_lat = memPath->params().l1.latency;
+    if (res.latency <= l1_lat)
+        return 0;  // L1 hits are pipelined
+    const Cycles beyond = res.latency - l1_lat;
+    if (dep == MemDep::Dependent)
+        return beyond;
+    return (beyond + config.missOverlap - 1) / config.missOverlap;
+}
+
+void
+Core::load(Addr addr, PcId pc, MemDep dep, std::uint32_t size)
+{
+    addInstructions(1);
+    auto res = memPath->access(addr, AccessType::Load, size, pc,
+                               totalCycles);
+    const Cycles s = loadStall(res, dep);
+    if (s)
+        addMemStall(s);
+}
+
+void
+Core::store(Addr addr, PcId pc, std::uint32_t size)
+{
+    addInstructions(1);
+    // Stores retire through the write buffer; cache state is still
+    // updated so that later loads and traffic statistics are correct.
+    memPath->access(addr, AccessType::Store, size, pc, totalCycles);
+}
+
+void
+Core::vecOp(std::uint64_t n)
+{
+    addInstructions(n);
+    // Vector units sustain one op per cycle in this model.
+    addCycles(n);
+}
+
+void
+Core::deviceLoadLanes(std::span<const Addr> lanes, PcId pc,
+                      Cycles device_cycles)
+{
+    if (device_cycles)
+        addCycles(device_cycles);
+    // The accelerator streams the lanes through the same bandwidth-
+    // bound overlap window as the core's OoO engine.
+    Cycles total_beyond = 0;
+    const Cycles l1_lat = memPath->params().l1.latency;
+    for (Addr lane : lanes) {
+        auto res = memPath->access(lane, AccessType::Load, 4, pc,
+                                   totalCycles);
+        if (res.latency > l1_lat)
+            total_beyond += res.latency - l1_lat;
+    }
+    const std::uint32_t overlap = config.missOverlap;
+    const Cycles stall = (total_beyond + overlap - 1) / overlap;
+    if (stall)
+        addMemStall(stall);
+}
+
+void
+Core::vecLoadLanes(std::span<const Addr> lanes, PcId pc, Cycles ag_latency,
+                   std::uint32_t lane_size)
+{
+    addInstructions(1);
+    if (ag_latency)
+        addCycles(ag_latency);
+    // Scattered lanes contend for the L1 ports.
+    addCycles((lanes.size() + 3) / 4);
+    // Lanes issue concurrently but remain bandwidth-bound: the stall is
+    // the aggregate beyond-L1 latency through the same miss-overlap
+    // window a scalar stream enjoys, floored by the slowest lane.
+    Cycles total_beyond = 0;
+    Cycles worst = 0;
+    const Cycles l1_lat = memPath->params().l1.latency;
+    for (Addr lane : lanes) {
+        auto res = memPath->access(lane, AccessType::Load, lane_size, pc,
+                                   totalCycles);
+        if (res.latency > l1_lat) {
+            total_beyond += res.latency - l1_lat;
+            worst = std::max(worst,
+                             loadStall(res, MemDep::Independent));
+        }
+    }
+    const Cycles stall = std::max(
+        worst, (total_beyond + config.missOverlap - 1) /
+                   config.missOverlap);
+    if (stall)
+        addMemStall(stall);
+}
+
+void
+Core::vecLoadContiguous(Addr base, std::uint32_t bytes, PcId pc)
+{
+    addInstructions(1);
+    addCycles(1);
+    const std::uint32_t line = memPath->params().l1.lineBytes;
+    const Addr first = base & ~static_cast<Addr>(line - 1);
+    const Addr last = (base + (bytes ? bytes - 1 : 0)) &
+                      ~static_cast<Addr>(line - 1);
+    Cycles worst = 0;
+    for (Addr a = first; a <= last; a += line) {
+        auto res =
+            memPath->access(a, AccessType::Load, line, pc, totalCycles);
+        worst = std::max(worst, loadStall(res, MemDep::Independent));
+    }
+    if (worst)
+        addMemStall(worst);
+}
+
+} // namespace tartan::sim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Analytical out-of-order core timing model.
+ *
+ * The model charges issue-width-limited cycles for computation and
+ * hierarchy latency for memory accesses. Loads carry a memory-level-
+ * parallelism hint: Dependent streams (pointer chasing) pay full miss
+ * latency, Independent streams overlap up to `missOverlap` outstanding
+ * misses. L1 hits are considered fully pipelined. Stores retire through
+ * a write buffer and do not stall the core.
+ *
+ * Cycles and dynamic instructions are attributed to the currently active
+ * *kernel* so that execution-time breakdowns (paper Fig. 1) and per-
+ * kernel speedups can be reported.
+ */
+
+#ifndef TARTAN_SIM_CORE_HH
+#define TARTAN_SIM_CORE_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/memsystem.hh"
+#include "sim/types.hh"
+
+namespace tartan::sim {
+
+/** Core configuration. */
+struct CoreParams {
+    std::uint32_t issueWidth = 4;
+    /** Independent misses that can overlap in the OoO window. */
+    std::uint32_t missOverlap = 8;
+    /** Vector lanes of one SIMD register (16 for AVX-512 floats). */
+    std::uint32_t vectorLanes = 16;
+};
+
+/** Per-kernel cycle and instruction attribution. */
+struct KernelCounters {
+    std::string name;
+    Cycles cycles = 0;
+    Cycles memStallCycles = 0;
+    std::uint64_t instructions = 0;
+};
+
+/** The analytical OoO core. */
+class Core
+{
+  public:
+    Core(const CoreParams &params, MemPath *mem_path);
+
+    /** Register a kernel name; returns its id for setKernel(). */
+    std::uint32_t registerKernel(const std::string &name);
+    /** Attribute subsequent cycles/instructions to kernel @p id. */
+    void setKernel(std::uint32_t id);
+    std::uint32_t currentKernel() const { return kernelId; }
+
+    /** Execute @p ops instructions of class @p cls. */
+    void exec(std::uint64_t ops, OpClass cls = OpClass::IntAlu);
+    /** Charge raw cycles (e.g. a long-latency divide or NPU wait). */
+    void stall(Cycles cycles);
+    /** Charge raw instructions without cycles (folded ops). */
+    void countInstructions(std::uint64_t n);
+
+    /** Scalar load of @p size bytes. */
+    void load(Addr addr, PcId pc, MemDep dep = MemDep::Independent,
+              std::uint32_t size = 4);
+    /** Scalar store of @p size bytes. */
+    void store(Addr addr, PcId pc, std::uint32_t size = 4);
+
+    /** One vector ALU instruction. */
+    void vecOp(std::uint64_t n = 1);
+    /**
+     * DMA-style device access (e.g. a RACOD ASIC walking the map): the
+     * lanes traverse the memory system concurrently without consuming
+     * any CPU instructions; @p device_cycles models the accelerator's
+     * own processing time.
+     */
+    void deviceLoadLanes(std::span<const Addr> lanes, PcId pc,
+                         Cycles device_cycles);
+    /**
+     * One vector load instruction touching the given (scattered) lane
+     * addresses in parallel after @p ag_latency cycles of address
+     * generation. Scattered lanes contend for L1 ports: issue occupies
+     * lanes / 4 cycles on top of the address generation.
+     */
+    void vecLoadLanes(std::span<const Addr> lanes, PcId pc,
+                      Cycles ag_latency, std::uint32_t lane_size = 4);
+
+    /**
+     * One packed (contiguous) vector load of @p bytes starting at
+     * @p base: a single instruction touching each spanned cacheline
+     * once — the fast path VLN's bucket scans ride on.
+     */
+    void vecLoadContiguous(Addr base, std::uint32_t bytes, PcId pc);
+
+    Cycles cycles() const { return totalCycles; }
+    Cycles memStallCycles() const { return totalMemStall; }
+    std::uint64_t instructions() const { return totalInstructions; }
+
+    const std::vector<KernelCounters> &kernels() const { return kernelData; }
+    MemPath &mem() { return *memPath; }
+    const CoreParams &params() const { return config; }
+
+  private:
+    void addCycles(Cycles c);
+    void addMemStall(Cycles c);
+    void addInstructions(std::uint64_t n);
+    /** Stall beyond L1 for one access, applying the MLP hint. */
+    Cycles loadStall(const AccessResult &res, MemDep dep);
+
+    CoreParams config;
+    MemPath *memPath;
+
+    Cycles totalCycles = 0;
+    Cycles totalMemStall = 0;
+    std::uint64_t totalInstructions = 0;
+    std::uint64_t opCarry = 0;  //!< sub-issue-width op remainder
+
+    std::uint32_t kernelId = 0;
+    std::vector<KernelCounters> kernelData;
+};
+
+/** RAII helper that scopes cycle attribution to a kernel. */
+class ScopedKernel
+{
+  public:
+    ScopedKernel(Core &core, std::uint32_t id)
+        : coreRef(core), saved(core.currentKernel())
+    {
+        coreRef.setKernel(id);
+    }
+    ~ScopedKernel() { coreRef.setKernel(saved); }
+
+    ScopedKernel(const ScopedKernel &) = delete;
+    ScopedKernel &operator=(const ScopedKernel &) = delete;
+
+  private:
+    Core &coreRef;
+    std::uint32_t saved;
+};
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_CORE_HH

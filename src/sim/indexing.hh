@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Cache set-indexing policies.
+ *
+ * The standard policy uses the low-order set bits of the line address.
+ * Tartan's FCP (paper §VII-B, Fig. 5.b) changes the indexing so that some
+ * cachelines of the same region map to the same set, which gives the
+ * replacement-metadata manipulation traction to softly partition the
+ * cache among regions.
+ *
+ * We realise this as a permutation of the line number: the high-order l
+ * bits of the in-region offset are displaced out of the index window
+ * (folded into the tag via XOR — one-to-one, so the tag width is
+ * unchanged, paper footnote 4) and region bits slide down in their place.
+ * Consequently a region of 2^O lines maps onto 2^(O-l) sets with 2^l
+ * same-region lines per set. The low-order offset bits are excluded from
+ * the fold and kept verbatim in the index, so consecutive (prefetched)
+ * lines still spread across sets and do not create hotspots.
+ */
+
+#ifndef TARTAN_SIM_INDEXING_HH
+#define TARTAN_SIM_INDEXING_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tartan::sim {
+
+/** Maps a line-aligned address to a cache set. */
+class IndexingPolicy
+{
+  public:
+    virtual ~IndexingPolicy() = default;
+
+    /**
+     * @param line_number address >> lineBits
+     * @param num_sets power-of-two set count
+     * @return set index in [0, num_sets)
+     */
+    virtual std::uint64_t index(std::uint64_t line_number,
+                                std::uint64_t num_sets) const = 0;
+};
+
+/** Conventional modulo-set indexing on the low-order bits. */
+class StandardIndexing : public IndexingPolicy
+{
+  public:
+    std::uint64_t
+    index(std::uint64_t line_number, std::uint64_t num_sets) const override
+    {
+        return line_number & (num_sets - 1);
+    }
+};
+
+/**
+ * FCP indexing: fold the high l offset bits of each region out of the
+ * index so that 2^l lines of a region share each set they map to.
+ */
+class FcpIndexing : public IndexingPolicy
+{
+  public:
+    /**
+     * @param region_bytes region size in bytes (power of two)
+     * @param line_bytes cacheline size in bytes
+     * @param l number of high offset bits folded out of the index
+     */
+    FcpIndexing(std::uint32_t region_bytes, std::uint32_t line_bytes,
+                std::uint32_t l)
+        : foldBits(l)
+    {
+        TARTAN_ASSERT(region_bytes % line_bytes == 0,
+                      "region must be a multiple of the line size");
+        const std::uint32_t lines_per_region = region_bytes / line_bytes;
+        offsetBits = 0;
+        while ((1u << offsetBits) < lines_per_region)
+            ++offsetBits;
+        TARTAN_ASSERT(foldBits <= offsetBits, "l exceeds offset field");
+    }
+
+    std::uint64_t
+    index(std::uint64_t line_number, std::uint64_t num_sets) const override
+    {
+        const std::uint32_t keep = offsetBits - foldBits;
+        const std::uint64_t offset_low = line_number & ((1ull << keep) - 1);
+        const std::uint64_t region = line_number >> offsetBits;
+        // Region bits slide down into the positions vacated by the folded
+        // high offset bits; the folded bits live in the tag (the cache
+        // tags with the full line number, so no information is lost).
+        const std::uint64_t mixed = offset_low | (region << keep);
+        return mixed & (num_sets - 1);
+    }
+
+    /** Region number of a line (used by the replacement manipulation). */
+    std::uint64_t
+    regionOf(std::uint64_t line_number) const
+    {
+        return line_number >> offsetBits;
+    }
+
+  private:
+    std::uint32_t foldBits;
+    std::uint32_t offsetBits;
+};
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_INDEXING_HH

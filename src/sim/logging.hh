@@ -1,0 +1,56 @@
+/**
+ * @file
+ * gem5-style error and status reporting helpers.
+ *
+ * panic() flags a simulator bug and aborts; fatal() flags a user error
+ * (bad configuration) and exits cleanly; warn()/inform() report status.
+ */
+
+#ifndef TARTAN_SIM_LOGGING_HH
+#define TARTAN_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tartan::sim {
+
+/** Abort on an internal invariant violation (a simulator bug). */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+/** Exit on a user-caused error such as an invalid configuration. */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+inline void
+warn(const char *msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg);
+}
+
+inline void
+inform(const char *msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg);
+}
+
+} // namespace tartan::sim
+
+#define TARTAN_PANIC(msg) ::tartan::sim::panicImpl(__FILE__, __LINE__, msg)
+#define TARTAN_FATAL(msg) ::tartan::sim::fatalImpl(__FILE__, __LINE__, msg)
+
+/** Check an invariant that must hold regardless of user input. */
+#define TARTAN_ASSERT(cond, msg) \
+    do { \
+        if (!(cond)) TARTAN_PANIC(msg); \
+    } while (0)
+
+#endif // TARTAN_SIM_LOGGING_HH

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Memory-path implementation: hierarchy walk, write-backs, write-through
+ * ranges, and prefetch issue with timeliness.
+ */
+
+#include "sim/memsystem.hh"
+
+#include "sim/logging.hh"
+
+namespace tartan::sim {
+
+MemPath::MemPath(const MemPathParams &params, Cache *shared_l3)
+    : config(params), l1Cache(params.l1), l2Cache(params.l2),
+      l3Cache(shared_l3)
+{
+    TARTAN_ASSERT(l3Cache, "MemPath requires a shared L3");
+    TARTAN_ASSERT(params.l1.lineBytes == params.l2.lineBytes,
+                  "L1/L2 line sizes must match");
+    l2Cache.setEvictionListener([this](Addr line_addr) {
+        if (pf)
+            pf->onEviction(line_addr);
+    });
+}
+
+bool
+MemPath::inRange(const std::vector<Range> &ranges, Addr addr) const
+{
+    for (const Range &r : ranges)
+        if (r.contains(addr))
+            return true;
+    return false;
+}
+
+void
+MemPath::addWriteThroughRange(Addr base, std::size_t bytes)
+{
+    wtRanges.push_back(Range{base, base + bytes});
+}
+
+void
+MemPath::addNoAllocateRange(Addr base, std::size_t bytes)
+{
+    noAllocRanges.push_back(Range{base, base + bytes});
+}
+
+void
+MemPath::drainDirty()
+{
+    stats.l3Writebacks += l1Cache.dirtyLines() + l2Cache.dirtyLines();
+}
+
+void
+MemPath::setPrefetcher(std::unique_ptr<Prefetcher> prefetcher)
+{
+    pf = std::move(prefetcher);
+}
+
+void
+MemPath::writebackToL3(Addr line_addr, Cycles now)
+{
+    ++stats.l3Writebacks;
+    if (l3Cache->probe(line_addr)) {
+        l3Cache->access(line_addr, AccessType::Store, 0, now);
+        return;
+    }
+    auto ev = l3Cache->fill(line_addr, false, true);
+    if (ev.valid && ev.dirty)
+        ++stats.dramWrites;
+}
+
+void
+MemPath::writebackToL2(Addr line_addr, Cycles now)
+{
+    if (l2Cache.probe(line_addr)) {
+        l2Cache.access(line_addr, AccessType::Store, 0, now);
+        return;
+    }
+    auto ev = l2Cache.fill(line_addr, false, true);
+    if (ev.valid && ev.dirty)
+        writebackToL3(ev.lineAddr, now);
+}
+
+Cycles
+MemPath::fetchThroughL3(Addr addr, Cycles now)
+{
+    ++stats.l3Accesses;
+    auto res = l3Cache->access(addr, AccessType::Load, 0, now);
+    if (res.hit)
+        return config.l3Latency;
+    ++stats.dramReads;
+    auto ev = l3Cache->fill(addr);
+    if (ev.valid && ev.dirty)
+        ++stats.dramWrites;
+    return config.l3Latency + config.dramLatency;
+}
+
+void
+MemPath::issuePrefetches(const std::vector<Addr> &targets, Cycles now)
+{
+    Cycles queue_delay = 0;
+    for (Addr target : targets) {
+        const Addr line = l2Cache.lineAddr(target);
+        if (l2Cache.probe(line)) {
+            ++stats.pfDropped;
+            continue;
+        }
+        const Cycles fetch = fetchThroughL3(line, now);
+        const Cycles ready = now + config.l2.latency + fetch + queue_delay;
+        queue_delay += config.prefetchBurst;
+        auto ev = l2Cache.fill(line, true, false, ready);
+        if (ev.valid && ev.dirty)
+            writebackToL3(ev.lineAddr, now);
+        ++stats.pfIssued;
+    }
+}
+
+AccessResult
+MemPath::access(Addr addr, AccessType type, std::uint32_t size, PcId pc,
+                Cycles now)
+{
+    AccessResult result;
+
+    // Write-through ranges: update resident copies without dirtying,
+    // stream the store to memory, and never allocate on a store miss.
+    if (type == AccessType::Store && inRange(wtRanges, addr)) {
+        ++stats.wtStores;
+        ++stats.dramWrites;
+        if (l1Cache.probe(addr))
+            l1Cache.access(addr, AccessType::Load, size, now);
+        if (l2Cache.probe(addr))
+            l2Cache.access(addr, AccessType::Load, size, now);
+        result.latency = 1;
+        result.level = MemLevel::Dram;
+        return result;
+    }
+
+    result.latency = config.l1.latency;
+    auto l1_res = l1Cache.access(addr, type, size, now);
+    if (l1_res.hit) {
+        result.level = MemLevel::L1;
+        return result;
+    }
+
+    result.latency += config.l2.latency;
+    auto l2_res = l2Cache.access(addr, type, size, now);
+
+    if (pf) {
+        PrefetchObservation obs{addr, pc, !l2_res.hit};
+        pfQueue.clear();
+        pf->observe(obs, pfQueue);
+        if (!pfQueue.empty())
+            issuePrefetches(pfQueue, now);
+    }
+
+    const bool no_alloc = inRange(noAllocRanges, addr);
+
+    if (l2_res.hit) {
+        result.level = MemLevel::L2;
+        if (l2_res.prefetched) {
+            result.prefetchHit = true;
+            result.latency += l2_res.latePenalty;
+            if (l2_res.latePenalty) {
+                ++stats.pfHitsLate;
+                stats.pfLateCycles += l2_res.latePenalty;
+            } else {
+                ++stats.pfHitsTimely;
+            }
+        }
+        if (!no_alloc) {
+            auto ev = l1Cache.fill(addr, false, type == AccessType::Store);
+            if (ev.valid && ev.dirty)
+                writebackToL2(ev.lineAddr, now);
+        }
+        return result;
+    }
+
+    const Cycles below = fetchThroughL3(addr, now);
+    result.latency += below;
+    result.level = below > config.l3Latency ? MemLevel::Dram : MemLevel::L3;
+
+    if (!no_alloc) {
+        auto l2_ev = l2Cache.fill(addr);
+        if (l2_ev.valid && l2_ev.dirty)
+            writebackToL3(l2_ev.lineAddr, now);
+        auto l1_ev = l1Cache.fill(addr, false, type == AccessType::Store);
+        if (l1_ev.valid && l1_ev.dirty)
+            writebackToL2(l1_ev.lineAddr, now);
+    }
+    return result;
+}
+
+} // namespace tartan::sim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-core memory path: private L1 and L2, shared L3, DRAM backend,
+ * an L2-attached prefetcher, write-through (MTRR-style) ranges, and
+ * selective-caching (no-allocate) ranges.
+ */
+
+#ifndef TARTAN_SIM_MEMSYSTEM_HH
+#define TARTAN_SIM_MEMSYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/prefetcher.hh"
+#include "sim/types.hh"
+
+namespace tartan::sim {
+
+/** Configuration of one core's memory path. */
+struct MemPathParams {
+    CacheParams l1;
+    CacheParams l2;
+    Cycles l3Latency = 45;
+    Cycles dramLatency = 200;
+    /** Cycle spacing between queued prefetch fills (DRAM burst model). */
+    Cycles prefetchBurst = 8;
+};
+
+/** Traffic and prefetch statistics of one memory path. */
+struct MemPathStats {
+    std::uint64_t l3Accesses = 0;   //!< demand + prefetch L3 lookups
+    std::uint64_t l3Writebacks = 0; //!< dirty L2 victims written to L3
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t wtStores = 0;     //!< stores absorbed by WT ranges
+    std::uint64_t pfIssued = 0;
+    std::uint64_t pfDropped = 0;
+    std::uint64_t pfHitsTimely = 0; //!< prefetch fully hid the miss
+    std::uint64_t pfHitsLate = 0;   //!< prefetch arrived late
+    std::uint64_t pfLateCycles = 0; //!< residual cycles paid on late hits
+
+    /** Total L3-side traffic events (lookups plus writebacks). */
+    std::uint64_t l3Traffic() const { return l3Accesses + l3Writebacks; }
+};
+
+/**
+ * The memory path walks L1 -> L2 -> L3 -> DRAM, modelling a
+ * non-inclusive hierarchy with write-back write-allocate caches.
+ */
+class MemPath
+{
+  public:
+    /**
+     * @param params private-cache configuration
+     * @param shared_l3 the shared last-level cache (not owned)
+     */
+    MemPath(const MemPathParams &params, Cache *shared_l3);
+
+    /**
+     * Perform a demand access and return the observed latency.
+     *
+     * @param now current core cycle (prefetch timeliness)
+     */
+    AccessResult access(Addr addr, AccessType type, std::uint32_t size,
+                        PcId pc, Cycles now);
+
+    /** Attach (or replace) the L2 prefetcher. */
+    void setPrefetcher(std::unique_ptr<Prefetcher> pf);
+    Prefetcher *prefetcher() { return pf.get(); }
+
+    /** Declare a write-through (MTRR WT) range [base, base+bytes). */
+    void addWriteThroughRange(Addr base, std::size_t bytes);
+    /**
+     * End-of-run drain: account the write-back traffic the resident
+     * dirty private-cache lines will eventually cost the L3.
+     */
+    void drainDirty();
+    /** Declare a no-allocate (streaming load) range. */
+    void addNoAllocateRange(Addr base, std::size_t bytes);
+
+    Cache &l1() { return l1Cache; }
+    Cache &l2() { return l2Cache; }
+    Cache &l3() { return *l3Cache; }
+
+    MemPathStats stats;
+    const MemPathParams &params() const { return config; }
+
+  private:
+    struct Range {
+        Addr base;
+        Addr limit;
+        bool contains(Addr a) const { return a >= base && a < limit; }
+    };
+
+    bool inRange(const std::vector<Range> &ranges, Addr addr) const;
+    void writebackToL2(Addr line_addr, Cycles now);
+    void writebackToL3(Addr line_addr, Cycles now);
+    /** Fetch a line into L3 if absent; returns latency beyond L2. */
+    Cycles fetchThroughL3(Addr addr, Cycles now);
+    void issuePrefetches(const std::vector<Addr> &targets, Cycles now);
+
+    MemPathParams config;
+    Cache l1Cache;
+    Cache l2Cache;
+    Cache *l3Cache;
+    std::unique_ptr<Prefetcher> pf;
+    std::vector<Range> wtRanges;
+    std::vector<Range> noAllocRanges;
+    std::vector<Addr> pfQueue;  //!< reused scratch buffer
+};
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_MEMSYSTEM_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * System construction from a SysConfig.
+ */
+
+#include "sim/system.hh"
+
+#include "sim/bingo.hh"
+#include "sim/logging.hh"
+
+namespace tartan::sim {
+
+System::System(const SysConfig &config) : cfg(config)
+{
+    if (cfg.fcpEnabled) {
+        fcpIndexing = std::make_unique<FcpIndexing>(
+            cfg.fcpRegionBytes, cfg.lineBytes, cfg.fcpXorBits);
+        fcpReplacement = std::make_unique<FcpReplacement>();
+        fcpReplacement->regionBytes = cfg.fcpRegionBytes;
+        fcpReplacement->func = cfg.fcpFunc;
+    }
+
+    CacheParams l3p;
+    l3p.name = "l3";
+    l3p.sizeBytes = cfg.l3Size;
+    l3p.assoc = cfg.l3Assoc;
+    l3p.lineBytes = cfg.lineBytes;
+    l3p.latency = cfg.l3Latency;
+    if (cfg.fcpEnabled && cfg.fcpAtL3) {
+        l3p.indexing = fcpIndexing.get();
+        l3p.fcp = fcpReplacement.get();
+    }
+    l3Cache = std::make_unique<Cache>(l3p);
+
+    MemPathParams mp;
+    mp.l1.name = "l1d";
+    mp.l1.sizeBytes = cfg.l1Size;
+    mp.l1.assoc = cfg.l1Assoc;
+    mp.l1.lineBytes = cfg.lineBytes;
+    mp.l1.latency = cfg.l1Latency;
+    mp.l1.trackUdm = cfg.trackUdm;
+
+    mp.l2.name = "l2";
+    mp.l2.sizeBytes = cfg.l2Size;
+    mp.l2.assoc = cfg.l2Assoc;
+    mp.l2.lineBytes = cfg.lineBytes;
+    mp.l2.latency = cfg.l2Latency;
+
+    if (cfg.fcpEnabled) {
+        mp.l2.indexing = fcpIndexing.get();
+        mp.l2.fcp = fcpReplacement.get();
+    }
+
+    mp.l3Latency = cfg.l3Latency;
+    mp.dramLatency = cfg.dramLatency;
+
+    path = std::make_unique<MemPath>(mp, l3Cache.get());
+
+    switch (cfg.prefetcher) {
+      case PrefetcherKind::None:
+        break;
+      case PrefetcherKind::NextLine:
+        path->setPrefetcher(
+            std::make_unique<NextLinePrefetcher>(cfg.lineBytes));
+        break;
+      case PrefetcherKind::Bingo:
+        path->setPrefetcher(std::make_unique<BingoPrefetcher>(
+            cfg.lineBytes));
+        break;
+    }
+
+    coreModel = std::make_unique<Core>(cfg.core, path.get());
+}
+
+} // namespace tartan::sim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental simulator types shared across the Tartan code base.
+ */
+
+#ifndef TARTAN_SIM_TYPES_HH
+#define TARTAN_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace tartan::sim {
+
+/** A (simulated) virtual byte address. Real heap pointers are used. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Identifier of a static load/store site, standing in for the PC. */
+using PcId = std::uint32_t;
+
+/** Levels of the memory hierarchy an access can be serviced from. */
+enum class MemLevel : std::uint8_t { L1 = 0, L2, L3, Dram, NumLevels };
+
+/** Demand access type. */
+enum class AccessType : std::uint8_t { Load, Store, Prefetch };
+
+/**
+ * Memory-level-parallelism hint attached to a load stream.
+ *
+ * Dependent streams (pointer chasing) expose no MLP and pay the full miss
+ * latency; independent streams (array scans) overlap misses up to the
+ * core's miss-overlap window.
+ */
+enum class MemDep : std::uint8_t { Independent, Dependent };
+
+/** Instruction classes tracked by the core model. */
+enum class OpClass : std::uint8_t {
+    IntAlu = 0,
+    FpAlu,
+    Branch,
+    VectorAlu,
+    NumClasses
+};
+
+/** Outcome of a memory-system access. */
+struct AccessResult {
+    Cycles latency = 0;       //!< total latency observed by the core
+    MemLevel level = MemLevel::L1;  //!< level that serviced the access
+    bool prefetchHit = false;       //!< hit on a prefetched line
+};
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_TYPES_HH

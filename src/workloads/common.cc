@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Workload framework implementation.
+ */
+
+#include "workloads/common.hh"
+
+#include <algorithm>
+
+namespace tartan::workloads {
+
+using tartan::sim::SysConfig;
+
+MachineSpec
+MachineSpec::stockBaseline()
+{
+    MachineSpec spec;
+    spec.sys.lineBytes = 64;
+    spec.sys.core.vectorLanes = 8;  // AVX2
+    return spec;
+}
+
+MachineSpec
+MachineSpec::baseline()
+{
+    MachineSpec spec;
+    spec.sys.lineBytes = 32;        // UDM-driven cacheline shrink
+    spec.sys.core.vectorLanes = 16; // AVX-512
+    spec.wtQueues = true;
+    return spec;
+}
+
+MachineSpec
+MachineSpec::tartan()
+{
+    MachineSpec spec = baseline();
+    spec.useAnl = true;
+    spec.anlCfg.lineBytes = spec.sys.lineBytes;
+    spec.ovec = true;
+    spec.npu = true;
+    spec.sys.fcpEnabled = true;
+    return spec;
+}
+
+Machine::Machine(const MachineSpec &spec) : specData(spec)
+{
+    sys = std::make_unique<tartan::sim::System>(spec.sys);
+    if (spec.useAnl) {
+        core::AnlConfig anl = spec.anlCfg;
+        anl.lineBytes = spec.sys.lineBytes;
+        sys->mem().setPrefetcher(
+            std::make_unique<core::AnlPrefetcher>(anl));
+    }
+    if (spec.ovec)
+        ovecEngine = std::make_unique<core::OvecEngine>(
+            spec.sys.core.vectorLanes, 5);
+    if (spec.npu)
+        npuModel = std::make_unique<core::NpuModel>(spec.npuCfg);
+    memHandle = robotics::Mem(&sys->core());
+}
+
+robotics::OrientedEngine &
+Machine::orientedEngine(SoftwareTier tier, OrientedKind kind)
+{
+    switch (kind) {
+      case OrientedKind::Scalar:
+        return scalarEngine;
+      case OrientedKind::Ovec:
+        if (!ovecEngine)
+            ovecEngine = std::make_unique<core::OvecEngine>(
+                specData.sys.core.vectorLanes, 5);
+        return *ovecEngine;
+      case OrientedKind::Gather:
+        if (!gatherEngine)
+            gatherEngine = std::make_unique<core::GatherEngine>(
+                specData.sys.core.vectorLanes);
+        return *gatherEngine;
+      case OrientedKind::Racod:
+        if (!racodEngine)
+            racodEngine = std::make_unique<core::RacodEngine>();
+        return *racodEngine;
+      case OrientedKind::Auto:
+        break;
+    }
+    if (tier != SoftwareTier::Legacy && ovecEngine)
+        return *ovecEngine;
+    return scalarEngine;
+}
+
+void
+Machine::finish(RunResult &result)
+{
+    auto &mem_path = sys->mem();
+    mem_path.drainDirty();
+    result.l2Misses = mem_path.l2().stats().misses;
+    result.l2Accesses = mem_path.l2().stats().accesses();
+    result.l3Traffic = mem_path.stats.l3Traffic();
+    result.pfIssued = mem_path.stats.pfIssued;
+    result.pfHitsTimely = mem_path.stats.pfHitsTimely;
+    result.pfHitsLate = mem_path.stats.pfHitsLate;
+    result.udmFetchedBytes = mem_path.l1().stats().udmFetchedBytes;
+    result.udmUsedBytes = mem_path.l1().stats().udmUsedBytes;
+    if (npuModel) {
+        result.npuInvocations = npuModel->stats().invocations;
+        result.npuCommCycles = npuModel->stats().commCycles;
+    }
+}
+
+void
+summarize(Machine &machine, Pipeline &pipeline, RunResult &result)
+{
+    auto &core = machine.core();
+    result.wallCycles = pipeline.wallCycles();
+    result.workCycles = core.cycles();
+    result.instructions = core.instructions();
+    result.kernels = core.kernels();
+
+    tartan::sim::Cycles best = 0;
+    for (const auto &k : result.kernels) {
+        if (k.name != "other" && k.cycles > best) {
+            best = k.cycles;
+            result.bottleneckKernel = k.name;
+        }
+    }
+    result.bottleneckShare =
+        result.workCycles
+            ? static_cast<double>(best) /
+                  static_cast<double>(result.workCycles)
+            : 0.0;
+    machine.finish(result);
+}
+
+} // namespace tartan::workloads

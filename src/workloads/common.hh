@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Shared workload framework: machine specifications (baseline vs
+ * Tartan), software tiers (legacy / optimized / approximate, paper
+ * Fig. 12), run results, and the pipeline accounting helper.
+ */
+
+#ifndef TARTAN_WORKLOADS_COMMON_HH
+#define TARTAN_WORKLOADS_COMMON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/anl.hh"
+#include "core/npu.hh"
+#include "core/ovec.hh"
+#include "robotics/oriented.hh"
+#include "sim/arena.hh"
+#include "sim/system.hh"
+
+namespace tartan::workloads {
+
+using tartan::sim::ScopedKernel;
+
+/** Software tiers evaluated in Fig. 12. */
+enum class SoftwareTier {
+    Legacy,      //!< RoWild software as-is (scalar, brute-force NNS)
+    Optimized,   //!< rewritten for Tartan (OVEC kernels, VLN), exact
+    Approximate, //!< additionally uses the NPU (AXAR / TRAP / native)
+};
+
+/** NNS backend selector (Fig. 9). */
+enum class NnsKind { Brute, KdTree, Lsh, Vln };
+
+/** Oriented-load engine selector (Fig. 6). */
+enum class OrientedKind { Auto, Scalar, Ovec, Gather, Racod };
+
+/** Hardware platform description. */
+struct MachineSpec {
+    tartan::sim::SysConfig sys;
+    bool useAnl = false;             //!< install the ANL prefetcher
+    core::AnlConfig anlCfg;
+    bool ovec = false;               //!< O_MOVE available
+    bool npu = false;                //!< integrated NPU available
+    core::NpuConfig npuCfg;
+    bool wtQueues = false;           //!< MTRR WT inter-stage buffers
+
+    /** Upgraded baseline (paper §III-A): AVX-512, 32 B lines, WT. */
+    static MachineSpec baseline();
+    /** Pre-upgrade machine: AVX2 (8 lanes), 64 B lines, no WT. */
+    static MachineSpec stockBaseline();
+    /** Full Tartan: baseline + OVEC + ANL + FCP + NPU. */
+    static MachineSpec tartan();
+};
+
+/** Per-run workload options. */
+struct WorkloadOptions {
+    SoftwareTier tier = SoftwareTier::Optimized;
+    double scale = 1.0;      //!< shrink factor for parameter sweeps
+    std::uint64_t seed = 42;
+    /** NNS backend override; defaults derived from the tier. */
+    NnsKind nns = NnsKind::Vln;
+    bool nnsExplicit = false;
+    /** Oriented-engine override (Auto: OVEC when available). */
+    OrientedKind oriented = OrientedKind::Auto;
+    /**
+     * Execute neural surrogates in software on the CPU instead of the
+     * NPU (the 'S' configuration of paper Fig. 8). Only meaningful for
+     * the Approximate tier.
+     */
+    bool softwareNeural = false;
+};
+
+/** Outcome of one robot run. */
+struct RunResult {
+    std::string robot;
+    tartan::sim::Cycles wallCycles = 0;     //!< with thread-level overlap
+    tartan::sim::Cycles workCycles = 0;     //!< total core work
+    std::uint64_t instructions = 0;
+    std::vector<tartan::sim::KernelCounters> kernels;
+    std::string bottleneckKernel;
+    double bottleneckShare = 0.0;           //!< of work cycles
+
+    // Memory-system snapshot.
+    std::uint64_t l2Misses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l3Traffic = 0;
+    std::uint64_t pfIssued = 0;
+    std::uint64_t pfHitsTimely = 0;
+    std::uint64_t pfHitsLate = 0;
+    std::uint64_t udmFetchedBytes = 0;
+    std::uint64_t udmUsedBytes = 0;
+    std::uint64_t npuInvocations = 0;
+    tartan::sim::Cycles npuCommCycles = 0;
+
+    /** Robot-specific quality metrics (localisation error, ...). */
+    std::map<std::string, double> metrics;
+};
+
+/** One simulated machine instance wired up from a MachineSpec. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineSpec &spec);
+
+    tartan::sim::System &system() { return *sys; }
+    tartan::sim::Core &core() { return sys->core(); }
+    robotics::Mem &mem() { return memHandle; }
+    const MachineSpec &spec() const { return specData; }
+
+    /** Oriented engine per tier: OVEC when available and optimised. */
+    robotics::OrientedEngine &orientedEngine(SoftwareTier tier,
+                                             OrientedKind kind =
+                                                 OrientedKind::Auto);
+
+    /** NPU (null when the machine has none). */
+    core::NpuModel *npu() { return npuModel.get(); }
+
+    /** Snapshot memory-system statistics into @p result. */
+    void finish(RunResult &result);
+
+  private:
+    MachineSpec specData;
+    std::unique_ptr<tartan::sim::System> sys;
+    robotics::Mem memHandle;
+    robotics::ScalarOrientedEngine scalarEngine;
+    std::unique_ptr<core::OvecEngine> ovecEngine;
+    std::unique_ptr<core::GatherEngine> gatherEngine;
+    std::unique_ptr<core::RacodEngine> racodEngine;
+    std::unique_ptr<core::NpuModel> npuModel;
+};
+
+/** Wall-clock accumulator across pipeline stages. */
+class Pipeline
+{
+  public:
+    explicit Pipeline(tartan::sim::Core &core) : coreRef(core) {}
+
+    /** Run @p items work items with @p fn, modelling @p threads. */
+    template <typename Fn>
+    void
+    stage(std::uint32_t threads, std::uint32_t items, Fn &&fn)
+    {
+        tartan::sim::StageTimer timer(coreRef);
+        for (std::uint32_t i = 0; i < items; ++i) {
+            timer.beginItem();
+            fn(i);
+            timer.endItem();
+        }
+        const std::uint32_t cores = 4;
+        wall += timer.makespan(std::min(threads, cores));
+    }
+
+    /** Run a serial section. */
+    template <typename Fn>
+    void
+    serial(Fn &&fn)
+    {
+        const tartan::sim::Cycles before = coreRef.cycles();
+        fn();
+        wall += coreRef.cycles() - before;
+    }
+
+    tartan::sim::Cycles wallCycles() const { return wall; }
+
+  private:
+    tartan::sim::Core &coreRef;
+    tartan::sim::Cycles wall = 0;
+};
+
+/** Fill the kernel table, bottleneck and totals of a result. */
+void summarize(Machine &machine, Pipeline &pipeline, RunResult &result);
+
+} // namespace tartan::workloads
+
+#endif // TARTAN_WORKLOADS_COMMON_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The six end-to-end RoWild robots (paper Table I), each modelled as a
+ * perception -> planning -> control pipeline over synthetic
+ * environments:
+ *
+ *  | Robot     | Resembles    | Dominant kernel        | Threads   |
+ *  |-----------|--------------|------------------------|-----------|
+ *  | DeliBot   | Spot         | MCL ray casting        | 8->1->1   |
+ *  | PatrolBot | Pioneer 3-DX | CNN inference          | 1->1->1|4 |
+ *  | MoveBot   | LoCoBot      | RRT NNS (CCCD sharded) | 1->8->1   |
+ *  | HomeBot   | Roomba i7+   | T prediction (ICP/NNS) | 8->1->1   |
+ *  | FlyBot    | Pelican      | WA* heuristic cost     | 1->4->4   |
+ *  | CarriBot  | Boxbot       | (x,y,theta) collision  | 1->4->1   |
+ */
+
+#ifndef TARTAN_WORKLOADS_ROBOTS_HH
+#define TARTAN_WORKLOADS_ROBOTS_HH
+
+#include "workloads/common.hh"
+
+namespace tartan::workloads {
+
+RunResult runDeliBot(const MachineSpec &spec, const WorkloadOptions &opt);
+RunResult runPatrolBot(const MachineSpec &spec, const WorkloadOptions &opt);
+RunResult runMoveBot(const MachineSpec &spec, const WorkloadOptions &opt);
+RunResult runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt);
+RunResult runFlyBot(const MachineSpec &spec, const WorkloadOptions &opt);
+RunResult runCarriBot(const MachineSpec &spec, const WorkloadOptions &opt);
+
+/** All six robots in suite order. */
+using RobotFn = RunResult (*)(const MachineSpec &,
+                              const WorkloadOptions &);
+
+struct RobotEntry {
+    const char *name;
+    RobotFn run;
+};
+
+/** Suite listing (DeliBot .. CarriBot). */
+const std::vector<RobotEntry> &robotSuite();
+
+} // namespace tartan::workloads
+
+#endif // TARTAN_WORKLOADS_ROBOTS_HH

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Robot-suite registry.
+ */
+
+#include "workloads/robots.hh"
+
+namespace tartan::workloads {
+
+const std::vector<RobotEntry> &
+robotSuite()
+{
+    static const std::vector<RobotEntry> suite{
+        {"DeliBot", runDeliBot},   {"PatrolBot", runPatrolBot},
+        {"MoveBot", runMoveBot},   {"HomeBot", runHomeBot},
+        {"FlyBot", runFlyBot},     {"CarriBot", runCarriBot},
+    };
+    return suite;
+}
+
+} // namespace tartan::workloads

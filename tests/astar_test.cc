@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Graph-search tests: weighted A* optimality and suboptimality bounds,
+ * re-expansion behaviour, Anytime A* monotonicity, RRT, and the AXAR
+ * invariants (accurate results under approximate execution, supervisor
+ * rollback on overestimating surrogates).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <queue>
+
+#include "core/axar.hh"
+#include "robotics/astar.hh"
+#include "robotics/grid.hh"
+#include "robotics/nns.hh"
+#include "robotics/rrt.hh"
+#include "sim/arena.hh"
+
+namespace {
+
+using namespace tartan::robotics;
+using tartan::sim::Arena;
+using tartan::sim::Rng;
+
+/** A simple 4-connected grid world over an occupancy grid. */
+struct GridWorld {
+    OccupancyGrid2D *grid;
+
+    std::uint32_t
+    id(std::uint32_t x, std::uint32_t y) const
+    {
+        return y * grid->width() + x;
+    }
+
+    void
+    expand(Mem &, std::uint32_t s, std::vector<Successor> &out) const
+    {
+        const std::uint32_t w = grid->width();
+        const std::uint32_t x = s % w;
+        const std::uint32_t y = s / w;
+        const int dirs[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+        for (auto &d : dirs) {
+            const std::int64_t nx = x + d[0];
+            const std::int64_t ny = y + d[1];
+            if (!grid->inBounds(nx, ny))
+                continue;
+            if (grid->occupied(static_cast<std::uint32_t>(nx),
+                               static_cast<std::uint32_t>(ny)))
+                continue;
+            out.push_back(Successor{
+                id(static_cast<std::uint32_t>(nx),
+                   static_cast<std::uint32_t>(ny)),
+                1.0f});
+        }
+    }
+};
+
+/** Reference Dijkstra for optimal distances. */
+double
+dijkstra(const GridWorld &world, std::uint32_t start, std::uint32_t goal)
+{
+    const std::size_t n = world.grid->cells();
+    std::vector<double> dist(n, 1e18);
+    using Entry = std::pair<double, std::uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        open;
+    dist[start] = 0;
+    open.push({0, start});
+    Mem mem;
+    std::vector<Successor> succs;
+    while (!open.empty()) {
+        auto [d, s] = open.top();
+        open.pop();
+        if (d > dist[s])
+            continue;
+        if (s == goal)
+            return d;
+        succs.clear();
+        world.expand(mem, s, succs);
+        for (auto &sc : succs) {
+            if (d + sc.cost < dist[sc.state]) {
+                dist[sc.state] = d + sc.cost;
+                open.push({dist[sc.state], sc.state});
+            }
+        }
+    }
+    return -1;
+}
+
+struct SearchFixture : ::testing::Test {
+    SearchFixture()
+        : arena(8 << 20), grid(64, 64, arena), world{&grid},
+          arrays(static_cast<std::uint32_t>(grid.cells()), arena)
+    {
+        Rng rng(5);
+        grid.scatterObstacles(rng, 0.08, 5);
+        grid.at(2, 2) = 0.0f;
+        grid.at(60, 60) = 0.0f;
+        start = world.id(2, 2);
+        goal = world.id(60, 60);
+        heuristic = [this](Mem &, std::uint32_t s) {
+            const std::uint32_t w = grid.width();
+            const double dx = double(s % w) - double(goal % w);
+            const double dy = double(s / w) - double(goal / w);
+            // Manhattan distance: admissible for unit 4-connected moves.
+            return std::fabs(dx) + std::fabs(dy);
+        };
+    }
+
+    Arena arena;
+    OccupancyGrid2D grid;
+    GridWorld world;
+    SearchArrays arrays;
+    std::uint32_t start, goal;
+    HeuristicFn heuristic;
+    Mem mem;
+};
+
+TEST_F(SearchFixture, AStarFindsOptimalPath)
+{
+    auto expand = [this](Mem &m, std::uint32_t s,
+                         std::vector<Successor> &out) {
+        world.expand(m, s, out);
+    };
+    auto res = weightedAStar(mem, arrays, start, goal, expand, heuristic,
+                             1.0);
+    ASSERT_TRUE(res.found);
+    EXPECT_NEAR(res.cost, dijkstra(world, start, goal), 1e-9);
+}
+
+TEST_F(SearchFixture, PathIsContiguousAndCollisionFree)
+{
+    auto expand = [this](Mem &m, std::uint32_t s,
+                         std::vector<Successor> &out) {
+        world.expand(m, s, out);
+    };
+    auto res = weightedAStar(mem, arrays, start, goal, expand, heuristic,
+                             1.0);
+    ASSERT_TRUE(res.found);
+    EXPECT_EQ(res.path.front(), start);
+    EXPECT_EQ(res.path.back(), goal);
+    const std::uint32_t w = grid.width();
+    for (std::size_t i = 1; i < res.path.size(); ++i) {
+        const std::uint32_t a = res.path[i - 1];
+        const std::uint32_t b = res.path[i];
+        const int dx = int(b % w) - int(a % w);
+        const int dy = int(b / w) - int(a / w);
+        EXPECT_EQ(std::abs(dx) + std::abs(dy), 1);
+        EXPECT_FALSE(grid.occupied(b % w, b / w));
+    }
+}
+
+TEST_F(SearchFixture, WeightedAStarRespectsSuboptimalityBound)
+{
+    auto expand = [this](Mem &m, std::uint32_t s,
+                         std::vector<Successor> &out) {
+        world.expand(m, s, out);
+    };
+    const double opt = dijkstra(world, start, goal);
+    for (double eps : {1.5, 2.0, 4.0, 8.0}) {
+        auto res = weightedAStar(mem, arrays, start, goal, expand,
+                                 heuristic, eps);
+        ASSERT_TRUE(res.found) << "eps=" << eps;
+        EXPECT_GE(res.cost, opt - 1e-9);
+        EXPECT_LE(res.cost, eps * opt + 1e-9) << "eps=" << eps;
+    }
+}
+
+TEST_F(SearchFixture, HigherEpsilonExpandsLess)
+{
+    auto expand = [this](Mem &m, std::uint32_t s,
+                         std::vector<Successor> &out) {
+        world.expand(m, s, out);
+    };
+    auto tight = weightedAStar(mem, arrays, start, goal, expand,
+                               heuristic, 1.0);
+    auto loose = weightedAStar(mem, arrays, start, goal, expand,
+                               heuristic, 8.0);
+    EXPECT_LT(loose.expansions, tight.expansions);
+}
+
+TEST_F(SearchFixture, ZeroHeuristicEqualsDijkstra)
+{
+    auto expand = [this](Mem &m, std::uint32_t s,
+                         std::vector<Successor> &out) {
+        world.expand(m, s, out);
+    };
+    HeuristicFn zero = [](Mem &, std::uint32_t) { return 0.0; };
+    auto res =
+        weightedAStar(mem, arrays, start, goal, expand, zero, 1.0);
+    ASSERT_TRUE(res.found);
+    EXPECT_NEAR(res.cost, dijkstra(world, start, goal), 1e-9);
+}
+
+TEST_F(SearchFixture, InconsistentAdmissibleHeuristicStillOptimal)
+{
+    // Random downscaling keeps admissibility but breaks consistency;
+    // re-expansions must preserve optimality (paper footnote 1).
+    auto expand = [this](Mem &m, std::uint32_t s,
+                         std::vector<Successor> &out) {
+        world.expand(m, s, out);
+    };
+    HeuristicFn jitter = [this](Mem &m, std::uint32_t s) {
+        const double h = heuristic(m, s);
+        return h * (0.2 + 0.8 * ((s * 2654435761u) % 100) / 100.0);
+    };
+    auto res =
+        weightedAStar(mem, arrays, start, goal, expand, jitter, 1.0);
+    ASSERT_TRUE(res.found);
+    EXPECT_NEAR(res.cost, dijkstra(world, start, goal), 1e-9);
+}
+
+TEST_F(SearchFixture, UnreachableGoalReportsNotFound)
+{
+    // Wall the goal off completely.
+    grid.addRect(56, 56, 64, 58);
+    grid.addRect(56, 56, 58, 64);
+    auto expand = [this](Mem &m, std::uint32_t s,
+                         std::vector<Successor> &out) {
+        world.expand(m, s, out);
+    };
+    auto res = weightedAStar(mem, arrays, start, goal, expand, heuristic,
+                             1.0);
+    EXPECT_FALSE(res.found);
+}
+
+TEST_F(SearchFixture, ArraysReusableAcrossSearches)
+{
+    auto expand = [this](Mem &m, std::uint32_t s,
+                         std::vector<Successor> &out) {
+        world.expand(m, s, out);
+    };
+    auto a = weightedAStar(mem, arrays, start, goal, expand, heuristic,
+                           1.0);
+    auto b = weightedAStar(mem, arrays, start, goal, expand, heuristic,
+                           1.0);
+    ASSERT_TRUE(a.found);
+    ASSERT_TRUE(b.found);
+    EXPECT_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.expansions, b.expansions);
+}
+
+TEST_F(SearchFixture, AnytimeCostsNeverIncrease)
+{
+    auto expand = [this](Mem &m, std::uint32_t s,
+                         std::vector<Successor> &out) {
+        world.expand(m, s, out);
+    };
+    auto res = tartan::core::anytimeAStar(mem, arrays, start, goal,
+                                          expand, heuristic, nullptr);
+    ASSERT_TRUE(res.found);
+    double prev = 1e18;
+    for (const auto &iter : res.iterations) {
+        if (iter.cost < 0)
+            continue;
+        EXPECT_LE(iter.cost, prev + 1e-9);
+        prev = iter.cost;
+    }
+    EXPECT_NEAR(res.finalCost, dijkstra(world, start, goal), 1e-9);
+}
+
+TEST_F(SearchFixture, AxarMatchesExactFinalCost)
+{
+    // AXAR headline invariant: with an admissible surrogate, the final
+    // result equals the exact run's (paper §V-A).
+    auto expand = [this](Mem &m, std::uint32_t s,
+                         std::vector<Successor> &out) {
+        world.expand(m, s, out);
+    };
+    HeuristicFn surrogate = [this](Mem &m, std::uint32_t s) {
+        // An imperfect but admissible approximation.
+        return 0.8 * heuristic(m, s);
+    };
+    auto exact_run = tartan::core::anytimeAStar(
+        mem, arrays, start, goal, expand, heuristic, nullptr);
+    auto axar_run = tartan::core::anytimeAStar(
+        mem, arrays, start, goal, expand, heuristic, &surrogate);
+    ASSERT_TRUE(exact_run.found);
+    ASSERT_TRUE(axar_run.found);
+    EXPECT_NEAR(axar_run.finalCost, exact_run.finalCost, 1e-9);
+}
+
+TEST_F(SearchFixture, AxarSupervisorRollsBackOverestimates)
+{
+    auto expand = [this](Mem &m, std::uint32_t s,
+                         std::vector<Successor> &out) {
+        world.expand(m, s, out);
+    };
+    // An adversarial surrogate that grossly overestimates: the
+    // supervisor must detect cost regressions, re-run on the CPU, and
+    // still deliver the exact final cost.
+    HeuristicFn bad = [this](Mem &m, std::uint32_t s) {
+        return 5.0 * heuristic(m, s) + double((s * 97) % 40);
+    };
+    auto run = tartan::core::anytimeAStar(mem, arrays, start, goal,
+                                          expand, heuristic, &bad);
+    ASSERT_TRUE(run.found);
+    EXPECT_GT(run.rollbacks, 0u);
+    EXPECT_NEAR(run.finalCost, dijkstra(world, start, goal), 1e-9);
+    // Rolled-back iterations are flagged.
+    bool flagged = false;
+    for (const auto &iter : run.iterations)
+        flagged = flagged || iter.rerunOnCpu;
+    EXPECT_TRUE(flagged);
+}
+
+TEST(Rrt, ReachesNearbyGoalInFreeSpace)
+{
+    Arena arena(4 << 20);
+    RrtConfig cfg;
+    cfg.dim = 3;
+    cfg.stepSize = 0.1;
+    cfg.goalTolerance = 0.15;
+    cfg.maxIterations = 2000;
+    cfg.maxNodes = 2001;
+    RrtPlanner rrt(cfg, arena);
+    BruteForceNns nns(rrt.store(), 3);
+    Mem mem;
+    Rng rng(3);
+    float start[3] = {0.1f, 0.1f, 0.1f};
+    float goal[3] = {0.9f, 0.9f, 0.9f};
+    auto res = rrt.plan(mem, nns, start, goal, rng,
+                        [](Mem &, const float *) { return false; });
+    EXPECT_TRUE(res.reachedGoal);
+    EXPECT_GT(res.pathLength, 0.0);
+}
+
+TEST(Rrt, PathStepsBoundedByStepSize)
+{
+    Arena arena(4 << 20);
+    RrtConfig cfg;
+    cfg.dim = 2;
+    cfg.stepSize = 0.07;
+    cfg.goalTolerance = 0.1;
+    cfg.maxIterations = 3000;
+    cfg.maxNodes = 3001;
+    RrtPlanner rrt(cfg, arena);
+    BruteForceNns nns(rrt.store(), 2);
+    Mem mem;
+    Rng rng(5);
+    float start[2] = {0.1f, 0.5f};
+    float goal[2] = {0.9f, 0.5f};
+    auto res = rrt.plan(mem, nns, start, goal, rng,
+                        [](Mem &, const float *) { return false; });
+    ASSERT_TRUE(res.reachedGoal);
+    for (std::size_t i = 1; i < res.path.size(); ++i) {
+        double d = 0;
+        for (int k = 0; k < 2; ++k) {
+            const double diff = rrt.node(res.path[i])[k] -
+                                rrt.node(res.path[i - 1])[k];
+            d += diff * diff;
+        }
+        EXPECT_LE(std::sqrt(d), cfg.stepSize + 1e-6);
+    }
+}
+
+TEST(Rrt, NeverExtendsIntoBlockedSpace)
+{
+    Arena arena(4 << 20);
+    RrtConfig cfg;
+    cfg.dim = 2;
+    cfg.stepSize = 0.05;
+    cfg.maxIterations = 800;
+    cfg.maxNodes = 801;
+    RrtPlanner rrt(cfg, arena);
+    BruteForceNns nns(rrt.store(), 2);
+    Mem mem;
+    Rng rng(7);
+    float start[2] = {0.2f, 0.5f};
+    float goal[2] = {0.8f, 0.5f};
+    // Block the whole right half.
+    auto blocked = [](Mem &, const float *q) { return q[0] > 0.5f; };
+    auto res = rrt.plan(mem, nns, start, goal, rng, blocked);
+    EXPECT_FALSE(res.reachedGoal);
+    for (std::uint32_t i = 0; i < rrt.size(); ++i)
+        EXPECT_LE(rrt.node(i)[0], 0.5f);
+}
+
+/** Epsilon-schedule sweep for the anytime runner. */
+class AnytimeScheduleSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(AnytimeScheduleSweep, FinalIterationIsOptimal)
+{
+    Arena arena(8 << 20);
+    OccupancyGrid2D grid(48, 48, arena);
+    Rng rng(11);
+    grid.scatterObstacles(rng, 0.06, 4);
+    grid.at(2, 2) = 0.0f;
+    grid.at(45, 45) = 0.0f;
+    GridWorld world{&grid};
+    SearchArrays arrays(static_cast<std::uint32_t>(grid.cells()), arena);
+    Mem mem;
+    const std::uint32_t start = world.id(2, 2);
+    const std::uint32_t goal = world.id(45, 45);
+    HeuristicFn h = [&](Mem &, std::uint32_t s) {
+        const double dx = double(s % 48) - 45.0;
+        const double dy = double(s / 48) - 45.0;
+        return std::fabs(dx) + std::fabs(dy);
+    };
+    auto expand = [&](Mem &m, std::uint32_t s,
+                      std::vector<Successor> &out) {
+        world.expand(m, s, out);
+    };
+    tartan::core::AxarOptions opt;
+    opt.epsStart = GetParam();
+    auto res = tartan::core::anytimeAStar(mem, arrays, start, goal,
+                                          expand, h, nullptr, opt);
+    ASSERT_TRUE(res.found);
+    EXPECT_NEAR(res.finalCost, dijkstra(world, start, goal), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, AnytimeScheduleSweep,
+                         ::testing::Values(2.0, 4.0, 8.0, 16.0));
+
+} // namespace

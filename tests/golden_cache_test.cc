@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Golden-model check: the set-associative cache is driven with long
+ * randomized access/fill traces and compared, access by access,
+ * against an obviously-correct LRU reference implementation. Run for
+ * several geometries (associativity x line size) as a property sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <tuple>
+
+#include "sim/cache.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace tartan::sim;
+
+/** An obviously-correct LRU cache over (set -> list of line numbers). */
+class ReferenceLru
+{
+  public:
+    ReferenceLru(std::uint32_t sets, std::uint32_t assoc,
+                 std::uint32_t line_bytes)
+        : numSets(sets), ways(assoc), lineBytes(line_bytes)
+    {
+    }
+
+    bool
+    access(Addr addr)
+    {
+        auto &set = data[setOf(addr)];
+        const std::uint64_t line = addr / lineBytes;
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == line) {
+                set.erase(it);
+                set.push_front(line);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    fill(Addr addr)
+    {
+        auto &set = data[setOf(addr)];
+        const std::uint64_t line = addr / lineBytes;
+        for (auto it = set.begin(); it != set.end(); ++it)
+            if (*it == line) {
+                set.erase(it);
+                set.push_front(line);
+                return;
+            }
+        set.push_front(line);
+        if (set.size() > ways)
+            set.pop_back();
+    }
+
+  private:
+    std::uint64_t
+    setOf(Addr addr) const
+    {
+        return (addr / lineBytes) % numSets;
+    }
+
+    std::uint32_t numSets;
+    std::uint32_t ways;
+    std::uint32_t lineBytes;
+    std::map<std::uint64_t, std::list<std::uint64_t>> data;
+};
+
+class GoldenCacheSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(GoldenCacheSweep, MatchesReferenceOnRandomTrace)
+{
+    const std::uint32_t assoc = std::get<0>(GetParam());
+    const std::uint32_t line = std::get<1>(GetParam());
+
+    CacheParams params;
+    params.sizeBytes = 16 * 1024;
+    params.assoc = assoc;
+    params.lineBytes = line;
+    Cache cache(params);
+    ReferenceLru ref(params.sizeBytes / (assoc * line), assoc, line);
+
+    Rng rng(assoc * 1000 + line);
+    // A footprint a few times the cache size, with hot/cold skew.
+    const Addr hot_span = 8 * 1024;
+    const Addr cold_span = 128 * 1024;
+    std::uint64_t hits = 0, accesses = 0;
+    for (int step = 0; step < 50000; ++step) {
+        const bool hot = rng.uniform() < 0.7;
+        const Addr addr =
+            hot ? rng.uniformInt(hot_span)
+                : hot_span + rng.uniformInt(cold_span);
+        const bool got = cache.access(addr, AccessType::Load, 4).hit;
+        const bool want = ref.access(addr);
+        ASSERT_EQ(got, want) << "step " << step << " addr " << addr;
+        if (!got) {
+            cache.fill(addr);
+            ref.fill(addr);
+        }
+        hits += got;
+        ++accesses;
+    }
+    // Sanity: the skewed trace must produce a non-trivial hit rate.
+    EXPECT_GT(hits, accesses / 4);
+    EXPECT_LT(hits, accesses);
+    EXPECT_EQ(cache.stats().hits, hits);
+    EXPECT_EQ(cache.stats().misses, accesses - hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GoldenCacheSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(32, 64)));
+
+TEST(GoldenCache, FillEvictionsMatchReferenceOccupancy)
+{
+    // Every fill beyond capacity must evict exactly one line, and the
+    // evicted line must be the least recently used of its set.
+    CacheParams params;
+    params.sizeBytes = 2048;
+    params.assoc = 4;
+    params.lineBytes = 64;
+    Cache cache(params);
+
+    Rng rng(99);
+    std::uint64_t fills = 0, evictions = 0;
+    for (int step = 0; step < 20000; ++step) {
+        const Addr addr = rng.uniformInt(64 * 1024);
+        if (!cache.access(addr, AccessType::Load, 4).hit) {
+            auto ev = cache.fill(addr);
+            ++fills;
+            if (ev.valid) {
+                ++evictions;
+                // The victim must no longer be resident...
+                EXPECT_FALSE(cache.probe(ev.lineAddr));
+                // ...and the new line must be.
+                EXPECT_TRUE(cache.probe(addr));
+            }
+        }
+    }
+    EXPECT_EQ(cache.stats().evictions, evictions);
+    // After warm-up nearly every fill evicts (footprint >> capacity).
+    EXPECT_GT(evictions, fills - 64);
+}
+
+} // namespace

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Unit tests for the neural substrate: MLP inference and training,
+ * the AXAR training techniques (asymmetric loss, L2, gradient
+ * clipping), the NPU sigmoid LUT, and PCA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/mlp.hh"
+#include "nn/pca.hh"
+#include "sim/system.hh"
+
+namespace {
+
+using namespace tartan::nn;
+using tartan::sim::Rng;
+
+MlpConfig
+smallNet(Loss loss = Loss::Mse)
+{
+    MlpConfig cfg;
+    cfg.layers = {2, 8, 1};
+    cfg.loss = loss;
+    cfg.learningRate = 0.1f;
+    return cfg;
+}
+
+TEST(Mlp, ParameterCount)
+{
+    Rng rng(1);
+    Mlp net(smallNet(), rng);
+    // 2*8 weights + 8 biases + 8*1 weights + 1 bias.
+    EXPECT_EQ(net.parameterCount(), 16u + 8u + 8u + 1u);
+}
+
+TEST(Mlp, MacsPerInference)
+{
+    Rng rng(1);
+    MlpConfig cfg;
+    cfg.layers = {6, 16, 16, 1};
+    Mlp net(cfg, rng);
+    EXPECT_EQ(net.macsPerInference(), 6u * 16 + 16u * 16 + 16u * 1);
+}
+
+TEST(Mlp, ForwardDeterministic)
+{
+    Rng rng(7);
+    Mlp net(smallNet(), rng);
+    float in[2] = {0.3f, -0.2f};
+    float a[1], b[1];
+    net.forward(in, a);
+    net.forward(in, b);
+    EXPECT_EQ(a[0], b[0]);
+}
+
+TEST(Mlp, LearnsLinearFunction)
+{
+    Rng rng(3);
+    Mlp net(smallNet(), rng);
+    std::vector<float> ins, outs;
+    Rng data(5);
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+        const float x = static_cast<float>(data.uniform(-1, 1));
+        const float y = static_cast<float>(data.uniform(-1, 1));
+        ins.push_back(x);
+        ins.push_back(y);
+        outs.push_back(0.5f * x - 0.3f * y + 0.1f);
+    }
+    float first = net.trainEpoch(ins, outs, n);
+    float last = 0.0f;
+    for (int e = 0; e < 60; ++e)
+        last = net.trainEpoch(ins, outs, n);
+    EXPECT_LT(last, first * 0.2f);
+    EXPECT_LT(last, 0.01f);
+}
+
+TEST(Mlp, LearnsXor)
+{
+    Rng rng(11);
+    MlpConfig cfg;
+    cfg.layers = {2, 8, 1};
+    cfg.loss = Loss::Bce;
+    cfg.sigmoidOutput = true;
+    cfg.learningRate = 0.5f;
+    Mlp net(cfg, rng);
+    const float xs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    const float ys[4] = {0, 1, 1, 0};
+    for (int e = 0; e < 3000; ++e)
+        for (int s = 0; s < 4; ++s)
+            net.trainSample({xs[s], 2}, {&ys[s], 1});
+    int correct = 0;
+    for (int s = 0; s < 4; ++s) {
+        float out[1];
+        net.forward({xs[s], 2}, out);
+        if ((out[0] > 0.5f) == (ys[s] > 0.5f))
+            ++correct;
+    }
+    EXPECT_EQ(correct, 4);
+}
+
+TEST(Mlp, AsymmetricLossBiasesBelowTheTarget)
+{
+    // Train two nets on noisy targets: the asymmetric loss (alpha = 8)
+    // must push predictions to the underestimating side relative to
+    // plain MSE (paper §V-F: overestimations penalised 8x harder).
+    auto meanBias = [](Loss loss) {
+        Rng rng(21);
+        MlpConfig cfg;
+        cfg.layers = {1, 8, 1};
+        cfg.loss = loss;
+        cfg.asymAlpha = 8.0f;
+        cfg.learningRate = 0.05f;
+        Mlp net(cfg, rng);
+        Rng data(23);
+        std::vector<float> ins, outs;
+        const int n = 300;
+        for (int i = 0; i < n; ++i) {
+            const float x = static_cast<float>(data.uniform(0, 1));
+            ins.push_back(x);
+            outs.push_back(
+                0.8f * x + static_cast<float>(data.gaussian(0, 0.1)));
+        }
+        for (int e = 0; e < 200; ++e)
+            net.trainEpoch(ins, outs, n);
+        double bias = 0.0;
+        int over = 0;
+        for (int i = 0; i < 100; ++i) {
+            const float x = i / 100.0f;
+            float out[1];
+            net.forward({&x, 1}, out);
+            bias += out[0] - 0.8 * x;
+            if (out[0] > 0.8f * x)
+                ++over;
+        }
+        return std::make_pair(bias / 100.0, over);
+    };
+    const auto [bias_mse, over_mse] = meanBias(Loss::Mse);
+    const auto [bias_asym, over_asym] = meanBias(Loss::AsymmetricMse);
+    EXPECT_LT(bias_asym, bias_mse - 0.02);
+    EXPECT_LE(over_asym, over_mse);
+}
+
+TEST(Mlp, L2RegularisationShrinksWeights)
+{
+    auto norm = [](float lambda) {
+        Rng rng(31);
+        MlpConfig cfg;
+        cfg.layers = {1, 8, 1};
+        cfg.l2Lambda = lambda;
+        cfg.learningRate = 0.05f;
+        Mlp net(cfg, rng);
+        Rng data(33);
+        std::vector<float> ins, outs;
+        for (int i = 0; i < 100; ++i) {
+            ins.push_back(static_cast<float>(data.uniform(0, 1)));
+            outs.push_back(ins.back() * 2.0f);
+        }
+        for (int e = 0; e < 100; ++e)
+            net.trainEpoch(ins, outs, 100);
+        double acc = 0.0;
+        for (float w : net.weights())
+            acc += w * w;
+        return acc;
+    };
+    EXPECT_LT(norm(0.05f), norm(0.0f));
+}
+
+TEST(Mlp, GradientClippingBoundsUpdates)
+{
+    // With extreme targets, the clipped net's weights must stay small
+    // relative to the unclipped one after a single aggressive step.
+    auto biggest = [](float clip) {
+        Rng rng(41);
+        MlpConfig cfg;
+        cfg.layers = {1, 4, 1};
+        cfg.gradClip = clip;
+        cfg.learningRate = 1.0f;
+        Mlp net(cfg, rng);
+        const float x = 1.0f;
+        const float t = 1000.0f;  // extreme target -> huge gradient
+        net.trainSample({&x, 1}, {&t, 1});
+        float mx = 0.0f;
+        for (float w : net.weights())
+            mx = std::max(mx, std::fabs(w));
+        return mx;
+    };
+    EXPECT_LT(biggest(2.5f), biggest(0.0f));
+}
+
+TEST(SigmoidLut, MatchesFloatSigmoid)
+{
+    SigmoidLut lut;
+    for (float x = -7.5f; x <= 7.5f; x += 0.37f) {
+        const float exact = 1.0f / (1.0f + std::exp(-x));
+        EXPECT_NEAR(lut.eval(x), exact, 2e-3f) << "x=" << x;
+    }
+}
+
+TEST(SigmoidLut, SaturatesAtRangeEnds)
+{
+    SigmoidLut lut;
+    EXPECT_NEAR(lut.eval(-100.0f), 0.0f, 1e-3f);
+    EXPECT_NEAR(lut.eval(100.0f), 1.0f, 1e-3f);
+}
+
+TEST(Mlp, LutForwardCloseToExact)
+{
+    Rng rng(51);
+    MlpConfig cfg;
+    cfg.layers = {4, 16, 16, 2};
+    Mlp net(cfg, rng);
+    SigmoidLut lut;
+    float in[4] = {0.2f, -0.4f, 0.9f, 0.1f};
+    float exact[2], approx[2];
+    net.forward(in, exact);
+    net.forwardLut(in, approx, lut);
+    EXPECT_NEAR(approx[0], exact[0], 0.02f);
+    EXPECT_NEAR(approx[1], exact[1], 0.02f);
+}
+
+TEST(Mlp, TracedForwardMatchesPlainAndChargesCore)
+{
+    tartan::sim::SysConfig sys_cfg;
+    tartan::sim::System sys(sys_cfg);
+    Rng rng(61);
+    MlpConfig cfg;
+    cfg.layers = {4, 8, 2};
+    Mlp net(cfg, rng);
+    float in[4] = {0.1f, 0.2f, 0.3f, 0.4f};
+    float plain[2], traced[2];
+    net.forward(in, plain);
+    net.forwardTraced(in, traced, sys.core(), 99);
+    EXPECT_EQ(plain[0], traced[0]);
+    EXPECT_EQ(plain[1], traced[1]);
+    // One load + 3 ops per MAC at minimum.
+    EXPECT_GE(sys.core().instructions(), net.macsPerInference() * 4);
+    EXPECT_GT(sys.core().cycles(), 0u);
+}
+
+TEST(Pca, RecoversDominantDirection)
+{
+    Rng rng(71);
+    // Data stretched along (1, 1)/sqrt(2) in 2D.
+    std::vector<float> data;
+    const int n = 400;
+    for (int i = 0; i < n; ++i) {
+        const double a = rng.gaussian(0, 3.0);
+        const double b = rng.gaussian(0, 0.3);
+        data.push_back(static_cast<float>(a + b));
+        data.push_back(static_cast<float>(a - b));
+    }
+    Pca pca(data, n, 2, 2, rng);
+    // First eigenvalue much larger than the second.
+    EXPECT_GT(pca.eigenvalue(0), 10 * pca.eigenvalue(1));
+    // Projection of (1,1) onto PC0 has large magnitude; onto PC1 small.
+    float sample[2] = {5.0f, 5.0f};
+    float out[2];
+    pca.transform(sample, out);
+    EXPECT_GT(std::fabs(out[0]), 5.0f);
+    EXPECT_LT(std::fabs(out[1]), 1.5f);
+}
+
+TEST(Pca, TransformOfMeanIsZero)
+{
+    Rng rng(81);
+    std::vector<float> data;
+    const int n = 100;
+    const std::size_t dim = 6;
+    std::vector<float> mean(dim, 0.0f);
+    for (int i = 0; i < n; ++i)
+        for (std::size_t d = 0; d < dim; ++d) {
+            data.push_back(static_cast<float>(rng.uniform(0, 1)));
+            mean[d] += data.back();
+        }
+    for (auto &m : mean)
+        m /= n;
+    Pca pca(data, n, dim, 3, rng);
+    float out[3];
+    pca.transform(mean, out);
+    for (int c = 0; c < 3; ++c)
+        EXPECT_NEAR(out[c], 0.0f, 1e-4f);
+}
+
+TEST(Pca, EigenvaluesOrderedOnAnisotropicData)
+{
+    Rng rng(91);
+    std::vector<float> data;
+    const int n = 300;
+    const std::size_t dim = 8;
+    // Per-dimension variance decays geometrically: the learned
+    // eigenvalues must come out in decreasing order.
+    for (int i = 0; i < n; ++i)
+        for (std::size_t d = 0; d < dim; ++d)
+            data.push_back(static_cast<float>(
+                rng.gaussian(0.0, std::pow(0.6, double(d)) * 4.0)));
+    Pca pca(data, n, dim, 4, rng);
+    for (int c = 1; c < 4; ++c)
+        EXPECT_LT(pca.eigenvalue(c), pca.eigenvalue(c - 1));
+}
+
+/** Parameterised sweep: training converges for several topologies. */
+class MlpTopologySweep
+    : public ::testing::TestWithParam<std::vector<std::uint32_t>>
+{
+};
+
+TEST_P(MlpTopologySweep, ConvergesOnSmoothTarget)
+{
+    Rng rng(101);
+    MlpConfig cfg;
+    cfg.layers = GetParam();
+    cfg.learningRate = 0.05f;
+    Mlp net(cfg, rng);
+    const std::size_t in_n = cfg.layers.front();
+    Rng data(103);
+    std::vector<float> ins, outs;
+    const int n = 150;
+    for (int i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::size_t d = 0; d < in_n; ++d) {
+            const double v = data.uniform(0, 1);
+            ins.push_back(static_cast<float>(v));
+            acc += v;
+        }
+        const std::size_t out_n = cfg.layers.back();
+        for (std::size_t o = 0; o < out_n; ++o)
+            outs.push_back(static_cast<float>(acc / in_n));
+    }
+    float first = net.trainEpoch(ins, outs, n);
+    float last = first;
+    for (int e = 0; e < 120; ++e)
+        last = net.trainEpoch(ins, outs, n);
+    EXPECT_LT(last, first);
+    EXPECT_LT(last, 0.02f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MlpTopologySweep,
+    ::testing::Values(std::vector<std::uint32_t>{2, 4, 1},
+                      std::vector<std::uint32_t>{4, 8, 8, 1},
+                      std::vector<std::uint32_t>{6, 16, 16, 1},
+                      std::vector<std::uint32_t>{8, 16, 2}));
+
+} // namespace

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * NNS backend tests: exactness of brute force and k-d tree, LSH/VLN
+ * recall and functional equivalence, instrumentation differences
+ * between scalar LSH and VLN, and bucket-density properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "robotics/kdtree.hh"
+#include "robotics/lsh.hh"
+#include "robotics/nns.hh"
+#include "sim/system.hh"
+
+namespace {
+
+using namespace tartan::robotics;
+using tartan::sim::Rng;
+
+std::vector<float>
+randomPoints(std::size_t n, std::uint32_t dim, Rng &rng)
+{
+    std::vector<float> pts(n * dim);
+    for (auto &v : pts)
+        v = static_cast<float>(rng.uniform(0, 1));
+    return pts;
+}
+
+std::int32_t
+referenceNearest(const std::vector<float> &pts, std::uint32_t dim,
+                 const float *q, std::size_t n)
+{
+    std::int32_t best = -1;
+    float best_d = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        float d = 0;
+        for (std::uint32_t k = 0; k < dim; ++k) {
+            const float diff = pts[i * dim + k] - q[k];
+            d += diff * diff;
+        }
+        if (best < 0 || d < best_d) {
+            best = static_cast<std::int32_t>(i);
+            best_d = d;
+        }
+    }
+    return best;
+}
+
+TEST(BruteForce, MatchesReference)
+{
+    Rng rng(3);
+    const std::uint32_t dim = 5;
+    auto pts = randomPoints(200, dim, rng);
+    Mem mem;
+    BruteForceNns nns(pts.data(), dim);
+    for (std::uint32_t i = 0; i < 200; ++i)
+        nns.insert(mem, i);
+    for (int t = 0; t < 40; ++t) {
+        float q[5];
+        for (auto &v : q)
+            v = static_cast<float>(rng.uniform(0, 1));
+        EXPECT_EQ(nns.nearest(mem, q),
+                  referenceNearest(pts, dim, q, 200));
+    }
+}
+
+TEST(BruteForce, EmptyReturnsMinusOne)
+{
+    float dummy[3] = {0, 0, 0};
+    Mem mem;
+    BruteForceNns nns(dummy, 3);
+    EXPECT_EQ(nns.nearest(mem, dummy), -1);
+}
+
+TEST(KdTree, ExactNearestMatchesBruteForce)
+{
+    Rng rng(7);
+    const std::uint32_t dim = 3;
+    auto pts = randomPoints(300, dim, rng);
+    Mem mem;
+    KdTreeNns kd(pts.data(), dim);
+    for (std::uint32_t i = 0; i < 300; ++i)
+        kd.insert(mem, i);
+    for (int t = 0; t < 50; ++t) {
+        float q[3];
+        for (auto &v : q)
+            v = static_cast<float>(rng.uniform(0, 1));
+        EXPECT_EQ(kd.nearest(mem, q), referenceNearest(pts, dim, q, 300));
+    }
+}
+
+TEST(KdTree, RadiusMatchesBruteForce)
+{
+    Rng rng(11);
+    const std::uint32_t dim = 3;
+    auto pts = randomPoints(200, dim, rng);
+    Mem mem;
+    KdTreeNns kd(pts.data(), dim);
+    BruteForceNns brute(pts.data(), dim);
+    for (std::uint32_t i = 0; i < 200; ++i) {
+        kd.insert(mem, i);
+        brute.insert(mem, i);
+    }
+    float q[3] = {0.5f, 0.5f, 0.5f};
+    std::vector<std::uint32_t> a, b;
+    kd.radius(mem, q, 0.2f, a);
+    brute.radius(mem, q, 0.2f, b);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(KdTree, DependentMissesDominates)
+{
+    // The k-d tree's pointer chase must produce dependent (full
+    // latency) stalls: the same lookup on a cold cache costs far more
+    // than the equivalent flat scan of identical cardinality.
+    Rng rng(13);
+    const std::uint32_t dim = 3;
+    auto pts = randomPoints(500, dim, rng);
+
+    tartan::sim::SysConfig cfg;
+    tartan::sim::System sys(cfg);
+    Mem mem(&sys.core());
+    KdTreeNns kd(pts.data(), dim);
+    for (std::uint32_t i = 0; i < 500; ++i)
+        kd.insert(mem, i);
+    const auto before = sys.core().memStallCycles();
+    float q[3] = {0.2f, 0.8f, 0.5f};
+    kd.nearest(mem, q);
+    EXPECT_GT(sys.core().memStallCycles(), before);
+}
+
+TEST(Lsh, HighRecallWithTunedBuckets)
+{
+    Rng rng(17);
+    const std::uint32_t dim = 5;
+    const std::size_t n = 400;
+    auto pts = randomPoints(n, dim, rng);
+    Mem mem;
+    LshConfig cfg;
+    cfg.bucketWidth = 0.8f;
+    LshNns lsh(pts.data(), dim, cfg, false);
+    for (std::uint32_t i = 0; i < n; ++i)
+        lsh.insert(mem, i);
+
+    int exact_hits = 0, close_enough = 0;
+    const int queries = 60;
+    for (int t = 0; t < queries; ++t) {
+        float q[5];
+        for (auto &v : q)
+            v = static_cast<float>(rng.uniform(0, 1));
+        const std::int32_t got = lsh.nearest(mem, q);
+        const std::int32_t want = referenceNearest(pts, dim, q, n);
+        ASSERT_GE(got, 0);
+        if (got == want)
+            ++exact_hits;
+        // Approximate-NNS quality: returned distance within 1.5x of
+        // the true nearest distance.
+        auto d = [&](std::int32_t id) {
+            double acc = 0;
+            for (std::uint32_t k = 0; k < dim; ++k) {
+                const double diff = pts[id * dim + k] - q[k];
+                acc += diff * diff;
+            }
+            return std::sqrt(acc);
+        };
+        if (d(got) <= 1.5 * d(want) + 1e-9)
+            ++close_enough;
+    }
+    EXPECT_GT(exact_hits, queries / 2);
+    EXPECT_GT(close_enough, (9 * queries) / 10);
+}
+
+TEST(Lsh, VlnReturnsSameResultsAsScalarLsh)
+{
+    Rng rng(19);
+    const std::uint32_t dim = 3;
+    const std::size_t n = 300;
+    auto pts = randomPoints(n, dim, rng);
+    Mem mem;
+    LshConfig cfg;
+    cfg.bucketWidth = 1.0f;
+    LshNns scalar_lsh(pts.data(), dim, cfg, false);
+    LshNns vln(pts.data(), dim, cfg, true);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        scalar_lsh.insert(mem, i);
+        vln.insert(mem, i);
+    }
+    for (int t = 0; t < 40; ++t) {
+        float q[3];
+        for (auto &v : q)
+            v = static_cast<float>(rng.uniform(0, 1));
+        EXPECT_EQ(scalar_lsh.nearest(mem, q), vln.nearest(mem, q));
+    }
+}
+
+TEST(Lsh, VlnExecutesFarFewerInstructions)
+{
+    Rng rng(23);
+    const std::uint32_t dim = 5;
+    const std::size_t n = 600;
+    auto pts = randomPoints(n, dim, rng);
+
+    tartan::sim::SysConfig cfg;
+    auto run = [&](bool vectorized) {
+        tartan::sim::System sys(cfg);
+        Mem mem(&sys.core());
+        LshConfig lcfg;
+        lcfg.bucketWidth = 0.8f;
+        LshNns lsh(pts.data(), dim, lcfg, vectorized);
+        for (std::uint32_t i = 0; i < n; ++i)
+            lsh.insert(mem, i);
+        Rng qrng(29);
+        for (int t = 0; t < 30; ++t) {
+            float q[5];
+            for (auto &v : q)
+                v = static_cast<float>(qrng.uniform(0, 1));
+            lsh.nearest(mem, q);
+        }
+        return sys.core().instructions();
+    };
+    const auto scalar_instr = run(false);
+    const auto vln_instr = run(true);
+    EXPECT_LT(vln_instr * 3, scalar_instr);
+}
+
+TEST(Lsh, RadiusFindsAllNeighboursOfAClusteredQuery)
+{
+    Rng rng(31);
+    const std::uint32_t dim = 3;
+    // A tight cluster plus background noise.
+    std::vector<float> pts;
+    const std::size_t cluster = 20, noise = 200;
+    for (std::size_t i = 0; i < cluster; ++i)
+        for (std::uint32_t d = 0; d < dim; ++d)
+            pts.push_back(0.5f +
+                          static_cast<float>(rng.uniform(-0.01, 0.01)));
+    for (std::size_t i = 0; i < noise * dim; ++i)
+        pts.push_back(static_cast<float>(rng.uniform(0, 1)));
+
+    Mem mem;
+    LshConfig cfg;
+    cfg.bucketWidth = 1.0f;
+    LshNns lsh(pts.data(), dim, cfg, false);
+    for (std::uint32_t i = 0; i < cluster + noise; ++i)
+        lsh.insert(mem, i);
+    float q[3] = {0.5f, 0.5f, 0.5f};
+    std::vector<std::uint32_t> out;
+    lsh.radius(mem, q, 0.05f, out);
+    // LSH is approximate; expect to recover most of the cluster.
+    EXPECT_GE(out.size(), cluster * 7 / 10);
+}
+
+TEST(Lsh, BucketSizesReflectDensityHeterogeneity)
+{
+    Rng rng(37);
+    const std::uint32_t dim = 3;
+    // Dense blob + sparse spread: bucket sizes must vary widely (the
+    // signal ANL's adaptive degree keys on, paper §VI-D).
+    std::vector<float> pts;
+    for (int i = 0; i < 150; ++i)
+        for (std::uint32_t d = 0; d < dim; ++d)
+            pts.push_back(0.3f +
+                          static_cast<float>(rng.uniform(-0.03, 0.03)));
+    for (int i = 0; i < 150; ++i)
+        for (std::uint32_t d = 0; d < dim; ++d)
+            pts.push_back(static_cast<float>(rng.uniform(0, 1)));
+    Mem mem;
+    LshConfig cfg;
+    cfg.bucketWidth = 0.6f;
+    LshNns lsh(pts.data(), dim, cfg, false);
+    for (std::uint32_t i = 0; i < 300; ++i)
+        lsh.insert(mem, i);
+    auto sizes = lsh.bucketSizes();
+    ASSERT_FALSE(sizes.empty());
+    const auto mx = *std::max_element(sizes.begin(), sizes.end());
+    const auto mn = *std::min_element(sizes.begin(), sizes.end());
+    EXPECT_GE(mx, 8 * std::max<std::size_t>(mn, 1));
+}
+
+TEST(Lsh, FallbackKeepsIndexTotal)
+{
+    Rng rng(41);
+    const std::uint32_t dim = 4;
+    auto pts = randomPoints(50, dim, rng);
+    Mem mem;
+    LshConfig cfg;
+    cfg.bucketWidth = 0.05f;  // absurdly narrow buckets
+    cfg.probeNeighbors = false;
+    LshNns lsh(pts.data(), dim, cfg, false);
+    for (std::uint32_t i = 0; i < 50; ++i)
+        lsh.insert(mem, i);
+    // A far-away query probably misses every bucket but must still
+    // return some neighbour.
+    float q[4] = {40.0f, -35.0f, 60.0f, -80.0f};
+    EXPECT_GE(lsh.nearest(mem, q), 0);
+}
+
+/** Parameterised sweep: recall stays reasonable across bucket widths. */
+class LshWidthSweep : public ::testing::TestWithParam<float>
+{
+};
+
+TEST_P(LshWidthSweep, ReturnsValidNeighbour)
+{
+    Rng rng(43);
+    const std::uint32_t dim = 5;
+    auto pts = randomPoints(250, dim, rng);
+    Mem mem;
+    LshConfig cfg;
+    cfg.bucketWidth = GetParam();
+    LshNns lsh(pts.data(), dim, cfg, false);
+    for (std::uint32_t i = 0; i < 250; ++i)
+        lsh.insert(mem, i);
+    for (int t = 0; t < 20; ++t) {
+        float q[5];
+        for (auto &v : q)
+            v = static_cast<float>(rng.uniform(0, 1));
+        const std::int32_t got = lsh.nearest(mem, q);
+        ASSERT_GE(got, 0);
+        ASSERT_LT(got, 250);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LshWidthSweep,
+                         ::testing::Values(0.4f, 0.8f, 1.6f, 3.2f));
+
+} // namespace

@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Unit tests for the robotics substrate: geometry, occupancy grids,
+ * ray casting, collision detection, controllers, behaviour trees,
+ * EKF, MCL and ICP.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "robotics/behavior_tree.hh"
+#include "robotics/collision.hh"
+#include "robotics/control.hh"
+#include "robotics/ekf.hh"
+#include "robotics/geometry.hh"
+#include "robotics/grid.hh"
+#include "robotics/icp.hh"
+#include "robotics/mcl.hh"
+#include "robotics/nns.hh"
+#include "robotics/raycast.hh"
+#include "sim/arena.hh"
+#include "sim/system.hh"
+
+namespace {
+
+using namespace tartan::robotics;
+using tartan::sim::Arena;
+using tartan::sim::Rng;
+
+TEST(Geometry, WrapAngle)
+{
+    EXPECT_NEAR(wrapAngle(3 * kPi), kPi, 1e-9);
+    EXPECT_NEAR(wrapAngle(-3 * kPi), kPi, 1e-9);
+    EXPECT_NEAR(wrapAngle(0.5), 0.5, 1e-9);
+}
+
+TEST(Geometry, VectorOps)
+{
+    Vec3 a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_NEAR(a.dot(b), 32.0, 1e-12);
+    const Vec3 c = a.cross(b);
+    EXPECT_NEAR(c.x, -3.0, 1e-12);
+    EXPECT_NEAR(c.y, 6.0, 1e-12);
+    EXPECT_NEAR(c.z, -3.0, 1e-12);
+    EXPECT_NEAR((a - a).norm(), 0.0, 1e-12);
+}
+
+TEST(Geometry, CuboidOverlap)
+{
+    Cuboid a{{0, 0, 0}, {1, 1, 1}};
+    Cuboid b{{1.5, 0, 0}, {1, 1, 1}};
+    Cuboid c{{3.5, 0, 0}, {1, 1, 1}};
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_TRUE(a.overlaps(a));
+}
+
+TEST(Grid, BorderIsOccupied)
+{
+    Arena arena(1 << 20);
+    OccupancyGrid2D grid(64, 64, arena);
+    EXPECT_TRUE(grid.occupied(0, 10));
+    EXPECT_TRUE(grid.occupied(63, 10));
+    EXPECT_TRUE(grid.occupied(10, 0));
+    EXPECT_FALSE(grid.occupied(32, 32));
+}
+
+TEST(Grid, AddRect)
+{
+    Arena arena(1 << 20);
+    OccupancyGrid2D grid(64, 64, arena);
+    grid.addRect(10, 10, 20, 20);
+    EXPECT_TRUE(grid.occupied(10, 10));
+    EXPECT_TRUE(grid.occupied(19, 19));
+    EXPECT_FALSE(grid.occupied(20, 20));
+}
+
+TEST(Grid, HeterogeneousDensity)
+{
+    Arena arena(4 << 20);
+    OccupancyGrid2D grid(256, 256, arena);
+    Rng rng(5);
+    grid.makeHeterogeneous(rng, 0.01, 0.2);
+    std::size_t left = 0, right = 0;
+    for (std::uint32_t y = 1; y < 255; ++y)
+        for (std::uint32_t x = 1; x < 255; ++x) {
+            if (grid.occupied(x, y))
+                (x < 128 ? left : right)++;
+        }
+    EXPECT_GT(right, 4 * left);
+}
+
+TEST(Grid, UpdateClampsProbability)
+{
+    Arena arena(1 << 20);
+    OccupancyGrid2D grid(32, 32, arena);
+    Mem mem;
+    grid.update(mem, 5, 5, 2.0f, 1);
+    EXPECT_LE(grid.at(5, 5), 1.0f);
+    grid.update(mem, 5, 5, -5.0f, 1);
+    EXPECT_GE(grid.at(5, 5), 0.0f);
+}
+
+TEST(Grid3D, CityHasGroundPlane)
+{
+    Arena arena(8 << 20);
+    OccupancyGrid3D grid(32, 32, 16, arena);
+    Rng rng(9);
+    grid.makeCity(rng, 5);
+    for (std::uint32_t y = 0; y < 32; ++y)
+        for (std::uint32_t x = 0; x < 32; ++x)
+            EXPECT_TRUE(grid.occupied(x, y, 0));
+}
+
+TEST(Raycast, HitsKnownWall)
+{
+    Arena arena(1 << 20);
+    OccupancyGrid2D grid(128, 128, arena);
+    grid.addRect(80, 0, 82, 128);  // vertical wall at x=80
+    Mem mem;
+    ScalarOrientedEngine engine;
+    RayConfig cfg;
+    cfg.maxRange = 200;
+    const double d = castRay(mem, grid, 40, 64, 0.0, cfg, engine);
+    EXPECT_NEAR(d, 40.0, 1.5);
+}
+
+TEST(Raycast, MaxRangeWhenFree)
+{
+    Arena arena(1 << 20);
+    OccupancyGrid2D grid(128, 128, arena);
+    // Clear the interior completely except borders; cast a short ray.
+    Mem mem;
+    ScalarOrientedEngine engine;
+    RayConfig cfg;
+    cfg.maxRange = 20;
+    const double d = castRay(mem, grid, 64, 64, 0.0, cfg, engine);
+    EXPECT_EQ(d, 20.0);
+}
+
+/** Property sweep: the batched kernel matches the reference marcher. */
+class RaycastAngleSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RaycastAngleSweep, MatchesReference)
+{
+    Arena arena(2 << 20);
+    OccupancyGrid2D grid(160, 160, arena);
+    Rng rng(17);
+    grid.scatterObstacles(rng, 0.05, 6);
+    Mem mem;
+    ScalarOrientedEngine engine;
+    RayConfig cfg;
+    cfg.maxRange = 100;
+    const double theta = GetParam() * 2.0 * kPi / 16.0;
+    const double got = castRay(mem, grid, 50.3, 71.8, theta, cfg, engine);
+    const double want = castRayReference(grid, 50.3, 71.8, theta, cfg);
+    EXPECT_NEAR(got, want, 1e-9) << "theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(SixteenAngles, RaycastAngleSweep,
+                         ::testing::Range(0, 16));
+
+TEST(Raycast, InterpolationChargesExtraWork)
+{
+    Arena arena(2 << 20);
+    OccupancyGrid2D grid(128, 128, arena);
+
+    tartan::sim::SysConfig sys_cfg;
+    tartan::sim::System plain_sys(sys_cfg), interp_sys(sys_cfg);
+    Mem plain_mem(&plain_sys.core()), interp_mem(&interp_sys.core());
+    ScalarOrientedEngine engine;
+
+    RayConfig plain;
+    plain.maxRange = 60;
+    RayConfig interp = plain;
+    interp.interpolate = true;
+    castRay(plain_mem, grid, 30, 64, 0.2, plain, engine);
+    castRay(interp_mem, grid, 30, 64, 0.2, interp, engine);
+    EXPECT_GT(interp_sys.core().cycles(), plain_sys.core().cycles());
+}
+
+TEST(Raycast, AcceleratedInterpolationIsFree)
+{
+    Arena arena(2 << 20);
+    OccupancyGrid2D grid(128, 128, arena);
+    tartan::sim::SysConfig sys_cfg;
+    tartan::sim::System sw_sys(sys_cfg), hw_sys(sys_cfg);
+    Mem sw_mem(&sw_sys.core()), hw_mem(&hw_sys.core());
+    ScalarOrientedEngine engine;
+    RayConfig cfg;
+    cfg.maxRange = 60;
+    cfg.interpolate = true;
+    castRay(sw_mem, grid, 30, 64, 0.2, cfg, engine);
+    cfg.interpOnAccelerator = true;
+    LocalVoxelStorage lvs;
+    castRay(hw_mem, grid, 30, 64, 0.2, cfg, engine, &lvs);
+    EXPECT_LT(hw_sys.core().cycles(), sw_sys.core().cycles());
+    EXPECT_GT(lvs.size(), 0u);
+}
+
+TEST(Collision, FootprintMatchesReference)
+{
+    Arena arena(2 << 20);
+    OccupancyGrid2D grid(128, 128, arena);
+    Rng rng(19);
+    grid.scatterObstacles(rng, 0.06, 5);
+    Mem mem;
+    ScalarOrientedEngine engine;
+    Footprint fp;
+    fp.length = 10;
+    fp.width = 4;
+    int checked = 0;
+    for (int i = 0; i < 60; ++i) {
+        Pose2 pose{rng.uniform(12, 116), rng.uniform(12, 116),
+                   rng.uniform(0, 2 * kPi)};
+        const bool got = footprintCollides(mem, grid, pose, fp, engine);
+        const bool want = footprintCollidesReference(grid, pose, fp);
+        EXPECT_EQ(got, want) << "pose " << pose.x << "," << pose.y;
+        ++checked;
+    }
+    EXPECT_EQ(checked, 60);
+}
+
+TEST(Collision, CuboidsDetectOverlap)
+{
+    Mem mem;
+    Cuboid robot[1] = {{{0.5, 0.5, 0.0}, {0.1, 0.1, 0.1}}};
+    Cuboid obstacles[2] = {{{0.55, 0.5, 0.0}, {0.1, 0.1, 0.1}},
+                           {{0.9, 0.9, 0.9}, {0.01, 0.01, 0.01}}};
+    EXPECT_TRUE(cuboidsCollide(mem, robot, 1, obstacles, 0, 2));
+    EXPECT_FALSE(cuboidsCollide(mem, robot, 1, obstacles, 1, 2));
+}
+
+TEST(Control, PidDrivesErrorDown)
+{
+    Mem mem;
+    Pid pid(1.0, 0.2, 0.05);
+    double state = 0.0;
+    const double target = 1.0;
+    for (int i = 0; i < 200; ++i) {
+        const double u = pid.step(mem, target - state, 0.05);
+        state += 0.05 * u;
+    }
+    EXPECT_NEAR(state, target, 0.05);
+}
+
+TEST(Control, PurePursuitSteersTowardsPath)
+{
+    Mem mem;
+    std::vector<Vec2> path;
+    for (int i = 0; i < 20; ++i)
+        path.push_back(Vec2{double(i), 5.0});
+    PurePursuit pp(path, 3.0);
+    // Robot below the path, heading along +x: curvature must be
+    // positive (turn left towards larger y).
+    const double k = pp.steer(mem, Pose2{0.0, 0.0, 0.0});
+    EXPECT_GT(k, 0.0);
+    // Robot above the path: negative curvature.
+    PurePursuit pp2(path, 3.0);
+    EXPECT_LT(pp2.steer(mem, Pose2{0.0, 10.0, 0.0}), 0.0);
+}
+
+TEST(Control, MpcApproachesTarget)
+{
+    Mem mem;
+    Mpc::Config cfg;
+    Mpc mpc(cfg);
+    Vec3 pos{0, 0, 0}, vel{0, 0, 0};
+    const Vec3 target{2, 1, 0.5};
+    const double initial = dist3(pos, target);
+    for (int step = 0; step < 80; ++step) {
+        const Vec3 u = mpc.solve(mem, pos, vel, target);
+        vel = vel + u * cfg.dt;
+        pos = pos + vel * cfg.dt;
+    }
+    EXPECT_LT(dist3(pos, target), initial / 2);
+    EXPECT_LT(dist3(pos, target), 1.2);
+}
+
+TEST(Control, DmpReachesGoal)
+{
+    Mem mem;
+    Dmp dmp(12, 1.0);
+    std::vector<double> demo;
+    for (int i = 0; i <= 40; ++i)
+        demo.push_back(std::sin(i / 40.0 * kPi / 2));  // 0 -> 1 curve
+    dmp.learn(mem, demo, 0.05);
+    auto traj = dmp.rollout(mem, 0.0, 2.0, 0.02, 400);
+    EXPECT_NEAR(traj.back(), 2.0, 0.15);
+}
+
+TEST(Control, GreedyStepsTowardGoal)
+{
+    Mem mem;
+    const Vec2 pos{0, 0}, goal{10, 0};
+    const Vec2 next = greedyStep(mem, pos, goal, 2.0);
+    EXPECT_NEAR(next.x, 2.0, 1e-9);
+    EXPECT_NEAR(next.y, 0.0, 1e-9);
+    // Within one step of the goal: snaps to it.
+    const Vec2 snap = greedyStep(mem, Vec2{9.5, 0}, goal, 2.0);
+    EXPECT_NEAR(snap.x, 10.0, 1e-9);
+}
+
+TEST(BehaviorTree, SequenceFailsFast)
+{
+    Mem mem;
+    BtSequence seq("seq");
+    int ran = 0;
+    seq.add(std::make_unique<BtAction>("a", [&](Mem &) {
+        ++ran;
+        return BtStatus::Failure;
+    }));
+    seq.add(std::make_unique<BtAction>("b", [&](Mem &) {
+        ++ran;
+        return BtStatus::Success;
+    }));
+    EXPECT_EQ(seq.tick(mem), BtStatus::Failure);
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(BehaviorTree, SelectorPicksFirstSuccess)
+{
+    Mem mem;
+    BtSelector sel("sel");
+    int ran = 0;
+    sel.add(std::make_unique<BtAction>("a", [&](Mem &) {
+        ++ran;
+        return BtStatus::Failure;
+    }));
+    sel.add(std::make_unique<BtAction>("b", [&](Mem &) {
+        ++ran;
+        return BtStatus::Success;
+    }));
+    sel.add(std::make_unique<BtAction>("c", [&](Mem &) {
+        ++ran;
+        return BtStatus::Success;
+    }));
+    EXPECT_EQ(sel.tick(mem), BtStatus::Success);
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(Ekf, CorrectionReducesUncertainty)
+{
+    Mem mem;
+    Ekf ekf({{0, 0}, {10, 0}});
+    ekf.reset(Pose2{5, 5, 0}, 1.0, 0.5);
+    const double before = ekf.positionUncertainty();
+    const double dx = 0 - 5, dy = 0 - 5;
+    ekf.correct(mem, 0, std::sqrt(dx * dx + dy * dy),
+                wrapAngle(std::atan2(dy, dx)));
+    EXPECT_LT(ekf.positionUncertainty(), before);
+}
+
+TEST(Ekf, TracksStraightMotion)
+{
+    Mem mem;
+    std::vector<Vec2> lms{{0, 0}, {20, 0}, {10, 15}};
+    Ekf ekf(lms);
+    Pose2 truth{2, 2, 0};
+    ekf.reset(truth, 0.2, 0.05);
+    Rng rng(3);
+    for (int step = 0; step < 30; ++step) {
+        truth.x += 0.5;
+        ekf.predict(mem, 1.0, 0.0, 0.5);
+        for (std::size_t lm = 0; lm < lms.size(); ++lm) {
+            const double dx = lms[lm].x - truth.x;
+            const double dy = lms[lm].y - truth.y;
+            ekf.correct(mem, lm,
+                        std::sqrt(dx * dx + dy * dy) +
+                            rng.gaussian(0, 0.02),
+                        wrapAngle(std::atan2(dy, dx) - truth.theta +
+                                  rng.gaussian(0, 0.005)));
+        }
+    }
+    EXPECT_NEAR(ekf.pose().x, truth.x, 0.5);
+    EXPECT_NEAR(ekf.pose().y, truth.y, 0.5);
+}
+
+TEST(Mcl, ConvergesNearTruth)
+{
+    Arena arena(8 << 20);
+    OccupancyGrid2D grid(128, 128, arena);
+    Rng env_rng(7);
+    grid.scatterObstacles(env_rng, 0.04, 6);
+    MclConfig cfg;
+    cfg.particles = 128;
+    cfg.raysPerScan = 16;
+    cfg.ray.maxRange = 60;
+    Mcl mcl(cfg, arena);
+    Mem mem;
+    ScalarOrientedEngine engine;
+    Rng rng(11);
+    Pose2 truth{40, 64, 0.3};
+    mcl.init(truth, 6.0, rng);
+    for (int step = 0; step < 8; ++step) {
+        auto obs = mcl.scanFrom(mem, grid, truth, engine);
+        mcl.correct(mem, grid, obs, engine);
+        mcl.resample(mem, rng);
+        truth.x += 1.0;
+        mcl.predict(mem, 1.0, 0.0, 0.0, rng);
+    }
+    const Pose2 est = mcl.estimate(mem);
+    EXPECT_LT(dist2(est.x, est.y, truth.x, truth.y), 8.0);
+}
+
+TEST(Icp, RecoversSmallRigidTransform)
+{
+    Rng rng(13);
+    // A structured cloud (two walls).
+    std::vector<float> dst;
+    const std::size_t n = 150;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i % 2) {
+            dst.push_back(static_cast<float>(rng.uniform(0, 5)));
+            dst.push_back(0.0f);
+        } else {
+            dst.push_back(0.0f);
+            dst.push_back(static_cast<float>(rng.uniform(0, 5)));
+        }
+        dst.push_back(static_cast<float>(rng.uniform(0, 1)));
+    }
+    const Transform3 truth =
+        makeTransform(0.0, 0.0, 0.05, Vec3{0.1, -0.05, 0.02});
+    std::vector<float> src(dst.size());
+    for (std::size_t p = 0; p < n; ++p) {
+        const Vec3 moved = truth.apply(
+            Vec3{dst[p * 3], dst[p * 3 + 1], dst[p * 3 + 2]});
+        src[p * 3] = static_cast<float>(moved.x);
+        src[p * 3 + 1] = static_cast<float>(moved.y);
+        src[p * 3 + 2] = static_cast<float>(moved.z);
+    }
+    Mem mem;
+    BruteForceNns nns(dst.data(), 3);
+    for (std::size_t i = 0; i < n; ++i)
+        nns.insert(mem, static_cast<std::uint32_t>(i));
+    IcpConfig cfg;
+    cfg.iterations = 10;
+    auto res = icpAlign(mem, src, n, nns, dst.data(), cfg);
+    EXPECT_LT(res.meanResidual, 0.05);
+}
+
+TEST(Icp, TransformComposeAndAngle)
+{
+    const Transform3 a = makeTransform(0, 0, 0.3, Vec3{1, 0, 0});
+    EXPECT_NEAR(a.rotationAngle(), 0.3, 1e-9);
+    const Transform3 b = makeTransform(0, 0, -0.3, Vec3{0, 0, 0});
+    const Transform3 c = b.compose(a);
+    EXPECT_NEAR(c.rotationAngle(), 0.0, 1e-6);
+}
+
+TEST(Icp, FusionMergesCloseAndAppendsFar)
+{
+    Mem mem;
+    std::vector<float> map_pts{0, 0, 0, 5, 5, 5};
+    map_pts.reserve(64);
+    std::vector<float> conf{1, 1};
+    BruteForceNns nns(map_pts.data(), 3);
+    nns.insert(mem, 0);
+    nns.insert(mem, 1);
+    // One point near map point 0, one far away.
+    std::vector<float> frame{0.01f, 0.0f, 0.0f, 9.0f, 9.0f, 9.0f};
+    const std::size_t inserted =
+        fusePoints(mem, map_pts, conf, frame, 2, nns, 0.2);
+    EXPECT_EQ(inserted, 1u);
+    EXPECT_EQ(map_pts.size() / 3, 3u);
+    EXPECT_GT(conf[0], 1.0f);  // merged point gained confidence
+}
+
+} // namespace

@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Unit tests for the base simulator: caches, indexing, replacement,
+ * prefetch plumbing, memory path, and core timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/arena.hh"
+#include "sim/bingo.hh"
+#include "sim/cache.hh"
+#include "sim/indexing.hh"
+#include "sim/rng.hh"
+#include "sim/system.hh"
+
+namespace {
+
+using namespace tartan::sim;
+
+CacheParams
+smallCache(std::uint32_t size, std::uint32_t assoc, std::uint32_t line)
+{
+    CacheParams p;
+    p.sizeBytes = size;
+    p.assoc = assoc;
+    p.lineBytes = line;
+    p.latency = 4;
+    return p;
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallCache(1024, 2, 64));
+    EXPECT_FALSE(c.access(0x1000, AccessType::Load, 4).hit);
+    c.fill(0x1000);
+    EXPECT_TRUE(c.access(0x1000, AccessType::Load, 4).hit);
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit)
+{
+    Cache c(smallCache(1024, 2, 64));
+    c.fill(0x2000);
+    EXPECT_TRUE(c.access(0x2004, AccessType::Load, 4).hit);
+    EXPECT_TRUE(c.access(0x203c, AccessType::Load, 4).hit);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64 B lines, 2 sets (256 B total).
+    Cache c(smallCache(256, 2, 64));
+    // All of these map to set 0 (line numbers 0, 2, 4 -> even).
+    c.fill(0 * 64);
+    c.fill(2 * 64);
+    // Touch line 0 so line 2 becomes LRU.
+    EXPECT_TRUE(c.access(0, AccessType::Load, 4).hit);
+    auto ev = c.fill(4 * 64);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, 2u * 64u);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(2 * 64));
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    Cache c(smallCache(256, 2, 64));
+    c.fill(0);
+    c.access(0, AccessType::Store, 4);
+    c.fill(2 * 64);
+    auto ev = c.fill(4 * 64);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, 0u);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(Cache, EvictionListenerFires)
+{
+    Cache c(smallCache(256, 2, 64));
+    std::vector<Addr> evicted;
+    c.setEvictionListener([&](Addr a) { evicted.push_back(a); });
+    c.fill(0);
+    c.fill(2 * 64);
+    c.fill(4 * 64);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0], 0u);
+}
+
+TEST(Cache, PrefetchedLineTracking)
+{
+    Cache c(smallCache(1024, 2, 64));
+    c.fill(0x100, /*prefetch=*/true, false, /*ready_at=*/100);
+    auto res = c.access(0x100, AccessType::Load, 4, /*now=*/50);
+    EXPECT_TRUE(res.hit);
+    EXPECT_TRUE(res.prefetched);
+    EXPECT_EQ(res.latePenalty, 50u);
+    // Second access: no longer flagged as prefetched.
+    res = c.access(0x100, AccessType::Load, 4, 200);
+    EXPECT_FALSE(res.prefetched);
+    EXPECT_EQ(c.stats().prefetchHits, 1u);
+}
+
+TEST(Cache, UnusedPrefetchCounted)
+{
+    Cache c(smallCache(128, 1, 64));  // direct-mapped, 2 sets
+    c.fill(0, true, false, 0);
+    c.fill(2 * 64);  // evicts the unused prefetch
+    EXPECT_EQ(c.stats().prefetchUnused, 1u);
+}
+
+TEST(Cache, UdmAccounting)
+{
+    auto p = smallCache(128, 1, 64);
+    p.trackUdm = true;
+    Cache c(p);
+    c.fill(0);
+    c.access(0, AccessType::Load, 4);   // touches 4 bytes
+    c.access(8, AccessType::Load, 4);   // touches 4 more
+    c.fill(2 * 64);                      // evict line 0
+    EXPECT_EQ(c.stats().udmFetchedBytes, 64u);
+    EXPECT_EQ(c.stats().udmUsedBytes, 8u);
+}
+
+TEST(Indexing, StandardUsesLowBits)
+{
+    StandardIndexing idx;
+    EXPECT_EQ(idx.index(0x12345, 64), 0x12345u % 64u);
+}
+
+TEST(Indexing, FcpFoldsSameRegionLinesTogether)
+{
+    // Region = 1 KB, line = 32 B -> 32 lines per region (O = 5).
+    // l = 2 -> each region maps onto 2^(5-2) = 8 distinct sets with
+    // 4 same-region lines per set.
+    FcpIndexing idx(1024, 32, 2);
+    const std::uint64_t num_sets = 1024;
+    std::set<std::uint64_t> distinct;
+    for (std::uint64_t line = 0; line < 32; ++line)
+        distinct.insert(idx.index(line, num_sets));
+    EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST(Indexing, FcpStandardNeverCollidesWithinRegion)
+{
+    StandardIndexing idx;
+    std::set<std::uint64_t> distinct;
+    for (std::uint64_t line = 0; line < 32; ++line)
+        distinct.insert(idx.index(line, 1024));
+    EXPECT_EQ(distinct.size(), 32u);
+}
+
+TEST(Indexing, FcpConsecutiveLinesSpread)
+{
+    FcpIndexing idx(1024, 32, 2);
+    // Consecutive lines must not all land in one set (prefetcher
+    // friendliness): lines 0..7 of a region cover all 8 sets.
+    std::set<std::uint64_t> sets;
+    for (std::uint64_t line = 0; line < 8; ++line)
+        sets.insert(idx.index(line, 1024));
+    EXPECT_EQ(sets.size(), 8u);
+}
+
+TEST(Indexing, FcpDifferentRegionsSpread)
+{
+    FcpIndexing idx(1024, 32, 2);
+    std::set<std::uint64_t> sets;
+    for (std::uint64_t region = 0; region < 64; ++region)
+        sets.insert(idx.index(region * 32, 1024));
+    EXPECT_GT(sets.size(), 32u);
+}
+
+TEST(FcpReplacement, ManipulationFunctions)
+{
+    FcpReplacement m;
+    m.func = FcpReplacement::Func::XPlus1;
+    EXPECT_EQ(m.apply(3), 4u);
+    m.func = FcpReplacement::Func::TwoX;
+    EXPECT_EQ(m.apply(3), 6u);
+    m.func = FcpReplacement::Func::XSquared;
+    EXPECT_EQ(m.apply(3), 9u);
+}
+
+TEST(FcpReplacement, GreedyRegionEvictedFirst)
+{
+    // 4-way single-set cache with FCP: lines of region A get aged by
+    // m(x) whenever more of A is filled, so a burst from A cannot evict
+    // the (older) line from region B.
+    FcpReplacement fcp;
+    fcp.regionBytes = 1024;
+    fcp.func = FcpReplacement::Func::XSquared;
+
+    auto p = smallCache(4 * 64, 4, 64);
+    p.fcp = &fcp;
+    Cache c(p);
+
+    const Addr region_b = 1u << 20;
+    c.fill(region_b);           // region B resident
+    c.fill(0 * 64);             // region A
+    c.fill(1 * 64);             // region A (ages A's other line)
+    c.fill(2 * 64);             // region A
+    auto ev = c.fill(3 * 64);   // set full: victim must come from A
+    ASSERT_TRUE(ev.valid);
+    EXPECT_NE(ev.lineAddr, region_b);
+    EXPECT_TRUE(c.probe(region_b));
+}
+
+TEST(MemPath, HierarchyLatencies)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &mem = sys.mem();
+
+    auto first = mem.access(0x10000, AccessType::Load, 4, 1, 0);
+    EXPECT_EQ(first.level, MemLevel::Dram);
+    EXPECT_EQ(first.latency, 4u + 14u + 45u + 200u);
+
+    auto second = mem.access(0x10000, AccessType::Load, 4, 1, 0);
+    EXPECT_EQ(second.level, MemLevel::L1);
+    EXPECT_EQ(second.latency, 4u);
+}
+
+TEST(MemPath, L2HitAfterL1Eviction)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &mem = sys.mem();
+
+    mem.access(0x10000, AccessType::Load, 4, 1, 0);
+    // Evict 0x10000 from L1 by filling its set (32 KB / 8-way / 64 B =
+    // 64 sets; stride 64*64 bytes maps to the same set).
+    for (int i = 1; i <= 8; ++i)
+        mem.access(0x10000 + i * 64 * 64, AccessType::Load, 4, 1, 0);
+    auto res = mem.access(0x10000, AccessType::Load, 4, 1, 0);
+    EXPECT_EQ(res.level, MemLevel::L2);
+    EXPECT_EQ(res.latency, 4u + 14u);
+}
+
+TEST(MemPath, WriteThroughRangeBypassesAllocation)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &mem = sys.mem();
+    mem.addWriteThroughRange(0x20000, 4096);
+
+    auto res = mem.access(0x20100, AccessType::Store, 4, 1, 0);
+    EXPECT_EQ(res.latency, 1u);
+    EXPECT_EQ(mem.stats.wtStores, 1u);
+    EXPECT_EQ(mem.stats.dramWrites, 1u);
+    EXPECT_FALSE(mem.l1().probe(0x20100));
+    EXPECT_FALSE(mem.l2().probe(0x20100));
+    // L3 never saw the store.
+    EXPECT_EQ(mem.stats.l3Accesses, 0u);
+}
+
+TEST(MemPath, WriteBackStoreAllocates)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &mem = sys.mem();
+    mem.access(0x30000, AccessType::Store, 4, 1, 0);
+    EXPECT_TRUE(mem.l1().probe(0x30000));
+    EXPECT_GE(mem.stats.l3Accesses, 1u);
+}
+
+TEST(MemPath, NoAllocateRangeSkipsFills)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &mem = sys.mem();
+    mem.addNoAllocateRange(0x40000, 4096);
+    mem.access(0x40000, AccessType::Load, 4, 1, 0);
+    EXPECT_FALSE(mem.l1().probe(0x40000));
+    EXPECT_FALSE(mem.l2().probe(0x40000));
+}
+
+TEST(MemPath, NextLinePrefetchCoversSequentialStream)
+{
+    SysConfig cfg;
+    cfg.prefetcher = PrefetcherKind::NextLine;
+    System sys(cfg);
+    auto &mem = sys.mem();
+
+    Cycles now = 0;
+    for (Addr a = 0x100000; a < 0x100000 + 64 * 64; a += 64) {
+        auto res = mem.access(a, AccessType::Load, 4, 7, now);
+        now += res.latency;
+    }
+    EXPECT_GT(mem.stats.pfIssued, 0u);
+    EXPECT_GT(mem.l2().stats().prefetchHits, 0u);
+}
+
+TEST(MemPath, LatePrefetchPaysResidualLatency)
+{
+    SysConfig cfg;
+    cfg.prefetcher = PrefetcherKind::NextLine;
+    System sys(cfg);
+    auto &mem = sys.mem();
+
+    // Miss on line 0 issues a prefetch for line 1 that is not yet ready
+    // when we access it immediately afterwards.
+    mem.access(0x200000, AccessType::Load, 4, 7, 0);
+    auto res = mem.access(0x200040, AccessType::Load, 4, 7, 1);
+    EXPECT_TRUE(res.prefetchHit);
+    EXPECT_GT(res.latency, 4u + 14u);
+    EXPECT_EQ(mem.stats.pfHitsLate, 1u);
+}
+
+TEST(MemPath, TimelyPrefetchIsFree)
+{
+    SysConfig cfg;
+    cfg.prefetcher = PrefetcherKind::NextLine;
+    System sys(cfg);
+    auto &mem = sys.mem();
+
+    mem.access(0x200000, AccessType::Load, 4, 7, 0);
+    auto res = mem.access(0x200040, AccessType::Load, 4, 7, 100000);
+    EXPECT_TRUE(res.prefetchHit);
+    EXPECT_EQ(res.latency, 4u + 14u);
+    EXPECT_EQ(mem.stats.pfHitsTimely, 1u);
+}
+
+TEST(Bingo, LearnsAndReplaysFootprint)
+{
+    BingoPrefetcher bingo(64, 2048, 1024);
+    std::vector<Addr> out;
+
+    // First residency of page 0: touch lines 0, 3, 5 (pc 42 triggers).
+    bingo.observe({0 * 64, 42, true}, out);
+    EXPECT_TRUE(out.empty());  // no history yet
+    bingo.observe({3 * 64, 42, true}, out);
+    bingo.observe({5 * 64, 42, true}, out);
+
+    // Page leaves the cache -> footprint learned.
+    bingo.onEviction(0);
+
+    // Second residency, same trigger: footprint replayed.
+    out.clear();
+    bingo.observe({0 * 64, 42, true}, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 3u * 64u);
+    EXPECT_EQ(out[1], 5u * 64u);
+}
+
+TEST(Bingo, StorageExceeds100KB)
+{
+    BingoPrefetcher bingo(64);
+    EXPECT_GT(bingo.storageBits() / 8, 100u * 1024u);
+}
+
+TEST(Core, ComputeThroughput)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &core = sys.core();
+    core.exec(400);
+    EXPECT_EQ(core.cycles(), 100u);  // 4-wide issue
+    EXPECT_EQ(core.instructions(), 400u);
+}
+
+TEST(Core, OpCarryAccumulates)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &core = sys.core();
+    for (int i = 0; i < 4; ++i)
+        core.exec(1);
+    EXPECT_EQ(core.cycles(), 1u);
+}
+
+TEST(Core, DependentLoadPaysFullLatency)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &core = sys.core();
+    core.load(0x50000, 1, MemDep::Dependent);
+    EXPECT_EQ(core.cycles(), 14u + 45u + 200u);  // latency beyond L1
+}
+
+TEST(Core, IndependentLoadOverlaps)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &core = sys.core();
+    core.load(0x60000, 1, MemDep::Independent);
+    const Cycles beyond = 14 + 45 + 200;
+    const Cycles overlap = cfg.core.missOverlap;
+    EXPECT_EQ(core.cycles(), (beyond + overlap - 1) / overlap);
+}
+
+TEST(Core, L1HitIsPipelined)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &core = sys.core();
+    core.load(0x70000, 1, MemDep::Dependent);
+    const Cycles before = core.cycles();
+    core.load(0x70000, 1, MemDep::Dependent);
+    EXPECT_EQ(core.cycles(), before);
+}
+
+TEST(Core, VectorLoadChargesWorstLane)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &core = sys.core();
+    // Warm one lane; leave the other cold.
+    core.load(0x80000, 1);
+    const Cycles before = core.cycles();
+    std::vector<Addr> lanes{0x80000, 0x90000};
+    core.vecLoadLanes(lanes, 2, /*ag_latency=*/5);
+    // 5 AG cycles + 1 port-issue cycle + the bandwidth-bound stall of
+    // the one cold lane through the miss-overlap window.
+    const Cycles beyond = 14 + 45 + 200;
+    const Cycles overlap = cfg.core.missOverlap;
+    EXPECT_EQ(core.cycles() - before,
+              5 + 1 + (beyond + overlap - 1) / overlap);
+    // One scalar load plus one vector-load instruction.
+    EXPECT_EQ(core.instructions(), 2u);
+}
+
+TEST(Core, KernelAttribution)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &core = sys.core();
+    auto k = core.registerKernel("raycast");
+    {
+        ScopedKernel scope(core, k);
+        core.exec(40);
+    }
+    core.exec(80);
+    EXPECT_EQ(core.kernels()[k].cycles, 10u);
+    EXPECT_EQ(core.kernels()[k].instructions, 40u);
+    EXPECT_EQ(core.kernels()[0].instructions, 80u);
+}
+
+TEST(StageTimer, MakespanLpt)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    StageTimer timer(sys.core());
+    // Fake items by advancing the core clock.
+    for (Cycles d : {40u, 30u, 20u, 10u}) {
+        timer.beginItem();
+        sys.core().stall(d);
+        timer.endItem();
+    }
+    EXPECT_EQ(timer.totalWork(), 100u);
+    EXPECT_EQ(timer.makespan(1), 100u);
+    EXPECT_EQ(timer.makespan(2), 50u);
+    EXPECT_EQ(timer.makespan(4), 40u);
+}
+
+TEST(Arena, DeterministicOffsetsAndAlignment)
+{
+    Arena arena(1 << 20);
+    float *a = arena.alloc<float>(100);
+    float *b = arena.alloc<float>(100);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) -
+                  reinterpret_cast<std::uintptr_t>(a),
+              448u);  // 400 bytes rounded up to 64
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(2.0, 5.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.gaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(SystemConfig, FcpConfigurationApplies)
+{
+    SysConfig cfg;
+    cfg.fcpEnabled = true;
+    cfg.lineBytes = 32;
+    System sys(cfg);
+    EXPECT_EQ(sys.mem().l2().params().fcp->regionBytes, 1024u);
+}
+
+TEST(SystemConfig, LineSizeChangesSetCount)
+{
+    SysConfig a, b;
+    a.lineBytes = 64;
+    b.lineBytes = 32;
+    System sa(a), sb(b);
+    EXPECT_EQ(sb.mem().l1().numSets(), 2 * sa.mem().l1().numSets());
+}
+
+} // namespace
