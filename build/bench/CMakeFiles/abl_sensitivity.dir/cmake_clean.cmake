@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sensitivity.dir/abl_sensitivity.cc.o"
+  "CMakeFiles/abl_sensitivity.dir/abl_sensitivity.cc.o.d"
+  "abl_sensitivity"
+  "abl_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

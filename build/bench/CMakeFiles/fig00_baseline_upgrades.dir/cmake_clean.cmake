@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig00_baseline_upgrades.dir/fig00_baseline_upgrades.cc.o"
+  "CMakeFiles/fig00_baseline_upgrades.dir/fig00_baseline_upgrades.cc.o.d"
+  "fig00_baseline_upgrades"
+  "fig00_baseline_upgrades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig00_baseline_upgrades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

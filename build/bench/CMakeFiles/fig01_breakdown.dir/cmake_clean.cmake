@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_breakdown.dir/fig01_breakdown.cc.o"
+  "CMakeFiles/fig01_breakdown.dir/fig01_breakdown.cc.o.d"
+  "fig01_breakdown"
+  "fig01_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

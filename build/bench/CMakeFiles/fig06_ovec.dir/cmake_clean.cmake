@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ovec.dir/fig06_ovec.cc.o"
+  "CMakeFiles/fig06_ovec.dir/fig06_ovec.cc.o.d"
+  "fig06_ovec"
+  "fig06_ovec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ovec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

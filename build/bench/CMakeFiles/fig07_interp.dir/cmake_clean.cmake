@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_interp.dir/fig07_interp.cc.o"
+  "CMakeFiles/fig07_interp.dir/fig07_interp.cc.o.d"
+  "fig07_interp"
+  "fig07_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_npu.cc" "bench/CMakeFiles/fig08_npu.dir/fig08_npu.cc.o" "gcc" "bench/CMakeFiles/fig08_npu.dir/fig08_npu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tartan_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tartan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/robotics/CMakeFiles/tartan_robotics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tartan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tartan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

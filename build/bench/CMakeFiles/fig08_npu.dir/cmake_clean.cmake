@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_npu.dir/fig08_npu.cc.o"
+  "CMakeFiles/fig08_npu.dir/fig08_npu.cc.o.d"
+  "fig08_npu"
+  "fig08_npu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_npu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_nns.dir/fig09_nns.cc.o"
+  "CMakeFiles/fig09_nns.dir/fig09_nns.cc.o.d"
+  "fig09_nns"
+  "fig09_nns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_nns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fcp.dir/fig11_fcp.cc.o"
+  "CMakeFiles/fig11_fcp.dir/fig11_fcp.cc.o.d"
+  "fig11_fcp"
+  "fig11_fcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_endtoend.dir/fig12_endtoend.cc.o"
+  "CMakeFiles/fig12_endtoend.dir/fig12_endtoend.cc.o.d"
+  "fig12_endtoend"
+  "fig12_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

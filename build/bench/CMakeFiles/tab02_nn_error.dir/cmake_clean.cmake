@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_nn_error.dir/tab02_nn_error.cc.o"
+  "CMakeFiles/tab02_nn_error.dir/tab02_nn_error.cc.o.d"
+  "tab02_nn_error"
+  "tab02_nn_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_nn_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_npu_config.dir/tab03_npu_config.cc.o"
+  "CMakeFiles/tab03_npu_config.dir/tab03_npu_config.cc.o.d"
+  "tab03_npu_config"
+  "tab03_npu_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_npu_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab03_npu_config.
+# This may be replaced when dependencies are built.

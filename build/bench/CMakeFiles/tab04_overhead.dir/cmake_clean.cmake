@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_overhead.dir/tab04_overhead.cc.o"
+  "CMakeFiles/tab04_overhead.dir/tab04_overhead.cc.o.d"
+  "tab04_overhead"
+  "tab04_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

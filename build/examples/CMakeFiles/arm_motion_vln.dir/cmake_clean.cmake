@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arm_motion_vln.dir/arm_motion_vln.cpp.o"
+  "CMakeFiles/arm_motion_vln.dir/arm_motion_vln.cpp.o.d"
+  "arm_motion_vln"
+  "arm_motion_vln.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arm_motion_vln.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for arm_motion_vln.
+# This may be replaced when dependencies are built.

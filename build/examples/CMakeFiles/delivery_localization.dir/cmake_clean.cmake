@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delivery_localization.dir/delivery_localization.cpp.o"
+  "CMakeFiles/delivery_localization.dir/delivery_localization.cpp.o.d"
+  "delivery_localization"
+  "delivery_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delivery_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

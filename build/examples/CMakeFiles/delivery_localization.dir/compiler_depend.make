@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for delivery_localization.
+# This may be replaced when dependencies are built.

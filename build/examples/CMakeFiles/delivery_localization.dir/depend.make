@@ -1,0 +1,2 @@
+# Empty dependencies file for delivery_localization.
+# This may be replaced when dependencies are built.

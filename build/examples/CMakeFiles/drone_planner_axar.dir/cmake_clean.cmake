@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_planner_axar.dir/drone_planner_axar.cpp.o"
+  "CMakeFiles/drone_planner_axar.dir/drone_planner_axar.cpp.o.d"
+  "drone_planner_axar"
+  "drone_planner_axar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_planner_axar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for drone_planner_axar.
+# This may be replaced when dependencies are built.

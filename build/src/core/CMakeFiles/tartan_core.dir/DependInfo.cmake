@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anl.cc" "src/core/CMakeFiles/tartan_core.dir/anl.cc.o" "gcc" "src/core/CMakeFiles/tartan_core.dir/anl.cc.o.d"
+  "/root/repo/src/core/area.cc" "src/core/CMakeFiles/tartan_core.dir/area.cc.o" "gcc" "src/core/CMakeFiles/tartan_core.dir/area.cc.o.d"
+  "/root/repo/src/core/npu.cc" "src/core/CMakeFiles/tartan_core.dir/npu.cc.o" "gcc" "src/core/CMakeFiles/tartan_core.dir/npu.cc.o.d"
+  "/root/repo/src/core/ovec.cc" "src/core/CMakeFiles/tartan_core.dir/ovec.cc.o" "gcc" "src/core/CMakeFiles/tartan_core.dir/ovec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tartan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tartan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/robotics/CMakeFiles/tartan_robotics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

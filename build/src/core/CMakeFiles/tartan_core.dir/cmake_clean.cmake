@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tartan_core.dir/anl.cc.o"
+  "CMakeFiles/tartan_core.dir/anl.cc.o.d"
+  "CMakeFiles/tartan_core.dir/area.cc.o"
+  "CMakeFiles/tartan_core.dir/area.cc.o.d"
+  "CMakeFiles/tartan_core.dir/npu.cc.o"
+  "CMakeFiles/tartan_core.dir/npu.cc.o.d"
+  "CMakeFiles/tartan_core.dir/ovec.cc.o"
+  "CMakeFiles/tartan_core.dir/ovec.cc.o.d"
+  "libtartan_core.a"
+  "libtartan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tartan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tartan_nn.dir/mlp.cc.o"
+  "CMakeFiles/tartan_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/tartan_nn.dir/pca.cc.o"
+  "CMakeFiles/tartan_nn.dir/pca.cc.o.d"
+  "libtartan_nn.a"
+  "libtartan_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tartan_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robotics/collision.cc" "src/robotics/CMakeFiles/tartan_robotics.dir/collision.cc.o" "gcc" "src/robotics/CMakeFiles/tartan_robotics.dir/collision.cc.o.d"
+  "/root/repo/src/robotics/control.cc" "src/robotics/CMakeFiles/tartan_robotics.dir/control.cc.o" "gcc" "src/robotics/CMakeFiles/tartan_robotics.dir/control.cc.o.d"
+  "/root/repo/src/robotics/ekf.cc" "src/robotics/CMakeFiles/tartan_robotics.dir/ekf.cc.o" "gcc" "src/robotics/CMakeFiles/tartan_robotics.dir/ekf.cc.o.d"
+  "/root/repo/src/robotics/grid.cc" "src/robotics/CMakeFiles/tartan_robotics.dir/grid.cc.o" "gcc" "src/robotics/CMakeFiles/tartan_robotics.dir/grid.cc.o.d"
+  "/root/repo/src/robotics/icp.cc" "src/robotics/CMakeFiles/tartan_robotics.dir/icp.cc.o" "gcc" "src/robotics/CMakeFiles/tartan_robotics.dir/icp.cc.o.d"
+  "/root/repo/src/robotics/kdtree.cc" "src/robotics/CMakeFiles/tartan_robotics.dir/kdtree.cc.o" "gcc" "src/robotics/CMakeFiles/tartan_robotics.dir/kdtree.cc.o.d"
+  "/root/repo/src/robotics/lsh.cc" "src/robotics/CMakeFiles/tartan_robotics.dir/lsh.cc.o" "gcc" "src/robotics/CMakeFiles/tartan_robotics.dir/lsh.cc.o.d"
+  "/root/repo/src/robotics/mcl.cc" "src/robotics/CMakeFiles/tartan_robotics.dir/mcl.cc.o" "gcc" "src/robotics/CMakeFiles/tartan_robotics.dir/mcl.cc.o.d"
+  "/root/repo/src/robotics/raycast.cc" "src/robotics/CMakeFiles/tartan_robotics.dir/raycast.cc.o" "gcc" "src/robotics/CMakeFiles/tartan_robotics.dir/raycast.cc.o.d"
+  "/root/repo/src/robotics/rrt.cc" "src/robotics/CMakeFiles/tartan_robotics.dir/rrt.cc.o" "gcc" "src/robotics/CMakeFiles/tartan_robotics.dir/rrt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tartan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tartan_robotics.dir/collision.cc.o"
+  "CMakeFiles/tartan_robotics.dir/collision.cc.o.d"
+  "CMakeFiles/tartan_robotics.dir/control.cc.o"
+  "CMakeFiles/tartan_robotics.dir/control.cc.o.d"
+  "CMakeFiles/tartan_robotics.dir/ekf.cc.o"
+  "CMakeFiles/tartan_robotics.dir/ekf.cc.o.d"
+  "CMakeFiles/tartan_robotics.dir/grid.cc.o"
+  "CMakeFiles/tartan_robotics.dir/grid.cc.o.d"
+  "CMakeFiles/tartan_robotics.dir/icp.cc.o"
+  "CMakeFiles/tartan_robotics.dir/icp.cc.o.d"
+  "CMakeFiles/tartan_robotics.dir/kdtree.cc.o"
+  "CMakeFiles/tartan_robotics.dir/kdtree.cc.o.d"
+  "CMakeFiles/tartan_robotics.dir/lsh.cc.o"
+  "CMakeFiles/tartan_robotics.dir/lsh.cc.o.d"
+  "CMakeFiles/tartan_robotics.dir/mcl.cc.o"
+  "CMakeFiles/tartan_robotics.dir/mcl.cc.o.d"
+  "CMakeFiles/tartan_robotics.dir/raycast.cc.o"
+  "CMakeFiles/tartan_robotics.dir/raycast.cc.o.d"
+  "CMakeFiles/tartan_robotics.dir/rrt.cc.o"
+  "CMakeFiles/tartan_robotics.dir/rrt.cc.o.d"
+  "libtartan_robotics.a"
+  "libtartan_robotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tartan_robotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

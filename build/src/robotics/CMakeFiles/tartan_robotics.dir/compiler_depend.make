@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tartan_robotics.
+# This may be replaced when dependencies are built.

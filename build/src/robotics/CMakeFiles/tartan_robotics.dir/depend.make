@@ -1,0 +1,2 @@
+# Empty dependencies file for tartan_robotics.
+# This may be replaced when dependencies are built.

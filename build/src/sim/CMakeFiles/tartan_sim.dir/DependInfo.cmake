@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bingo.cc" "src/sim/CMakeFiles/tartan_sim.dir/bingo.cc.o" "gcc" "src/sim/CMakeFiles/tartan_sim.dir/bingo.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/tartan_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/tartan_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/tartan_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/tartan_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/memsystem.cc" "src/sim/CMakeFiles/tartan_sim.dir/memsystem.cc.o" "gcc" "src/sim/CMakeFiles/tartan_sim.dir/memsystem.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/tartan_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/tartan_sim.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tartan_sim.dir/bingo.cc.o"
+  "CMakeFiles/tartan_sim.dir/bingo.cc.o.d"
+  "CMakeFiles/tartan_sim.dir/cache.cc.o"
+  "CMakeFiles/tartan_sim.dir/cache.cc.o.d"
+  "CMakeFiles/tartan_sim.dir/core.cc.o"
+  "CMakeFiles/tartan_sim.dir/core.cc.o.d"
+  "CMakeFiles/tartan_sim.dir/memsystem.cc.o"
+  "CMakeFiles/tartan_sim.dir/memsystem.cc.o.d"
+  "CMakeFiles/tartan_sim.dir/system.cc.o"
+  "CMakeFiles/tartan_sim.dir/system.cc.o.d"
+  "libtartan_sim.a"
+  "libtartan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tartan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/carribot.cc" "src/workloads/CMakeFiles/tartan_workloads.dir/carribot.cc.o" "gcc" "src/workloads/CMakeFiles/tartan_workloads.dir/carribot.cc.o.d"
+  "/root/repo/src/workloads/common.cc" "src/workloads/CMakeFiles/tartan_workloads.dir/common.cc.o" "gcc" "src/workloads/CMakeFiles/tartan_workloads.dir/common.cc.o.d"
+  "/root/repo/src/workloads/delibot.cc" "src/workloads/CMakeFiles/tartan_workloads.dir/delibot.cc.o" "gcc" "src/workloads/CMakeFiles/tartan_workloads.dir/delibot.cc.o.d"
+  "/root/repo/src/workloads/flybot.cc" "src/workloads/CMakeFiles/tartan_workloads.dir/flybot.cc.o" "gcc" "src/workloads/CMakeFiles/tartan_workloads.dir/flybot.cc.o.d"
+  "/root/repo/src/workloads/homebot.cc" "src/workloads/CMakeFiles/tartan_workloads.dir/homebot.cc.o" "gcc" "src/workloads/CMakeFiles/tartan_workloads.dir/homebot.cc.o.d"
+  "/root/repo/src/workloads/movebot.cc" "src/workloads/CMakeFiles/tartan_workloads.dir/movebot.cc.o" "gcc" "src/workloads/CMakeFiles/tartan_workloads.dir/movebot.cc.o.d"
+  "/root/repo/src/workloads/patrolbot.cc" "src/workloads/CMakeFiles/tartan_workloads.dir/patrolbot.cc.o" "gcc" "src/workloads/CMakeFiles/tartan_workloads.dir/patrolbot.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/tartan_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/tartan_workloads.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tartan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tartan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/robotics/CMakeFiles/tartan_robotics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tartan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tartan_workloads.dir/carribot.cc.o"
+  "CMakeFiles/tartan_workloads.dir/carribot.cc.o.d"
+  "CMakeFiles/tartan_workloads.dir/common.cc.o"
+  "CMakeFiles/tartan_workloads.dir/common.cc.o.d"
+  "CMakeFiles/tartan_workloads.dir/delibot.cc.o"
+  "CMakeFiles/tartan_workloads.dir/delibot.cc.o.d"
+  "CMakeFiles/tartan_workloads.dir/flybot.cc.o"
+  "CMakeFiles/tartan_workloads.dir/flybot.cc.o.d"
+  "CMakeFiles/tartan_workloads.dir/homebot.cc.o"
+  "CMakeFiles/tartan_workloads.dir/homebot.cc.o.d"
+  "CMakeFiles/tartan_workloads.dir/movebot.cc.o"
+  "CMakeFiles/tartan_workloads.dir/movebot.cc.o.d"
+  "CMakeFiles/tartan_workloads.dir/patrolbot.cc.o"
+  "CMakeFiles/tartan_workloads.dir/patrolbot.cc.o.d"
+  "CMakeFiles/tartan_workloads.dir/suite.cc.o"
+  "CMakeFiles/tartan_workloads.dir/suite.cc.o.d"
+  "libtartan_workloads.a"
+  "libtartan_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tartan_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

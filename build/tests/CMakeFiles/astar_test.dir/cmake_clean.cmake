@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astar_test.dir/astar_test.cc.o"
+  "CMakeFiles/astar_test.dir/astar_test.cc.o.d"
+  "astar_test"
+  "astar_test.pdb"
+  "astar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_cache_test.dir/golden_cache_test.cc.o"
+  "CMakeFiles/golden_cache_test.dir/golden_cache_test.cc.o.d"
+  "golden_cache_test"
+  "golden_cache_test.pdb"
+  "golden_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

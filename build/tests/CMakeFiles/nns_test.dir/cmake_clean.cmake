@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nns_test.dir/nns_test.cc.o"
+  "CMakeFiles/nns_test.dir/nns_test.cc.o.d"
+  "nns_test"
+  "nns_test.pdb"
+  "nns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

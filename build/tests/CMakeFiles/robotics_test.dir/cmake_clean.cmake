@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robotics_test.dir/robotics_test.cc.o"
+  "CMakeFiles/robotics_test.dir/robotics_test.cc.o.d"
+  "robotics_test"
+  "robotics_test.pdb"
+  "robotics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robotics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/sim_test.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tartan_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tartan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/robotics/CMakeFiles/tartan_robotics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tartan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tartan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
