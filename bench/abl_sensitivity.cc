@@ -22,7 +22,7 @@ using namespace tartan::workloads;
 namespace {
 
 void
-anlGeometry()
+anlGeometry(BenchReporter &rep)
 {
     std::printf("\n-- ANL geometry (MoveBot, norm. time and coverage) "
                 "--\n");
@@ -41,19 +41,26 @@ anlGeometry()
                 spec, options(SoftwareTier::Optimized, 1.0, 123));
             const double hits =
                 double(res.pfHitsTimely + res.pfHitsLate);
+            const double norm =
+                double(res.wallCycles) / double(base.wallCycles);
+            const double coverage =
+                hits / std::max(1.0, hits + double(res.l2Misses));
+            const double accuracy =
+                hits / std::max<double>(1.0, double(res.pfIssued));
+            const std::string row = "anl/" + std::to_string(entries) +
+                                    "e-" + std::to_string(region) + "B";
+            rep.kernelMetric(row, "normTime", norm);
+            rep.kernelMetric(row, "coverage", coverage);
+            rep.kernelMetric(row, "accuracy", accuracy);
             std::printf("%-8u %-8u %10.3f %9.0f%% %9.0f%%\n", entries,
-                        region,
-                        double(res.wallCycles) / double(base.wallCycles),
-                        100.0 * hits /
-                            std::max(1.0, hits + double(res.l2Misses)),
-                        100.0 * hits /
-                            std::max<double>(1.0, double(res.pfIssued)));
+                        region, norm, 100.0 * coverage,
+                        100.0 * accuracy);
         }
     }
 }
 
 void
-fcpLevel()
+fcpLevel(BenchReporter &rep)
 {
     std::printf("\n-- FCP level (CarriBot, norm. time / L2 misses) --\n");
     std::printf("%-10s %10s %12s\n", "config", "norm.time", "l2misses");
@@ -72,6 +79,11 @@ fcpLevel()
         spec.sys.fcpAtL3 = c.l3;
         auto res = runCarriBot(spec,
                                options(SoftwareTier::Optimized, 0.6));
+        const std::string row = std::string("fcp/") + c.name;
+        rep.kernelMetric(row, "normTime",
+                         double(res.wallCycles) /
+                             double(base.wallCycles));
+        rep.kernelMetric(row, "l2Misses", double(res.l2Misses));
         std::printf("%-10s %10.3f %12llu\n", c.name,
                     double(res.wallCycles) / double(base.wallCycles),
                     static_cast<unsigned long long>(res.l2Misses));
@@ -79,7 +91,7 @@ fcpLevel()
 }
 
 void
-npuLinkLatency()
+npuLinkLatency(BenchReporter &rep)
 {
     std::printf("\n-- CPU-NPU link latency (FlyBot AXAR, norm. time) "
                 "--\n");
@@ -90,6 +102,10 @@ npuLinkLatency()
         auto spec = MachineSpec::tartan();
         spec.npuCfg.commLatency = lat;
         auto res = runFlyBot(spec, options(SoftwareTier::Approximate));
+        rep.kernelMetric("npuLink/" + std::to_string(lat) + "cyc",
+                         "normTime",
+                         double(res.wallCycles) /
+                             double(exact.wallCycles));
         std::printf("%-10llu %10.3f\n",
                     static_cast<unsigned long long>(lat),
                     double(res.wallCycles) / double(exact.wallCycles));
@@ -103,11 +119,14 @@ npuLinkLatency()
 int
 main()
 {
-    header("abl_sensitivity — design-choice ablations",
-           "extensions beyond the paper's sweeps: ANL geometry, FCP "
-           "cache level, NPU link latency");
-    anlGeometry();
-    fcpLevel();
-    npuLinkLatency();
+    BenchReporter rep("abl_sensitivity",
+                      "extensions beyond the paper's sweeps: ANL "
+                      "geometry, FCP cache level, NPU link latency");
+    rep.config("anlSweep", "MoveBot, entries x regionBytes");
+    rep.config("fcpSweep", "CarriBot, none/L2/L2+L3");
+    rep.config("npuLinkSweep", "FlyBot AXAR, 1-104 cycles");
+    anlGeometry(rep);
+    fcpLevel(rep);
+    npuLinkLatency(rep);
     return 0;
 }

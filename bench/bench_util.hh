@@ -1,9 +1,11 @@
 /**
  * @file
- * Shared helpers for the figure/table reproduction binaries: row
- * printing, normalisation, and geometric means. Every bench prints the
- * paper's expected shape next to the measured values so the output can
- * be diffed against EXPERIMENTS.md.
+ * Shared helpers for the figure/table reproduction binaries: the
+ * BenchReporter every driver routes its results through (human table on
+ * stdout plus a machine-readable BENCH_<name>.json), normalisation and
+ * geometric means, and the standard per-run metric snapshot. Every
+ * bench prints the paper's expected shape next to the measured values
+ * so the output can be diffed against EXPERIMENTS.md.
  */
 
 #ifndef TARTAN_BENCH_UTIL_HH
@@ -14,23 +16,16 @@
 #include <string>
 #include <vector>
 
+#include "sim/report.hh"
 #include "workloads/robots.hh"
 
 namespace tartan::bench {
 
+using tartan::sim::BenchReporter;
 using workloads::MachineSpec;
 using workloads::RunResult;
 using workloads::SoftwareTier;
 using workloads::WorkloadOptions;
-
-inline void
-header(const char *title, const char *paper_note)
-{
-    std::printf("\n================================================================\n");
-    std::printf("%s\n", title);
-    std::printf("paper: %s\n", paper_note);
-    std::printf("================================================================\n");
-}
 
 inline double
 geomean(const std::vector<double> &values)
@@ -59,6 +54,28 @@ options(SoftwareTier tier, double scale = 1.0, std::uint64_t seed = 42)
     opt.scale = scale;
     opt.seed = seed;
     return opt;
+}
+
+/**
+ * Record the standard snapshot of one robot run as a kernels[] row of
+ * @p rep, named @p row (typically "<robot>" or "<robot>/<config>").
+ */
+inline void
+reportRun(BenchReporter &rep, const std::string &row, const RunResult &res)
+{
+    rep.kernelMetric(row, "wallCycles", double(res.wallCycles));
+    rep.kernelMetric(row, "workCycles", double(res.workCycles));
+    rep.kernelMetric(row, "instructions", double(res.instructions));
+    rep.kernelMetric(row, "l2Misses", double(res.l2Misses));
+    rep.kernelMetric(row, "l3Traffic", double(res.l3Traffic));
+    if (res.pfIssued) {
+        rep.kernelMetric(row, "pfIssued", double(res.pfIssued));
+        rep.kernelMetric(row, "pfHitsTimely", double(res.pfHitsTimely));
+        rep.kernelMetric(row, "pfHitsLate", double(res.pfHitsLate));
+    }
+    if (res.npuInvocations)
+        rep.kernelMetric(row, "npuInvocations",
+                         double(res.npuInvocations));
 }
 
 } // namespace tartan::bench

@@ -8,15 +8,21 @@
 
 #include "bench_util.hh"
 
+#include <numeric>
+
 using namespace tartan::bench;
 using namespace tartan::workloads;
 
 int
 main()
 {
-    header("fig00_baseline_upgrades — §III-A engineering optimisations",
-           "64B->32B lines: 1.56x UDM reduction; WT queues: 9-43% less "
-           "L3 traffic, 2-4% perf");
+    BenchReporter rep("fig00_baseline_upgrades",
+                      "64B->32B lines: 1.56x UDM reduction; WT queues: "
+                      "9-43% less L3 traffic, 2-4% perf");
+    rep.config("wideLineBytes", 64);
+    rep.config("narrowLineBytes", 32);
+    rep.config("tier", "legacy");
+    rep.config("scale", 0.6);
 
     std::printf("%-10s %10s %10s %8s | %12s %12s %8s\n", "robot",
                 "UDM64[KB]", "UDM32[KB]", "ratio", "L3(noWT)",
@@ -55,10 +61,24 @@ main()
                     robot.name, waste_w, waste_n, ratio,
                     static_cast<unsigned long long>(a.l3Traffic),
                     static_cast<unsigned long long>(b.l3Traffic), red);
+        rep.kernelMetric(robot.name, "udmWaste64KiB", waste_w);
+        rep.kernelMetric(robot.name, "udmWaste32KiB", waste_n);
+        rep.kernelMetric(robot.name, "udmWasteRatio", ratio);
+        rep.kernelMetric(robot.name, "l3TrafficNoWt", double(a.l3Traffic));
+        rep.kernelMetric(robot.name, "l3TrafficWt", double(b.l3Traffic));
+        rep.kernelMetric(robot.name, "l3ReductionPct", red);
         if (ratio > 0)
             udm_ratios.push_back(ratio);
         l3_reductions.push_back(red);
     }
+    rep.metric("gmeanUdmWasteRatio", geomean(udm_ratios));
+    rep.metric("meanL3ReductionPct",
+               l3_reductions.empty()
+                   ? 0.0
+                   : std::accumulate(l3_reductions.begin(),
+                                     l3_reductions.end(), 0.0) /
+                         double(l3_reductions.size()));
+    rep.note("paper: 1.56x UDM-waste reduction; 9-43% L3 traffic cut");
     std::printf("\nGMean UDM-waste reduction (64B vs 32B): %.2fx "
                 "(paper: 1.56x)\n",
                 geomean(udm_ratios));

@@ -29,14 +29,18 @@ bottleneckShare(const RunResult &res, const std::string &kernel)
 int
 main()
 {
-    header("fig01_breakdown — execution-time breakdown, B vs T",
-           "bottlenecks: DeliBot raycast 74%, PatrolBot inference 93%, "
-           "MoveBot NNS 45%, HomeBot T-pred 56%, FlyBot heuristic 74%, "
-           "CarriBot collision 81%; Tartan shrinks the bottleneck bar");
+    BenchReporter rep("fig01_breakdown",
+                      "bottlenecks: DeliBot raycast 74%, PatrolBot "
+                      "inference 93%, MoveBot NNS 45%, HomeBot T-pred "
+                      "56%, FlyBot heuristic 74%, CarriBot collision "
+                      "81%; Tartan shrinks the bottleneck bar");
+    rep.config("baseline", "B=baseline/legacy");
+    rep.config("tartan", "T=tartan/approximate");
 
     std::printf("%-10s %-12s %8s %8s | %10s\n", "robot", "bottleneck",
                 "B share", "T share", "T time/B");
 
+    std::vector<double> speedups;
     for (const auto &robot : robotSuite()) {
         auto base = robot.run(MachineSpec::baseline(),
                               options(SoftwareTier::Legacy));
@@ -47,11 +51,21 @@ main()
         const std::string bk = base.bottleneckKernel;
         const double b_share = bottleneckShare(base, bk);
         const double t_share = bottleneckShare(tartan_res, bk);
+        const double s = speedup(double(base.wallCycles),
+                                 double(tartan_res.wallCycles));
         std::printf("%-10s %-12s %7.1f%% %7.1f%% | %9.2fx\n",
                     robot.name, bk.c_str(), 100 * b_share, 100 * t_share,
-                    speedup(double(base.wallCycles),
-                            double(tartan_res.wallCycles)));
+                    s);
+        reportRun(rep, std::string(robot.name) + "/B", base);
+        reportRun(rep, std::string(robot.name) + "/T", tartan_res);
+        rep.kernelMetric(robot.name, "baselineBottleneckShare", b_share);
+        rep.kernelMetric(robot.name, "tartanBottleneckShare", t_share);
+        rep.kernelMetric(robot.name, "speedup", s);
+        speedups.push_back(s);
     }
+    rep.metric("gmeanSpeedup", geomean(speedups));
+    rep.note("every Tartan bottleneck share <= the baseline share; "
+             "bottleneck kernels match the paper's list");
     std::printf("\nShape check: every Tartan bottleneck share <= the "
                 "baseline share,\nand the bottleneck kernels match the "
                 "paper's list above.\n");

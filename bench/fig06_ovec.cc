@@ -16,10 +16,13 @@ using namespace tartan::workloads;
 int
 main()
 {
-    header("fig06_ovec — oriented vectorisation methods",
-           "OVEC: raycast 1.64x / collision 1.69x, ~1.8x fewer "
-           "instructions; Gather ~baseline (<1%); RACOD fastest "
-           "(OVEC = 89%/82% of RACOD's benefit)");
+    BenchReporter rep("fig06_ovec",
+                      "OVEC: raycast 1.64x / collision 1.69x, ~1.8x "
+                      "fewer instructions; Gather ~baseline (<1%); "
+                      "RACOD fastest (OVEC = 89%/82% of RACOD's "
+                      "benefit)");
+    rep.config("configs", "B=scalar O=ovec G=gather R=racod");
+    rep.config("tier", "optimized");
 
     struct Config {
         const char *label;
@@ -56,6 +59,13 @@ main()
                 base_cycles = double(res.wallCycles);
                 base_instr = double(res.instructions);
             }
+            const std::string row =
+                std::string(target.name) + "/" + cfg.label;
+            reportRun(rep, row, res);
+            rep.kernelMetric(row, "normTime",
+                             double(res.wallCycles) / base_cycles);
+            rep.kernelMetric(row, "normInstr",
+                             double(res.instructions) / base_instr);
             std::printf("%-3s %14llu %14llu %11.3f %11.3f\n", cfg.label,
                         static_cast<unsigned long long>(res.wallCycles),
                         static_cast<unsigned long long>(res.instructions),
@@ -63,6 +73,8 @@ main()
                         double(res.instructions) / base_instr);
         }
     }
+    rep.note("shape: O < B (time), G ~= B, R < O; O's instruction bar "
+             "well below B; G's above O");
     std::printf("\nShape check: O < B (time), G ~= B, R < O; O's "
                 "instruction bar well below B; G's above O.\n");
     return 0;

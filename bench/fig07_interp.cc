@@ -58,9 +58,12 @@ rayCastingTime(robotics::OrientedEngine &engine, bool accel)
 int
 main()
 {
-    header("fig07_interp — interpolated ray casting",
-           "norm. time: B 1.0, OVEC 0.74 (1.36x), Intel 0.52 (1.92x), "
-           "O+I 0.39 (2.56x; 1.33x over Intel alone)");
+    BenchReporter rep("fig07_interp",
+                      "norm. time: B 1.0, OVEC 0.74 (1.36x), Intel 0.52 "
+                      "(1.92x), O+I 0.39 (2.56x; 1.33x over Intel "
+                      "alone)");
+    rep.config("grid", "384x384 occupancy, 32B lines");
+    rep.config("configs", "B=scalar O=ovec I=intel-accel O+I=combined");
 
     robotics::ScalarOrientedEngine scalar;
     core::OvecEngine ovec;
@@ -77,5 +80,15 @@ main()
     std::printf("%-4s %14.0f %10.3f %8.2fx\n", "O+I", oi, oi / b, b / oi);
     std::printf("\nOrthogonality: O+I over I alone = %.2fx "
                 "(paper: 1.33x)\n", i / oi);
+
+    const struct { const char *cfg; double cycles; } rows[] = {
+        {"B", b}, {"O", o}, {"I", i}, {"O+I", oi}};
+    for (const auto &r : rows) {
+        rep.kernelMetric(r.cfg, "cycles", r.cycles);
+        rep.kernelMetric(r.cfg, "normTime", r.cycles / b);
+        rep.kernelMetric(r.cfg, "speedup", b / r.cycles);
+    }
+    rep.metric("orthogonalityOiOverI", i / oi);
+    rep.note("paper: O+I over I alone = 1.33x");
     return 0;
 }

@@ -15,10 +15,13 @@ using namespace tartan::workloads;
 int
 main()
 {
-    header("fig08_npu — neural acceleration placements",
-           "H beats B (target-fn speedups 3.85x/1.52x/2.7x); S slows "
-           "down (3.2-10.7x more instructions); C only helps native "
-           "nets (PatrolBot), hurts fine-grained AXAR/TRAP robots");
+    BenchReporter rep("fig08_npu",
+                      "H beats B (target-fn speedups 3.85x/1.52x/2.7x); "
+                      "S slows down (3.2-10.7x more instructions); C "
+                      "only helps native nets (PatrolBot), hurts "
+                      "fine-grained AXAR/TRAP robots");
+    rep.config("configs",
+               "B=exact H=hw-npu S=sw-neural C=coprocessor-npu");
 
     struct Target {
         const char *name;
@@ -59,6 +62,13 @@ main()
                 base_cycles = double(res.wallCycles);
                 base_instr = double(res.instructions);
             }
+            const std::string row =
+                std::string(target.name) + "/" + cfg.label;
+            reportRun(rep, row, res);
+            rep.kernelMetric(row, "normTime",
+                             double(res.wallCycles) / base_cycles);
+            rep.kernelMetric(row, "normInstr",
+                             double(res.instructions) / base_instr);
             std::printf("%-3s %14llu %14llu %10.3f %10.3f %10llu\n",
                         cfg.label,
                         static_cast<unsigned long long>(res.wallCycles),
@@ -69,6 +79,8 @@ main()
                             res.npuInvocations));
         }
     }
+    rep.note("shape: H < B everywhere; S > B (instruction blow-up); "
+             "C < B only for PatrolBot's coarse-grained native network");
     std::printf("\nShape check: H < B everywhere; S > B (instruction "
                 "blow-up); C < B only for PatrolBot's coarse-grained "
                 "native network.\n");

@@ -15,10 +15,13 @@ using namespace tartan::workloads;
 int
 main()
 {
-    header("fig09_nns — NNS methods x ANL",
-           "VLN beats brute 5.29x, FLANN 1.7x, k-d tree 2.43x (NNS "
-           "kernel); VLN+ANL reaches 9.37x over brute; k-d tree "
-           "suffers dependent misses");
+    BenchReporter rep("fig09_nns",
+                      "VLN beats brute 5.29x, FLANN 1.7x, k-d tree "
+                      "2.43x (NNS kernel); VLN+ANL reaches 9.37x over "
+                      "brute; k-d tree suffers dependent misses");
+    rep.config("backends", "B=brute V=vln F=flann-lsh K=kdtree; "
+                           "'+' suffix = ANL prefetcher on");
+    rep.config("homeBotScale", 2.0);
 
     struct Backend {
         const char *label;
@@ -60,6 +63,15 @@ main()
                     base_cycles = double(res.wallCycles);
                     base_misses = double(res.l2Misses);
                 }
+                const std::string row = std::string(target.name) + "/" +
+                                        backend.label + (anl ? "+" : "");
+                reportRun(rep, row, res);
+                rep.kernelMetric(row, "normTime",
+                                 double(res.wallCycles) / base_cycles);
+                rep.kernelMetric(row, "normMisses",
+                                 base_misses > 0
+                                     ? double(res.l2Misses) / base_misses
+                                     : 0.0);
                 std::printf("%s%-3s %14llu %12llu %10.3f %10.3f\n",
                             backend.label, anl ? "+" : "",
                             static_cast<unsigned long long>(
@@ -73,6 +85,8 @@ main()
             }
         }
     }
+    rep.note("shape: V < F < K < B in time; '+' (ANL) improves every "
+             "method; V+ is the overall best");
     std::printf("\nShape check: V < F < K < B in time; '+' (ANL) "
                 "improves every method; V+ is the overall best.\n");
     return 0;

@@ -58,11 +58,14 @@ run(const tartan::workloads::RobotEntry &robot, int pf_kind, double base_cycles)
 int
 main()
 {
-    header("fig10_prefetch — prefetching approaches",
-           "ANL: high coverage/accuracy everywhere; NL untimely (low "
-           "benefit); Bingo slightly faster but needs >100KB/core vs "
-           "ANL's 120B (ANL ~85% of Bingo's gain at ~1000x less area); "
-           "compute-bound robots (PatrolBot) barely move");
+    BenchReporter rep("fig10_prefetch",
+                      "ANL: high coverage/accuracy everywhere; NL "
+                      "untimely (low benefit); Bingo slightly faster "
+                      "but needs >100KB/core vs ANL's 120B (ANL ~85% "
+                      "of Bingo's gain at ~1000x less area); "
+                      "compute-bound robots (PatrolBot) barely move");
+    rep.config("prefetchers", "No ANL NL Bi");
+    rep.config("tier", "optimized");
 
     const char *labels[] = {"No", "ANL", "NL", "Bi"};
     std::printf("%-10s", "robot");
@@ -80,6 +83,11 @@ main()
             auto r = run(robot, pf, base_cycles);
             std::printf(" | %9.3f %3.0f%% %3.0f%%", r.norm_time,
                         100 * r.coverage, 100 * r.accuracy);
+            const std::string row =
+                std::string(robot.name) + "/" + labels[pf];
+            rep.kernelMetric(row, "normTime", r.norm_time);
+            rep.kernelMetric(row, "coverage", r.coverage);
+            rep.kernelMetric(row, "accuracy", r.accuracy);
             if (pf == 1)
                 anl_gain.push_back(1.0 / r.norm_time);
             if (pf == 3)
@@ -100,5 +108,14 @@ main()
                 "(paper: 120 B vs >100 KB)\n",
                 static_cast<unsigned long long>(anl.storageBits() / 8),
                 static_cast<unsigned long long>(bingo.storageBits() / 8));
+    rep.metric("gmeanSpeedupAnl", geomean(anl_gain));
+    rep.metric("gmeanSpeedupBingo", geomean(bingo_gain));
+    rep.metric("anlShareOfBingoGain",
+               (geomean(anl_gain) - 1.0) /
+                   std::max(1e-9, geomean(bingo_gain) - 1.0));
+    rep.metric("anlMetadataBytes", double(anl.storageBits() / 8));
+    rep.metric("bingoMetadataBytes", double(bingo.storageBits() / 8));
+    rep.note("paper: ANL ~85% of Bingo's gain; 120 B vs >100 KB "
+             "metadata per core");
     return 0;
 }

@@ -14,10 +14,15 @@ using tartan::sim::FcpReplacement;
 int
 main()
 {
-    header("fig11_fcp — intra-application cache partitioning sweep",
-           "m(x)=x^2 best (2x trails by 2.9%); l=2 with 1KB regions "
-           "chosen; l=3 helps search-heavy robots but can regress; "
-           "up to 8% perf / 18% fewer L2 misses");
+    BenchReporter rep("fig11_fcp",
+                      "m(x)=x^2 best (2x trails by 2.9%); l=2 with 1KB "
+                      "regions chosen; l=3 helps search-heavy robots "
+                      "but can regress; up to 8% perf / 18% fewer L2 "
+                      "misses");
+    rep.config("regions", "512B 1024B");
+    rep.config("foldedBits", "2 3");
+    rep.config("funcs", "x+1 2x x^2");
+    rep.config("scale", 0.5);
 
     const FcpReplacement::Func funcs[] = {FcpReplacement::Func::XPlus1,
                                           FcpReplacement::Func::TwoX,
@@ -51,13 +56,21 @@ main()
                     const double norm =
                         double(res.wallCycles) / base_cycles;
                     best = std::min(best, norm);
+                    rep.kernelMetric(std::string(robot.name) + "/" +
+                                         func_names[f] + "/" +
+                                         std::to_string(region) + "B-" +
+                                         std::to_string(l) + "b",
+                                     "normTime", norm);
                     std::printf(" %9.3f", norm);
                 }
             }
             std::printf("\n");
         }
         best_gains.push_back(1.0 / best);
+        rep.kernelMetric(robot.name, "bestSpeedup", 1.0 / best);
     }
+    rep.metric("gmeanBestSpeedup", geomean(best_gains));
+    rep.note("paper: up to 8% perf on single robots");
     std::printf("\nBest-config GMean speedup over no-FCP: %.3fx "
                 "(paper: up to 8%% on single robots)\n",
                 geomean(best_gains));

@@ -14,9 +14,12 @@ using namespace tartan::workloads;
 int
 main()
 {
-    header("fig12_endtoend — Tartan end-to-end speedups",
-           "legacy 1.2x (up to 1.4x); optimized non-approximable 1.61x "
-           "(up to 3.54x); approximable 2.11x (up to 3.87x)");
+    BenchReporter rep("fig12_endtoend",
+                      "legacy 1.2x (up to 1.4x); optimized "
+                      "non-approximable 1.61x (up to 3.54x); "
+                      "approximable 2.11x (up to 3.87x)");
+    rep.config("baseline", "upgraded baseline, legacy software");
+    rep.config("tiers", "legacy optimized approx");
 
     std::printf("%-10s %12s %12s %12s\n", "robot", "legacy",
                 "optimized", "approx");
@@ -41,11 +44,20 @@ main()
             speedup(base_cycles, double(approx.wallCycles));
         std::printf("%-10s %11.2fx %11.2fx %11.2fx\n", robot.name, sl,
                     so, sa);
+        reportRun(rep, std::string(robot.name) + "/approx", approx);
+        rep.kernelMetric(robot.name, "legacySpeedup", sl);
+        rep.kernelMetric(robot.name, "optimizedSpeedup", so);
+        rep.kernelMetric(robot.name, "approxSpeedup", sa);
         legacy_s.push_back(sl);
         opt_s.push_back(so);
         approx_s.push_back(sa);
     }
 
+    rep.metric("gmeanLegacySpeedup", geomean(legacy_s));
+    rep.metric("gmeanOptimizedSpeedup", geomean(opt_s));
+    rep.metric("gmeanApproxSpeedup", geomean(approx_s));
+    rep.note("paper GMeans: 1.2x / 1.61x / 2.11x; approx >= optimized "
+             ">= legacy >= ~1 per robot");
     std::printf("%-10s %11.2fx %11.2fx %11.2fx   <- GMean "
                 "(paper: 1.2x / 1.61x / 2.11x)\n",
                 "GMean", geomean(legacy_s), geomean(opt_s),

@@ -199,9 +199,13 @@ patrolbotClassificationError()
 int
 main()
 {
-    header("tab02_nn_error — the neural network workloads",
-           "AXAR FlyBot 6/16/16/1 err 0%; TRAP HomeBot 192/32/32/6 "
-           "err 6.8%; Native PatrolBot 50/1024/512/1 err 1.3%");
+    BenchReporter rep("tab02_nn_error",
+                      "AXAR FlyBot 6/16/16/1 err 0%; TRAP HomeBot "
+                      "192/32/32/6 err 6.8%; Native PatrolBot "
+                      "50/1024/512/1 err 1.3%");
+    rep.config("flybotTopology", "6/16/16/1");
+    rep.config("homebotTopology", "192/32/32/6");
+    rep.config("patrolbotTopology", "50/1024/512/1");
 
     std::printf("%-7s %-10s %-14s %-14s %10s\n", "type", "robot",
                 "function", "topology", "error");
@@ -217,5 +221,10 @@ main()
     const double patrol = patrolbotClassificationError();
     std::printf("%-7s %-10s %-14s %-14s %9.2f%%\n", "Native",
                 "PatrolBot", "Classification", "50/1024/512/1", patrol);
+
+    rep.kernelMetric("FlyBot/AXAR", "errorPct", fly);
+    rep.kernelMetric("HomeBot/TRAP", "errorPct", home);
+    rep.kernelMetric("PatrolBot/Native", "errorPct", patrol);
+    rep.note("paper errors: AXAR 0%, TRAP 6.8%, Native 1.3%");
     return 0;
 }

@@ -15,10 +15,12 @@ using namespace tartan::workloads;
 int
 main()
 {
-    header("tab03_npu_config — NPU design-space sweep",
-           "2 PEs: 10.5KB/1.25x/920um2; 4 PEs: 18.8KB/1.58x/1661um2; "
-           "8 PEs: 35.3KB/1.68x/3144um2 (8-PE gains accrue mostly to "
-           "PatrolBot)");
+    BenchReporter rep("tab03_npu_config",
+                      "2 PEs: 10.5KB/1.25x/920um2; 4 PEs: "
+                      "18.8KB/1.58x/1661um2; 8 PEs: 35.3KB/1.68x/"
+                      "3144um2 (8-PE gains accrue mostly to PatrolBot)");
+    rep.config("peSweep", "2 4 8");
+    rep.config("baseline", "exact (non-NPU) optimized runs");
 
     struct Target {
         const char *name;
@@ -58,7 +60,18 @@ main()
         for (double s : speedups)
             std::printf(" %9.2fx", s);
         std::printf("\n");
+
+        const std::string row = std::to_string(pes) + "PE";
+        rep.kernelMetric(row, "memoryKB", npu.memoryKB());
+        rep.kernelMetric(row, "areaUm2", npu.areaUm2());
+        rep.kernelMetric(row, "gmeanSpeedup", geomean(speedups));
+        for (std::size_t i = 0; i < 3; ++i)
+            rep.kernelMetric(row,
+                             std::string(targets[i].name) + "Speedup",
+                             speedups[i]);
     }
+    rep.note("shape: memory/area grow with PEs; speedup saturates past "
+             "4 PEs (the paper picks 4)");
     std::printf("\nShape check: memory/area grow with PEs; speedup "
                 "saturates past 4 PEs (the paper picks 4).\n");
     return 0;

@@ -13,20 +13,32 @@ using namespace tartan::bench;
 int
 main()
 {
-    header("tab04_overhead — area and metadata overheads",
-           "4xOVEC 258um2; 1xNPU 18.8KB/1661um2; 4xANL 480B/30um2; "
-           "4xFCP 12B/~1um2; total ~1949um2, ~0.001% of the die");
+    BenchReporter rep("tab04_overhead",
+                      "4xOVEC 258um2; 1xNPU 18.8KB/1661um2; 4xANL "
+                      "480B/30um2; 4xFCP 12B/~1um2; total ~1949um2, "
+                      "~0.001% of the die");
+    rep.config("cores", 4);
+    rep.config("hostDieMm2",
+               tartan::core::AreaModel::hostDieUm2 / 1e6);
 
     tartan::core::AreaModel model(4, 4);
     std::printf("%-10s %6s %12s %12s\n", "component", "count",
                 "memory[B]", "area[um2]");
-    for (const auto &row : model.rows())
+    for (const auto &row : model.rows()) {
         std::printf("%-10s %6u %12.0f %12.1f\n", row.component.c_str(),
                     row.count, row.memoryBytes, row.areaUm2);
+        rep.kernelMetric(row.component, "count", double(row.count));
+        rep.kernelMetric(row.component, "memoryBytes", row.memoryBytes);
+        rep.kernelMetric(row.component, "areaUm2", row.areaUm2);
+    }
     std::printf("%-10s %6s %12.0f %12.1f\n", "Total", "",
                 model.totalMemoryBytes(), model.totalAreaUm2());
     std::printf("\nDie fraction: %.5f%% of %.0f mm^2 (paper: ~0.001%%)\n",
                 100.0 * model.dieFraction(),
                 tartan::core::AreaModel::hostDieUm2 / 1e6);
+    rep.metric("totalMemoryBytes", model.totalMemoryBytes());
+    rep.metric("totalAreaUm2", model.totalAreaUm2());
+    rep.metric("dieFraction", model.dieFraction());
+    rep.note("paper: total ~1949um2, ~0.001% of the 133mm^2 die");
     return 0;
 }

@@ -78,6 +78,9 @@ class NpuModel
     const NpuConfig &config() const { return cfg; }
     const NpuStats &stats() const { return statsData; }
 
+    /** Register the NPU's counters (by reference) into @p group. */
+    void registerStats(tartan::sim::StatsGroup &group) const;
+
   private:
     NpuConfig cfg;
     NpuStats statsData;

@@ -8,22 +8,9 @@
 #include <bit>
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace tartan::sim {
-
-namespace {
-
-/** True LRU promotion helper: lines younger than @p old_rec age by one. */
-std::uint32_t
-log2u(std::uint32_t v)
-{
-    std::uint32_t bits = 0;
-    while ((1u << bits) < v)
-        ++bits;
-    return bits;
-}
-
-} // namespace
 
 Cache::Cache(const CacheParams &params)
     : config(params),
@@ -49,9 +36,7 @@ std::uint64_t
 Cache::regionOf(std::uint64_t line_number) const
 {
     TARTAN_ASSERT(config.fcp, "regionOf requires an FCP configuration");
-    const std::uint32_t region_lines_bits =
-        log2u(config.fcp->regionBytes / config.lineBytes);
-    return line_number >> region_lines_bits;
+    return line_number >> log2u(config.fcp->regionBytes / config.lineBytes);
 }
 
 void
@@ -109,6 +94,7 @@ Cache::probe(Addr addr) const
     return false;
 }
 
+/** True LRU promotion helper: lines younger than @p old_rec age by one. */
 void
 Cache::promote(std::vector<Line> &set, std::uint32_t way)
 {
@@ -242,6 +228,47 @@ Cache::dirtyLines() const
             if (line.valid && line.dirty)
                 ++count;
     return count;
+}
+
+std::uint64_t
+Cache::prefetchedLines() const
+{
+    std::uint64_t count = 0;
+    for (const auto &set : sets)
+        for (const Line &line : set)
+            if (line.valid && line.prefetched)
+                ++count;
+    return count;
+}
+
+void
+Cache::registerStats(StatsGroup &group) const
+{
+    group.addCounter("hits", &statsData.hits, "demand hits");
+    group.addCounter("misses", &statsData.misses, "demand misses");
+    group.addCounter("evictions", &statsData.evictions,
+                     "valid lines displaced");
+    group.addCounter("dirtyEvictions", &statsData.dirtyEvictions,
+                     "displaced lines that were dirty");
+    group.addCounter("prefetchFills", &statsData.prefetchFills,
+                     "fills triggered by a prefetcher");
+    group.addCounter("prefetchHits", &statsData.prefetchHits,
+                     "hits on prefetched-unused lines");
+    group.addCounter("prefetchUnused", &statsData.prefetchUnused,
+                     "prefetched lines evicted unused");
+    group.addCounter("udmFetchedBytes", &statsData.udmFetchedBytes,
+                     "bytes brought in (UDM tracking)");
+    group.addCounter("udmUsedBytes", &statsData.udmUsedBytes,
+                     "bytes actually referenced");
+    group.addDerived(
+        "missRatio", [this] { return statsData.missRatio(); },
+        "misses / accesses");
+    group.addDerived(
+        "residentDirty", [this] { return double(dirtyLines()); },
+        "dirty lines currently resident");
+    group.addDerived(
+        "residentPrefetched", [this] { return double(prefetchedLines()); },
+        "prefetched-unused lines currently resident");
 }
 
 void

@@ -19,6 +19,8 @@
 
 namespace tartan::sim {
 
+class StatsGroup;
+
 /**
  * FCP replacement-metadata manipulation (paper §VII-B).
  *
@@ -145,6 +147,12 @@ class Cache
 
     /** Number of resident dirty lines (end-of-run drain accounting). */
     std::uint64_t dirtyLines() const;
+
+    /** Number of resident prefetched lines not yet demanded. */
+    std::uint64_t prefetchedLines() const;
+
+    /** Register this cache's counters (by reference) into @p group. */
+    void registerStats(StatsGroup &group) const;
 
     /** Register an eviction listener (e.g. ANL region termination). */
     void setEvictionListener(EvictionListener listener);

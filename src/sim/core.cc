@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace tartan::sim {
 
@@ -18,6 +19,32 @@ Core::Core(const CoreParams &params, MemPath *mem_path)
     TARTAN_ASSERT(config.issueWidth > 0 && config.missOverlap > 0,
                   "core widths must be positive");
     kernelData.push_back(KernelCounters{"other", 0, 0, 0});
+}
+
+void
+Core::registerStats(StatsGroup &group)
+{
+    group.addCounter("cycles", &totalCycles, "total core cycles");
+    group.addCounter("memStallCycles", &totalMemStall,
+                     "cycles stalled beyond the L1");
+    group.addCounter("instructions", &totalInstructions,
+                     "dynamic instructions");
+    group.addDerived(
+        "ipc",
+        [this] {
+            return totalCycles ? double(totalInstructions) /
+                                     double(totalCycles)
+                               : 0.0;
+        },
+        "instructions per cycle");
+    group.child("kernels").setProvider([this](StatsGroup &kernels) {
+        for (const KernelCounters &k : kernelData) {
+            StatsGroup &one = kernels.child(k.name);
+            one.set("cycles", double(k.cycles));
+            one.set("memStallCycles", double(k.memStallCycles));
+            one.set("instructions", double(k.instructions));
+        }
+    });
 }
 
 std::uint32_t

@@ -103,6 +103,14 @@ class Core
     MemPath &mem() { return *memPath; }
     const CoreParams &params() const { return config; }
 
+    /**
+     * Register the core's totals (by reference) plus a per-kernel
+     * provider under @p group: kernel attributions live in a growable
+     * table, so they are snapshotted into owned values at dump time
+     * rather than referenced.
+     */
+    void registerStats(StatsGroup &group);
+
   private:
     void addCycles(Cycles c);
     void addMemStall(Cycles c);

@@ -72,10 +72,7 @@ class FcpIndexing : public IndexingPolicy
     {
         TARTAN_ASSERT(region_bytes % line_bytes == 0,
                       "region must be a multiple of the line size");
-        const std::uint32_t lines_per_region = region_bytes / line_bytes;
-        offsetBits = 0;
-        while ((1u << offsetBits) < lines_per_region)
-            ++offsetBits;
+        offsetBits = log2u(region_bytes / line_bytes);
         TARTAN_ASSERT(foldBits <= offsetBits, "l exceeds offset field");
     }
 

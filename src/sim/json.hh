@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal JSON support for the stats/bench observability layer: string
+ * escaping for the emitters and a small recursive-descent parser used
+ * to round-trip and schema-check emitted documents. No external
+ * dependency; only the subset of JSON the emitters produce (objects,
+ * arrays, strings, numbers, booleans, null) is supported.
+ */
+
+#ifndef TARTAN_SIM_JSON_HH
+#define TARTAN_SIM_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tartan::sim::json {
+
+/** Write @p s to @p os as a quoted, escaped JSON string. */
+void writeString(std::ostream &os, std::string_view s);
+
+/** Write a double the way the emitters do (finite -> shortest, else null). */
+void writeNumber(std::ostream &os, double v);
+
+/** A parsed JSON value (tree-owning). */
+struct Value {
+    enum class Kind { Null, Bool, Number, String, Object, Array };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::map<std::string, Value> object;
+    std::vector<Value> array;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+};
+
+/**
+ * Parse a complete JSON document. Returns false (with a diagnostic in
+ * @p err when non-null) on malformed input or trailing garbage.
+ */
+bool parse(std::string_view text, Value &out, std::string *err = nullptr);
+
+} // namespace tartan::sim::json
+
+#endif // TARTAN_SIM_JSON_HH

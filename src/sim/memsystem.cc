@@ -7,6 +7,7 @@
 #include "sim/memsystem.hh"
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace tartan::sim {
 
@@ -73,7 +74,12 @@ void
 MemPath::writebackToL2(Addr line_addr, Cycles now)
 {
     if (l2Cache.probe(line_addr)) {
-        l2Cache.access(line_addr, AccessType::Store, 0, now);
+        // A write-back landing on a prefetched-unused line consumes the
+        // prefetch without a demand load: account it separately so the
+        // cache-side prefetchHits counter stays reconcilable.
+        auto res = l2Cache.access(line_addr, AccessType::Store, 0, now);
+        if (res.prefetched)
+            ++stats.pfHitsOther;
         return;
     }
     auto ev = l2Cache.fill(line_addr, false, true);
@@ -101,7 +107,9 @@ MemPath::issuePrefetches(const std::vector<Addr> &targets, Cycles now)
     Cycles queue_delay = 0;
     for (Addr target : targets) {
         const Addr line = l2Cache.lineAddr(target);
+        ++pf->stats.issued;
         if (l2Cache.probe(line)) {
+            ++pf->stats.dropped;
             ++stats.pfDropped;
             continue;
         }
@@ -113,6 +121,72 @@ MemPath::issuePrefetches(const std::vector<Addr> &targets, Cycles now)
             writebackToL3(ev.lineAddr, now);
         ++stats.pfIssued;
     }
+}
+
+void
+MemPath::registerStats(StatsGroup &group)
+{
+    group.addCounter("l3Accesses", &stats.l3Accesses,
+                     "demand + prefetch L3 lookups");
+    group.addCounter("l3Writebacks", &stats.l3Writebacks,
+                     "dirty L2 victims written to L3");
+    group.addCounter("dramReads", &stats.dramReads, "L3 miss fetches");
+    group.addCounter("dramWrites", &stats.dramWrites,
+                     "dirty L3 victims and WT stores to DRAM");
+    group.addCounter("wtStores", &stats.wtStores,
+                     "stores absorbed by WT ranges");
+    group.addCounter("pfIssued", &stats.pfIssued,
+                     "prefetch fills issued to the L2");
+    group.addCounter("pfDropped", &stats.pfDropped,
+                     "prefetch candidates dropped (resident)");
+    group.addCounter("pfHitsTimely", &stats.pfHitsTimely,
+                     "demand hits fully hidden by a prefetch");
+    group.addCounter("pfHitsLate", &stats.pfHitsLate,
+                     "demand hits on in-flight prefetches");
+    group.addCounter("pfLateCycles", &stats.pfLateCycles,
+                     "residual cycles paid on late hits");
+    group.addCounter("pfHitsOther", &stats.pfHitsOther,
+                     "prefetched lines consumed off the demand path");
+    group.addDerived(
+        "l3Traffic", [this] { return double(stats.l3Traffic()); },
+        "L3 lookups plus writebacks");
+
+    l1Cache.registerStats(group.child("l1"));
+    l2Cache.registerStats(group.child("l2"));
+    if (pf)
+        pf->registerStats(group.child("pf"));
+
+    // Late-prefetch accounting, end to end: every prefetch the
+    // prefetcher proposed is either dropped or filled into the L2, and
+    // every filled line is eventually consumed by a demand access
+    // (timely or late), consumed off the demand path, evicted unused,
+    // or still resident. Cache::access clears line.prefetched on first
+    // hit, so each fill is counted exactly once.
+    group.addInvariant(
+        "pf proposals == MemPath issued + dropped", [this] {
+            return !pf || (pf->stats.issued ==
+                           stats.pfIssued + stats.pfDropped &&
+                           pf->stats.dropped == stats.pfDropped);
+        });
+    group.addInvariant("pf issues == L2 prefetch fills", [this] {
+        return stats.pfIssued == l2Cache.stats().prefetchFills;
+    });
+    group.addInvariant(
+        "L2 prefetch hits == timely + late + off-demand-path", [this] {
+            return l2Cache.stats().prefetchHits ==
+                   stats.pfHitsTimely + stats.pfHitsLate +
+                       stats.pfHitsOther;
+        });
+    group.addInvariant(
+        "prefetch fills == hits + unused + still-resident", [this] {
+            return l2Cache.stats().prefetchFills ==
+                   l2Cache.stats().prefetchHits +
+                       l2Cache.stats().prefetchUnused +
+                       l2Cache.prefetchedLines();
+        });
+    group.addInvariant("late cycles imply late hits", [this] {
+        return stats.pfHitsLate > 0 || stats.pfLateCycles == 0;
+    });
 }
 
 AccessResult
@@ -128,8 +202,11 @@ MemPath::access(Addr addr, AccessType type, std::uint32_t size, PcId pc,
         ++stats.dramWrites;
         if (l1Cache.probe(addr))
             l1Cache.access(addr, AccessType::Load, size, now);
-        if (l2Cache.probe(addr))
-            l2Cache.access(addr, AccessType::Load, size, now);
+        if (l2Cache.probe(addr)) {
+            auto res = l2Cache.access(addr, AccessType::Load, size, now);
+            if (res.prefetched)
+                ++stats.pfHitsOther;
+        }
         result.latency = 1;
         result.level = MemLevel::Dram;
         return result;

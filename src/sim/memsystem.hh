@@ -18,6 +18,8 @@
 
 namespace tartan::sim {
 
+class StatsGroup;
+
 /** Configuration of one core's memory path. */
 struct MemPathParams {
     CacheParams l1;
@@ -40,6 +42,13 @@ struct MemPathStats {
     std::uint64_t pfHitsTimely = 0; //!< prefetch fully hid the miss
     std::uint64_t pfHitsLate = 0;   //!< prefetch arrived late
     std::uint64_t pfLateCycles = 0; //!< residual cycles paid on late hits
+    /**
+     * Prefetched lines consumed outside the demand-miss path: touched
+     * by a write-back fill or a write-through store update. Keeping
+     * these distinct from the timely/late demand hits is what makes
+     * the cache-side and path-side prefetch counters sum consistently.
+     */
+    std::uint64_t pfHitsOther = 0;
 
     /** Total L3-side traffic events (lookups plus writebacks). */
     std::uint64_t l3Traffic() const { return l3Accesses + l3Writebacks; }
@@ -83,6 +92,15 @@ class MemPath
     Cache &l1() { return l1Cache; }
     Cache &l2() { return l2Cache; }
     Cache &l3() { return *l3Cache; }
+
+    /**
+     * Register path counters, the private caches (children "l1"/"l2"),
+     * the attached prefetcher (child "pf"), and the end-to-end
+     * prefetch-accounting invariants into @p group. Attach the
+     * prefetcher before registering: a later setPrefetcher() is not
+     * reflected in an already-registered tree.
+     */
+    void registerStats(StatsGroup &group);
 
     MemPathStats stats;
     const MemPathParams &params() const { return config; }

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * BenchReporter implementation and schema validation.
+ */
+
+#include "sim/report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "sim/json.hh"
+#include "sim/stats.hh"
+
+namespace tartan::sim {
+
+BenchReporter::BenchReporter(std::string bench_name, std::string paper_note)
+    : benchName(std::move(bench_name)), paperNote(std::move(paper_note))
+{
+    std::printf("\n=============================================="
+                "==================\n");
+    std::printf("%s\n", benchName.c_str());
+    std::printf("paper: %s\n", paperNote.c_str());
+    std::printf("=============================================="
+                "==================\n");
+}
+
+BenchReporter::~BenchReporter()
+{
+    if (!written)
+        writeFile();
+}
+
+void
+BenchReporter::config(const std::string &key, const std::string &value)
+{
+    configVals[key] = ConfigVal{false, value, 0.0};
+}
+
+void
+BenchReporter::config(const std::string &key, double value)
+{
+    configVals[key] = ConfigVal{true, {}, value};
+}
+
+void
+BenchReporter::metric(const std::string &name, double value)
+{
+    metrics[name] = value;
+}
+
+void
+BenchReporter::kernelMetric(const std::string &kernel, const std::string &key,
+                            double value)
+{
+    for (auto &[name, row] : kernelRows) {
+        if (name == kernel) {
+            row[key] = value;
+            return;
+        }
+    }
+    kernelRows.emplace_back(kernel,
+                            std::map<std::string, double>{{key, value}});
+}
+
+void
+BenchReporter::note(const std::string &text)
+{
+    noteText = text;
+}
+
+void
+BenchReporter::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"bench\": ";
+    json::writeString(os, benchName);
+    os << ",\n  \"manifest\": {\n    \"git\": ";
+    json::writeString(os, gitDescribe());
+    os << ",\n    \"timestamp\": ";
+    json::writeString(os, isoTimestamp());
+    os << ",\n    \"paper\": ";
+    json::writeString(os, paperNote);
+    if (!noteText.empty()) {
+        os << ",\n    \"note\": ";
+        json::writeString(os, noteText);
+    }
+    os << "\n  },\n  \"config\": {";
+    bool first = true;
+    for (const auto &[key, val] : configVals) {
+        os << (first ? "\n" : ",\n") << "    ";
+        first = false;
+        json::writeString(os, key);
+        os << ": ";
+        if (val.isNum)
+            json::writeNumber(os, val.num);
+        else
+            json::writeString(os, val.str);
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"metrics\": {";
+    first = true;
+    for (const auto &[key, val] : metrics) {
+        os << (first ? "\n" : ",\n") << "    ";
+        first = false;
+        json::writeString(os, key);
+        os << ": ";
+        json::writeNumber(os, val);
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"kernels\": [";
+    first = true;
+    for (const auto &[name, row] : kernelRows) {
+        os << (first ? "\n" : ",\n") << "    {\"name\": ";
+        first = false;
+        json::writeString(os, name);
+        os << ", \"metrics\": {";
+        bool rfirst = true;
+        for (const auto &[key, val] : row) {
+            os << (rfirst ? "" : ", ");
+            rfirst = false;
+            json::writeString(os, key);
+            os << ": ";
+            json::writeNumber(os, val);
+        }
+        os << "}}";
+    }
+    os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+std::string
+BenchReporter::outputPath() const
+{
+    std::string dir;
+    if (const char *env = std::getenv("TARTAN_BENCH_DIR")) {
+        dir = env;
+        if (!dir.empty() && dir.back() != '/')
+            dir += '/';
+    }
+    return dir + "BENCH_" + benchName + ".json";
+}
+
+bool
+BenchReporter::writeFile()
+{
+    written = true;
+    const std::string path = outputPath();
+    const auto dir = std::filesystem::path(path).parent_path();
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+        return false;
+    }
+    writeJson(out);
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "bench: short write to %s\n", path.c_str());
+        return false;
+    }
+    std::printf("\n[json: %s]\n", path.c_str());
+    return true;
+}
+
+namespace {
+
+bool
+schemaFail(std::string *err, const std::string &msg)
+{
+    if (err && err->empty())
+        *err = msg;
+    return false;
+}
+
+bool
+allNumbers(const json::Value &obj, std::string *err, const char *where)
+{
+    for (const auto &[key, val] : obj.object)
+        if (!val.isNumber())
+            return schemaFail(err, std::string(where) + "." + key +
+                                       " is not a number");
+    return true;
+}
+
+} // namespace
+
+bool
+validateBenchJson(std::string_view text, std::string *err)
+{
+    json::Value doc;
+    std::string perr;
+    if (!json::parse(text, doc, &perr))
+        return schemaFail(err, "parse error: " + perr);
+    if (!doc.isObject())
+        return schemaFail(err, "document is not an object");
+
+    const json::Value *bench = doc.find("bench");
+    if (!bench || !bench->isString() || bench->string.empty())
+        return schemaFail(err, "missing or invalid 'bench'");
+
+    const json::Value *manifest = doc.find("manifest");
+    if (!manifest || !manifest->isObject())
+        return schemaFail(err, "missing or invalid 'manifest'");
+    for (const char *key : {"git", "timestamp", "paper"}) {
+        const json::Value *v = manifest->find(key);
+        if (!v || !v->isString())
+            return schemaFail(err,
+                              std::string("manifest.") + key + " missing");
+    }
+
+    const json::Value *config = doc.find("config");
+    if (!config || !config->isObject())
+        return schemaFail(err, "missing or invalid 'config'");
+    for (const auto &[key, val] : config->object)
+        if (!val.isNumber() && !val.isString())
+            return schemaFail(err, "config." + key + " has invalid type");
+
+    const json::Value *metrics = doc.find("metrics");
+    if (!metrics || !metrics->isObject())
+        return schemaFail(err, "missing or invalid 'metrics'");
+    if (!allNumbers(*metrics, err, "metrics"))
+        return false;
+
+    const json::Value *kernels = doc.find("kernels");
+    if (!kernels || !kernels->isArray())
+        return schemaFail(err, "missing or invalid 'kernels'");
+    for (std::size_t i = 0; i < kernels->array.size(); ++i) {
+        const json::Value &row = kernels->array[i];
+        const std::string where = "kernels[" + std::to_string(i) + "]";
+        if (!row.isObject())
+            return schemaFail(err, where + " is not an object");
+        const json::Value *name = row.find("name");
+        if (!name || !name->isString() || name->string.empty())
+            return schemaFail(err, where + ".name missing");
+        const json::Value *km = row.find("metrics");
+        if (!km || !km->isObject())
+            return schemaFail(err, where + ".metrics missing");
+        if (!allNumbers(*km, err, where.c_str()))
+            return false;
+    }
+    return true;
+}
+
+} // namespace tartan::sim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Machine-readable bench reporting.
+ *
+ * Every figure/table reproduction binary routes its results through a
+ * BenchReporter: the human-readable table still goes to stdout, and on
+ * destruction the reporter writes `BENCH_<name>.json` with the schema
+ *
+ *   {
+ *     "bench":    "<name>",
+ *     "manifest": {"git": ..., "timestamp": ..., "paper": ...},
+ *     "config":   {<knob>: <value>, ...},
+ *     "metrics":  {<metric>: <number>, ...},
+ *     "kernels":  [{"name": ..., "metrics": {...}}, ...]
+ *   }
+ *
+ * so successive PRs accumulate a queryable perf trajectory. The output
+ * directory defaults to the CWD and can be redirected with the
+ * TARTAN_BENCH_DIR environment variable.
+ */
+
+#ifndef TARTAN_SIM_REPORT_HH
+#define TARTAN_SIM_REPORT_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tartan::sim {
+
+/** Collects one bench run's results and emits BENCH_<name>.json. */
+class BenchReporter
+{
+  public:
+    /**
+     * Prints the run banner (title + paper expectation) immediately.
+     *
+     * @param bench_name the binary's canonical name (e.g. "fig09_nns")
+     * @param paper_note the paper's expected shape for this experiment
+     */
+    BenchReporter(std::string bench_name, std::string paper_note);
+
+    /** Writes the JSON file unless writeFile() already ran. */
+    ~BenchReporter();
+
+    BenchReporter(const BenchReporter &) = delete;
+    BenchReporter &operator=(const BenchReporter &) = delete;
+
+    /** Echo one configuration knob into the manifest's config block. */
+    void config(const std::string &key, const std::string &value);
+    void config(const std::string &key, double value);
+
+    /** Record a top-level scalar result. */
+    void metric(const std::string &name, double value);
+
+    /** Record a per-unit (robot, configuration, ...) scalar result. */
+    void kernelMetric(const std::string &kernel, const std::string &key,
+                      double value);
+
+    /** Attach a free-form note (shape checks) to the manifest. */
+    void note(const std::string &text);
+
+    /** Serialize the full document. */
+    void writeJson(std::ostream &os) const;
+
+    /** Destination path: $TARTAN_BENCH_DIR or CWD + BENCH_<name>.json. */
+    std::string outputPath() const;
+
+    /** Write outputPath(); reports failures on stderr. */
+    bool writeFile();
+
+    const std::string &name() const { return benchName; }
+
+  private:
+    struct ConfigVal {
+        bool isNum = false;
+        std::string str;
+        double num = 0.0;
+    };
+
+    std::string benchName;
+    std::string paperNote;
+    std::string noteText;
+    std::map<std::string, ConfigVal> configVals;
+    std::map<std::string, double> metrics;
+    std::vector<std::pair<std::string, std::map<std::string, double>>>
+        kernelRows;
+    bool written = false;
+};
+
+/**
+ * Validate a BENCH_*.json document against the schema above. Returns
+ * false with a diagnostic in @p err (when non-null) on any deviation.
+ */
+bool validateBenchJson(std::string_view text, std::string *err = nullptr);
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_REPORT_HH

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Statistics registry implementation.
+ */
+
+#include "sim/stats.hh"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <stdexcept>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace tartan::sim {
+
+// ---------------------------------------------------------------------------
+// StatsGroup
+// ---------------------------------------------------------------------------
+
+void
+StatsGroup::validateName(const std::string &name)
+{
+    if (name.empty())
+        throw std::invalid_argument("stats name must not be empty");
+    if (name.find('/') != std::string::npos ||
+        name.find('"') != std::string::npos)
+        throw std::invalid_argument("stats name must not contain '/' or '\"'");
+}
+
+void
+StatsGroup::insertUnique(const std::string &name, Entry entry)
+{
+    validateName(name);
+    if (entries.count(name) || children.count(name))
+        throw std::invalid_argument("duplicate stats name: " + name);
+    entries.emplace(name, std::move(entry));
+}
+
+void
+StatsGroup::addCounter(const std::string &name, const std::uint64_t *value,
+                       const std::string &desc)
+{
+    TARTAN_ASSERT(value, "addCounter requires a counter");
+    Entry e;
+    e.kind = Entry::Kind::U64Ref;
+    e.u64 = value;
+    e.desc = desc;
+    insertUnique(name, std::move(e));
+}
+
+void
+StatsGroup::addValue(const std::string &name, const double *value,
+                     const std::string &desc)
+{
+    TARTAN_ASSERT(value, "addValue requires a value");
+    Entry e;
+    e.kind = Entry::Kind::F64Ref;
+    e.f64 = value;
+    e.desc = desc;
+    insertUnique(name, std::move(e));
+}
+
+void
+StatsGroup::addDerived(const std::string &name, std::function<double()> fn,
+                       const std::string &desc)
+{
+    TARTAN_ASSERT(fn != nullptr, "addDerived requires a function");
+    Entry e;
+    e.kind = Entry::Kind::Derived;
+    e.derived = std::move(fn);
+    e.desc = desc;
+    insertUnique(name, std::move(e));
+}
+
+void
+StatsGroup::set(const std::string &name, double value)
+{
+    validateName(name);
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+        if (children.count(name))
+            throw std::invalid_argument("stats name shadows a group: " + name);
+        Entry e;
+        e.kind = Entry::Kind::OwnedNum;
+        e.num = value;
+        entries.emplace(name, std::move(e));
+        return;
+    }
+    if (it->second.kind != Entry::Kind::OwnedNum)
+        throw std::invalid_argument("cannot overwrite registered stat: " +
+                                    name);
+    it->second.num = value;
+}
+
+void
+StatsGroup::set(const std::string &name, const std::string &value)
+{
+    validateName(name);
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+        if (children.count(name))
+            throw std::invalid_argument("stats name shadows a group: " + name);
+        Entry e;
+        e.kind = Entry::Kind::OwnedStr;
+        e.str = value;
+        entries.emplace(name, std::move(e));
+        return;
+    }
+    if (it->second.kind != Entry::Kind::OwnedStr)
+        throw std::invalid_argument("cannot overwrite registered stat: " +
+                                    name);
+    it->second.str = value;
+}
+
+StatsGroup &
+StatsGroup::child(const std::string &name)
+{
+    validateName(name);
+    auto it = children.find(name);
+    if (it != children.end())
+        return *it->second;
+    if (entries.count(name))
+        throw std::invalid_argument("group name shadows a stat: " + name);
+    return *children.emplace(name, std::make_unique<StatsGroup>())
+                .first->second;
+}
+
+void
+StatsGroup::setProvider(std::function<void(StatsGroup &)> p)
+{
+    provider = std::move(p);
+}
+
+void
+StatsGroup::addInvariant(const std::string &desc, std::function<bool()> check)
+{
+    TARTAN_ASSERT(check != nullptr, "addInvariant requires a predicate");
+    invariants.push_back(Invariant{desc, std::move(check)});
+}
+
+void
+StatsGroup::refresh()
+{
+    if (provider)
+        provider(*this);
+    for (auto &[name, group] : children)
+        group->refresh();
+}
+
+void
+StatsGroup::verify(const std::string &path) const
+{
+    for (const Invariant &inv : invariants) {
+        if (!inv.check()) {
+            std::fprintf(stderr, "stats invariant violated at '%s': %s\n",
+                         path.c_str(), inv.desc.c_str());
+            TARTAN_PANIC("stats invariant violated");
+        }
+    }
+    for (const auto &[name, group] : children)
+        group->verify(path.empty() ? name : path + "/" + name);
+}
+
+void
+StatsGroup::emitValue(std::ostream &os, const Entry &entry) const
+{
+    switch (entry.kind) {
+      case Entry::Kind::U64Ref:
+        os << *entry.u64;
+        break;
+      case Entry::Kind::F64Ref:
+        json::writeNumber(os, *entry.f64);
+        break;
+      case Entry::Kind::Derived:
+        json::writeNumber(os, entry.derived());
+        break;
+      case Entry::Kind::OwnedNum:
+        json::writeNumber(os, entry.num);
+        break;
+      case Entry::Kind::OwnedStr:
+        json::writeString(os, entry.str);
+        break;
+    }
+}
+
+void
+StatsGroup::dumpJson(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    os << "{";
+    bool first = true;
+    for (const auto &[name, entry] : entries) {
+        os << (first ? "\n" : ",\n") << inner;
+        first = false;
+        json::writeString(os, name);
+        os << ": ";
+        emitValue(os, entry);
+    }
+    for (const auto &[name, group] : children) {
+        os << (first ? "\n" : ",\n") << inner;
+        first = false;
+        json::writeString(os, name);
+        os << ": ";
+        group->dumpJson(os, indent + 1);
+    }
+    if (!first)
+        os << "\n" << pad;
+    os << "}";
+}
+
+void
+StatsGroup::dumpText(std::ostream &os, const std::string &path) const
+{
+    for (const auto &[name, entry] : entries) {
+        const std::string full = path.empty() ? name : path + "." + name;
+        os << full;
+        for (std::size_t i = full.size(); i < 44; ++i)
+            os << ' ';
+        os << ' ';
+        emitValue(os, entry);
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << '\n';
+    }
+    for (const auto &[name, group] : children)
+        group->dumpText(os, path.empty() ? name : path + "." + name);
+}
+
+// ---------------------------------------------------------------------------
+// StatsRegistry
+// ---------------------------------------------------------------------------
+
+StatsGroup &
+StatsRegistry::group(const std::string &path)
+{
+    StatsGroup *g = &rootGroup;
+    std::size_t begin = 0;
+    while (begin < path.size()) {
+        std::size_t sep = path.find('/', begin);
+        if (sep == std::string::npos)
+            sep = path.size();
+        g = &g->child(path.substr(begin, sep - begin));
+        begin = sep + 1;
+    }
+    return *g;
+}
+
+void
+StatsRegistry::setMeta(const std::string &key, const std::string &value)
+{
+    meta[key] = MetaVal{false, value, 0.0};
+}
+
+void
+StatsRegistry::setMeta(const std::string &key, double value)
+{
+    meta[key] = MetaVal{true, {}, value};
+}
+
+void
+StatsRegistry::stampManifest()
+{
+    if (!meta.count("timestamp"))
+        setMeta("timestamp", isoTimestamp());
+    if (!meta.count("git"))
+        setMeta("git", gitDescribe());
+}
+
+void
+StatsRegistry::verify()
+{
+    rootGroup.refresh();
+    rootGroup.verify("");
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &os)
+{
+    stampManifest();
+    verify();
+    os << "{\n  \"manifest\": {";
+    bool first = true;
+    for (const auto &[key, val] : meta) {
+        os << (first ? "\n" : ",\n") << "    ";
+        first = false;
+        json::writeString(os, key);
+        os << ": ";
+        if (val.isNum)
+            json::writeNumber(os, val.num);
+        else
+            json::writeString(os, val.str);
+    }
+    if (!first)
+        os << "\n  ";
+    os << "},\n  \"stats\": ";
+    rootGroup.dumpJson(os, 1);
+    os << "\n}\n";
+}
+
+void
+StatsRegistry::dumpText(std::ostream &os)
+{
+    stampManifest();
+    verify();
+    os << "---------- stats dump ----------\n";
+    for (const auto &[key, val] : meta) {
+        os << "# " << key << ": ";
+        if (val.isNum)
+            json::writeNumber(os, val.num);
+        else
+            os << val.str;
+        os << '\n';
+    }
+    rootGroup.dumpText(os, "");
+    os << "---------- end dump ------------\n";
+}
+
+// ---------------------------------------------------------------------------
+// Manifest helpers
+// ---------------------------------------------------------------------------
+
+std::string
+isoTimestamp()
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t t = std::chrono::system_clock::to_time_t(now);
+    std::tm tm{};
+#if defined(_WIN32)
+    gmtime_s(&tm, &t);
+#else
+    gmtime_r(&t, &tm);
+#endif
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+std::string
+gitDescribe()
+{
+#if defined(_WIN32)
+    return "unknown";
+#else
+    FILE *pipe =
+        popen("git describe --always --dirty --tags 2>/dev/null", "r");
+    if (!pipe)
+        return "unknown";
+    std::array<char, 128> buf{};
+    std::string out;
+    while (fgets(buf.data(), static_cast<int>(buf.size()), pipe))
+        out += buf.data();
+    const int rc = pclose(pipe);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    if (rc != 0 || out.empty())
+        return "unknown";
+    return out;
+#endif
+}
+
+} // namespace tartan::sim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Hierarchical statistics registry (ZSim-style).
+ *
+ * Components register their counters *by reference* into named groups,
+ * so the registry always reflects live values with zero per-event
+ * overhead. A registry dump emits either a human-readable text listing
+ * or a JSON document, both prefixed by a run manifest (configuration
+ * echo, git revision when available, wall-clock timestamp).
+ *
+ * Beyond plain counters, groups support:
+ *  - derived values (computed at dump time, e.g. miss ratios);
+ *  - owned values (set/overwritten by providers, e.g. per-kernel rows
+ *    whose backing storage is not reference-stable);
+ *  - providers (callbacks that refresh owned values just before a dump);
+ *  - invariants (cross-counter consistency predicates checked on every
+ *    dump; a violation is a simulator bug and panics).
+ */
+
+#ifndef TARTAN_SIM_STATS_HH
+#define TARTAN_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tartan::sim {
+
+/** One named node of the statistics tree. */
+class StatsGroup
+{
+  public:
+    /** Register a 64-bit event counter by reference. */
+    void addCounter(const std::string &name, const std::uint64_t *value,
+                    const std::string &desc = "");
+    /** Register a floating-point value by reference. */
+    void addValue(const std::string &name, const double *value,
+                  const std::string &desc = "");
+    /** Register a value computed at dump time. */
+    void addDerived(const std::string &name, std::function<double()> fn,
+                    const std::string &desc = "");
+
+    /** Set (or overwrite) an owned numeric value. */
+    void set(const std::string &name, double value);
+    /** Set (or overwrite) an owned string value (config echo). */
+    void set(const std::string &name, const std::string &value);
+
+    /** Get-or-create a child group. */
+    StatsGroup &child(const std::string &name);
+
+    /**
+     * Install a callback run at the start of every dump; it may create
+     * children and set owned values (typically from containers whose
+     * element addresses are not stable enough for addCounter).
+     */
+    void setProvider(std::function<void(StatsGroup &)> provider);
+
+    /**
+     * Register a consistency predicate checked on every dump. A false
+     * return panics with @p desc: stats invariants guard simulator
+     * correctness, not user input.
+     */
+    void addInvariant(const std::string &desc, std::function<bool()> check);
+
+    bool has(const std::string &name) const { return entries.count(name); }
+
+    /** @name Dump machinery (used by StatsRegistry). */
+    ///@{
+    void refresh();                         //!< run providers, recursively
+    void verify(const std::string &path) const; //!< check invariants
+    void dumpJson(std::ostream &os, int indent) const;
+    void dumpText(std::ostream &os, const std::string &path) const;
+    ///@}
+
+  private:
+    struct Entry {
+        enum class Kind { U64Ref, F64Ref, Derived, OwnedNum, OwnedStr };
+        Kind kind = Kind::OwnedNum;
+        const std::uint64_t *u64 = nullptr;
+        const double *f64 = nullptr;
+        std::function<double()> derived;
+        double num = 0.0;
+        std::string str;
+        std::string desc;
+    };
+
+    struct Invariant {
+        std::string desc;
+        std::function<bool()> check;
+    };
+
+    void insertUnique(const std::string &name, Entry entry);
+    static void validateName(const std::string &name);
+    void emitValue(std::ostream &os, const Entry &entry) const;
+
+    std::map<std::string, Entry> entries;
+    std::map<std::string, std::unique_ptr<StatsGroup>> children;
+    std::function<void(StatsGroup &)> provider;
+    std::vector<Invariant> invariants;
+};
+
+/**
+ * The root of the statistics tree plus the run manifest.
+ *
+ * Groups are addressed by '/'-separated paths ("mem/l1"); dumping
+ * refreshes providers, verifies every registered invariant, and emits
+ * `{"manifest": {...}, "stats": {...}}`.
+ */
+class StatsRegistry
+{
+  public:
+    StatsGroup &root() { return rootGroup; }
+    /** Get-or-create the group at '/'-separated @p path. */
+    StatsGroup &group(const std::string &path);
+
+    /** Record a manifest entry (configuration echo, run labels). */
+    void setMeta(const std::string &key, const std::string &value);
+    void setMeta(const std::string &key, double value);
+
+    /**
+     * Refresh providers and check every invariant without emitting
+     * anything (panics on violation).
+     */
+    void verify();
+
+    void dumpJson(std::ostream &os);
+    void dumpText(std::ostream &os);
+
+  private:
+    void stampManifest();
+
+    struct MetaVal {
+        bool isNum = false;
+        std::string str;
+        double num = 0.0;
+    };
+
+    StatsGroup rootGroup;
+    std::map<std::string, MetaVal> meta;
+};
+
+/** ISO-8601 UTC wall-clock timestamp of "now". */
+std::string isoTimestamp();
+
+/** `git describe --always --dirty` of the CWD repo, or "unknown". */
+std::string gitDescribe();
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_STATS_HH

@@ -72,4 +72,70 @@ System::System(const SysConfig &config) : cfg(config)
     coreModel = std::make_unique<Core>(cfg.core, path.get());
 }
 
+namespace {
+
+const char *
+prefetcherName(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None:
+        return "none";
+      case PrefetcherKind::NextLine:
+        return "nextline";
+      case PrefetcherKind::Bingo:
+        return "bingo";
+    }
+    return "unknown";
+}
+
+const char *
+fcpFuncName(FcpReplacement::Func func)
+{
+    switch (func) {
+      case FcpReplacement::Func::XPlus1:
+        return "x+1";
+      case FcpReplacement::Func::TwoX:
+        return "2x";
+      case FcpReplacement::Func::XSquared:
+        return "x^2";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+void
+System::registerStats(StatsRegistry &registry)
+{
+    StatsGroup &config = registry.group("config");
+    config.set("lineBytes", double(cfg.lineBytes));
+    config.set("l1Size", double(cfg.l1Size));
+    config.set("l1Assoc", double(cfg.l1Assoc));
+    config.set("l1Latency", double(cfg.l1Latency));
+    config.set("l2Size", double(cfg.l2Size));
+    config.set("l2Assoc", double(cfg.l2Assoc));
+    config.set("l2Latency", double(cfg.l2Latency));
+    config.set("l3Size", double(cfg.l3Size));
+    config.set("l3Assoc", double(cfg.l3Assoc));
+    config.set("l3Latency", double(cfg.l3Latency));
+    config.set("dramLatency", double(cfg.dramLatency));
+    config.set("numCores", double(cfg.numCores));
+    config.set("issueWidth", double(cfg.core.issueWidth));
+    config.set("missOverlap", double(cfg.core.missOverlap));
+    config.set("vectorLanes", double(cfg.core.vectorLanes));
+    config.set("prefetcher", std::string(prefetcherName(cfg.prefetcher)));
+    config.set("fcpEnabled", double(cfg.fcpEnabled));
+    if (cfg.fcpEnabled) {
+        config.set("fcpRegionBytes", double(cfg.fcpRegionBytes));
+        config.set("fcpXorBits", double(cfg.fcpXorBits));
+        config.set("fcpFunc", std::string(fcpFuncName(cfg.fcpFunc)));
+        config.set("fcpAtL3", double(cfg.fcpAtL3));
+    }
+    config.set("trackUdm", double(cfg.trackUdm));
+
+    coreModel->registerStats(registry.group("core"));
+    path->registerStats(registry.group("mem"));
+    l3Cache->registerStats(registry.group("l3"));
+}
+
 } // namespace tartan::sim

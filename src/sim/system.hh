@@ -20,6 +20,7 @@
 #include "sim/cache.hh"
 #include "sim/core.hh"
 #include "sim/memsystem.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace tartan::sim {
@@ -75,6 +76,13 @@ class System
     MemPath &mem() { return *path; }
     Cache &l3() { return *l3Cache; }
     const SysConfig &config() const { return cfg; }
+
+    /**
+     * Register the whole machine into @p registry: a "config" group
+     * echoing this SysConfig, plus "core", "mem" (l1/l2/prefetcher and
+     * the prefetch-accounting invariants) and "l3" subtrees.
+     */
+    void registerStats(StatsRegistry &registry);
 
   private:
     SysConfig cfg;

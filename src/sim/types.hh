@@ -13,6 +13,20 @@ namespace tartan::sim {
 /** A (simulated) virtual byte address. Real heap pointers are used. */
 using Addr = std::uint64_t;
 
+/**
+ * Ceiling base-2 logarithm: the smallest b with (1 << b) >= v. For the
+ * power-of-two geometry values it is applied to (line sizes, lines per
+ * region) this is the exact bit width of the field.
+ */
+constexpr std::uint32_t
+log2u(std::uint32_t v)
+{
+    std::uint32_t bits = 0;
+    while ((1u << bits) < v)
+        ++bits;
+    return bits;
+}
+
 /** Simulated clock cycles. */
 using Cycles = std::uint64_t;
 

@@ -88,6 +88,30 @@ Machine::orientedEngine(SoftwareTier tier, OrientedKind kind)
 }
 
 void
+Machine::registerStats(tartan::sim::StatsRegistry &registry)
+{
+    sys->registerStats(registry);
+    tartan::sim::StatsGroup &config = registry.group("config");
+    config.set("useAnl", double(specData.useAnl));
+    config.set("ovec", double(specData.ovec));
+    config.set("npu", double(specData.npu));
+    config.set("wtQueues", double(specData.wtQueues));
+    if (npuModel)
+        npuModel->registerStats(registry.group("npu"));
+    // The OVEC engine may be instantiated lazily by orientedEngine(),
+    // so its counters are snapshotted at dump time instead of being
+    // registered by reference.
+    registry.group("ovec").setProvider([this](tartan::sim::StatsGroup &g) {
+        if (!ovecEngine)
+            return;
+        const core::OvecStats &s = ovecEngine->stats();
+        g.set("batches", double(s.batches));
+        g.set("lanesLoaded", double(s.lanesLoaded));
+        g.set("checks", double(s.checks));
+    });
+}
+
+void
 Machine::finish(RunResult &result)
 {
     auto &mem_path = sys->mem();

@@ -118,6 +118,13 @@ class Machine
     /** NPU (null when the machine has none). */
     core::NpuModel *npu() { return npuModel.get(); }
 
+    /**
+     * Register the whole machine into @p registry: the simulated
+     * system's tree plus the Tartan units ("npu", "ovec") and a spec
+     * echo extending the "config" group.
+     */
+    void registerStats(tartan::sim::StatsRegistry &registry);
+
     /** Snapshot memory-system statistics into @p result. */
     void finish(RunResult &result);
 

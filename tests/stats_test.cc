@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for the statistics registry, the JSON helpers, the bench
+ * reporter schema, and the memory-path accounting they expose
+ * (drainDirty write-backs, end-to-end prefetch invariants).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/json.hh"
+#include "sim/memsystem.hh"
+#include "sim/report.hh"
+#include "sim/stats.hh"
+#include "sim/system.hh"
+
+using namespace tartan::sim;
+
+TEST(StatsGroup, CountersReflectLiveValues)
+{
+    StatsGroup g;
+    std::uint64_t hits = 0;
+    double ratio = 0.0;
+    g.addCounter("hits", &hits, "demand hits");
+    g.addValue("ratio", &ratio);
+    g.addDerived("twice", [&hits] { return 2.0 * double(hits); });
+
+    hits = 7;
+    ratio = 0.5;
+    std::ostringstream os;
+    g.dumpJson(os, 0);
+
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.find("hits")->number, 7.0);
+    EXPECT_EQ(doc.find("ratio")->number, 0.5);
+    EXPECT_EQ(doc.find("twice")->number, 14.0);
+}
+
+TEST(StatsGroup, DuplicateNamesRejected)
+{
+    StatsGroup g;
+    std::uint64_t v = 0;
+    g.addCounter("x", &v);
+    EXPECT_THROW(g.addCounter("x", &v), std::invalid_argument);
+    EXPECT_THROW(g.addDerived("x", [] { return 0.0; }),
+                 std::invalid_argument);
+    EXPECT_THROW(g.child("x"), std::invalid_argument);
+    // Group names collide with stat names too.
+    g.child("sub");
+    EXPECT_THROW(g.addCounter("sub", &v), std::invalid_argument);
+    EXPECT_THROW(g.set("sub", 1.0), std::invalid_argument);
+}
+
+TEST(StatsGroup, InvalidNamesRejected)
+{
+    StatsGroup g;
+    std::uint64_t v = 0;
+    EXPECT_THROW(g.addCounter("", &v), std::invalid_argument);
+    EXPECT_THROW(g.addCounter("a/b", &v), std::invalid_argument);
+    EXPECT_THROW(g.child("a\"b"), std::invalid_argument);
+}
+
+TEST(StatsGroup, OwnedValuesOverwriteSameKindOnly)
+{
+    StatsGroup g;
+    g.set("n", 1.0);
+    g.set("n", 2.0);  // overwrite is fine
+    g.set("s", std::string("a"));
+    g.set("s", std::string("b"));
+    EXPECT_THROW(g.set("n", std::string("nope")), std::invalid_argument);
+    EXPECT_THROW(g.set("s", 3.0), std::invalid_argument);
+
+    std::uint64_t v = 0;
+    g.addCounter("c", &v);
+    EXPECT_THROW(g.set("c", 1.0), std::invalid_argument);
+
+    std::ostringstream os;
+    g.dumpJson(os, 0);
+    json::Value doc;
+    ASSERT_TRUE(json::parse(os.str(), doc, nullptr));
+    EXPECT_EQ(doc.find("n")->number, 2.0);
+    EXPECT_EQ(doc.find("s")->string, "b");
+}
+
+TEST(StatsGroup, ProviderRunsBeforeDump)
+{
+    StatsRegistry reg;
+    int calls = 0;
+    reg.group("kernels").setProvider([&calls](StatsGroup &g) {
+        ++calls;
+        g.child("k0").set("cycles", 123.0);
+    });
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    EXPECT_EQ(calls, 1);
+
+    json::Value doc;
+    ASSERT_TRUE(json::parse(os.str(), doc, nullptr));
+    const json::Value *stats = doc.find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->find("kernels")->find("k0")->find("cycles")->number,
+              123.0);
+}
+
+TEST(StatsGroupDeathTest, InvariantViolationPanics)
+{
+    StatsRegistry reg;
+    std::uint64_t a = 1, b = 2;
+    reg.group("m").addInvariant("a == b", [&] { return a == b; });
+    EXPECT_DEATH(reg.verify(), "stats invariant violated");
+    b = 1;
+    reg.verify();  // now consistent: must not abort
+}
+
+TEST(StatsRegistry, PathsWalkTheTree)
+{
+    StatsRegistry reg;
+    StatsGroup &l1 = reg.group("mem/l1");
+    EXPECT_EQ(&l1, &reg.root().child("mem").child("l1"));
+    EXPECT_EQ(&reg.group(""), &reg.root());
+}
+
+TEST(StatsRegistry, JsonDumpHasManifestAndRoundTrips)
+{
+    StatsRegistry reg;
+    reg.setMeta("runLabel", "unit-test");
+    reg.setMeta("scale", 0.5);
+    std::uint64_t misses = 41;
+    reg.group("mem/l2").addCounter("misses", &misses);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    const json::Value *manifest = doc.find("manifest");
+    ASSERT_NE(manifest, nullptr);
+    // The registry stamps timestamp and git itself.
+    ASSERT_NE(manifest->find("timestamp"), nullptr);
+    ASSERT_NE(manifest->find("git"), nullptr);
+    EXPECT_EQ(manifest->find("runLabel")->string, "unit-test");
+    EXPECT_EQ(manifest->find("scale")->number, 0.5);
+    EXPECT_EQ(doc.find("stats")
+                  ->find("mem")
+                  ->find("l2")
+                  ->find("misses")
+                  ->number,
+              41.0);
+}
+
+TEST(StatsRegistry, TextDumpListsDottedPaths)
+{
+    StatsRegistry reg;
+    std::uint64_t hits = 5;
+    reg.group("mem/l1").addCounter("hits", &hits, "demand hits");
+
+    std::ostringstream os;
+    reg.dumpText(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("mem.l1.hits"), std::string::npos);
+    EXPECT_NE(text.find("# demand hits"), std::string::npos);
+}
+
+TEST(Json, ParserHandlesEscapesAndNesting)
+{
+    const char *text =
+        "{\"a\": [1, 2.5, -3e2], \"s\": \"q\\\"\\n\\u0041\", "
+        "\"o\": {\"t\": true, \"n\": null}}";
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(text, doc, &err)) << err;
+    ASSERT_EQ(doc.find("a")->array.size(), 3u);
+    EXPECT_EQ(doc.find("a")->array[2].number, -300.0);
+    EXPECT_EQ(doc.find("s")->string, "q\"\nA");
+    EXPECT_TRUE(doc.find("o")->find("t")->boolean);
+    EXPECT_TRUE(doc.find("o")->find("n")->isNull());
+
+    EXPECT_FALSE(json::parse("{\"a\": }", doc, &err));
+    EXPECT_FALSE(json::parse("[1, 2] trailing", doc, &err));
+}
+
+TEST(Json, NumbersPrintExactIntegers)
+{
+    std::ostringstream os;
+    json::writeNumber(os, 1234567890.0);
+    os << ' ';
+    json::writeNumber(os, 0.125);
+    EXPECT_EQ(os.str(), "1234567890 0.125");
+}
+
+TEST(MemPathStats, DrainDirtyCountsResidentDirtyLines)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &mem = sys.mem();
+
+    // Three write-back stores to distinct lines: dirty in L1 only.
+    mem.access(0x50000, AccessType::Store, 4, 1, 0);
+    mem.access(0x50040, AccessType::Store, 4, 1, 0);
+    mem.access(0x50080, AccessType::Store, 4, 1, 0);
+    const std::uint64_t before = mem.stats.l3Writebacks;
+    const std::uint64_t dirty =
+        mem.l1().dirtyLines() + mem.l2().dirtyLines();
+    EXPECT_GE(dirty, 3u);
+
+    mem.drainDirty();
+    EXPECT_EQ(mem.stats.l3Writebacks, before + dirty);
+}
+
+TEST(MemPathStats, PrefetchInvariantsHoldEndToEnd)
+{
+    SysConfig cfg;
+    cfg.prefetcher = PrefetcherKind::NextLine;
+    System sys(cfg);
+    auto &mem = sys.mem();
+
+    // Sequential stream triggers prefetches; strided revisits consume
+    // some timely, some late; stores exercise the write-back path.
+    Cycles now = 0;
+    for (Addr a = 0x100000; a < 0x100000 + 256 * 64; a += 64) {
+        auto res = mem.access(a, AccessType::Load, 4, 7, now);
+        now += res.latency;
+        if ((a & 0x1c0) == 0)
+            mem.access(a, AccessType::Store, 4, 7, now);
+    }
+    EXPECT_GT(mem.stats.pfIssued, 0u);
+
+    StatsRegistry reg;
+    mem.registerStats(reg.group("mem"));
+    // The prefetch-accounting invariants (proposals == issued + dropped,
+    // fills == hits + unused + resident, ...) are checked here.
+    reg.verify();
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    const json::Value *m = doc.find("stats")->find("mem");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->find("pfIssued")->number, double(mem.stats.pfIssued));
+    ASSERT_NE(m->find("pf"), nullptr);
+    EXPECT_EQ(m->find("pf")->find("name")->string, "NextLine");
+}
+
+TEST(SystemStats, FullTreeRegistersAndVerifies)
+{
+    SysConfig cfg;
+    cfg.prefetcher = PrefetcherKind::Bingo;
+    System sys(cfg);
+    auto &core = sys.core();
+    const std::uint32_t kid = core.registerKernel("warmup");
+    {
+        ScopedKernel scope(core, kid);
+        for (Addr a = 0; a < 64 * 64; a += 8)
+            core.load(0x200000 + a, 3);
+    }
+
+    StatsRegistry reg;
+    sys.registerStats(reg);
+    reg.verify();
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    const json::Value *stats = doc.find("stats");
+    ASSERT_NE(stats->find("config"), nullptr);
+    EXPECT_EQ(stats->find("config")->find("prefetcher")->string, "bingo");
+    const json::Value *kernels = stats->find("core")->find("kernels");
+    ASSERT_NE(kernels, nullptr);
+    ASSERT_NE(kernels->find("warmup"), nullptr);
+    EXPECT_GT(kernels->find("warmup")->find("instructions")->number, 0.0);
+}
+
+TEST(BenchReporter, EmitsSchemaValidJson)
+{
+    BenchReporter rep("unit_bench", "paper expectation");
+    rep.config("scale", 0.5);
+    rep.config("tier", "optimized");
+    rep.metric("gmeanSpeedup", 1.5);
+    rep.kernelMetric("DeliBot", "wallCycles", 1000.0);
+    rep.kernelMetric("DeliBot", "speedup", 2.0);
+    rep.kernelMetric("FlyBot", "wallCycles", 2000.0);
+    rep.note("shape check text");
+
+    std::ostringstream os;
+    rep.writeJson(os);
+    std::string err;
+    EXPECT_TRUE(validateBenchJson(os.str(), &err)) << err;
+
+    json::Value doc;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    EXPECT_EQ(doc.find("bench")->string, "unit_bench");
+    EXPECT_EQ(doc.find("manifest")->find("paper")->string,
+              "paper expectation");
+    EXPECT_EQ(doc.find("manifest")->find("note")->string,
+              "shape check text");
+    EXPECT_EQ(doc.find("metrics")->find("gmeanSpeedup")->number, 1.5);
+    ASSERT_EQ(doc.find("kernels")->array.size(), 2u);
+    const json::Value &row = doc.find("kernels")->array[0];
+    EXPECT_EQ(row.find("name")->string, "DeliBot");
+    EXPECT_EQ(row.find("metrics")->find("speedup")->number, 2.0);
+
+    // Redirect the destructor's file write away from the test cwd.
+    setenv("TARTAN_BENCH_DIR", "/tmp/tartan_stats_test", 1);
+    EXPECT_TRUE(rep.writeFile());
+    unsetenv("TARTAN_BENCH_DIR");
+}
+
+TEST(BenchReporter, ValidatorRejectsMalformedDocuments)
+{
+    std::string err;
+    EXPECT_FALSE(validateBenchJson("not json", &err));
+    err.clear();
+    EXPECT_FALSE(validateBenchJson("{}", &err));
+    err.clear();
+    // Non-numeric metric value.
+    EXPECT_FALSE(validateBenchJson(
+        "{\"bench\": \"b\", \"manifest\": {\"git\": \"g\", "
+        "\"timestamp\": \"t\", \"paper\": \"p\"}, \"config\": {}, "
+        "\"metrics\": {\"x\": \"one\"}, \"kernels\": []}",
+        &err));
+    EXPECT_NE(err.find("not a number"), std::string::npos);
+    // Kernel row without a name.
+    err.clear();
+    EXPECT_FALSE(validateBenchJson(
+        "{\"bench\": \"b\", \"manifest\": {\"git\": \"g\", "
+        "\"timestamp\": \"t\", \"paper\": \"p\"}, \"config\": {}, "
+        "\"metrics\": {}, \"kernels\": [{\"metrics\": {}}]}",
+        &err));
+    EXPECT_NE(err.find("name missing"), std::string::npos);
+}
