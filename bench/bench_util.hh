@@ -57,6 +57,22 @@ options(SoftwareTier tier, double scale = 1.0, std::uint64_t seed = 42)
 }
 
 /**
+ * Attach a trace session (possibly null, i.e. TARTAN_TRACE unset) to a
+ * WorkloadOptions value. Keeps per-run instrumentation to one line:
+ *
+ *   auto t = rep.makeTrace("DeliBot_B");
+ *   auto res = robot.run(spec, traced(options(tier), t));
+ *   t.reset();  // flush TRACE_*.json before the next run
+ */
+inline WorkloadOptions
+traced(WorkloadOptions opt,
+       const std::unique_ptr<sim::TraceSession> &session)
+{
+    opt.trace = session.get();
+    return opt;
+}
+
+/**
  * Record the standard snapshot of one robot run as a kernels[] row of
  * @p rep, named @p row (typically "<robot>" or "<robot>/<config>").
  */

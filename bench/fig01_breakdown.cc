@@ -42,10 +42,16 @@ main()
 
     std::vector<double> speedups;
     for (const auto &robot : robotSuite()) {
-        auto base = robot.run(MachineSpec::baseline(),
-                              options(SoftwareTier::Legacy));
-        auto tartan_res = robot.run(MachineSpec::tartan(),
-                                    options(SoftwareTier::Approximate));
+        auto trace_b = rep.makeTrace(std::string(robot.name) + "_B");
+        auto base =
+            robot.run(MachineSpec::baseline(),
+                      traced(options(SoftwareTier::Legacy), trace_b));
+        trace_b.reset();
+        auto trace_t = rep.makeTrace(std::string(robot.name) + "_T");
+        auto tartan_res = robot.run(
+            MachineSpec::tartan(),
+            traced(options(SoftwareTier::Approximate), trace_t));
+        trace_t.reset();
         // Identify the baseline's dominant kernel and report both
         // machines' share of it.
         const std::string bk = base.bottleneckKernel;

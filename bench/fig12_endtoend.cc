@@ -26,16 +26,29 @@ main()
 
     std::vector<double> legacy_s, opt_s, approx_s;
     for (const auto &robot : robotSuite()) {
-        const auto base = robot.run(MachineSpec::baseline(),
-                                    options(SoftwareTier::Legacy));
+        const std::string name(robot.name);
+        auto trace_base = rep.makeTrace(name + "_base");
+        const auto base =
+            robot.run(MachineSpec::baseline(),
+                      traced(options(SoftwareTier::Legacy), trace_base));
+        trace_base.reset();
         const double base_cycles = double(base.wallCycles);
 
-        const auto legacy = robot.run(MachineSpec::tartan(),
-                                      options(SoftwareTier::Legacy));
-        const auto optimized = robot.run(
-            MachineSpec::tartan(), options(SoftwareTier::Optimized));
+        auto trace_l = rep.makeTrace(name + "_legacy");
+        const auto legacy =
+            robot.run(MachineSpec::tartan(),
+                      traced(options(SoftwareTier::Legacy), trace_l));
+        trace_l.reset();
+        auto trace_o = rep.makeTrace(name + "_opt");
+        const auto optimized =
+            robot.run(MachineSpec::tartan(),
+                      traced(options(SoftwareTier::Optimized), trace_o));
+        trace_o.reset();
+        auto trace_a = rep.makeTrace(name + "_approx");
         const auto approx = robot.run(
-            MachineSpec::tartan(), options(SoftwareTier::Approximate));
+            MachineSpec::tartan(),
+            traced(options(SoftwareTier::Approximate), trace_a));
+        trace_a.reset();
 
         const double sl = speedup(base_cycles, double(legacy.wallCycles));
         const double so =

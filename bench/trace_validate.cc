@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Schema checker for trace files: validates each argument as a
+ * TraceSession document (Chrome trace-event JSON, or the epoch-samples
+ * document for paths ending in `_epochs.json`) and exits non-zero on
+ * the first deviation. CI runs a bench under TARTAN_TRACE and feeds
+ * every emitted file through this tool.
+ *
+ * Usage: trace_validate TRACE_foo.json TRACE_foo_epochs.json ...
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/trace.hh"
+
+namespace {
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <trace.json>...\n", argv[0]);
+        return 2;
+    }
+    int failures = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string path = argv[i];
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+            ++failures;
+            continue;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        const std::string text = ss.str();
+
+        std::string err;
+        const bool ok = endsWith(path, "_epochs.json")
+                            ? tartan::sim::validateEpochsJson(text, &err)
+                            : tartan::sim::validateTraceJson(text, &err);
+        if (ok) {
+            std::printf("%s: ok\n", path.c_str());
+        } else {
+            std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                         err.c_str());
+            ++failures;
+        }
+    }
+    return failures ? 1 : 0;
+}

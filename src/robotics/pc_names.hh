@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Symbolic names for the robotics PcId instrumentation sites.
+ *
+ * Every load/store site the kernels report through robotics::Mem uses a
+ * compile-time PcId constant from a `*_pc` namespace; this translation
+ * unit names each site and the data structure behind it so the tracing
+ * layer's per-PC miss profile (sim/trace) reads as "k-d tree node
+ * (pointer chase)" instead of "pc121".
+ */
+
+#ifndef TARTAN_ROBOTICS_PC_NAMES_HH
+#define TARTAN_ROBOTICS_PC_NAMES_HH
+
+#include "sim/trace.hh"
+
+namespace tartan::robotics {
+
+/**
+ * Register every robotics PcId site into @p table. Idempotent
+ * (re-registration overwrites with identical entries), so callers may
+ * invoke it once per machine without coordination.
+ */
+void registerPcSites(sim::PcTable &table = sim::PcTable::global());
+
+} // namespace tartan::robotics
+
+#endif // TARTAN_ROBOTICS_PC_NAMES_HH

@@ -9,6 +9,7 @@
 
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace tartan::sim {
 
@@ -45,6 +46,21 @@ Core::registerStats(StatsGroup &group)
             one.set("instructions", double(k.instructions));
         }
     });
+    // Kernel attribution is exhaustive: with the sub-issue-width
+    // remainder flushed on every switch, the per-kernel rows partition
+    // the core totals exactly.
+    group.addInvariant("kernel attributions sum to core totals", [this] {
+        Cycles cycles = 0;
+        Cycles mem_stall = 0;
+        std::uint64_t instructions = 0;
+        for (const KernelCounters &k : kernelData) {
+            cycles += k.cycles;
+            mem_stall += k.memStallCycles;
+            instructions += k.instructions;
+        }
+        return cycles == totalCycles && mem_stall == totalMemStall &&
+               instructions == totalInstructions;
+    });
 }
 
 std::uint32_t
@@ -58,7 +74,49 @@ void
 Core::setKernel(std::uint32_t id)
 {
     TARTAN_ASSERT(id < kernelData.size(), "unknown kernel id");
+    if (id == kernelId)
+        return;
+    // Flush the sub-issue-width op remainder into the outgoing kernel
+    // (rounded up to a full issue cycle): leaving it to carry over
+    // would charge this kernel's fractional cycles to the next one.
+    if (opCarry) {
+        opCarry = 0;
+        addCycles(1);
+    }
     kernelId = id;
+    if (trace)
+        trace->kernelSwitch(kernelData[id].name, totalCycles);
+}
+
+void
+Core::attachTrace(TraceSession *session)
+{
+    trace = session;
+    if (trace) {
+        trace->setInstructionProbe(&totalInstructions);
+        trace->kernelSwitch(kernelData[kernelId].name, totalCycles);
+    }
+}
+
+void
+Core::phaseBegin(const std::string &name)
+{
+    if (trace)
+        trace->phaseBegin(name, totalCycles);
+}
+
+void
+Core::phaseEnd()
+{
+    if (trace)
+        trace->phaseEnd(totalCycles);
+}
+
+void
+Core::traceInstant(const std::string &name)
+{
+    if (trace)
+        trace->instant(name, totalCycles);
 }
 
 void
@@ -66,6 +124,8 @@ Core::addCycles(Cycles c)
 {
     totalCycles += c;
     kernelData[kernelId].cycles += c;
+    if (trace)
+        trace->tick(totalCycles);
 }
 
 void

@@ -27,6 +27,8 @@
 
 namespace tartan::sim {
 
+class TraceSession;
+
 /** Core configuration. */
 struct CoreParams {
     std::uint32_t issueWidth = 4;
@@ -52,9 +54,29 @@ class Core
 
     /** Register a kernel name; returns its id for setKernel(). */
     std::uint32_t registerKernel(const std::string &name);
-    /** Attribute subsequent cycles/instructions to kernel @p id. */
+    /**
+     * Attribute subsequent cycles/instructions to kernel @p id. A real
+     * switch flushes the sub-issue-width op remainder into the outgoing
+     * kernel (rounded up to one cycle) so fractional issue groups never
+     * bleed into the next kernel's counters.
+     */
     void setKernel(std::uint32_t id);
     std::uint32_t currentKernel() const { return kernelId; }
+
+    /**
+     * Attach (or detach, with nullptr) a trace session: kernel switches
+     * and cycle advances feed its timeline and epoch sampler. Purely
+     * observational — attaching never changes simulated timing.
+     */
+    void attachTrace(TraceSession *session);
+    bool traceAttached() const { return trace != nullptr; }
+
+    /** Open a workload ROI phase on the trace (no-op when untraced). */
+    void phaseBegin(const std::string &name);
+    /** Close the innermost ROI phase (no-op when untraced). */
+    void phaseEnd();
+    /** Mark an instantaneous ROI event (no-op when untraced). */
+    void traceInstant(const std::string &name);
 
     /** Execute @p ops instructions of class @p cls. */
     void exec(std::uint64_t ops, OpClass cls = OpClass::IntAlu);
@@ -120,6 +142,7 @@ class Core
 
     CoreParams config;
     MemPath *memPath;
+    TraceSession *trace = nullptr;  //!< observability hook (not owned)
 
     Cycles totalCycles = 0;
     Cycles totalMemStall = 0;
@@ -147,6 +170,26 @@ class ScopedKernel
   private:
     Core &coreRef;
     std::uint32_t saved;
+};
+
+/**
+ * RAII helper that scopes a trace ROI phase (frame, pipeline stage).
+ * A no-op when the core has no trace session attached.
+ */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(Core &core, const std::string &name) : coreRef(core)
+    {
+        coreRef.phaseBegin(name);
+    }
+    ~ScopedPhase() { coreRef.phaseEnd(); }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    Core &coreRef;
 };
 
 } // namespace tartan::sim

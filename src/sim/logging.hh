@@ -4,53 +4,125 @@
  *
  * panic() flags a simulator bug and aborts; fatal() flags a user error
  * (bad configuration) and exits cleanly; warn()/inform() report status.
+ * All four are printf-style variadic. Status messages are gated by the
+ * TARTAN_LOG_LEVEL environment variable (0/quiet = errors only,
+ * 1/warn = warnings, 2/info = everything; default info); panic/fatal
+ * always print.
  */
 
 #ifndef TARTAN_SIM_LOGGING_HH
 #define TARTAN_SIM_LOGGING_HH
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace tartan::sim {
 
-/** Abort on an internal invariant violation (a simulator bug). */
-[[noreturn]] inline void
-panicImpl(const char *file, int line, const char *msg)
+/** Verbosity tiers of the status channel. */
+enum class LogLevel : int { Quiet = 0, Warn = 1, Info = 2 };
+
+/** Effective verbosity, parsed once from $TARTAN_LOG_LEVEL. */
+inline LogLevel
+logLevel()
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    static const LogLevel level = [] {
+        const char *env = std::getenv("TARTAN_LOG_LEVEL");
+        if (!env || !*env)
+            return LogLevel::Info;
+        if (std::strcmp(env, "0") == 0 || std::strcmp(env, "quiet") == 0)
+            return LogLevel::Quiet;
+        if (std::strcmp(env, "1") == 0 || std::strcmp(env, "warn") == 0)
+            return LogLevel::Warn;
+        if (std::strcmp(env, "2") == 0 || std::strcmp(env, "info") == 0)
+            return LogLevel::Info;
+        std::fprintf(stderr,
+                     "warn: unknown TARTAN_LOG_LEVEL '%s' "
+                     "(want quiet|warn|info or 0|1|2)\n",
+                     env);
+        return LogLevel::Info;
+    }();
+    return level;
+}
+
+/** Abort on an internal invariant violation (a simulator bug). */
+[[noreturn]]
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+inline void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "panic: ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, " (%s:%d)\n", file, line);
+    va_end(args);
     std::abort();
 }
 
 /** Exit on a user-caused error such as an invalid configuration. */
-[[noreturn]] inline void
-fatalImpl(const char *file, int line, const char *msg)
+[[noreturn]]
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+inline void
+fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "fatal: ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, " (%s:%d)\n", file, line);
+    va_end(args);
     std::exit(1);
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
 inline void
-warn(const char *msg)
+warn(const char *fmt, ...)
 {
-    std::fprintf(stderr, "warn: %s\n", msg);
+    if (logLevel() < LogLevel::Warn)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "warn: ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
 inline void
-inform(const char *msg)
+inform(const char *fmt, ...)
 {
-    std::fprintf(stderr, "info: %s\n", msg);
+    if (logLevel() < LogLevel::Info)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "info: ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
 }
 
 } // namespace tartan::sim
 
-#define TARTAN_PANIC(msg) ::tartan::sim::panicImpl(__FILE__, __LINE__, msg)
-#define TARTAN_FATAL(msg) ::tartan::sim::fatalImpl(__FILE__, __LINE__, msg)
+#define TARTAN_PANIC(...) \
+    ::tartan::sim::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define TARTAN_FATAL(...) \
+    ::tartan::sim::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
 
 /** Check an invariant that must hold regardless of user input. */
-#define TARTAN_ASSERT(cond, msg) \
+#define TARTAN_ASSERT(cond, ...) \
     do { \
-        if (!(cond)) TARTAN_PANIC(msg); \
+        if (!(cond)) TARTAN_PANIC(__VA_ARGS__); \
     } while (0)
 
 #endif // TARTAN_SIM_LOGGING_HH

@@ -8,6 +8,7 @@
 
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace tartan::sim {
 
@@ -192,6 +193,16 @@ MemPath::registerStats(StatsGroup &group)
 AccessResult
 MemPath::access(Addr addr, AccessType type, std::uint32_t size, PcId pc,
                 Cycles now)
+{
+    AccessResult result = accessImpl(addr, type, size, pc, now);
+    if (trace)
+        trace->pcAccess(pc, result.level, type);
+    return result;
+}
+
+AccessResult
+MemPath::accessImpl(Addr addr, AccessType type, std::uint32_t size, PcId pc,
+                    Cycles now)
 {
     AccessResult result;
 

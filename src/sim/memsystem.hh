@@ -19,6 +19,7 @@
 namespace tartan::sim {
 
 class StatsGroup;
+class TraceSession;
 
 /** Configuration of one core's memory path. */
 struct MemPathParams {
@@ -79,6 +80,13 @@ class MemPath
     void setPrefetcher(std::unique_ptr<Prefetcher> pf);
     Prefetcher *prefetcher() { return pf.get(); }
 
+    /**
+     * Attach (or detach, with nullptr) a trace session: every demand
+     * access is attributed to its PcId site and servicing level. Purely
+     * observational — never changes latencies or cache state.
+     */
+    void setTrace(TraceSession *session) { trace = session; }
+
     /** Declare a write-through (MTRR WT) range [base, base+bytes). */
     void addWriteThroughRange(Addr base, std::size_t bytes);
     /**
@@ -113,6 +121,8 @@ class MemPath
     };
 
     bool inRange(const std::vector<Range> &ranges, Addr addr) const;
+    AccessResult accessImpl(Addr addr, AccessType type, std::uint32_t size,
+                            PcId pc, Cycles now);
     void writebackToL2(Addr line_addr, Cycles now);
     void writebackToL3(Addr line_addr, Cycles now);
     /** Fetch a line into L3 if absent; returns latency beyond L2. */
@@ -123,6 +133,7 @@ class MemPath
     Cache l1Cache;
     Cache l2Cache;
     Cache *l3Cache;
+    TraceSession *trace = nullptr;  //!< observability hook (not owned)
     std::unique_ptr<Prefetcher> pf;
     std::vector<Range> wtRanges;
     std::vector<Range> noAllocRanges;

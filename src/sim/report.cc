@@ -11,7 +11,9 @@
 #include <fstream>
 
 #include "sim/json.hh"
+#include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace tartan::sim {
 
@@ -70,6 +72,17 @@ BenchReporter::note(const std::string &text)
     noteText = text;
 }
 
+std::unique_ptr<TraceSession>
+BenchReporter::makeTrace(const std::string &run)
+{
+    auto session = TraceSession::fromEnv(benchName, run);
+    if (session) {
+        tracePaths.push_back(session->tracePath());
+        tracePaths.push_back(session->epochsPath());
+    }
+    return session;
+}
+
 void
 BenchReporter::writeJson(std::ostream &os) const
 {
@@ -84,6 +97,16 @@ BenchReporter::writeJson(std::ostream &os) const
     if (!noteText.empty()) {
         os << ",\n    \"note\": ";
         json::writeString(os, noteText);
+    }
+    if (!tracePaths.empty()) {
+        os << ",\n    \"traces\": [";
+        bool tfirst = true;
+        for (const std::string &path : tracePaths) {
+            os << (tfirst ? "" : ", ");
+            tfirst = false;
+            json::writeString(os, path);
+        }
+        os << "]";
     }
     os << "\n  },\n  \"config\": {";
     bool first = true;
@@ -150,13 +173,13 @@ BenchReporter::writeFile()
     }
     std::ofstream out(path);
     if (!out) {
-        std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+        warn("bench: cannot write %s", path.c_str());
         return false;
     }
     writeJson(out);
     out.flush();
     if (!out) {
-        std::fprintf(stderr, "bench: short write to %s\n", path.c_str());
+        warn("bench: short write to %s", path.c_str());
         return false;
     }
     std::printf("\n[json: %s]\n", path.c_str());

@@ -23,6 +23,7 @@
 #define TARTAN_SIM_REPORT_HH
 
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -30,6 +31,8 @@
 #include <vector>
 
 namespace tartan::sim {
+
+class TraceSession;
 
 /** Collects one bench run's results and emits BENCH_<name>.json. */
 class BenchReporter
@@ -63,6 +66,15 @@ class BenchReporter
     /** Attach a free-form note (shape checks) to the manifest. */
     void note(const std::string &text);
 
+    /**
+     * Build a TraceSession for one run of this bench, honouring the
+     * TARTAN_TRACE environment variable (output directory). Returns
+     * null when tracing is off; otherwise the session writes
+     * TRACE_<bench>_<run>.json (+ _epochs.json) on destruction, and the
+     * paths are echoed in this reporter's manifest under "traces".
+     */
+    std::unique_ptr<TraceSession> makeTrace(const std::string &run);
+
     /** Serialize the full document. */
     void writeJson(std::ostream &os) const;
 
@@ -88,6 +100,7 @@ class BenchReporter
     std::map<std::string, double> metrics;
     std::vector<std::pair<std::string, std::map<std::string, double>>>
         kernelRows;
+    std::vector<std::string> tracePaths;
     bool written = false;
 };
 

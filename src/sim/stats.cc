@@ -154,11 +154,9 @@ void
 StatsGroup::verify(const std::string &path) const
 {
     for (const Invariant &inv : invariants) {
-        if (!inv.check()) {
-            std::fprintf(stderr, "stats invariant violated at '%s': %s\n",
+        if (!inv.check())
+            TARTAN_PANIC("stats invariant violated at '%s': %s",
                          path.c_str(), inv.desc.c_str());
-            TARTAN_PANIC("stats invariant violated");
-        }
     }
     for (const auto &[name, group] : children)
         group->verify(path.empty() ? name : path + "/" + name);

@@ -7,6 +7,7 @@
 
 #include "sim/bingo.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace tartan::sim {
 
@@ -70,6 +71,21 @@ System::System(const SysConfig &config) : cfg(config)
     }
 
     coreModel = std::make_unique<Core>(cfg.core, path.get());
+
+    if (cfg.trace) {
+        // Epoch-sampler probes reference the same live storage the
+        // StatsRegistry registers, so samples and end-of-run dumps are
+        // consistent by construction.
+        cfg.trace->addProbe("l1Misses", &path->l1().stats().misses);
+        cfg.trace->addProbe("l2Misses", &path->l2().stats().misses);
+        cfg.trace->addProbe("l3Misses", &l3Cache->stats().misses);
+        cfg.trace->addProbe("dramReads", &path->stats.dramReads);
+        cfg.trace->addProbe("pfIssued", &path->stats.pfIssued);
+        cfg.trace->addProbe("pfHitsTimely", &path->stats.pfHitsTimely);
+        cfg.trace->addProbe("pfHitsLate", &path->stats.pfHitsLate);
+        path->setTrace(cfg.trace);
+        coreModel->attachTrace(cfg.trace);
+    }
 }
 
 namespace {
@@ -132,6 +148,7 @@ System::registerStats(StatsRegistry &registry)
         config.set("fcpAtL3", double(cfg.fcpAtL3));
     }
     config.set("trackUdm", double(cfg.trackUdm));
+    config.set("traceEnabled", double(cfg.trace != nullptr));
 
     coreModel->registerStats(registry.group("core"));
     path->registerStats(registry.group("mem"));

@@ -25,6 +25,8 @@
 
 namespace tartan::sim {
 
+class TraceSession;
+
 /** Prefetchers constructible by the base simulator (ANL lives above). */
 enum class PrefetcherKind { None, NextLine, Bingo };
 
@@ -64,6 +66,15 @@ struct SysConfig {
 
     /** Track unnecessary data movement at the L1. */
     bool trackUdm = false;
+
+    /**
+     * Time-resolved tracing hook (not owned; null = tracing off). When
+     * set, the core's kernel timeline, the epoch sampler probes and the
+     * memory path's per-PC attribution are wired into the session at
+     * construction. Observational only: timing is bit-identical with
+     * and without a session.
+     */
+    TraceSession *trace = nullptr;
 };
 
 /** One simulated machine: a core, its private caches, the shared L3. */
@@ -151,6 +162,14 @@ class StageTimer
     }
 
     std::size_t items() const { return durations.size(); }
+
+    /** Forget all recorded items so the timer can time another stage. */
+    void
+    reset()
+    {
+        durations.clear();
+        itemStart = 0;
+    }
 
   private:
     Core &coreRef;

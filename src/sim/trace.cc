@@ -1,0 +1,655 @@
+/**
+ * @file
+ * TraceSession implementation: Chrome trace-event emission, epoch
+ * sampling, per-PC attribution, and schema validation.
+ */
+
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace tartan::sim {
+
+// ---------------------------------------------------------------------------
+// PcTable
+// ---------------------------------------------------------------------------
+
+void
+PcTable::add(PcId pc, std::string name, std::string structure)
+{
+    sites[pc] = Site{std::move(name), std::move(structure)};
+}
+
+std::string
+PcTable::name(PcId pc) const
+{
+    auto it = sites.find(pc);
+    if (it != sites.end())
+        return it->second.name;
+    return "pc" + std::to_string(pc);
+}
+
+std::string
+PcTable::structure(PcId pc) const
+{
+    auto it = sites.find(pc);
+    return it != sites.end() ? it->second.structure : std::string();
+}
+
+PcTable &
+PcTable::global()
+{
+    static PcTable table;
+    return table;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSession — event collection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Copy a name into a fixed event buffer, truncating with a NUL. */
+template <std::size_t N>
+void
+setName(char (&dst)[N], const char *src)
+{
+    std::snprintf(dst, N, "%s", src);
+}
+
+} // namespace
+
+void *
+TraceSession::operator new(std::size_t size)
+{
+    MmapAlloc<std::byte> alloc;
+    return alloc.allocate(size);
+}
+
+void
+TraceSession::operator delete(void *ptr, std::size_t size) noexcept
+{
+    MmapAlloc<std::byte> alloc;
+    alloc.deallocate(static_cast<std::byte *>(ptr), size);
+}
+
+TraceSession::TraceSession(TraceConfig cfg, const PcTable *pc_table)
+    : config(std::move(cfg)), pcTable(pc_table)
+{
+    TARTAN_ASSERT(pcTable, "TraceSession requires a PcTable");
+    TARTAN_ASSERT(config.epochCycles > 0, "epochCycles must be positive");
+    if (config.bench.empty())
+        config.bench = "trace";
+    // Pre-size the mmap-backed event buffers so steady-state recording
+    // never allocates (growth, should it happen, also stays off the
+    // workload's malloc arena).
+    spans.reserve(1 << 14);
+    instants.reserve(1 << 12);
+    epochRows.reserve(1 << 14);
+}
+
+TraceSession::~TraceSession()
+{
+    if (!finalized)
+        finalize();
+}
+
+void
+TraceSession::kernelSwitch(const std::string &name, Cycles now)
+{
+    lastCycle = std::max(lastCycle, now);
+    if (kernelOpen && name == openKernel)
+        return;
+    if (kernelOpen && now > openKernelSince) {
+        Span span;
+        setName(span.name, openKernel);
+        span.cat = "kernel";
+        span.tid = 0;
+        span.begin = openKernelSince;
+        span.end = now;
+        spans.push_back(span);
+    }
+    setName(openKernel, name.c_str());
+    openKernelSince = now;
+    kernelOpen = true;
+}
+
+void
+TraceSession::phaseBegin(const std::string &name, Cycles now)
+{
+    lastCycle = std::max(lastCycle, now);
+    if (phaseDepth >= kMaxPhaseDepth) {
+        warn("trace: ROI phase nesting deeper than %zu, dropping '%s'",
+             kMaxPhaseDepth, name.c_str());
+        return;
+    }
+    OpenPhase &p = phaseStack[phaseDepth++];
+    setName(p.name, name.c_str());
+    p.since = now;
+}
+
+void
+TraceSession::phaseEnd(Cycles now)
+{
+    lastCycle = std::max(lastCycle, now);
+    if (phaseDepth == 0) {
+        warn("trace: phaseEnd without a matching phaseBegin");
+        return;
+    }
+    const OpenPhase &p = phaseStack[--phaseDepth];
+    if (now > p.since) {
+        Span span;
+        setName(span.name, p.name);
+        span.cat = "roi";
+        span.tid = 1;
+        span.begin = p.since;
+        span.end = now;
+        spans.push_back(span);
+    }
+}
+
+void
+TraceSession::instant(const std::string &name, Cycles now)
+{
+    lastCycle = std::max(lastCycle, now);
+    Instant mark;
+    setName(mark.name, name.c_str());
+    mark.at = now;
+    instants.push_back(mark);
+}
+
+void
+TraceSession::addProbe(const std::string &name,
+                       const std::uint64_t *counter)
+{
+    TARTAN_ASSERT(counter, "addProbe requires a counter");
+    if (probeCount >= kMaxProbes) {
+        warn("trace: more than %zu probes, dropping '%s'", kMaxProbes,
+             name.c_str());
+        return;
+    }
+    Probe &p = probes[probeCount++];
+    setName(p.name, name.c_str());
+    p.counter = counter;
+    p.last = *counter;
+}
+
+void
+TraceSession::setInstructionProbe(const std::uint64_t *counter)
+{
+    TARTAN_ASSERT(counter, "setInstructionProbe requires a counter");
+    instrProbe = counter;
+    instrLast = *counter;
+}
+
+void
+TraceSession::sample(Cycles now)
+{
+    if (now <= epochStart)
+        return;
+    EpochRow row;
+    row.begin = epochStart;
+    row.end = now;
+    for (std::size_t i = 0; i < probeCount; ++i) {
+        Probe &p = probes[i];
+        const std::uint64_t cur = *p.counter;
+        row.deltas[i] = cur - p.last;
+        p.last = cur;
+    }
+    if (instrProbe) {
+        const std::uint64_t cur = *instrProbe;
+        row.ipc = double(cur - instrLast) / double(now - epochStart);
+        instrLast = cur;
+    }
+    epochRows.push_back(row);
+    epochStart = now;
+}
+
+void
+TraceSession::pcAccess(PcId pc, MemLevel level, AccessType type)
+{
+    const std::size_t slot = std::min<std::size_t>(pc, kMaxPcSites - 1);
+    PcCounters &c = pcCounts[slot];
+    pcSeen[slot] = true;
+    if (type == AccessType::Store)
+        ++c.stores;
+    else
+        ++c.loads;
+    const auto idx = std::size_t(level);
+    if (idx < std::size_t(MemLevel::NumLevels))
+        ++c.byLevel[idx];
+}
+
+void
+TraceSession::closeOpen(Cycles now)
+{
+    if (kernelOpen && now > openKernelSince) {
+        Span span;
+        setName(span.name, openKernel);
+        span.cat = "kernel";
+        span.tid = 0;
+        span.begin = openKernelSince;
+        span.end = now;
+        spans.push_back(span);
+        kernelOpen = false;
+    }
+    while (phaseDepth > 0)
+        phaseEnd(now);
+    // Flush the partial last epoch so no tail activity is dropped.
+    if (now > epochStart && (probeCount > 0 || instrProbe))
+        sample(now);
+}
+
+// ---------------------------------------------------------------------------
+// TraceSession — per-PC profile
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<PcId, const TraceSession::PcCounters *>>
+TraceSession::topSites() const
+{
+    std::vector<std::pair<PcId, const PcCounters *>> rows;
+    for (std::size_t pc = 0; pc < kMaxPcSites; ++pc)
+        if (pcSeen[pc])
+            rows.emplace_back(PcId(pc), &pcCounts[pc]);
+    std::sort(rows.begin(), rows.end(), [](const auto &a, const auto &b) {
+        if (a.second->missesBeyondL1() != b.second->missesBeyondL1())
+            return a.second->missesBeyondL1() > b.second->missesBeyondL1();
+        if (a.second->accesses() != b.second->accesses())
+            return a.second->accesses() > b.second->accesses();
+        return a.first < b.first;
+    });
+    if (rows.size() > config.pcTopN)
+        rows.resize(config.pcTopN);
+    return rows;
+}
+
+void
+TraceSession::registerStats(StatsGroup &group)
+{
+    group.setProvider([this](StatsGroup &g) {
+        std::uint32_t rank = 0;
+        for (const auto &[pc, counters] : topSites()) {
+            StatsGroup &one = g.child(pcTable->name(pc));
+            one.set("rank", double(rank++));
+            one.set("pc", double(pc));
+            const std::string structure = pcTable->structure(pc);
+            if (!structure.empty())
+                one.set("structure", structure);
+            one.set("loads", double(counters->loads));
+            one.set("stores", double(counters->stores));
+            one.set("l1Hits", double(counters->byLevel[0]));
+            one.set("l2Hits", double(counters->byLevel[1]));
+            one.set("l3Hits", double(counters->byLevel[2]));
+            one.set("dram", double(counters->byLevel[3]));
+            one.set("missesBeyondL1", double(counters->missesBeyondL1()));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// TraceSession — output
+// ---------------------------------------------------------------------------
+
+std::string
+TraceSession::filePath(const std::string &suffix) const
+{
+    std::string dir = config.dir;
+    if (!dir.empty() && dir.back() != '/')
+        dir += '/';
+    std::string name = "TRACE_" + config.bench;
+    if (!config.run.empty())
+        name += "_" + config.run;
+    return dir + name + suffix;
+}
+
+std::string
+TraceSession::tracePath() const
+{
+    return filePath(".json");
+}
+
+std::string
+TraceSession::epochsPath() const
+{
+    return filePath("_epochs.json");
+}
+
+namespace {
+
+/** Emit the shared fields of one trace event (ph, ts, pid, tid). */
+void
+eventHead(std::ostream &os, const char *ph, Cycles ts, std::uint32_t tid)
+{
+    os << "{\"ph\": \"" << ph << "\", \"ts\": " << ts
+       << ", \"pid\": 0, \"tid\": " << tid;
+}
+
+} // namespace
+
+void
+TraceSession::writeTraceJson(std::ostream &os)
+{
+    closeOpen(lastCycle);
+
+    os << "{\n\"displayTimeUnit\": \"ns\",\n\"otherData\": {\"bench\": ";
+    json::writeString(os, config.bench);
+    os << ", \"run\": ";
+    json::writeString(os, config.run);
+    os << ", \"epochCycles\": " << config.epochCycles
+       << ", \"timeUnit\": \"1 us rendered == 1 simulated cycle\"},\n";
+
+    os << "\"traceEvents\": [";
+    bool first = true;
+    auto sep = [&] {
+        os << (first ? "\n" : ",\n");
+        first = false;
+    };
+
+    // Track-name metadata so Perfetto labels the lanes.
+    const std::pair<std::uint32_t, const char *> tracks[] = {
+        {0, "kernels"}, {1, "roi"}};
+    for (const auto &[tid, label] : tracks) {
+        sep();
+        os << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 0, "
+              "\"tid\": "
+           << tid << ", \"args\": {\"name\": \"" << label << "\"}}";
+    }
+
+    for (const Span &span : spans) {
+        sep();
+        eventHead(os, "X", span.begin, span.tid);
+        os << ", \"dur\": " << (span.end - span.begin) << ", \"cat\": \""
+           << span.cat << "\", \"name\": ";
+        json::writeString(os, span.name);
+        os << "}";
+    }
+
+    for (const Instant &mark : instants) {
+        sep();
+        eventHead(os, "i", mark.at, 1);
+        os << ", \"s\": \"t\", \"name\": ";
+        json::writeString(os, mark.name);
+        os << "}";
+    }
+
+    // Counter tracks: one series per probe, one point per epoch,
+    // stamped at the epoch end.
+    for (const EpochRow &row : epochRows) {
+        for (std::size_t p = 0; p < probeCount; ++p) {
+            sep();
+            eventHead(os, "C", row.end, 0);
+            os << ", \"name\": ";
+            json::writeString(os, probes[p].name);
+            os << ", \"args\": {\"delta\": " << row.deltas[p] << "}}";
+        }
+        if (instrProbe) {
+            sep();
+            eventHead(os, "C", row.end, 0);
+            os << ", \"name\": \"ipc\", \"args\": {\"value\": ";
+            json::writeNumber(os, row.ipc);
+            os << "}}";
+        }
+    }
+    os << (first ? "" : "\n") << "],\n";
+
+    // The per-PC top-N miss table (ignored by trace viewers, read by
+    // the schema checker and humans).
+    os << "\"pcProfile\": [";
+    first = true;
+    for (const auto &[pc, counters] : topSites()) {
+        sep();
+        os << "{\"pc\": " << pc << ", \"name\": ";
+        json::writeString(os, pcTable->name(pc));
+        os << ", \"structure\": ";
+        json::writeString(os, pcTable->structure(pc));
+        os << ", \"loads\": " << counters->loads
+           << ", \"stores\": " << counters->stores
+           << ", \"l1Hits\": " << counters->byLevel[0]
+           << ", \"l2Hits\": " << counters->byLevel[1]
+           << ", \"l3Hits\": " << counters->byLevel[2]
+           << ", \"dram\": " << counters->byLevel[3]
+           << ", \"missesBeyondL1\": " << counters->missesBeyondL1()
+           << "}";
+    }
+    os << (first ? "" : "\n") << "]\n}\n";
+}
+
+void
+TraceSession::writeEpochsJson(std::ostream &os) const
+{
+    os << "{\n  \"bench\": ";
+    json::writeString(os, config.bench);
+    os << ",\n  \"run\": ";
+    json::writeString(os, config.run);
+    os << ",\n  \"epochCycles\": " << config.epochCycles
+       << ",\n  \"probes\": [";
+    bool first = true;
+    for (std::size_t p = 0; p < probeCount; ++p) {
+        os << (first ? "" : ", ");
+        first = false;
+        json::writeString(os, probes[p].name);
+    }
+    os << "],\n  \"epochs\": [";
+    first = true;
+    for (const EpochRow &row : epochRows) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\"begin\": " << row.begin << ", \"end\": " << row.end
+           << ", \"ipc\": ";
+        json::writeNumber(os, row.ipc);
+        os << ", \"deltas\": {";
+        for (std::size_t p = 0; p < probeCount; ++p) {
+            os << (p ? ", " : "");
+            json::writeString(os, probes[p].name);
+            os << ": " << row.deltas[p];
+        }
+        os << "}}";
+    }
+    os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+bool
+TraceSession::writeFileChecked(
+    const std::string &path,
+    const std::function<void(std::ostream &)> &emit)
+{
+    const auto dir = std::filesystem::path(path).parent_path();
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+    }
+    std::ofstream out(path);
+    if (!out) {
+        warn("trace: cannot write %s", path.c_str());
+        return false;
+    }
+    emit(out);
+    out.flush();
+    if (!out) {
+        warn("trace: short write to %s", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+TraceSession::finalize()
+{
+    if (finalized)
+        return true;
+    finalized = true;
+    closeOpen(lastCycle);
+    const bool trace_ok = writeFileChecked(
+        tracePath(), [this](std::ostream &os) { writeTraceJson(os); });
+    const bool epochs_ok = writeFileChecked(
+        epochsPath(), [this](std::ostream &os) { writeEpochsJson(os); });
+    return trace_ok && epochs_ok;
+}
+
+std::unique_ptr<TraceSession>
+TraceSession::fromEnv(const std::string &bench, const std::string &run)
+{
+    const char *dir = std::getenv("TARTAN_TRACE");
+    if (!dir || !*dir)
+        return nullptr;
+    TraceConfig cfg;
+    cfg.dir = dir;
+    cfg.bench = bench;
+    cfg.run = run;
+    if (const char *epoch = std::getenv("TARTAN_TRACE_EPOCH")) {
+        const long long v = std::atoll(epoch);
+        if (v > 0)
+            cfg.epochCycles = Cycles(v);
+        else
+            warn("trace: ignoring invalid TARTAN_TRACE_EPOCH '%s'", epoch);
+    }
+    return std::make_unique<TraceSession>(std::move(cfg));
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool
+schemaFail(std::string *err, const std::string &msg)
+{
+    if (err && err->empty())
+        *err = msg;
+    return false;
+}
+
+bool
+requireNumber(const json::Value &obj, const char *key, std::string *err,
+              const std::string &where)
+{
+    const json::Value *v = obj.find(key);
+    if (!v || !v->isNumber())
+        return schemaFail(err, where + "." + key + " missing or not a "
+                                                   "number");
+    return true;
+}
+
+} // namespace
+
+bool
+validateTraceJson(std::string_view text, std::string *err)
+{
+    json::Value doc;
+    std::string perr;
+    if (!json::parse(text, doc, &perr))
+        return schemaFail(err, "parse error: " + perr);
+    if (!doc.isObject())
+        return schemaFail(err, "document is not an object");
+
+    const json::Value *events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        return schemaFail(err, "missing or invalid 'traceEvents'");
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const json::Value &e = events->array[i];
+        const std::string where = "traceEvents[" + std::to_string(i) + "]";
+        if (!e.isObject())
+            return schemaFail(err, where + " is not an object");
+        const json::Value *ph = e.find("ph");
+        if (!ph || !ph->isString() || ph->string.empty())
+            return schemaFail(err, where + ".ph missing");
+        const json::Value *name = e.find("name");
+        if (!name || !name->isString() || name->string.empty())
+            return schemaFail(err, where + ".name missing");
+        if (ph->string == "M")
+            continue;  // metadata events carry no timestamp
+        if (!requireNumber(e, "ts", err, where))
+            return false;
+        if (ph->string == "X" && !requireNumber(e, "dur", err, where))
+            return false;
+        if (ph->string == "C") {
+            const json::Value *args = e.find("args");
+            if (!args || !args->isObject() || args->object.empty())
+                return schemaFail(err, where + ".args missing");
+            for (const auto &[key, val] : args->object)
+                if (!val.isNumber())
+                    return schemaFail(err, where + ".args." + key +
+                                               " is not a number");
+        }
+    }
+
+    const json::Value *profile = doc.find("pcProfile");
+    if (!profile || !profile->isArray())
+        return schemaFail(err, "missing or invalid 'pcProfile'");
+    for (std::size_t i = 0; i < profile->array.size(); ++i) {
+        const json::Value &row = profile->array[i];
+        const std::string where = "pcProfile[" + std::to_string(i) + "]";
+        if (!row.isObject())
+            return schemaFail(err, where + " is not an object");
+        const json::Value *name = row.find("name");
+        if (!name || !name->isString() || name->string.empty())
+            return schemaFail(err, where + ".name missing");
+        for (const char *key : {"pc", "loads", "stores", "l1Hits",
+                                "l2Hits", "l3Hits", "dram",
+                                "missesBeyondL1"})
+            if (!requireNumber(row, key, err, where))
+                return false;
+    }
+    return true;
+}
+
+bool
+validateEpochsJson(std::string_view text, std::string *err)
+{
+    json::Value doc;
+    std::string perr;
+    if (!json::parse(text, doc, &perr))
+        return schemaFail(err, "parse error: " + perr);
+    if (!doc.isObject())
+        return schemaFail(err, "document is not an object");
+
+    const json::Value *bench = doc.find("bench");
+    if (!bench || !bench->isString() || bench->string.empty())
+        return schemaFail(err, "missing or invalid 'bench'");
+    if (!requireNumber(doc, "epochCycles", err, "document"))
+        return false;
+
+    const json::Value *probes = doc.find("probes");
+    if (!probes || !probes->isArray())
+        return schemaFail(err, "missing or invalid 'probes'");
+    for (const json::Value &p : probes->array)
+        if (!p.isString())
+            return schemaFail(err, "probes[] entry is not a string");
+
+    const json::Value *epochs = doc.find("epochs");
+    if (!epochs || !epochs->isArray())
+        return schemaFail(err, "missing or invalid 'epochs'");
+    for (std::size_t i = 0; i < epochs->array.size(); ++i) {
+        const json::Value &row = epochs->array[i];
+        const std::string where = "epochs[" + std::to_string(i) + "]";
+        if (!row.isObject())
+            return schemaFail(err, where + " is not an object");
+        for (const char *key : {"begin", "end", "ipc"})
+            if (!requireNumber(row, key, err, where))
+                return false;
+        const json::Value *deltas = row.find("deltas");
+        if (!deltas || !deltas->isObject())
+            return schemaFail(err, where + ".deltas missing");
+        if (deltas->object.size() != probes->array.size())
+            return schemaFail(err, where + ".deltas size != probes size");
+        for (const auto &[key, val] : deltas->object)
+            if (!val.isNumber())
+                return schemaFail(err, where + ".deltas." + key +
+                                           " is not a number");
+    }
+    return true;
+}
+
+} // namespace tartan::sim

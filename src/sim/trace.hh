@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Time-resolved tracing: kernel/phase timelines, epoch stats sampling,
+ * and per-PC miss attribution.
+ *
+ * A TraceSession collects three coordinated surfaces, all timestamped
+ * in *simulated* cycles and gated by a single pointer null-check (the
+ * same idiom as robotics::Mem), so a machine without a session attached
+ * is bit-identical in timing and pays no per-event cost:
+ *
+ *  1. a kernel/phase timeline — Core::setKernel transitions and
+ *     workload ROI markers become duration events on per-track lanes of
+ *     a Chrome trace-event JSON file loadable in Perfetto or
+ *     chrome://tracing (one simulated cycle is rendered as one
+ *     microsecond);
+ *  2. an epoch sampler — registered live counters (the same storage the
+ *     StatsRegistry references) are snapshotted every epochCycles of
+ *     simulated time; per-epoch deltas (misses per level, prefetch
+ *     timeliness, IPC) become counter tracks in the trace plus a
+ *     TRACE_<bench>_epochs.json document;
+ *  3. a per-PC profile — MemPath attributes every demand access to its
+ *     static PcId site and servicing level; the PcTable names the data
+ *     structure behind each site, and a top-N table is embedded in the
+ *     trace file and exposed as a stats provider.
+ *
+ * Sessions are created per simulated machine (one Core per session) and
+ * write their files on finalize()/destruction. BenchReporter::makeTrace
+ * builds sessions from the TARTAN_TRACE environment variable so every
+ * bench driver can emit traces without plumbing.
+ */
+
+#ifndef TARTAN_SIM_TRACE_HH
+#define TARTAN_SIM_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <new>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <sys/mman.h>
+#endif
+
+#include "sim/types.hh"
+
+namespace tartan::sim {
+
+class StatsGroup;
+
+/**
+ * Allocator drawing pages straight from mmap, bypassing malloc.
+ *
+ * The simulator uses host pointers as simulated addresses, so a trace
+ * buffer growing inside the malloc arena would shift the workload's own
+ * allocations and perturb the cache behaviour being observed. Event
+ * buffers therefore live in their own anonymous mappings (page
+ * granularity, no interaction with the workload heap).
+ */
+template <typename T>
+struct MmapAlloc {
+    using value_type = T;
+
+    MmapAlloc() = default;
+    template <typename U>
+    MmapAlloc(const MmapAlloc<U> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+#if defined(_WIN32)
+        return static_cast<T *>(::operator new(n * sizeof(T)));
+#else
+        void *mem = ::mmap(nullptr, n * sizeof(T),
+                           PROT_READ | PROT_WRITE,
+                           MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (mem == MAP_FAILED)
+            throw std::bad_alloc();
+        return static_cast<T *>(mem);
+#endif
+    }
+
+    void
+    deallocate(T *p, std::size_t n) noexcept
+    {
+#if defined(_WIN32)
+        ::operator delete(p);
+        (void)n;
+#else
+        ::munmap(p, n * sizeof(T));
+#endif
+    }
+
+    friend bool operator==(const MmapAlloc &, const MmapAlloc &)
+    {
+        return true;
+    }
+    friend bool operator!=(const MmapAlloc &, const MmapAlloc &)
+    {
+        return false;
+    }
+};
+
+/**
+ * Registry of symbolic names for PcId load/store sites.
+ *
+ * Instrumentation points pass compile-time PcId constants; the table
+ * maps each to a short site name ("nns.kdNode") and a description of
+ * the data structure behind it ("k-d tree node (pointer chase)"), so
+ * the per-PC miss profile names structures instead of raw integers.
+ */
+class PcTable
+{
+  public:
+    struct Site {
+        std::string name;
+        std::string structure;
+    };
+
+    /** Register (or overwrite) one site. */
+    void add(PcId pc, std::string name, std::string structure = "");
+
+    bool known(PcId pc) const { return sites.count(pc) != 0; }
+    /** Site name, or "pc<N>" for unregistered sites. */
+    std::string name(PcId pc) const;
+    /** Data-structure description, or "" when unregistered. */
+    std::string structure(PcId pc) const;
+    std::size_t size() const { return sites.size(); }
+
+    /** Process-wide table used by default (robotics registers into it). */
+    static PcTable &global();
+
+  private:
+    std::map<PcId, Site> sites;
+};
+
+/** Static configuration of one trace session. */
+struct TraceConfig {
+    std::string dir;    //!< output directory ("" = CWD)
+    std::string bench;  //!< bench name (file naming)
+    std::string run;    //!< run label, e.g. "HomeBot_approx" ("" = none)
+    /** Simulated cycles per stats-sampling epoch. */
+    Cycles epochCycles = 100000;
+    /** Rows of the per-PC top-N miss table. */
+    std::uint32_t pcTopN = 10;
+};
+
+/** One machine's trace: timeline + epoch samples + per-PC profile. */
+class TraceSession
+{
+  public:
+    explicit TraceSession(TraceConfig cfg,
+                          const PcTable *pc_table = &PcTable::global());
+    /** Finalizes (writes the files) unless finalize() already ran. */
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /**
+     * Sessions are allocated off the malloc arena (same rationale as
+     * MmapAlloc): the object embeds multi-KB fixed buffers whose
+     * presence on the heap would shift workload addresses.
+     */
+    static void *operator new(std::size_t size);
+    static void operator delete(void *ptr, std::size_t size) noexcept;
+
+    /** @name Timeline (driven by Core; @p now is the core cycle). */
+    ///@{
+    /** Close the open kernel span (if any) and open @p name. */
+    void kernelSwitch(const std::string &name, Cycles now);
+    /** Open a workload ROI phase (nesting allowed). */
+    void phaseBegin(const std::string &name, Cycles now);
+    /** Close the innermost open phase. */
+    void phaseEnd(Cycles now);
+    /** Mark an instantaneous event on the ROI track. */
+    void instant(const std::string &name, Cycles now);
+    ///@}
+
+    /** @name Epoch sampling. */
+    ///@{
+    /**
+     * Register a live counter to sample (by reference; the same storage
+     * a StatsRegistry references). Register before the run starts.
+     */
+    void addProbe(const std::string &name, const std::uint64_t *counter);
+    /** The probe whose per-epoch delta is the IPC numerator. */
+    void setInstructionProbe(const std::uint64_t *counter);
+    /** Advance simulated time; samples an epoch when one elapses. */
+    void
+    tick(Cycles now)
+    {
+        lastCycle = now;
+        if (now - epochStart >= config.epochCycles)
+            sample(now);
+    }
+    ///@}
+
+    /** Per-PC attribution of one demand access (driven by MemPath). */
+    void pcAccess(PcId pc, MemLevel level, AccessType type);
+
+    /**
+     * Register the per-PC top-N miss table as a dump-time provider
+     * under @p group (rows keyed by site name).
+     */
+    void registerStats(StatsGroup &group);
+
+    /** Chrome trace-event output path. */
+    std::string tracePath() const;
+    /** Epoch-samples output path (TRACE_<bench>[_<run>]_epochs.json). */
+    std::string epochsPath() const;
+
+    /** Serialize the Chrome trace document. */
+    void writeTraceJson(std::ostream &os);
+    /** Serialize the epoch-samples document. */
+    void writeEpochsJson(std::ostream &os) const;
+
+    /** Write both files; idempotent; reports failures via warn(). */
+    bool finalize();
+
+    const TraceConfig &params() const { return config; }
+    std::size_t events() const { return spans.size() + instants.size(); }
+    std::size_t epochs() const { return epochRows.size(); }
+
+    /**
+     * Build a session from $TARTAN_TRACE (interpreted as the output
+     * directory). Returns null when the variable is unset or empty.
+     * $TARTAN_TRACE_EPOCH overrides TraceConfig::epochCycles.
+     */
+    static std::unique_ptr<TraceSession>
+    fromEnv(const std::string &bench, const std::string &run);
+
+  private:
+    /**
+     * Event names are stored in fixed-size buffers and the event
+     * vectors are reserved generously up front: the simulator treats
+     * host pointers as simulated addresses, so a mid-run malloc from
+     * the trace path would shift workload allocations and perturb the
+     * very cache behaviour being observed. POD events plus up-front
+     * (mmap-backed) reservations keep the recording hot path
+     * allocation-free.
+     */
+    static constexpr std::size_t kNameBytes = 48;
+    static constexpr std::size_t kMaxProbes = 16;
+    static constexpr std::size_t kMaxPhaseDepth = 16;
+    static constexpr std::size_t kMaxPcSites = 256;
+
+    struct Span {
+        char name[kNameBytes];
+        const char *cat;     //!< "kernel" or "roi" (static storage)
+        std::uint32_t tid;   //!< trace track
+        Cycles begin = 0;
+        Cycles end = 0;
+    };
+
+    struct Instant {
+        char name[kNameBytes];
+        Cycles at = 0;
+    };
+
+    struct Probe {
+        char name[kNameBytes];
+        const std::uint64_t *counter;
+        std::uint64_t last = 0;
+    };
+
+    struct EpochRow {
+        Cycles begin = 0;
+        Cycles end = 0;
+        double ipc = 0.0;
+        std::uint64_t deltas[kMaxProbes] = {};  //!< parallel to probes
+    };
+
+    struct OpenPhase {
+        char name[kNameBytes];
+        Cycles since = 0;
+    };
+
+    struct PcCounters {
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        /** Accesses serviced per level (indexed by MemLevel). */
+        std::uint64_t byLevel[std::size_t(MemLevel::NumLevels)] = {};
+
+        std::uint64_t accesses() const { return loads + stores; }
+        /** Demand accesses that missed the L1. */
+        std::uint64_t
+        missesBeyondL1() const
+        {
+            return byLevel[1] + byLevel[2] + byLevel[3];
+        }
+    };
+
+    void sample(Cycles now);
+    void closeOpen(Cycles now);
+    std::string filePath(const std::string &suffix) const;
+    /** Top-N (pc, counters) rows ordered by misses beyond L1. */
+    std::vector<std::pair<PcId, const PcCounters *>> topSites() const;
+    bool
+    writeFileChecked(const std::string &path,
+                     const std::function<void(std::ostream &)> &emit);
+
+    TraceConfig config;
+    const PcTable *pcTable;
+
+    // Timeline state.
+    std::vector<Span, MmapAlloc<Span>> spans;
+    std::vector<Instant, MmapAlloc<Instant>> instants;
+    char openKernel[kNameBytes] = {};
+    Cycles openKernelSince = 0;
+    bool kernelOpen = false;
+    OpenPhase phaseStack[kMaxPhaseDepth];
+    std::size_t phaseDepth = 0;
+    Cycles lastCycle = 0;
+
+    // Epoch state.
+    Probe probes[kMaxProbes];
+    std::size_t probeCount = 0;
+    const std::uint64_t *instrProbe = nullptr;
+    std::uint64_t instrLast = 0;
+    Cycles epochStart = 0;
+    std::vector<EpochRow, MmapAlloc<EpochRow>> epochRows;
+
+    // Per-PC state (direct-indexed by PcId; sites above the cap share
+    // the last slot, which registered sites never reach).
+    PcCounters pcCounts[kMaxPcSites];
+    bool pcSeen[kMaxPcSites] = {};
+
+    bool finalized = false;
+};
+
+/**
+ * Validate a Chrome trace-event document emitted by TraceSession:
+ * object with a traceEvents array of well-formed events (ph/ts, dur on
+ * complete events, numeric args on counter events) and a pcProfile
+ * array of named numeric rows. Returns false with a diagnostic in
+ * @p err (when non-null) on any deviation.
+ */
+bool validateTraceJson(std::string_view text, std::string *err = nullptr);
+
+/** Validate a TRACE_*_epochs.json document emitted by TraceSession. */
+bool validateEpochsJson(std::string_view text, std::string *err = nullptr);
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_TRACE_HH

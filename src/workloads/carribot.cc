@@ -56,7 +56,7 @@ runCarriBot(const MachineSpec &spec, const WorkloadOptions &opt)
     RunResult result;
     result.robot = "CarriBot";
 
-    Machine machine(spec);
+    Machine machine(spec, opt.trace);
     auto &core = machine.core();
     auto &mem = machine.mem();
     Pipeline pipeline(core);
@@ -176,6 +176,7 @@ runCarriBot(const MachineSpec &spec, const WorkloadOptions &opt)
         2, static_cast<std::uint32_t>(5 * opt.scale));
     SearchResult plan;
     for (std::uint32_t frame = 0; frame < frames; ++frame) {
+        ScopedPhase roi(core, "frame " + std::to_string(frame));
         // --- Perception (1 thread): POM beam updates ----------------
         pipeline.serial([&] {
             ScopedKernel scope(core, k_pom);

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "robotics/pc_names.hh"
+
 namespace tartan::workloads {
 
 using tartan::sim::SysConfig;
@@ -42,9 +44,16 @@ MachineSpec::tartan()
     return spec;
 }
 
-Machine::Machine(const MachineSpec &spec) : specData(spec)
+Machine::Machine(const MachineSpec &spec, tartan::sim::TraceSession *trace)
+    : specData(spec)
 {
-    sys = std::make_unique<tartan::sim::System>(spec.sys);
+    // Registered unconditionally (idempotent) so the traced and
+    // untraced paths perform identical host allocations: the simulator
+    // reads host pointers as simulated addresses, so asymmetric heap
+    // traffic would perturb the measured cache behaviour.
+    robotics::registerPcSites();
+    specData.sys.trace = trace;
+    sys = std::make_unique<tartan::sim::System>(specData.sys);
     if (spec.useAnl) {
         core::AnlConfig anl = spec.anlCfg;
         anl.lineBytes = spec.sys.lineBytes;
@@ -109,6 +118,8 @@ Machine::registerStats(tartan::sim::StatsRegistry &registry)
         g.set("lanesLoaded", double(s.lanesLoaded));
         g.set("checks", double(s.checks));
     });
+    if (specData.sys.trace)
+        specData.sys.trace->registerStats(registry.group("pcProfile"));
 }
 
 void

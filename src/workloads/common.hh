@@ -19,10 +19,12 @@
 #include "robotics/oriented.hh"
 #include "sim/arena.hh"
 #include "sim/system.hh"
+#include "sim/trace.hh"
 
 namespace tartan::workloads {
 
 using tartan::sim::ScopedKernel;
+using tartan::sim::ScopedPhase;
 
 /** Software tiers evaluated in Fig. 12. */
 enum class SoftwareTier {
@@ -71,6 +73,13 @@ struct WorkloadOptions {
      * the Approximate tier.
      */
     bool softwareNeural = false;
+
+    /**
+     * Time-resolved tracing session (not owned; null = off). Robots
+     * pass this through to Machine so kernel timelines, epoch samples
+     * and per-PC attribution flow into the session.
+     */
+    tartan::sim::TraceSession *trace = nullptr;
 };
 
 /** Outcome of one robot run. */
@@ -103,7 +112,8 @@ struct RunResult {
 class Machine
 {
   public:
-    explicit Machine(const MachineSpec &spec);
+    explicit Machine(const MachineSpec &spec,
+                     tartan::sim::TraceSession *trace = nullptr);
 
     tartan::sim::System &system() { return *sys; }
     tartan::sim::Core &core() { return sys->core(); }

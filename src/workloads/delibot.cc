@@ -22,7 +22,7 @@ runDeliBot(const MachineSpec &spec, const WorkloadOptions &opt)
     RunResult result;
     result.robot = "DeliBot";
 
-    Machine machine(spec);
+    Machine machine(spec, opt.trace);
     auto &core = machine.core();
     auto &mem = machine.mem();
     Pipeline pipeline(core);
@@ -70,6 +70,7 @@ runDeliBot(const MachineSpec &spec, const WorkloadOptions &opt)
         4, static_cast<std::uint32_t>(10 * opt.scale));
     Pose2 estimate = truth;
     for (std::uint32_t frame = 0; frame < frames; ++frame) {
+        ScopedPhase roi(core, "frame " + std::to_string(frame));
         // --- Perception (8 threads): MCL over the laser scan --------
         std::vector<double> observed;
         pipeline.serial([&] {

@@ -142,7 +142,7 @@ runFlyBot(const MachineSpec &spec, const WorkloadOptions &opt)
     RunResult result;
     result.robot = "FlyBot";
 
-    Machine machine(spec);
+    Machine machine(spec, opt.trace);
     auto &core = machine.core();
     auto &mem = machine.mem();
     Pipeline pipeline(core);
@@ -307,6 +307,7 @@ runFlyBot(const MachineSpec &spec, const WorkloadOptions &opt)
 
     // --- Perception (1 thread): LT multimodal fusion ----------------
     pipeline.serial([&] {
+        ScopedPhase roi(core, "perception");
         ScopedKernel scope(core, k_fusion);
         // Stabilise object positions from two sensor modalities.
         for (int obs = 0; obs < 24; ++obs) {
@@ -319,6 +320,7 @@ runFlyBot(const MachineSpec &spec, const WorkloadOptions &opt)
     // --- Planning (4 threads): ATA* with/without AXAR ---------------
     core::AxarResult plan;
     pipeline.serial([&] {
+        ScopedPhase roi(core, "planning");
         plan = core::anytimeAStar(mem, arrays, air.id(sx, sy, sz),
                                   air.id(gx, gy, gz), expand, exact,
                                   approx.get(), core::AxarOptions{});
@@ -326,6 +328,7 @@ runFlyBot(const MachineSpec &spec, const WorkloadOptions &opt)
 
     // --- Control (4 threads): MPC along the first waypoints ---------
     pipeline.serial([&] {
+        ScopedPhase roi(core, "control");
         ScopedKernel scope(core, k_control);
         Mpc::Config mpc_cfg;
         Mpc mpc(mpc_cfg);

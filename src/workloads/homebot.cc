@@ -87,7 +87,7 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
     RunResult result;
     result.robot = "HomeBot";
 
-    Machine machine(spec);
+    Machine machine(spec, opt.trace);
     auto &core = machine.core();
     auto &mem = machine.mem();
     Pipeline pipeline(core);
@@ -159,6 +159,7 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
     Transform3 truth_pose;
     double residual_acc = 0.0;
     for (std::uint32_t frame = 0; frame < frames; ++frame) {
+        ScopedPhase roi(core, "frame " + std::to_string(frame));
         // The robot moved a little: frames arrive in a shifted pose.
         truth_pose = makeTransform(0.0, 0.0, 0.03,
                                    Vec3{0.08, 0.05, 0.0})

@@ -73,7 +73,7 @@ runMoveBot(const MachineSpec &spec, const WorkloadOptions &opt)
     RunResult result;
     result.robot = "MoveBot";
 
-    Machine machine(spec);
+    Machine machine(spec, opt.trace);
     auto &core = machine.core();
     auto &mem = machine.mem();
     Pipeline pipeline(core);
@@ -189,6 +189,7 @@ runMoveBot(const MachineSpec &spec, const WorkloadOptions &opt)
     double total_nodes = 0.0;
     double total_path = 0.0;
     for (int query = 0; query < 3; ++query) {
+        ScopedPhase roi(core, "query " + std::to_string(query));
         // Each query grows a fresh tree and index.
         RrtPlanner rrt(rrt_cfg, arena);
         auto nns = makeBackend(kind, rrt.store(), rrt_cfg.dim,

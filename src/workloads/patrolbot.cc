@@ -47,7 +47,7 @@ runPatrolBot(const MachineSpec &spec, const WorkloadOptions &opt)
     RunResult result;
     result.robot = "PatrolBot";
 
-    Machine machine(spec);
+    Machine machine(spec, opt.trace);
     auto &core = machine.core();
     auto &mem = machine.mem();
     Pipeline pipeline(core);
@@ -135,6 +135,7 @@ runPatrolBot(const MachineSpec &spec, const WorkloadOptions &opt)
     std::uint32_t detections = 0;
 
     for (std::uint32_t frame = 0; frame < frames; ++frame) {
+        ScopedPhase roi(core, "frame " + std::to_string(frame));
         auto img = makeImage(rng, frame % 2 == 0);
 
         // --- Perception: the detector (4 threads, overlapped) --------

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "sim/arena.hh"
 #include "sim/bingo.hh"
 #include "sim/cache.hh"
@@ -434,6 +436,56 @@ TEST(Core, KernelAttribution)
     EXPECT_EQ(core.kernels()[0].instructions, 80u);
 }
 
+TEST(Core, KernelSwitchFlushesOpCarry)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &core = sys.core();
+    auto ka = core.registerKernel("a");
+    auto kb = core.registerKernel("b");
+
+    core.setKernel(ka);
+    core.exec(1);  // sub-width remainder: no full issue group yet
+    EXPECT_EQ(core.cycles(), 0u);
+    core.setKernel(kb);  // flush charges the partial group to 'a'
+    EXPECT_EQ(core.cycles(), 1u);
+    EXPECT_EQ(core.kernels()[ka].cycles, 1u);
+
+    core.exec(1);
+    core.setKernel(0);
+    EXPECT_EQ(core.kernels()[kb].cycles, 1u);
+
+    // The attribution identity the stats invariant enforces: kernel
+    // rows sum exactly to the core totals (no leaked carry).
+    Cycles cycle_sum = 0;
+    std::uint64_t instr_sum = 0;
+    for (const auto &row : core.kernels()) {
+        cycle_sum += row.cycles;
+        instr_sum += row.instructions;
+    }
+    EXPECT_EQ(cycle_sum, core.cycles());
+    EXPECT_EQ(instr_sum, core.instructions());
+}
+
+TEST(Core, KernelAttributionInvariantHoldsOnDump)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &core = sys.core();
+    auto k = core.registerKernel("odd");
+    {
+        ScopedKernel scope(core, k);
+        core.exec(3);  // leaves a live carry inside the kernel
+    }
+    core.exec(6);
+
+    StatsRegistry registry;
+    sys.registerStats(registry);
+    std::ostringstream os;
+    registry.dumpJson(os);  // panics if the kernel-sum invariant fails
+    EXPECT_NE(os.str().find("\"kernels\""), std::string::npos);
+}
+
 TEST(StageTimer, MakespanLpt)
 {
     SysConfig cfg;
@@ -449,6 +501,67 @@ TEST(StageTimer, MakespanLpt)
     EXPECT_EQ(timer.makespan(1), 100u);
     EXPECT_EQ(timer.makespan(2), 50u);
     EXPECT_EQ(timer.makespan(4), 40u);
+}
+
+TEST(StageTimer, MoreWorkersThanItems)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    StageTimer timer(sys.core());
+    for (Cycles d : {40u, 30u}) {
+        timer.beginItem();
+        sys.core().stall(d);
+        timer.endItem();
+    }
+    // Extra workers idle; the longest item bounds the makespan.
+    EXPECT_EQ(timer.makespan(8), 40u);
+}
+
+TEST(StageTimer, ZeroWorkersAndEmptyStage)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    StageTimer timer(sys.core());
+    EXPECT_EQ(timer.items(), 0u);
+    EXPECT_EQ(timer.totalWork(), 0u);
+    EXPECT_EQ(timer.makespan(4), 0u);  // empty stage costs nothing
+    timer.beginItem();
+    sys.core().stall(10);
+    timer.endItem();
+    EXPECT_EQ(timer.makespan(0), 0u);  // degenerate worker count
+}
+
+TEST(StageTimer, SkewedDurationsBoundedByLongestItem)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    StageTimer timer(sys.core());
+    for (Cycles d : {100u, 1u, 1u, 1u}) {
+        timer.beginItem();
+        sys.core().stall(d);
+        timer.endItem();
+    }
+    // LPT puts the giant item alone in one bin: 100 | 1+1+1.
+    EXPECT_EQ(timer.makespan(2), 100u);
+    EXPECT_EQ(timer.makespan(4), 100u);
+}
+
+TEST(StageTimer, ResetForgetsRecordedItems)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    StageTimer timer(sys.core());
+    timer.beginItem();
+    sys.core().stall(50);
+    timer.endItem();
+    timer.reset();
+    EXPECT_EQ(timer.items(), 0u);
+    EXPECT_EQ(timer.totalWork(), 0u);
+    timer.beginItem();
+    sys.core().stall(20);
+    timer.endItem();
+    EXPECT_EQ(timer.totalWork(), 20u);
+    EXPECT_EQ(timer.makespan(1), 20u);
 }
 
 TEST(Arena, DeterministicOffsetsAndAlignment)

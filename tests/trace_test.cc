@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Unit tests for the time-resolved tracing subsystem: the PcTable,
+ * kernel/phase timelines, the epoch sampler, per-PC attribution, the
+ * trace/epochs schema validators, and the no-observer-effect guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "robotics/pc_names.hh"
+#include "sim/json.hh"
+#include "sim/stats.hh"
+#include "sim/system.hh"
+#include "sim/trace.hh"
+#include "workloads/robots.hh"
+
+namespace {
+
+using namespace tartan::sim;
+
+/** Session config writing into the test CWD with short (SSO) names. */
+TraceConfig
+testConfig(const char *run, Cycles epoch_cycles = 100000)
+{
+    TraceConfig cfg;
+    cfg.bench = "tt";
+    cfg.run = run;
+    cfg.epochCycles = epoch_cycles;
+    return cfg;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// PcTable
+// ---------------------------------------------------------------------------
+
+TEST(PcTable, NamesAndFallback)
+{
+    PcTable table;
+    table.add(7, "nns.kdNode", "k-d tree node");
+    EXPECT_TRUE(table.known(7));
+    EXPECT_EQ(table.name(7), "nns.kdNode");
+    EXPECT_EQ(table.structure(7), "k-d tree node");
+    EXPECT_FALSE(table.known(8));
+    EXPECT_EQ(table.name(8), "pc8");
+    EXPECT_EQ(table.structure(8), "");
+}
+
+TEST(PcTable, RoboticsSitesRegisterIdempotently)
+{
+    PcTable table;
+    tartan::robotics::registerPcSites(table);
+    const std::size_t count = table.size();
+    EXPECT_GT(count, 10u);
+    tartan::robotics::registerPcSites(table);
+    EXPECT_EQ(table.size(), count);
+    // Names must be legal stats-group keys (no '/' or '"').
+    for (PcId pc = 0; pc < 256; ++pc) {
+        if (!table.known(pc))
+            continue;
+        const std::string name = table.name(pc);
+        EXPECT_EQ(name.find('/'), std::string::npos) << name;
+        EXPECT_EQ(name.find('"'), std::string::npos) << name;
+        EXPECT_FALSE(table.structure(pc).empty()) << name;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel/phase timeline
+// ---------------------------------------------------------------------------
+
+TEST(TraceTimeline, KernelSpansCoalesceAndClose)
+{
+    TraceSession session(testConfig("ktl"));
+    session.kernelSwitch("raycast", 0);
+    session.kernelSwitch("raycast", 10);   // same kernel: no span yet
+    EXPECT_EQ(session.events(), 0u);
+    session.kernelSwitch("icp", 40);       // closes raycast [0, 40)
+    EXPECT_EQ(session.events(), 1u);
+    session.finalize();                    // closes icp [40, 40): empty
+
+    std::string err;
+    const std::string text = slurp(session.tracePath());
+    ASSERT_TRUE(validateTraceJson(text, &err)) << err;
+
+    json::Value doc;
+    ASSERT_TRUE(json::parse(text, doc, &err)) << err;
+    const json::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool found = false;
+    for (const json::Value &e : events->array) {
+        const json::Value *name = e.find("name");
+        const json::Value *ph = e.find("ph");
+        if (ph && ph->string == "X" && name && name->string == "raycast") {
+            found = true;
+            EXPECT_EQ(e.find("ts")->number, 0.0);
+            EXPECT_EQ(e.find("dur")->number, 40.0);
+        }
+    }
+    EXPECT_TRUE(found) << "raycast span missing from " << session.tracePath();
+    std::remove(session.tracePath().c_str());
+    std::remove(session.epochsPath().c_str());
+}
+
+TEST(TraceTimeline, PhasesNestAndUnmatchedEndIsIgnored)
+{
+    TraceSession session(testConfig("roi"));
+    session.phaseBegin("frame 0", 0);
+    session.phaseBegin("icp", 5);
+    session.phaseEnd(25);  // icp [5, 25)
+    session.phaseEnd(30);  // frame 0 [0, 30)
+    session.phaseEnd(31);  // unmatched: warned and dropped
+    session.instant("replan", 12);
+    EXPECT_EQ(session.events(), 3u);
+    session.finalize();
+
+    std::string err;
+    EXPECT_TRUE(validateTraceJson(slurp(session.tracePath()), &err)) << err;
+    std::remove(session.tracePath().c_str());
+    std::remove(session.epochsPath().c_str());
+}
+
+TEST(TraceTimeline, DanglingPhasesClosedAtFinalize)
+{
+    auto session = std::make_unique<TraceSession>(testConfig("dgl"));
+    session->kernelSwitch("nns", 0);
+    session->phaseBegin("frame 0", 0);
+    session->tick(500);
+    session->finalize();
+    // Both the open kernel and the open phase became spans at cycle 500.
+    EXPECT_EQ(session->events(), 2u);
+    std::remove(session->tracePath().c_str());
+    std::remove(session->epochsPath().c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Epoch sampler
+// ---------------------------------------------------------------------------
+
+TEST(TraceEpochs, SamplerRecordsPerEpochDeltas)
+{
+    TraceSession session(testConfig("epo", /*epoch_cycles=*/100));
+    SysConfig cfg;
+    cfg.trace = &session;
+    System sys(cfg);
+    auto &core = sys.core();
+
+    // The sampler observes time at addCycles granularity, so advance in
+    // single-cycle steps: 1000 cycles at issue width 4 -> 10 full epochs.
+    for (int i = 0; i < 1000; ++i)
+        core.exec(4);
+    EXPECT_EQ(session.epochs(), 10u);
+    core.exec(100);   // 25 more cycles: partial epoch, flushed at finalize
+    session.finalize();
+    EXPECT_EQ(session.epochs(), 11u);
+
+    std::string err;
+    const std::string text = slurp(session.epochsPath());
+    ASSERT_TRUE(validateEpochsJson(text, &err)) << err;
+
+    // IPC of a pure-compute run at issue width 4 is 4.0 per epoch.
+    json::Value doc;
+    ASSERT_TRUE(json::parse(text, doc, &err)) << err;
+    const json::Value *epochs = doc.find("epochs");
+    ASSERT_NE(epochs, nullptr);
+    ASSERT_EQ(epochs->array.size(), 11u);
+    for (const json::Value &row : epochs->array)
+        EXPECT_DOUBLE_EQ(row.find("ipc")->number, 4.0);
+    std::remove(session.tracePath().c_str());
+    std::remove(session.epochsPath().c_str());
+}
+
+TEST(TraceEpochs, DeltasSumToCounterTotals)
+{
+    TraceSession session(testConfig("sum", /*epoch_cycles=*/50));
+    SysConfig cfg;
+    cfg.trace = &session;
+    System sys(cfg);
+    auto &core = sys.core();
+
+    // Mix of misses and compute spread over many epochs.
+    for (int i = 0; i < 40; ++i) {
+        core.load(0x100000 + i * 4096, /*pc=*/4);
+        core.exec(200);
+    }
+    session.finalize();
+
+    std::string err;
+    const std::string text = slurp(session.epochsPath());
+    ASSERT_TRUE(validateEpochsJson(text, &err)) << err;
+    json::Value doc;
+    ASSERT_TRUE(json::parse(text, doc, &err)) << err;
+    double l1_sum = 0.0;
+    for (const json::Value &row : doc.find("epochs")->array)
+        l1_sum += row.find("deltas")->find("l1Misses")->number;
+    EXPECT_EQ(std::uint64_t(l1_sum), sys.mem().l1().stats().misses);
+    std::remove(session.tracePath().c_str());
+    std::remove(session.epochsPath().c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Per-PC attribution
+// ---------------------------------------------------------------------------
+
+TEST(TracePcProfile, AttributesAccessesPerLevelAndRanksByMisses)
+{
+    PcTable table;
+    table.add(7, "hot.site", "pointer chase");
+    table.add(9, "cold.site", "stack scratch");
+
+    TraceSession session(testConfig("pcp"), &table);
+    SysConfig cfg;
+    cfg.trace = &session;
+    System sys(cfg);
+    auto &mem = sys.mem();
+
+    // pc 7: two DRAM misses + one L1 hit; pc 9: one L1-resident store.
+    mem.access(0x10000, AccessType::Load, 4, 7, 0);
+    mem.access(0x50000, AccessType::Load, 4, 7, 0);
+    mem.access(0x10000, AccessType::Load, 4, 7, 0);
+    mem.access(0x10004, AccessType::Store, 4, 9, 0);
+
+    StatsRegistry registry;
+    session.registerStats(registry.group("pcProfile"));
+    std::ostringstream os;
+    registry.dumpJson(os);
+    const std::string dump = os.str();
+    EXPECT_NE(dump.find("\"hot.site\""), std::string::npos);
+    EXPECT_NE(dump.find("\"cold.site\""), std::string::npos);
+    EXPECT_NE(dump.find("\"pointer chase\""), std::string::npos);
+
+    session.finalize();
+    std::string err;
+    const std::string text = slurp(session.tracePath());
+    ASSERT_TRUE(validateTraceJson(text, &err)) << err;
+    json::Value doc;
+    ASSERT_TRUE(json::parse(text, doc, &err)) << err;
+    const json::Value *profile = doc.find("pcProfile");
+    ASSERT_NE(profile, nullptr);
+    ASSERT_EQ(profile->array.size(), 2u);
+    // Ranked by misses beyond L1: the pointer-chasing site leads.
+    EXPECT_EQ(profile->array[0].find("name")->string, "hot.site");
+    EXPECT_EQ(profile->array[0].find("dram")->number, 2.0);
+    EXPECT_EQ(profile->array[0].find("l1Hits")->number, 1.0);
+    EXPECT_EQ(profile->array[0].find("missesBeyondL1")->number, 2.0);
+    EXPECT_EQ(profile->array[1].find("stores")->number, 1.0);
+    std::remove(session.tracePath().c_str());
+    std::remove(session.epochsPath().c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Schema validators (negative cases)
+// ---------------------------------------------------------------------------
+
+TEST(TraceValidate, RejectsMalformedTraceDocuments)
+{
+    std::string err;
+    EXPECT_FALSE(validateTraceJson("not json", &err));
+    EXPECT_FALSE(validateTraceJson("{}", &err));
+    // Event without a ph.
+    EXPECT_FALSE(validateTraceJson(
+        R"({"traceEvents": [{"name": "x", "ts": 0}], "pcProfile": []})",
+        &err));
+    // Complete event without a dur.
+    EXPECT_FALSE(validateTraceJson(
+        R"({"traceEvents": [{"ph": "X", "name": "x", "ts": 0}],
+            "pcProfile": []})",
+        &err));
+    // Counter event with a non-numeric arg.
+    EXPECT_FALSE(validateTraceJson(
+        R"({"traceEvents": [{"ph": "C", "name": "c", "ts": 0,
+                             "args": {"v": "high"}}], "pcProfile": []})",
+        &err));
+    // Profile row without the numeric fields.
+    EXPECT_FALSE(validateTraceJson(
+        R"({"traceEvents": [], "pcProfile": [{"name": "site"}]})", &err));
+    // A minimal valid document passes.
+    EXPECT_TRUE(validateTraceJson(
+        R"({"traceEvents": [{"ph": "M", "name": "thread_name",
+                             "args": {"name": "kernels"}}],
+            "pcProfile": []})",
+        &err))
+        << err;
+}
+
+TEST(TraceValidate, RejectsMalformedEpochDocuments)
+{
+    std::string err;
+    EXPECT_FALSE(validateEpochsJson("{}", &err));
+    // Delta block not matching the probe list.
+    EXPECT_FALSE(validateEpochsJson(
+        R"({"bench": "b", "epochCycles": 10, "probes": ["a", "b"],
+            "epochs": [{"begin": 0, "end": 10, "ipc": 1.0,
+                        "deltas": {"a": 1}}]})",
+        &err));
+    EXPECT_TRUE(validateEpochsJson(
+        R"({"bench": "b", "epochCycles": 10, "probes": ["a"],
+            "epochs": [{"begin": 0, "end": 10, "ipc": 1.0,
+                        "deltas": {"a": 1}}]})",
+        &err))
+        << err;
+}
+
+// ---------------------------------------------------------------------------
+// fromEnv
+// ---------------------------------------------------------------------------
+
+TEST(TraceEnv, FromEnvHonoursDirectoryAndEpochOverride)
+{
+    unsetenv("TARTAN_TRACE");
+    EXPECT_EQ(TraceSession::fromEnv("b", "r"), nullptr);
+
+    setenv("TARTAN_TRACE", "trace_env_out", 1);
+    setenv("TARTAN_TRACE_EPOCH", "12345", 1);
+    auto session = TraceSession::fromEnv("b", "r");
+    ASSERT_NE(session, nullptr);
+    EXPECT_EQ(session->params().epochCycles, 12345u);
+    EXPECT_EQ(session->tracePath(), "trace_env_out/TRACE_b_r.json");
+    EXPECT_EQ(session->epochsPath(),
+              "trace_env_out/TRACE_b_r_epochs.json");
+    unsetenv("TARTAN_TRACE");
+    unsetenv("TARTAN_TRACE_EPOCH");
+    session->finalize();
+    std::remove(session->tracePath().c_str());
+    std::remove(session->epochsPath().c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Observer effect
+// ---------------------------------------------------------------------------
+
+using tartan::workloads::MachineSpec;
+using tartan::workloads::RunResult;
+using tartan::workloads::WorkloadOptions;
+
+/** Timing summary of one scripted run on a fixed address stream. */
+struct ScriptStats {
+    Cycles cycles;
+    std::uint64_t instructions;
+    std::uint64_t l1Misses;
+    std::uint64_t l2Misses;
+};
+
+/**
+ * Drive a System through a deterministic mix of kernels, phases, loads,
+ * stores and compute on *literal* addresses. Unlike the workloads —
+ * whose host pointers double as simulated addresses, so heap-layout
+ * shifts between runs change their cache behaviour — a literal address
+ * stream is bit-reproducible, which is what lets this compare traced
+ * against untraced timing exactly.
+ */
+ScriptStats
+driveScript(TraceSession *trace)
+{
+    SysConfig cfg;
+    cfg.trace = trace;
+    System sys(cfg);
+    auto &core = sys.core();
+    const std::uint32_t alpha = core.registerKernel("alpha");
+    const std::uint32_t beta = core.registerKernel("beta");
+
+    for (int rep = 0; rep < 50; ++rep) {
+        core.phaseBegin("frame");
+        {
+            ScopedKernel sk(core, alpha);
+            for (int i = 0; i < 64; ++i)
+                core.load(0x40000 + ((rep * 64 + i) * 64) % 262144,
+                          /*pc=*/7, MemDep::Dependent);
+            core.exec(123);
+        }
+        {
+            ScopedKernel sk(core, beta);
+            for (int i = 0; i < 16; ++i)
+                core.store(0x900000 + i * 32, /*pc=*/9);
+            core.exec(37);
+        }
+        core.phaseEnd();
+    }
+    return ScriptStats{core.cycles(), core.instructions(),
+                       sys.mem().l1().stats().misses,
+                       sys.mem().l2().stats().misses};
+}
+
+TEST(TraceObserver, AttachingASessionDoesNotPerturbTiming)
+{
+    const ScriptStats plain = driveScript(nullptr);
+
+    auto session =
+        std::make_unique<TraceSession>(testConfig("obs", /*epoch=*/500));
+    const ScriptStats traced = driveScript(session.get());
+    EXPECT_GT(session->events(), 0u);
+    EXPECT_GT(session->epochs(), 0u);
+
+    // Bit-identical timing and cache behaviour: the hooks observe the
+    // model, they never feed back into it.
+    EXPECT_EQ(traced.cycles, plain.cycles);
+    EXPECT_EQ(traced.instructions, plain.instructions);
+    EXPECT_EQ(traced.l1Misses, plain.l1Misses);
+    EXPECT_EQ(traced.l2Misses, plain.l2Misses);
+
+    const std::string trace_path = session->tracePath();
+    const std::string epochs_path = session->epochsPath();
+    session.reset();  // finalize + write
+    std::string err;
+    EXPECT_TRUE(validateTraceJson(slurp(trace_path), &err)) << err;
+    EXPECT_TRUE(validateEpochsJson(slurp(epochs_path), &err)) << err;
+    std::remove(trace_path.c_str());
+    std::remove(epochs_path.c_str());
+}
+
+TEST(TraceObserver, TracedWorkloadStaysWithinNoiseOfUntraced)
+{
+    // Full workloads use host pointers as simulated addresses, so even
+    // two *untraced* runs in one process differ slightly (the malloc
+    // frontier moves between runs). Tracing must not add more than that
+    // ambient heap-layout noise — the session's buffers live in their
+    // own mmap regions precisely to stay off the workload heap.
+    WorkloadOptions opt;
+    opt.scale = 0.5;
+    const RunResult plain =
+        tartan::workloads::runHomeBot(MachineSpec::baseline(), opt);
+
+    auto session = std::make_unique<TraceSession>(testConfig("wkl"));
+    opt.trace = session.get();
+    const RunResult traced =
+        tartan::workloads::runHomeBot(MachineSpec::baseline(), opt);
+    EXPECT_GT(session->events(), 0u);
+    EXPECT_GT(session->epochs(), 0u);
+
+    EXPECT_EQ(traced.instructions, plain.instructions)
+        << "tracing changed the instruction stream";
+    const double ratio =
+        double(traced.workCycles) / double(plain.workCycles);
+    EXPECT_GT(ratio, 0.95);
+    EXPECT_LT(ratio, 1.05);
+
+    const std::string trace_path = session->tracePath();
+    const std::string epochs_path = session->epochsPath();
+    session.reset();
+    std::string err;
+    EXPECT_TRUE(validateTraceJson(slurp(trace_path), &err)) << err;
+    EXPECT_TRUE(validateEpochsJson(slurp(epochs_path), &err)) << err;
+    std::remove(trace_path.c_str());
+    std::remove(epochs_path.c_str());
+}
+
+} // namespace
