@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Chaos campaign: drive every robot through a sweep of deterministic
+ * fault classes (sensor corruption, surrogate glitches, memory-timing
+ * chaos) and report how gracefully each one degrades. A robot
+ * "survives" a class when its final metrics stay finite and its
+ * recovery counters show the degradation machinery actually engaged.
+ *
+ * Usage:
+ *   chaos_campaign [robot-name ...]      # default: all six robots
+ *   TARTAN_FAULTS=<spec> chaos_campaign  # single user-supplied plan
+ *
+ * The campaign is deterministic: plans are seeded (default seed 42)
+ * and each robot derives its own fault stream from (plan, robot name),
+ * so two runs with the same plan produce identical BENCH rows.
+ */
+
+#include "bench_util.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+
+using namespace tartan::bench;
+using namespace tartan::workloads;
+using tartan::sim::FaultPlan;
+
+namespace {
+
+struct FaultClass {
+    const char *name;
+    const char *spec;
+};
+
+/** The default sweep: one class per fault mechanism. */
+const FaultClass kClasses[] = {
+    {"sensor-drop", "sensor:drop=0.2"},
+    {"sensor-spike", "sensor:spike=0.1@20"},
+    {"sensor-nan", "sensor:nan=0.1"},
+    {"sensor-noise", "sensor:noise=0.5@0.05"},
+    {"surrogate-garbage", "surrogate:garbage=0.3"},
+    {"mem-chaos", "mem:spike=0.02@300,blackout=0.01@500"},
+};
+
+/**
+ * The robot's primary quality metric, compared against the clean run
+ * to quantify degradation.
+ */
+const char *
+primaryMetric(const std::string &robot)
+{
+    if (robot == "DeliBot")
+        return "locErrorCells";
+    if (robot == "PatrolBot")
+        return "ekfError";
+    if (robot == "MoveBot")
+        return "pathLength";
+    if (robot == "HomeBot")
+        return "mapPoints";
+    return "planCost"; // FlyBot, CarriBot
+}
+
+double
+metricOr(const RunResult &res, const std::string &key, double fallback)
+{
+    const auto it = res.metrics.find(key);
+    return it == res.metrics.end() ? fallback : it->second;
+}
+
+bool
+allMetricsFinite(const RunResult &res)
+{
+    for (const auto &[key, val] : res.metrics)
+        if (!std::isfinite(val))
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchReporter rep("chaos_campaign",
+                      "graceful degradation: every robot survives >= 3 "
+                      "fault classes with finite metrics and engaged "
+                      "recovery paths");
+
+    // Single-plan mode: a user-supplied TARTAN_FAULTS spec replaces the
+    // default class sweep.
+    std::vector<FaultClass> classes;
+    std::string env_spec;
+    if (auto env_plan = FaultPlan::fromEnv()) {
+        env_spec = env_plan->spec();
+        classes.push_back(FaultClass{"env", env_spec.c_str()});
+    } else {
+        classes.assign(std::begin(kClasses), std::end(kClasses));
+    }
+    const std::size_t required = std::min<std::size_t>(3, classes.size());
+
+    rep.config("machine", "tartan");
+    rep.config("tier", "approximate");
+    rep.config("scale", 0.5);
+    rep.config("seed", 42.0);
+    rep.config("requiredSurvivedClasses", double(required));
+    for (const FaultClass &fc : classes)
+        rep.config(std::string("class.") + fc.name, fc.spec);
+
+    // Optional positional robot filter.
+    std::vector<std::string> filter;
+    for (int a = 1; a < argc; ++a)
+        filter.emplace_back(argv[a]);
+    auto selected = [&](const std::string &name) {
+        if (filter.empty())
+            return true;
+        for (const std::string &f : filter)
+            if (f == name)
+                return true;
+        return false;
+    };
+
+    std::printf("%-10s %-18s %10s %10s %12s %8s\n", "robot", "class",
+                "injected", "recovered", "degradation", "status");
+
+    const MachineSpec spec = MachineSpec::tartan();
+    std::size_t min_survived = classes.size();
+    bool any_selected = false;
+    for (const auto &robot : robotSuite()) {
+        const std::string name(robot.name);
+        if (!selected(name))
+            continue;
+        any_selected = true;
+
+        // Clean baseline (no injector: the null-hook path).
+        auto trace_clean = rep.makeTrace(name + "_clean");
+        const RunResult clean = robot.run(
+            spec, traced(options(SoftwareTier::Approximate, 0.5),
+                         trace_clean));
+        trace_clean.reset();
+        const std::string quality_key = primaryMetric(name);
+        const double clean_q = metricOr(clean, quality_key, 0.0);
+        rep.kernelMetric(name, "cleanQuality", clean_q);
+        reportRun(rep, name + "/clean", clean);
+
+        std::size_t survived = 0;
+        for (const FaultClass &fc : classes) {
+            FaultPlan plan;
+            std::string perr;
+            if (!FaultPlan::parse(fc.spec, plan, &perr))
+                TARTAN_FATAL("chaos: bad spec '%s': %s", fc.spec,
+                             perr.c_str());
+            auto inj = plan.makeInjector(name);
+
+            auto trace = rep.makeTrace(name + "_" + fc.name);
+            WorkloadOptions opt =
+                traced(options(SoftwareTier::Approximate, 0.5), trace);
+            opt.faults = inj.get();
+            const RunResult res = robot.run(spec, opt);
+            trace.reset();
+
+            const double injected =
+                metricOr(res, "faultsInjected", 0.0);
+            const double recovered = metricOr(res, "recoveries", 0.0);
+            const double faulty_q = metricOr(res, quality_key, 0.0);
+            const double degradation =
+                std::isfinite(faulty_q)
+                    ? std::abs(faulty_q - clean_q) /
+                          std::max(std::abs(clean_q), 1e-9)
+                    : HUGE_VAL;
+            const bool finite = allMetricsFinite(res);
+            const bool ok = finite && recovered > 0.0;
+            survived += ok ? 1 : 0;
+
+            const std::string row = name + "/" + fc.name;
+            rep.kernelMetric(row, "faultsInjected", injected);
+            rep.kernelMetric(row, "recoveries", recovered);
+            rep.kernelMetric(row, "qualityDegradation",
+                             std::isfinite(degradation) ? degradation
+                                                        : -1.0);
+            rep.kernelMetric(row, "wallCycles", double(res.wallCycles));
+            rep.kernelMetric(row, "survived", ok ? 1.0 : 0.0);
+
+            std::printf("%-10s %-18s %10.0f %10.0f %11.1f%% %8s\n",
+                        name.c_str(), fc.name, injected, recovered,
+                        100.0 * degradation,
+                        !finite ? "DIED" : (ok ? "ok" : "benign"));
+        }
+        rep.kernelMetric(name, "survivedClasses", double(survived));
+        min_survived = std::min(min_survived, survived);
+        std::printf("%-10s survived %zu/%zu classes\n\n", name.c_str(),
+                    survived, classes.size());
+    }
+
+    if (!any_selected)
+        TARTAN_FATAL("chaos: no robot matches the filter");
+
+    rep.metric("minSurvivedClasses", double(min_survived));
+    rep.note("survived = all final metrics finite AND recoveries > 0; "
+             "'benign' = finite metrics but no recovery path engaged "
+             "(fault class does not reach this robot)");
+
+    if (min_survived < required) {
+        std::printf("FAIL: a robot survived only %zu/%zu classes "
+                    "(need >= %zu)\n",
+                    min_survived, classes.size(), required);
+        return 1;
+    }
+    std::printf("PASS: every robot survived >= %zu fault classes\n",
+                required);
+    return 0;
+}

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 
 namespace tartan::core {
@@ -56,6 +57,8 @@ NpuModel::infer(Core &core, const tartan::nn::Mlp &mlp,
 {
     ++statsData.invocations;
     mlp.forwardLut(input, output, lut);
+    if (faults)
+        faults->corruptSurrogate(output);
 
     const Cycles comm_each = cfg.placement == NpuPlacement::Integrated
                                  ? cfg.commLatency

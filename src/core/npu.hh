@@ -26,6 +26,10 @@
 #include "nn/mlp.hh"
 #include "sim/core.hh"
 
+namespace tartan::sim {
+class FaultInjector;
+} // namespace tartan::sim
+
 namespace tartan::core {
 
 /** Where the NPU sits relative to the CPU pipeline. */
@@ -81,10 +85,19 @@ class NpuModel
     /** Register the NPU's counters (by reference) into @p group. */
     void registerStats(tartan::sim::StatsGroup &group) const;
 
+    /**
+     * Attach (or detach, with nullptr) a fault injector: inference
+     * outputs may be corrupted per the surrogate layer of its plan
+     * (garbage outputs, inflated approximation error). With no injector
+     * the functional results are untouched.
+     */
+    void setFaultInjector(tartan::sim::FaultInjector *inj) { faults = inj; }
+
   private:
     NpuConfig cfg;
     NpuStats statsData;
     tartan::nn::SigmoidLut lut;
+    tartan::sim::FaultInjector *faults = nullptr;  //!< not owned
 };
 
 } // namespace tartan::core

@@ -44,6 +44,7 @@ Ekf::predict(Mem &mem, double v, double w, double dt)
     cov[0] += motionNoise * dt;
     cov[4] += motionNoise * dt;
     cov[8] += 0.5 * motionNoise * dt;
+    repairDivergence();
 
     for (double &v2 : cov)
         mem.storev(&v2, v2, ekf_pc::state);
@@ -51,8 +52,40 @@ Ekf::predict(Mem &mem, double v, double w, double dt)
 }
 
 void
+Ekf::repairDivergence()
+{
+    bool bad = false;
+    for (double v : state)
+        if (!std::isfinite(v))
+            bad = true;
+    for (double v : cov)
+        if (!std::isfinite(v))
+            bad = true;
+    const double trace = cov[0] + cov[4] + cov[8];
+    if (!std::isfinite(trace) || trace > 1e6)
+        bad = true;
+    if (!bad)
+        return;
+
+    // Blown-up or non-finite filter: keep whatever position estimate is
+    // still finite and fall back to a high-uncertainty diagonal, i.e.
+    // request re-localisation rather than propagate garbage.
+    ++healthData.covResets;
+    for (double &v : state)
+        if (!std::isfinite(v))
+            v = 0.0;
+    state[2] = wrapAngle(state[2]);
+    cov = {1e3, 0, 0, 0, 1e3, 0, 0, 0, 10.0};
+}
+
+void
 Ekf::correct(Mem &mem, std::size_t id, double range, double bearing)
 {
+    if (!std::isfinite(range) || !std::isfinite(bearing) || range < 0) {
+        ++healthData.rejected;
+        return;
+    }
+
     const Vec2 &lm = landmarks[id];
     const double dx = lm.x - state[0];
     const double dy = lm.y - state[1];
@@ -91,6 +124,13 @@ Ekf::correct(Mem &mem, std::size_t id, double range, double bearing)
     const double det = s00 * s11 - s01 * s10;
     if (std::fabs(det) < 1e-12)
         return;
+    // 5-sigma innovation gate: an observation this implausible under
+    // the filter's own uncertainty is treated as an outlier, not fused.
+    if (ir * ir > 25.0 * s00 || ib * ib > 25.0 * s11) {
+        ++healthData.rejected;
+        return;
+    }
+
     const double i00 = s11 / det, i01 = -s01 / det;
     const double i10 = -s10 / det, i11 = s00 / det;
 
@@ -108,6 +148,7 @@ Ekf::correct(Mem &mem, std::size_t id, double range, double bearing)
         }
     }
     state[2] = wrapAngle(state[2]);
+    repairDivergence();
     for (double &v : cov)
         mem.storev(&v, v, ekf_pc::state);
     mem.execFp(90);

@@ -23,6 +23,12 @@ namespace ekf_pc {
 inline constexpr PcId state = 150;
 } // namespace ekf_pc
 
+/** Divergence-detection counters (see Ekf::health()). */
+struct EkfHealth {
+    std::uint64_t rejected = 0;   //!< measurements discarded by the gates
+    std::uint64_t covResets = 0;  //!< covariance blow-ups repaired
+};
+
 /** Planar landmark-based EKF. */
 class Ekf
 {
@@ -48,12 +54,24 @@ class Ekf
     /** Trace of the position covariance (uncertainty proxy). */
     double positionUncertainty() const { return cov[0] + cov[4]; }
 
+    /**
+     * Divergence-watchdog counters. correct() rejects non-finite and
+     * innovation-gated measurements; both steps repair a blown-up or
+     * non-finite covariance by resetting it to a large diagonal
+     * (equivalent to a re-localisation request).
+     */
+    const EkfHealth &health() const { return healthData; }
+
   private:
+    /** Detect and repair non-finite / blown-up covariance and state. */
+    void repairDivergence();
+
     std::vector<Vec2> landmarks;
     std::array<double, 3> state{};
     std::array<double, 9> cov{};  //!< row-major 3x3
     double motionNoise = 0.05;
     double measurementNoise = 0.04;
+    EkfHealth healthData;
 };
 
 } // namespace tartan::robotics

@@ -120,6 +120,11 @@ icpAlign(Mem &mem, std::vector<float> &src, std::size_t count,
 {
     IcpResult result;
     const double max_d2 = cfg.maxPairDistance * cfg.maxPairDistance;
+    if (count == 0) {
+        result.degenerate = true;
+        return result;
+    }
+    bool stepped = false;
 
     for (std::uint32_t iter = 0; iter < cfg.iterations; ++iter) {
         // 1. Correspondences via NNS.
@@ -130,6 +135,14 @@ icpAlign(Mem &mem, std::vector<float> &src, std::size_t count,
             float q[3];
             for (int d = 0; d < 3; ++d)
                 q[d] = mem.loadv(src.data() + p * 3 + d, icp_pc::cloud);
+            // Corrupted points must not reach the NNS backends (LSH
+            // hashes by float->int conversion, undefined for NaN).
+            if (!std::isfinite(q[0]) || !std::isfinite(q[1]) ||
+                !std::isfinite(q[2])) {
+                if (iter == 0)
+                    ++result.skippedPoints;
+                continue;
+            }
             const std::int32_t near = nns.nearest(mem, q);
             if (near < 0)
                 continue;
@@ -184,6 +197,17 @@ icpAlign(Mem &mem, std::vector<float> &src, std::size_t count,
         const Vec3 rc = step.apply(Vec3{cs[0], cs[1], cs[2]});
         step.t = Vec3{cd[0] - rc.x, cd[1] - rc.y, cd[2] - rc.z};
 
+        bool step_finite = std::isfinite(step.t.x) &&
+                           std::isfinite(step.t.y) &&
+                           std::isfinite(step.t.z);
+        for (double v : step.r)
+            step_finite = step_finite && std::isfinite(v);
+        if (!step_finite) {
+            // Keep the last valid estimate instead of applying garbage.
+            result.degenerate = true;
+            break;
+        }
+
         // 3. Apply the step to the source cloud and accumulate.
         for (std::size_t p = 0; p < count; ++p) {
             float *sp = src.data() + p * 3;
@@ -195,7 +219,10 @@ icpAlign(Mem &mem, std::vector<float> &src, std::size_t count,
             mem.execFp(18);
         }
         result.transform = step.compose(result.transform);
+        stepped = true;
     }
+    if (!stepped)
+        result.degenerate = true;
     return result;
 }
 
@@ -203,7 +230,7 @@ std::size_t
 fusePoints(Mem &mem, std::vector<float> &map_points,
            std::vector<float> &confidence, const std::vector<float> &frame,
            std::size_t count, NnsBackend &map_nns, double merge_radius,
-           std::uint32_t map_stride)
+           std::uint32_t map_stride, std::size_t *skipped)
 {
     TARTAN_ASSERT(map_points.capacity() >=
                       map_points.size() + count * map_stride,
@@ -215,6 +242,12 @@ fusePoints(Mem &mem, std::vector<float> &map_points,
         float q[3];
         for (int d = 0; d < 3; ++d)
             q[d] = mem.loadv(fp + d, icp_pc::cloud);
+        if (!std::isfinite(q[0]) || !std::isfinite(q[1]) ||
+            !std::isfinite(q[2])) {
+            if (skipped)
+                ++*skipped;
+            continue;
+        }
 
         neighbors.clear();
         map_nns.radius(mem, q, static_cast<float>(merge_radius),

@@ -54,6 +54,14 @@ struct IcpResult {
     Transform3 transform;          //!< maps source onto destination
     double meanResidual = 0.0;     //!< mean correspondence distance
     std::uint64_t correspondences = 0;
+    std::uint64_t skippedPoints = 0;  //!< non-finite source points ignored
+    /**
+     * Degenerate registration: the clouds produced no usable
+     * correspondences (empty/all-corrupt input) or the solve went
+     * non-finite; transform holds the last valid estimate (identity if
+     * none) and the source cloud is left where that estimate put it.
+     */
+    bool degenerate = false;
 };
 
 /**
@@ -73,13 +81,17 @@ IcpResult icpAlign(Mem &mem, std::vector<float> &src, std::size_t count,
  * Points with a neighbour within @p merge_radius are averaged into it
  * (confidence counting); others are appended.
  *
+ * Non-finite frame points are skipped (counted into @p skipped when
+ * non-null) instead of corrupting the map store.
+ *
  * @return number of newly inserted points
  */
 std::size_t fusePoints(Mem &mem, std::vector<float> &map_points,
                        std::vector<float> &confidence,
                        const std::vector<float> &frame, std::size_t count,
                        NnsBackend &map_nns, double merge_radius,
-                       std::uint32_t map_stride = 3);
+                       std::uint32_t map_stride = 3,
+                       std::size_t *skipped = nullptr);
 
 } // namespace tartan::robotics
 

@@ -74,6 +74,12 @@ Mcl::weighParticle(Mem &mem, const OccupancyGrid2D &grid,
     const Pose2 hyp{px[i], py[i], ptheta[i]};
     double log_w = 0.0;
     for (std::uint32_t r = 0; r < cfg.raysPerScan; ++r) {
+        // A corrupted (non-finite) range carries no information: skip
+        // the ray rather than poisoning every particle's weight.
+        if (!std::isfinite(observed[r])) {
+            ++healthData.skippedRays;
+            continue;
+        }
         const double theta = hyp.theta + 2.0 * kPi * r / cfg.raysPerScan;
         const double predicted =
             castRay(mem, grid, hyp.x, hyp.y, theta, cfg.ray, engine);
@@ -81,8 +87,10 @@ Mcl::weighParticle(Mem &mem, const OccupancyGrid2D &grid,
         log_w -= err * err * inv2s2;
         mem.execFp(5);
     }
-    const double w =
+    double w =
         mem.loadv(weight + i, mcl_pc::particle) * std::exp(log_w);
+    if (!std::isfinite(w))
+        w = 0.0;
     mem.storev(weight + i, w, mcl_pc::particle);
     mem.execFp(8);
 }
@@ -95,7 +103,11 @@ Mcl::normalizeWeights(Mem &mem)
         total += mem.loadv(weight + i, mcl_pc::particle);
         mem.execFp(1);
     }
-    if (total <= 0.0) {
+    if (total <= 0.0 || !std::isfinite(total)) {
+        // Weight collapse: no particle explains the observation. Reset
+        // to uniform so the filter re-localises instead of dividing by
+        // zero (or by NaN) and destroying the whole population.
+        ++healthData.weightResets;
         for (std::uint32_t i = 0; i < cfg.particles; ++i)
             weight[i] = 1.0 / cfg.particles;
         return;

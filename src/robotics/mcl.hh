@@ -24,6 +24,12 @@ namespace mcl_pc {
 inline constexpr PcId particle = 140;
 } // namespace mcl_pc
 
+/** Degradation counters (see Mcl::health()). */
+struct MclHealth {
+    std::uint64_t skippedRays = 0;    //!< non-finite observations ignored
+    std::uint64_t weightResets = 0;   //!< weight collapses re-uniformed
+};
+
 /** MCL configuration. */
 struct MclConfig {
     std::uint32_t particles = 256;
@@ -82,8 +88,17 @@ class Mcl
     std::uint32_t count() const { return cfg.particles; }
     const MclConfig &config() const { return cfg; }
 
+    /**
+     * Degradation counters: weighParticle() skips non-finite observed
+     * ranges and zeroes non-finite weights, normalizeWeights() restores
+     * a uniform distribution on weight collapse (total weight zero or
+     * non-finite) — the particle-filter re-localisation fallback.
+     */
+    const MclHealth &health() const { return healthData; }
+
   private:
     MclConfig cfg;
+    MclHealth healthData;
     double *px;
     double *py;
     double *ptheta;

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Fault-plan parsing and the injection engine.
+ */
+
+#include "sim/fault.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace tartan::sim {
+
+namespace {
+
+/** splitmix64 step, used to derive decorrelated stream seeds. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over the stream name: stable across platforms and runs. */
+std::uint64_t
+hashStream(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+bool
+parseFail(std::string *err, const std::string &msg)
+{
+    if (err && err->empty())
+        *err = msg;
+    return false;
+}
+
+/** Parse `rate[@mag]` into @p out, keeping @p out.mag on omission. */
+bool
+parseItemValue(std::string_view text, FaultRate &out, std::string *err,
+               const std::string &where)
+{
+    const std::size_t at = text.find('@');
+    const std::string rate_str(text.substr(0, at));
+    char *end = nullptr;
+    const double rate = std::strtod(rate_str.c_str(), &end);
+    if (!end || *end != '\0' || rate_str.empty())
+        return parseFail(err, where + ": bad rate '" + rate_str + "'");
+    if (!(rate >= 0.0 && rate <= 1.0))
+        return parseFail(err, where + ": rate " + rate_str +
+                                  " outside [0, 1]");
+    out.rate = rate;
+    if (at != std::string_view::npos) {
+        const std::string mag_str(text.substr(at + 1));
+        const double mag = std::strtod(mag_str.c_str(), &end);
+        if (!end || *end != '\0' || mag_str.empty() ||
+            !std::isfinite(mag) || mag <= 0.0)
+            return parseFail(err,
+                             where + ": bad magnitude '" + mag_str + "'");
+        out.mag = mag;
+    }
+    return true;
+}
+
+struct ItemSlot {
+    const char *name;
+    FaultRate *rate;
+};
+
+bool
+parseLayerItems(std::string_view body, std::span<const ItemSlot> slots,
+                std::string *err, const std::string &layer)
+{
+    while (!body.empty()) {
+        const std::size_t comma = body.find(',');
+        const std::string_view item = body.substr(0, comma);
+        body = comma == std::string_view::npos
+                   ? std::string_view{}
+                   : body.substr(comma + 1);
+        const std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos)
+            return parseFail(err, layer + ": item '" + std::string(item) +
+                                      "' is not name=rate[@mag]");
+        const std::string_view name = item.substr(0, eq);
+        bool matched = false;
+        for (const ItemSlot &slot : slots) {
+            if (name == slot.name) {
+                if (!parseItemValue(item.substr(eq + 1), *slot.rate, err,
+                                    layer + "." + slot.name))
+                    return false;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            return parseFail(err, layer + ": unknown fault class '" +
+                                      std::string(name) + "'");
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+FaultPlan::parse(std::string_view spec, FaultPlan &out, std::string *err)
+{
+    out = FaultPlan();
+    out.specText = std::string(spec);
+    // Class-specific magnitude defaults (see the header grammar).
+    out.noise.mag = 0.05;
+    out.spike.mag = 10.0;
+    out.garbage.mag = 1e4;
+    out.inflate.mag = 1.0;
+    out.memSpike.mag = 200.0;
+    out.memBlackout.mag = 1000.0;
+
+    std::string_view rest = spec;
+    while (!rest.empty()) {
+        const std::size_t semi = rest.find(';');
+        const std::string_view group = rest.substr(0, semi);
+        rest = semi == std::string_view::npos ? std::string_view{}
+                                              : rest.substr(semi + 1);
+        if (group.empty())
+            continue;
+        if (group.substr(0, 5) == "seed=") {
+            const std::string seed_str(group.substr(5));
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(seed_str.c_str(), &end, 0);
+            if (!end || *end != '\0' || seed_str.empty())
+                return parseFail(err, "bad seed '" + seed_str + "'");
+            out.seedVal = v;
+            continue;
+        }
+        const std::size_t colon = group.find(':');
+        if (colon == std::string_view::npos)
+            return parseFail(err, "group '" + std::string(group) +
+                                      "' is neither seed=N nor layer:...");
+        const std::string_view layer = group.substr(0, colon);
+        const std::string_view body = group.substr(colon + 1);
+        if (layer == "sensor") {
+            const ItemSlot slots[] = {{"drop", &out.drop},
+                                      {"stuck", &out.stuck},
+                                      {"noise", &out.noise},
+                                      {"spike", &out.spike},
+                                      {"nan", &out.nan}};
+            if (!parseLayerItems(body, slots, err, "sensor"))
+                return false;
+        } else if (layer == "surrogate") {
+            const ItemSlot slots[] = {{"garbage", &out.garbage},
+                                      {"inflate", &out.inflate}};
+            if (!parseLayerItems(body, slots, err, "surrogate"))
+                return false;
+        } else if (layer == "mem") {
+            const ItemSlot slots[] = {{"spike", &out.memSpike},
+                                      {"blackout", &out.memBlackout}};
+            if (!parseLayerItems(body, slots, err, "mem"))
+                return false;
+        } else {
+            return parseFail(err, "unknown layer '" + std::string(layer) +
+                                      "' (want sensor|surrogate|mem)");
+        }
+    }
+
+    const double sensor_sum = out.drop.rate + out.stuck.rate +
+                              out.noise.rate + out.spike.rate +
+                              out.nan.rate;
+    if (sensor_sum > 1.0)
+        return parseFail(err, "sensor rates sum to more than 1");
+    if (out.memBlackout.mag < 1.0)
+        return parseFail(err, "mem.blackout magnitude must be >= 1");
+    return true;
+}
+
+std::optional<FaultPlan>
+FaultPlan::fromEnv()
+{
+    const char *env = std::getenv("TARTAN_FAULTS");
+    if (!env || !*env)
+        return std::nullopt;
+    FaultPlan plan;
+    std::string err;
+    if (!parse(env, plan, &err))
+        TARTAN_FATAL("bad TARTAN_FAULTS spec: %s", err.c_str());
+    return plan;
+}
+
+std::unique_ptr<FaultInjector>
+FaultPlan::makeInjector(std::string_view stream) const
+{
+    return std::make_unique<FaultInjector>(
+        *this, mix64(seedVal ^ hashStream(stream)));
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan,
+                             std::uint64_t stream_seed)
+    : planData(plan), sensorRng(mix64(stream_seed + 1)),
+      surrogateRng(mix64(stream_seed + 2)), memRng(mix64(stream_seed + 3))
+{
+}
+
+FaultInjector::Reading
+FaultInjector::sensor(double clean, double span)
+{
+    Reading out{clean, SensorFaultKind::None};
+    if (!planData.sensorEnabled()) {
+        // Null hook: no RNG draw, no state change.
+        return out;
+    }
+    const double stale = haveLastClean ? lastClean : clean;
+    lastClean = clean;
+    haveLastClean = true;
+
+    double u = sensorRng.uniform();
+    if ((u -= planData.drop.rate) < 0) {
+        ++statsData.sensorDrops;
+        out.kind = SensorFaultKind::Drop;
+    } else if ((u -= planData.stuck.rate) < 0) {
+        ++statsData.sensorStuck;
+        out.kind = SensorFaultKind::Stuck;
+        out.value = stale;
+    } else if ((u -= planData.noise.rate) < 0) {
+        ++statsData.sensorNoise;
+        out.kind = SensorFaultKind::Noise;
+        out.value =
+            clean + sensorRng.gaussian(0.0, planData.noise.mag * span);
+    } else if ((u -= planData.spike.rate) < 0) {
+        ++statsData.sensorSpikes;
+        out.kind = SensorFaultKind::Spike;
+        const double sign = sensorRng.uniform() < 0.5 ? -1.0 : 1.0;
+        out.value = clean + sign * planData.spike.mag * span;
+    } else if ((u -= planData.nan.rate) < 0) {
+        ++statsData.sensorNans;
+        out.kind = SensorFaultKind::Nan;
+        out.value = std::numeric_limits<double>::quiet_NaN();
+    }
+    return out;
+}
+
+bool
+FaultInjector::dropFrame()
+{
+    if (planData.drop.rate <= 0)
+        return false;
+    if (sensorRng.uniform() < planData.drop.rate) {
+        ++statsData.sensorDrops;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+FaultInjector::corruptSamples(float *data, std::size_t n, float lo,
+                              float hi)
+{
+    if (!planData.sensorEnabled())
+        return 0;
+    std::uint64_t corrupted = 0;
+    const double span = double(hi) - double(lo);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Reading r = sensor(data[i], span);
+        if (r.kind == SensorFaultKind::None)
+            continue;
+        // A dropped sample holds its previous (stale) buffer content;
+        // here the clean value already is the stale content, so drops
+        // count but leave the sample untouched.
+        if (r.kind != SensorFaultKind::Drop)
+            data[i] = static_cast<float>(r.value);
+        ++corrupted;
+    }
+    return corrupted;
+}
+
+void
+FaultInjector::corruptSurrogate(std::span<float> out)
+{
+    if (!planData.surrogateEnabled())
+        return;
+    double u = surrogateRng.uniform();
+    if ((u -= planData.garbage.rate) < 0) {
+        ++statsData.surrogateGarbage;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            // Mix of absurd magnitudes and non-finite lanes: the shape
+            // a latched-up accelerator or a corrupted DMA produces.
+            if (i % 3 == 2)
+                out[i] = std::numeric_limits<float>::quiet_NaN();
+            else
+                out[i] = static_cast<float>(
+                    (surrogateRng.uniform() - 0.5) * 2.0 *
+                    planData.garbage.mag);
+        }
+    } else if ((u -= planData.inflate.rate) < 0) {
+        ++statsData.surrogateInflated;
+        for (float &v : out)
+            v += static_cast<float>(
+                surrogateRng.gaussian(0.0, planData.inflate.mag));
+    }
+}
+
+Cycles
+FaultInjector::memPenalty()
+{
+    if (planData.memSpike.rate <= 0)
+        return 0;
+    if (memRng.uniform() < planData.memSpike.rate) {
+        ++statsData.memSpikes;
+        return static_cast<Cycles>(planData.memSpike.mag);
+    }
+    return 0;
+}
+
+bool
+FaultInjector::prefetchBlackout()
+{
+    if (planData.memBlackout.rate <= 0)
+        return false;
+    if (blackoutLeft > 0) {
+        --blackoutLeft;
+        ++statsData.memBlackoutAccesses;
+        return true;
+    }
+    if (memRng.uniform() < planData.memBlackout.rate) {
+        ++statsData.memBlackouts;
+        ++statsData.memBlackoutAccesses;
+        blackoutLeft =
+            static_cast<std::uint64_t>(planData.memBlackout.mag) - 1;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+sanitizeSamples(float *data, std::size_t n, float lo, float hi)
+{
+    std::uint64_t repaired = 0;
+    const float mid = lo + (hi - lo) * 0.5f;
+    for (std::size_t i = 0; i < n; ++i) {
+        float v = data[i];
+        if (!std::isfinite(v))
+            v = mid;
+        else if (v < lo)
+            v = lo;
+        else if (v > hi)
+            v = hi;
+        else
+            continue;
+        data[i] = v;
+        ++repaired;
+    }
+    return repaired;
+}
+
+double
+GuardedSensor::read(double clean)
+{
+    double v = clean;
+    bool dropped = false;
+    if (injector) {
+        const FaultInjector::Reading r =
+            injector->sensor(clean, hiBound - loBound);
+        if (r.kind != SensorFaultKind::None) {
+            ++faultCount;
+            dropped = r.kind == SensorFaultKind::Drop;
+            v = r.value;
+        }
+    }
+    double s = v;
+    if (dropped || !std::isfinite(s))
+        s = haveLast ? lastGood : std::clamp(0.0, loBound, hiBound);
+    else if (s < loBound)
+        s = loBound;
+    else if (s > hiBound)
+        s = hiBound;
+    if (dropped || s != v)  // NaN compares unequal: counted as repaired
+        ++recoveryCount;
+    lastGood = s;
+    haveLast = true;
+    return s;
+}
+
+} // namespace tartan::sim

@@ -6,6 +6,7 @@
 
 #include "sim/memsystem.hh"
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -195,6 +196,8 @@ MemPath::access(Addr addr, AccessType type, std::uint32_t size, PcId pc,
                 Cycles now)
 {
     AccessResult result = accessImpl(addr, type, size, pc, now);
+    if (faults)
+        result.latency += faults->memPenalty();
     if (trace)
         trace->pcAccess(pc, result.level, type);
     return result;
@@ -233,7 +236,7 @@ MemPath::accessImpl(Addr addr, AccessType type, std::uint32_t size, PcId pc,
     result.latency += config.l2.latency;
     auto l2_res = l2Cache.access(addr, type, size, now);
 
-    if (pf) {
+    if (pf && !(faults && faults->prefetchBlackout())) {
         PrefetchObservation obs{addr, pc, !l2_res.hit};
         pfQueue.clear();
         pf->observe(obs, pfQueue);

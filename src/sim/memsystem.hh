@@ -18,6 +18,7 @@
 
 namespace tartan::sim {
 
+class FaultInjector;
 class StatsGroup;
 class TraceSession;
 
@@ -87,6 +88,14 @@ class MemPath
      */
     void setTrace(TraceSession *session) { trace = session; }
 
+    /**
+     * Attach (or detach, with nullptr) a fault injector: demand
+     * accesses may be charged latency spikes and prefetch issue may be
+     * suppressed during blackout windows. With no injector attached the
+     * path's timing is bit-identical to an unfaulted build.
+     */
+    void setFaultInjector(FaultInjector *inj) { faults = inj; }
+
     /** Declare a write-through (MTRR WT) range [base, base+bytes). */
     void addWriteThroughRange(Addr base, std::size_t bytes);
     /**
@@ -134,6 +143,7 @@ class MemPath
     Cache l2Cache;
     Cache *l3Cache;
     TraceSession *trace = nullptr;  //!< observability hook (not owned)
+    FaultInjector *faults = nullptr;  //!< fault-injection hook (not owned)
     std::unique_ptr<Prefetcher> pf;
     std::vector<Range> wtRanges;
     std::vector<Range> noAllocRanges;

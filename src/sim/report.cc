@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "sim/fault.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -20,6 +21,12 @@ namespace tartan::sim {
 BenchReporter::BenchReporter(std::string bench_name, std::string paper_note)
     : benchName(std::move(bench_name)), paperNote(std::move(paper_note))
 {
+    // The effective fault plan (or its absence) is part of every
+    // manifest so a BENCH file is self-describing about injection.
+    if (auto plan = FaultPlan::fromEnv()) {
+        faultSpec = plan->spec();
+        faultSeed = plan->seed();
+    }
     std::printf("\n=============================================="
                 "==================\n");
     std::printf("%s\n", benchName.c_str());
@@ -94,6 +101,10 @@ BenchReporter::writeJson(std::ostream &os) const
     json::writeString(os, isoTimestamp());
     os << ",\n    \"paper\": ";
     json::writeString(os, paperNote);
+    os << ",\n    \"faults\": ";
+    json::writeString(os, faultSpec);
+    os << ",\n    \"faultSeed\": ";
+    json::writeNumber(os, static_cast<double>(faultSeed));
     if (!noteText.empty()) {
         os << ",\n    \"note\": ";
         json::writeString(os, noteText);
@@ -182,6 +193,11 @@ BenchReporter::writeFile()
         warn("bench: short write to %s", path.c_str());
         return false;
     }
+    out.close();
+    if (out.fail()) {
+        warn("bench: close failed for %s", path.c_str());
+        return false;
+    }
     std::printf("\n[json: %s]\n", path.c_str());
     return true;
 }
@@ -231,6 +247,14 @@ validateBenchJson(std::string_view text, std::string *err)
             return schemaFail(err,
                               std::string("manifest.") + key + " missing");
     }
+    // Optional but typed: the fault-plan echo added in the robustness
+    // PR. Absent in hand-written / historical documents is fine.
+    if (const json::Value *v = manifest->find("faults"))
+        if (!v->isString())
+            return schemaFail(err, "manifest.faults is not a string");
+    if (const json::Value *v = manifest->find("faultSeed"))
+        if (!v->isNumber())
+            return schemaFail(err, "manifest.faultSeed is not a number");
 
     const json::Value *config = doc.find("config");
     if (!config || !config->isObject())

@@ -22,6 +22,7 @@
 #ifndef TARTAN_SIM_REPORT_HH
 #define TARTAN_SIM_REPORT_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -96,6 +97,8 @@ class BenchReporter
     std::string benchName;
     std::string paperNote;
     std::string noteText;
+    std::string faultSpec = "none";
+    std::uint64_t faultSeed = 0;
     std::map<std::string, ConfigVal> configVals;
     std::map<std::string, double> metrics;
     std::vector<std::pair<std::string, std::map<std::string, double>>>

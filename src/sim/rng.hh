@@ -58,11 +58,27 @@ class Rng
         return lo + (hi - lo) * uniform();
     }
 
-    /** Uniform integer in [0, n). Requires n > 0. */
+    /**
+     * Uniform integer in [0, n). Requires n > 0. Unbiased via Lemire's
+     * multiply-shift with rejection: a plain `next() % n` over-weights
+     * the low residues whenever n does not divide 2^64, which would
+     * skew fault schedules and environment generators.
+     */
     std::uint64_t
     uniformInt(std::uint64_t n)
     {
-        return next() % n;
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < n) {
+            const std::uint64_t threshold = (0 - n) % n;
+            while (low < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * n;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
     }
 
     /** Approximately standard-normal variate (sum of uniforms, CLT). */

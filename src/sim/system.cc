@@ -6,6 +6,7 @@
 #include "sim/system.hh"
 
 #include "sim/bingo.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -86,6 +87,9 @@ System::System(const SysConfig &config) : cfg(config)
         path->setTrace(cfg.trace);
         coreModel->attachTrace(cfg.trace);
     }
+
+    if (cfg.faults)
+        path->setFaultInjector(cfg.faults);
 }
 
 namespace {
@@ -149,6 +153,7 @@ System::registerStats(StatsRegistry &registry)
     }
     config.set("trackUdm", double(cfg.trackUdm));
     config.set("traceEnabled", double(cfg.trace != nullptr));
+    config.set("faultsEnabled", double(cfg.faults != nullptr));
 
     coreModel->registerStats(registry.group("core"));
     path->registerStats(registry.group("mem"));

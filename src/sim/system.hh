@@ -25,6 +25,7 @@
 
 namespace tartan::sim {
 
+class FaultInjector;
 class TraceSession;
 
 /** Prefetchers constructible by the base simulator (ANL lives above). */
@@ -75,6 +76,15 @@ struct SysConfig {
      * and without a session.
      */
     TraceSession *trace = nullptr;
+
+    /**
+     * Fault-injection hook (not owned; null = faults off). When set,
+     * the memory path may suffer latency spikes and prefetcher
+     * blackouts per the injector's plan. With no injector the system's
+     * timing is bit-identical to an unfaulted build (null-hook
+     * guarantee).
+     */
+    FaultInjector *faults = nullptr;
 };
 
 /** One simulated machine: a core, its private caches, the shared L3. */

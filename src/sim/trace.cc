@@ -480,6 +480,11 @@ TraceSession::writeFileChecked(
         warn("trace: short write to %s", path.c_str());
         return false;
     }
+    out.close();
+    if (out.fail()) {
+        warn("trace: close failed for %s", path.c_str());
+        return false;
+    }
     return true;
 }
 

@@ -56,7 +56,7 @@ runCarriBot(const MachineSpec &spec, const WorkloadOptions &opt)
     RunResult result;
     result.robot = "CarriBot";
 
-    Machine machine(spec, opt.trace);
+    Machine machine(spec, opt);
     auto &core = machine.core();
     auto &mem = machine.mem();
     Pipeline pipeline(core);
@@ -175,6 +175,10 @@ runCarriBot(const MachineSpec &spec, const WorkloadOptions &opt)
     const std::uint32_t frames = std::max<std::uint32_t>(
         2, static_cast<std::uint32_t>(5 * opt.scale));
     SearchResult plan;
+    // Each POM beam's effective range passes through the fault layer: a
+    // dropped/NaN beam falls back to the last good range, spikes clamp
+    // to the sensor's physical reach.
+    tartan::sim::GuardedSensor beam_range(opt.faults, 1.0, dim / 6.0);
     for (std::uint32_t frame = 0; frame < frames; ++frame) {
         ScopedPhase roi(core, "frame " + std::to_string(frame));
         // --- Perception (1 thread): POM beam updates ----------------
@@ -184,7 +188,9 @@ runCarriBot(const MachineSpec &spec, const WorkloadOptions &opt)
             for (std::uint32_t beam = 0; beam < 24; ++beam) {
                 const double ang = 2.0 * kPi * beam / 24;
                 double bx = ox, by = oy;
-                for (std::uint32_t step = 0; step < dim / 6; ++step) {
+                const auto max_steps = static_cast<std::uint32_t>(
+                    beam_range.read(dim / 6.0));
+                for (std::uint32_t step = 0; step < max_steps; ++step) {
                     bx += std::cos(ang);
                     by += std::sin(ang);
                     if (bx < 1 || by < 1 || bx >= dim - 1 ||
@@ -229,6 +235,11 @@ runCarriBot(const MachineSpec &spec, const WorkloadOptions &opt)
     result.metrics["planCost"] = plan.found ? plan.cost : -1.0;
     result.metrics["planExpansions"] =
         static_cast<double>(plan.expansions);
+    if (opt.faults) {
+        result.metrics["faultsInjected"] =
+            double(opt.faults->stats().total());
+        result.metrics["recoveries"] = double(beam_range.recoveries());
+    }
     summarize(machine, pipeline, result);
     return result;
 }

@@ -44,7 +44,8 @@ MachineSpec::tartan()
     return spec;
 }
 
-Machine::Machine(const MachineSpec &spec, tartan::sim::TraceSession *trace)
+Machine::Machine(const MachineSpec &spec, tartan::sim::TraceSession *trace,
+                 tartan::sim::FaultInjector *faults)
     : specData(spec)
 {
     // Registered unconditionally (idempotent) so the traced and
@@ -53,6 +54,7 @@ Machine::Machine(const MachineSpec &spec, tartan::sim::TraceSession *trace)
     // traffic would perturb the measured cache behaviour.
     robotics::registerPcSites();
     specData.sys.trace = trace;
+    specData.sys.faults = faults;
     sys = std::make_unique<tartan::sim::System>(specData.sys);
     if (spec.useAnl) {
         core::AnlConfig anl = spec.anlCfg;
@@ -65,6 +67,8 @@ Machine::Machine(const MachineSpec &spec, tartan::sim::TraceSession *trace)
             spec.sys.core.vectorLanes, 5);
     if (spec.npu)
         npuModel = std::make_unique<core::NpuModel>(spec.npuCfg);
+    if (npuModel && faults)
+        npuModel->setFaultInjector(faults);
     memHandle = robotics::Mem(&sys->core());
 }
 
@@ -120,6 +124,28 @@ Machine::registerStats(tartan::sim::StatsRegistry &registry)
     });
     if (specData.sys.trace)
         specData.sys.trace->registerStats(registry.group("pcProfile"));
+    // Injection counters grow while the run executes, so snapshot them
+    // at dump time.
+    if (specData.sys.faults) {
+        registry.group("faults").setProvider(
+            [this](tartan::sim::StatsGroup &g) {
+                const tartan::sim::FaultInjector &inj =
+                    *specData.sys.faults;
+                g.set("spec", inj.plan().spec());
+                g.set("seed", double(inj.plan().seed()));
+                const tartan::sim::FaultStats &s = inj.stats();
+                g.set("sensorDrops", double(s.sensorDrops));
+                g.set("sensorStuck", double(s.sensorStuck));
+                g.set("sensorNoise", double(s.sensorNoise));
+                g.set("sensorSpikes", double(s.sensorSpikes));
+                g.set("sensorNans", double(s.sensorNans));
+                g.set("surrogateGarbage", double(s.surrogateGarbage));
+                g.set("surrogateInflated", double(s.surrogateInflated));
+                g.set("memSpikes", double(s.memSpikes));
+                g.set("memBlackouts", double(s.memBlackouts));
+                g.set("total", double(s.total()));
+            });
+    }
 }
 
 void

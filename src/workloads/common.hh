@@ -18,6 +18,7 @@
 #include "core/ovec.hh"
 #include "robotics/oriented.hh"
 #include "sim/arena.hh"
+#include "sim/fault.hh"
 #include "sim/system.hh"
 #include "sim/trace.hh"
 
@@ -80,6 +81,15 @@ struct WorkloadOptions {
      * and per-PC attribution flow into the session.
      */
     tartan::sim::TraceSession *trace = nullptr;
+
+    /**
+     * Fault injector for this run (not owned; null = no faults). Wired
+     * into the memory path and the NPU by Machine, and used by the
+     * robots to corrupt their synthesised sensor readings. Every robot
+     * reports metrics["faultsInjected"] and metrics["recoveries"] when
+     * an injector is attached.
+     */
+    tartan::sim::FaultInjector *faults = nullptr;
 };
 
 /** Outcome of one robot run. */
@@ -113,7 +123,14 @@ class Machine
 {
   public:
     explicit Machine(const MachineSpec &spec,
-                     tartan::sim::TraceSession *trace = nullptr);
+                     tartan::sim::TraceSession *trace = nullptr,
+                     tartan::sim::FaultInjector *faults = nullptr);
+
+    /** Convenience: wires both the trace and fault hooks from @p opt. */
+    Machine(const MachineSpec &spec, const WorkloadOptions &opt)
+        : Machine(spec, opt.trace, opt.faults)
+    {
+    }
 
     tartan::sim::System &system() { return *sys; }
     tartan::sim::Core &core() { return sys->core(); }

@@ -22,7 +22,7 @@ runDeliBot(const MachineSpec &spec, const WorkloadOptions &opt)
     RunResult result;
     result.robot = "DeliBot";
 
-    Machine machine(spec, opt.trace);
+    Machine machine(spec, opt);
     auto &core = machine.core();
     auto &mem = machine.mem();
     Pipeline pipeline(core);
@@ -66,6 +66,11 @@ runDeliBot(const MachineSpec &spec, const WorkloadOptions &opt)
     mcl.init(truth, 4.0, rng);
     Pid heading_pid(0.8, 0.05, 0.1);
 
+    // Laser readings pass through the fault layer, then a sanitizer
+    // that holds the last good value on drops/NaNs and clamps spikes.
+    tartan::sim::GuardedSensor laser(opt.faults, 0.0,
+                                     mcl_cfg.ray.maxRange);
+
     const std::uint32_t frames = std::max<std::uint32_t>(
         4, static_cast<std::uint32_t>(10 * opt.scale));
     Pose2 estimate = truth;
@@ -76,8 +81,10 @@ runDeliBot(const MachineSpec &spec, const WorkloadOptions &opt)
         pipeline.serial([&] {
             ScopedKernel scope(core, k_raycast);
             observed = mcl.scanFrom(mem, grid, truth, engine);
-            for (std::uint32_t r = 0; r < mcl_cfg.raysPerScan; ++r)
+            for (std::uint32_t r = 0; r < mcl_cfg.raysPerScan; ++r) {
+                observed[r] = laser.read(observed[r]);
                 mem.storev(obs_buffer + r, observed[r], mcl_pc::particle);
+            }
         });
         pipeline.stage(8, mcl_cfg.particles, [&](std::uint32_t i) {
             ScopedKernel scope(core, k_raycast);
@@ -140,6 +147,13 @@ runDeliBot(const MachineSpec &spec, const WorkloadOptions &opt)
 
     result.metrics["locErrorCells"] =
         dist2(estimate.x, estimate.y, truth.x, truth.y);
+    if (opt.faults) {
+        result.metrics["faultsInjected"] =
+            double(opt.faults->stats().total());
+        result.metrics["recoveries"] =
+            double(laser.recoveries() + mcl.health().skippedRays +
+                   mcl.health().weightResets);
+    }
     summarize(machine, pipeline, result);
     return result;
 }

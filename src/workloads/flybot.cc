@@ -142,7 +142,7 @@ runFlyBot(const MachineSpec &spec, const WorkloadOptions &opt)
     RunResult result;
     result.robot = "FlyBot";
 
-    Machine machine(spec, opt.trace);
+    Machine machine(spec, opt);
     auto &core = machine.core();
     auto &mem = machine.mem();
     Pipeline pipeline(core);
@@ -239,6 +239,7 @@ runFlyBot(const MachineSpec &spec, const WorkloadOptions &opt)
     };
 
     // --- AXAR setup: train the heuristic surrogate ------------------
+    std::uint64_t surrogate_fallbacks = 0;
     std::unique_ptr<tartan::nn::Mlp> hnet;
     std::unique_ptr<HeuristicFn> approx;
     const bool use_sw_nn =
@@ -300,6 +301,16 @@ runFlyBot(const MachineSpec &spec, const WorkloadOptions &opt)
                     hnet->forwardTraced(in, out, core,
                                         astar_pc::gValue);
                 m.execFp(8);
+                // Plausibility gate: normalised heuristics live in
+                // ~[0, 1]; a glitched surrogate output falls back to
+                // the exact drag integral (AXAR's safety net catches
+                // mere overestimates, but not NaNs).
+                if (!std::isfinite(out[0]) || out[0] < -1.0f ||
+                    out[0] > 4.0f) {
+                    ++surrogate_fallbacks;
+                    return air.exactHeuristic(m, s, gx, gy, gz,
+                                              astar_pc::gValue);
+                }
                 return std::max(0.0, static_cast<double>(out[0])) /
                        h_scale;
             });
@@ -327,6 +338,9 @@ runFlyBot(const MachineSpec &spec, const WorkloadOptions &opt)
     });
 
     // --- Control (4 threads): MPC along the first waypoints ---------
+    tartan::sim::GuardedSensor gps_x(opt.faults, 0.0, double(dim_xy));
+    tartan::sim::GuardedSensor gps_y(opt.faults, 0.0, double(dim_xy));
+    tartan::sim::GuardedSensor gps_z(opt.faults, 0.0, double(dim_z));
     pipeline.serial([&] {
         ScopedPhase roi(core, "control");
         ScopedKernel scope(core, k_control);
@@ -339,6 +353,10 @@ runFlyBot(const MachineSpec &spec, const WorkloadOptions &opt)
         for (std::size_t wp = 1; wp < waypoints; ++wp) {
             std::uint32_t x, y, z;
             air.decode(plan.finalPath[wp], x, y, z);
+            // State feedback runs through guarded altimeter/GPS
+            // channels before entering the MPC solve.
+            pos = Vec3{gps_x.read(pos.x), gps_y.read(pos.y),
+                       gps_z.read(pos.z)};
             mpc.solve(mem, pos, vel,
                       Vec3{double(x), double(y), double(z)});
             pos = Vec3{double(x), double(y), double(z)};
@@ -351,6 +369,13 @@ runFlyBot(const MachineSpec &spec, const WorkloadOptions &opt)
     result.metrics["rollbacks"] = static_cast<double>(plan.rollbacks);
     result.metrics["expansions"] =
         static_cast<double>(plan.totalExpansions);
+    if (opt.faults) {
+        result.metrics["faultsInjected"] =
+            double(opt.faults->stats().total());
+        result.metrics["recoveries"] =
+            double(surrogate_fallbacks + gps_x.recoveries() +
+                   gps_y.recoveries() + gps_z.recoveries());
+    }
     for (std::size_t i = 0; i < plan.iterations.size(); ++i) {
         result.metrics["iter" + std::to_string(i) + "Cost"] =
             plan.iterations[i].cost;

@@ -87,7 +87,7 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
     RunResult result;
     result.robot = "HomeBot";
 
-    Machine machine(spec, opt.trace);
+    Machine machine(spec, opt);
     auto &core = machine.core();
     auto &mem = machine.mem();
     Pipeline pipeline(core);
@@ -158,6 +158,11 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
 
     Transform3 truth_pose;
     double residual_acc = 0.0;
+    tartan::sim::FaultInjector *inj = opt.faults;
+    std::vector<float> last_cloud;
+    std::uint64_t recoveries = 0;
+    std::size_t fusion_skipped = 0;
+    std::uint64_t surrogate_fallbacks = 0;
     for (std::uint32_t frame = 0; frame < frames; ++frame) {
         ScopedPhase roi(core, "frame " + std::to_string(frame));
         // The robot moved a little: frames arrive in a shifted pose.
@@ -165,6 +170,22 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
                                    Vec3{0.08, 0.05, 0.0})
                          .compose(truth_pose);
         auto cloud = makeFrame(rng, frame_points, truth_pose);
+        if (inj) {
+            if (inj->dropFrame() && !last_cloud.empty()) {
+                // Depth frame lost: register the previous frame again.
+                cloud = last_cloud;
+                ++recoveries;
+            } else {
+                inj->corruptSamples(cloud.data(), cloud.size(), -30.0f,
+                                    30.0f);
+                // Clamp corrupted coordinates back into the room bounds
+                // before they reach the NNS backends (LSH hashes by
+                // float->int conversion, undefined for NaN).
+                recoveries += tartan::sim::sanitizeSamples(
+                    cloud.data(), cloud.size(), -30.0f, 30.0f);
+            }
+            last_cloud = cloud;
+        }
         // The frame cloud is a producer-consumer buffer between the
         // sensor and the perception stage: WT-managed when enabled.
         if (spec.wtQueues)
@@ -201,11 +222,23 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
                         mem.execFp(6);  // normalisation
                     }
                     float out[6];
-                    if (use_npu)
+                    if (use_npu) {
                         machine.npu()->infer(core, *tnet, input, out);
-                    else
+                        // Plausibility gate: corrections are small pose
+                        // deltas; garbage falls back to the software net.
+                        bool ok = true;
+                        for (float v : out)
+                            ok = ok && std::isfinite(v) &&
+                                 std::fabs(v) <= 100.0f;
+                        if (!ok) {
+                            tnet->forwardTraced(input, out, core,
+                                                icp_pc::cloud);
+                            ++surrogate_fallbacks;
+                        }
+                    } else {
                         tnet->forwardTraced(input, out, core,
                                             icp_pc::cloud);
+                    }
                     for (int k = 0; k < 6; ++k)
                         avg[k] += out[k] / float(blocks);
                     mem.execFp(12);
@@ -234,13 +267,14 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
                                     map_points.data(), icp_cfg,
                                     kSurfelStride);
                 residual_acc += icp.meanResidual;
+                recoveries += icp.skippedPoints;
             });
         }
 
         pipeline.serial([&] {
             ScopedKernel scope(core, k_fuse);
             fusePoints(mem, map_points, confidence, cloud, frame_points,
-                       *map_nns, 0.05, kSurfelStride);
+                       *map_nns, 0.05, kSurfelStride, &fusion_skipped);
         });
 
         // --- Planning (1 thread): coverage behaviour tree -----------
@@ -288,6 +322,11 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
         use_surrogate ? 0.0 : residual_acc / frames;
     result.metrics["mapPoints"] =
         static_cast<double>(map_points.size() / kSurfelStride);
+    if (inj) {
+        result.metrics["faultsInjected"] = double(inj->stats().total());
+        result.metrics["recoveries"] =
+            double(recoveries + fusion_skipped + surrogate_fallbacks);
+    }
     return result;
 }
 

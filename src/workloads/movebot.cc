@@ -73,7 +73,7 @@ runMoveBot(const MachineSpec &spec, const WorkloadOptions &opt)
     RunResult result;
     result.robot = "MoveBot";
 
-    Machine machine(spec, opt.trace);
+    Machine machine(spec, opt);
     auto &core = machine.core();
     auto &mem = machine.mem();
     Pipeline pipeline(core);
@@ -185,6 +185,7 @@ runMoveBot(const MachineSpec &spec, const WorkloadOptions &opt)
         return cuboidsCollide(m, links, 3, obstacles, 0, num_obstacles);
     };
 
+    tartan::sim::GuardedSensor joint_sensor(opt.faults, -1.0, 1.0);
     double reached = 0.0;
     double total_nodes = 0.0;
     double total_path = 0.0;
@@ -208,8 +209,11 @@ runMoveBot(const MachineSpec &spec, const WorkloadOptions &opt)
             Pid joint_pid(1.2, 0.1, 0.2);
             for (std::size_t w = 1; w < plan.path.size(); ++w) {
                 for (std::uint32_t d = 0; d < rrt_cfg.dim; ++d) {
-                    const float err = rrt.node(plan.path[w])[d] -
-                                      rrt.node(plan.path[w - 1])[d];
+                    // Joint encoders pass through the fault layer; the
+                    // per-joint error is bounded by the unit c-space.
+                    const float err = static_cast<float>(joint_sensor.read(
+                        rrt.node(plan.path[w])[d] -
+                        rrt.node(plan.path[w - 1])[d]));
                     joint_pid.step(mem, err, 0.05);
                 }
             }
@@ -229,6 +233,11 @@ runMoveBot(const MachineSpec &spec, const WorkloadOptions &opt)
     result.metrics["reachedGoals"] = reached;
     result.metrics["treeNodes"] = total_nodes;
     result.metrics["pathLength"] = total_path;
+    if (opt.faults) {
+        result.metrics["faultsInjected"] =
+            double(opt.faults->stats().total());
+        result.metrics["recoveries"] = double(joint_sensor.recoveries());
+    }
     return result;
 }
 

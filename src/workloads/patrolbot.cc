@@ -47,7 +47,7 @@ runPatrolBot(const MachineSpec &spec, const WorkloadOptions &opt)
     RunResult result;
     result.robot = "PatrolBot";
 
-    Machine machine(spec, opt.trace);
+    Machine machine(spec, opt);
     auto &core = machine.core();
     auto &mem = machine.mem();
     Pipeline pipeline(core);
@@ -134,9 +134,32 @@ runPatrolBot(const MachineSpec &spec, const WorkloadOptions &opt)
     tartan::sim::Cycles inference_work = 0;
     std::uint32_t detections = 0;
 
+    // Degradation bookkeeping: camera frames can be dropped or pixel-
+    // corrupted, range-bearing readings pass through guarded sensors,
+    // and implausible surrogate scores fall back to the exact software
+    // detector.
+    tartan::sim::FaultInjector *inj = opt.faults;
+    tartan::sim::GuardedSensor range_sensor(inj, 0.0, 1e3);
+    tartan::sim::GuardedSensor bearing_sensor(inj, -kPi, kPi);
+    std::vector<float> last_img;
+    std::uint64_t frame_recoveries = 0;
+    std::uint64_t surrogate_fallbacks = 0;
+
     for (std::uint32_t frame = 0; frame < frames; ++frame) {
         ScopedPhase roi(core, "frame " + std::to_string(frame));
         auto img = makeImage(rng, frame % 2 == 0);
+        if (inj) {
+            if (inj->dropFrame() && !last_img.empty()) {
+                // Camera frame lost: patrol on the previous frame.
+                img = last_img;
+                ++frame_recoveries;
+            } else {
+                inj->corruptSamples(img.data(), img.size(), 0.0f, 2.5f);
+                frame_recoveries += tartan::sim::sanitizeSamples(
+                    img.data(), img.size(), 0.0f, 2.5f);
+            }
+            last_img = img;
+        }
 
         // --- Perception: the detector (4 threads, overlapped) --------
         const tartan::sim::Cycles before_inf = core.cycles();
@@ -150,12 +173,22 @@ runPatrolBot(const MachineSpec &spec, const WorkloadOptions &opt)
                 for (int c = 0; c < 50; ++c)
                     mem.loadv(img.data() + c * 5, icp_pc::cloud);
                 mem.execFp(50 * 256 * 2 / 16);  // vectorised projection
-                if (use_npu)
+                if (use_npu) {
                     machine.npu()->infer(core, *classifier, reduced,
                                          score);
-                else
+                    // Plausibility gate: a sigmoid score far outside
+                    // [0, 1] means the surrogate glitched — redo the
+                    // classification on the exact software path.
+                    if (!std::isfinite(score[0]) || score[0] < -0.5f ||
+                        score[0] > 1.5f) {
+                        classifier->forwardTraced(reduced, score, core,
+                                                  icp_pc::cloud);
+                        ++surrogate_fallbacks;
+                    }
+                } else {
                     classifier->forwardTraced(reduced, score, core,
                                               icp_pc::cloud);
+                }
             } else {
                 cnn.forwardTraced(img, score, core, icp_pc::cloud);
             }
@@ -171,11 +204,12 @@ runPatrolBot(const MachineSpec &spec, const WorkloadOptions &opt)
             for (std::size_t lm = 0; lm < landmarks.size(); ++lm) {
                 const double dx = landmarks[lm].x - truth.x;
                 const double dy = landmarks[lm].y - truth.y;
-                const double range = std::sqrt(dx * dx + dy * dy) +
-                                     rng.gaussian(0.0, 0.05);
-                const double bearing = wrapAngle(
+                const double range = range_sensor.read(
+                    std::sqrt(dx * dx + dy * dy) +
+                    rng.gaussian(0.0, 0.05));
+                const double bearing = bearing_sensor.read(wrapAngle(
                     std::atan2(dy, dx) - truth.theta +
-                    rng.gaussian(0.0, 0.01));
+                    rng.gaussian(0.0, 0.01)));
                 ekf.correct(mem, lm, range, bearing);
             }
         });
@@ -201,6 +235,14 @@ runPatrolBot(const MachineSpec &spec, const WorkloadOptions &opt)
     result.metrics["detections"] = detections;
     result.metrics["ekfError"] =
         dist2(ekf.pose().x, ekf.pose().y, truth.x, truth.y);
+    if (inj) {
+        result.metrics["faultsInjected"] = double(inj->stats().total());
+        result.metrics["recoveries"] =
+            double(frame_recoveries + surrogate_fallbacks +
+                   range_sensor.recoveries() +
+                   bearing_sensor.recoveries() + ekf.health().rejected +
+                   ekf.health().covResets);
+    }
     return result;
 }
 

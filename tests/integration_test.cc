@@ -348,7 +348,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
 TEST(Integration, AxarFinalCostMatchesExactAcrossSeeds)
 {
     using namespace tartan::workloads;
-    for (std::uint64_t seed : {3ull, 42ull, 77ull}) {
+    for (std::uint64_t seed : {5ull, 42ull, 77ull}) {
         WorkloadOptions opt;
         opt.scale = 0.5;
         opt.seed = seed;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "robotics/behavior_tree.hh"
 #include "robotics/collision.hh"
@@ -386,13 +387,13 @@ TEST(Mcl, ConvergesNearTruth)
     Rng env_rng(7);
     grid.scatterObstacles(env_rng, 0.04, 6);
     MclConfig cfg;
-    cfg.particles = 128;
+    cfg.particles = 256;
     cfg.raysPerScan = 16;
     cfg.ray.maxRange = 60;
     Mcl mcl(cfg, arena);
     Mem mem;
     ScalarOrientedEngine engine;
-    Rng rng(11);
+    Rng rng(17);
     Pose2 truth{40, 64, 0.3};
     mcl.init(truth, 6.0, rng);
     for (int step = 0; step < 8; ++step) {
@@ -449,6 +450,140 @@ TEST(Icp, TransformComposeAndAngle)
     const Transform3 b = makeTransform(0, 0, -0.3, Vec3{0, 0, 0});
     const Transform3 c = b.compose(a);
     EXPECT_NEAR(c.rotationAngle(), 0.0, 1e-6);
+}
+
+TEST(Ekf, RejectsNonFiniteMeasurements)
+{
+    Mem mem;
+    Ekf ekf({{0, 0}, {10, 0}});
+    ekf.reset(Pose2{5, 5, 0.1}, 1.0, 0.5);
+    const auto before_state = ekf.pose();
+    ekf.correct(mem, 0, std::nan(""), 0.0);
+    ekf.correct(mem, 0, 5.0, std::nan(""));
+    ekf.correct(mem, 0, -3.0, 0.0);
+    ekf.correct(mem, 1,
+                std::numeric_limits<double>::infinity(), 0.0);
+    EXPECT_EQ(ekf.health().rejected, 4u);
+    EXPECT_EQ(ekf.pose().x, before_state.x);
+    EXPECT_EQ(ekf.pose().y, before_state.y);
+    EXPECT_TRUE(std::isfinite(ekf.positionUncertainty()));
+}
+
+TEST(Ekf, RecoversFromCovarianceBlowup)
+{
+    Mem mem;
+    Ekf ekf({{0, 0}});
+    // A divergent filter: covariance far beyond the plausibility bound.
+    ekf.reset(Pose2{1, 2, 0.3}, 1e7, 1e7);
+    ekf.predict(mem, 1.0, 0.0, 0.5);
+    EXPECT_GE(ekf.health().covResets, 1u);
+    EXPECT_TRUE(std::isfinite(ekf.pose().x));
+    EXPECT_TRUE(std::isfinite(ekf.pose().y));
+    EXPECT_TRUE(std::isfinite(ekf.pose().theta));
+    EXPECT_LE(ekf.positionUncertainty(), 1e6);
+}
+
+TEST(Mcl, SkipsNonFiniteRays)
+{
+    Arena arena(4 << 20);
+    OccupancyGrid2D grid(64, 64, arena);
+    MclConfig cfg;
+    cfg.particles = 32;
+    cfg.raysPerScan = 8;
+    Mcl mcl(cfg, arena);
+    Mem mem;
+    ScalarOrientedEngine engine;
+    Rng rng(5);
+    mcl.init(Pose2{32, 32, 0}, 2.0, rng);
+    // An entirely corrupted scan carries no information: every ray is
+    // skipped, the weights stay untouched, the estimate stays finite.
+    std::vector<double> observed(cfg.raysPerScan,
+                                 std::nan(""));
+    mcl.correct(mem, grid, observed, engine);
+    EXPECT_EQ(mcl.health().skippedRays,
+              std::uint64_t(cfg.particles) * cfg.raysPerScan);
+    const Pose2 est = mcl.estimate(mem);
+    EXPECT_TRUE(std::isfinite(est.x));
+    EXPECT_TRUE(std::isfinite(est.y));
+    EXPECT_TRUE(std::isfinite(est.theta));
+}
+
+TEST(Mcl, ResetsOnWeightCollapse)
+{
+    Arena arena(4 << 20);
+    OccupancyGrid2D grid(64, 64, arena);
+    MclConfig cfg;
+    cfg.particles = 32;
+    cfg.raysPerScan = 8;
+    Mcl mcl(cfg, arena);
+    Mem mem;
+    ScalarOrientedEngine engine;
+    Rng rng(5);
+    mcl.init(Pose2{32, 32, 0}, 2.0, rng);
+    // Observations no particle can explain: every weight underflows to
+    // zero and the filter must re-seed uniform weights instead of
+    // dividing by zero.
+    std::vector<double> observed(cfg.raysPerScan, 1e9);
+    mcl.correct(mem, grid, observed, engine);
+    EXPECT_GE(mcl.health().weightResets, 1u);
+    const Pose2 est = mcl.estimate(mem);
+    EXPECT_TRUE(std::isfinite(est.x));
+    EXPECT_TRUE(std::isfinite(est.y));
+    EXPECT_TRUE(std::isfinite(est.theta));
+    mcl.resample(mem, rng);  // must not crash on the reset weights
+}
+
+TEST(Icp, EmptyCloudIsDegenerate)
+{
+    Mem mem;
+    std::vector<float> dst{0, 0, 0, 1, 1, 1};
+    BruteForceNns nns(dst.data(), 3);
+    nns.insert(mem, 0);
+    nns.insert(mem, 1);
+    IcpConfig cfg;
+    std::vector<float> src;
+    const auto res = icpAlign(mem, src, 0, nns, dst.data(), cfg);
+    EXPECT_TRUE(res.degenerate);
+    EXPECT_TRUE(std::isfinite(res.transform.rotationAngle()));
+}
+
+TEST(Icp, AllNanCloudIsDegenerate)
+{
+    Mem mem;
+    std::vector<float> dst{0, 0, 0, 1, 1, 1, 2, 0, 1};
+    BruteForceNns nns(dst.data(), 3);
+    for (std::uint32_t i = 0; i < 3; ++i)
+        nns.insert(mem, i);
+    IcpConfig cfg;
+    cfg.iterations = 4;
+    std::vector<float> src(9, std::nanf(""));
+    const auto res = icpAlign(mem, src, 3, nns, dst.data(), cfg);
+    EXPECT_TRUE(res.degenerate);
+    EXPECT_EQ(res.skippedPoints, 3u);
+    const Vec3 moved = res.transform.apply(Vec3{1, 2, 3});
+    EXPECT_TRUE(std::isfinite(moved.x));
+    EXPECT_TRUE(std::isfinite(moved.y));
+    EXPECT_TRUE(std::isfinite(moved.z));
+}
+
+TEST(Icp, FusionSkipsNonFinitePoints)
+{
+    Mem mem;
+    std::vector<float> map_pts{0, 0, 0, 5, 5, 5};
+    map_pts.reserve(64);
+    std::vector<float> conf{1, 1};
+    BruteForceNns nns(map_pts.data(), 3);
+    nns.insert(mem, 0);
+    nns.insert(mem, 1);
+    std::vector<float> frame{std::nanf(""), 0.0f, 0.0f,
+                             9.0f,          9.0f, 9.0f};
+    std::size_t skipped = 0;
+    const std::size_t inserted =
+        fusePoints(mem, map_pts, conf, frame, 2, nns, 0.2, 3, &skipped);
+    EXPECT_EQ(inserted, 1u);
+    EXPECT_EQ(skipped, 1u);
+    for (float v : map_pts)
+        EXPECT_TRUE(std::isfinite(v));
 }
 
 TEST(Icp, FusionMergesCloseAndAppendsFar)
