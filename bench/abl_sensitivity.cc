@@ -10,6 +10,10 @@
  *     §VIII-D suggests L3 partitioning for graph-heavy workloads).
  *  3. NPU integration latency — how fast the CPU-NPU link must be for
  *     AXAR to profit (the original NPU work demands 1-4 cycles).
+ *
+ * Each sweep submits its runs (baseline included) to a shared RunPool
+ * and prints only after the gather, so the tables are identical under
+ * any TARTAN_JOBS.
  */
 
 #include "bench_util.hh"
@@ -22,14 +26,11 @@ using namespace tartan::workloads;
 namespace {
 
 void
-anlGeometry(BenchReporter &rep)
+anlGeometry(BenchReporter &rep, RunPool &pool)
 {
-    std::printf("\n-- ANL geometry (MoveBot, norm. time and coverage) "
-                "--\n");
-    std::printf("%-8s %-8s %10s %10s %10s\n", "entries", "region",
-                "norm.time", "coverage", "accuracy");
-    auto base = runMoveBot(MachineSpec::baseline(),
-                           options(SoftwareTier::Optimized, 1.0, 123));
+    std::vector<std::function<RunResult()>> jobs;
+    jobs.push_back(job(runMoveBot, MachineSpec::baseline(),
+                       options(SoftwareTier::Optimized, 1.0, 123)));
     for (std::uint32_t entries : {8u, 16u, 32u, 64u}) {
         for (std::uint32_t region : {512u, 1024u, 2048u}) {
             auto spec = MachineSpec::baseline();
@@ -37,8 +38,22 @@ anlGeometry(BenchReporter &rep)
             spec.anlCfg.entries = entries;
             spec.anlCfg.regionBytes = region;
             spec.anlCfg.lineBytes = spec.sys.lineBytes;
-            auto res = runMoveBot(
-                spec, options(SoftwareTier::Optimized, 1.0, 123));
+            jobs.push_back(
+                job(runMoveBot, spec,
+                    options(SoftwareTier::Optimized, 1.0, 123)));
+        }
+    }
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
+    std::printf("\n-- ANL geometry (MoveBot, norm. time and coverage) "
+                "--\n");
+    std::printf("%-8s %-8s %10s %10s %10s\n", "entries", "region",
+                "norm.time", "coverage", "accuracy");
+    std::size_t r = 0;
+    const RunResult &base = results[r++];
+    for (std::uint32_t entries : {8u, 16u, 32u, 64u}) {
+        for (std::uint32_t region : {512u, 1024u, 2048u}) {
+            const RunResult &res = results[r++];
             const double hits =
                 double(res.pfHitsTimely + res.pfHitsLate);
             const double norm =
@@ -60,25 +75,35 @@ anlGeometry(BenchReporter &rep)
 }
 
 void
-fcpLevel(BenchReporter &rep)
+fcpLevel(BenchReporter &rep, RunPool &pool)
 {
-    std::printf("\n-- FCP level (CarriBot, norm. time / L2 misses) --\n");
-    std::printf("%-10s %10s %12s\n", "config", "norm.time", "l2misses");
-    auto base = runCarriBot(MachineSpec::baseline(),
-                            options(SoftwareTier::Optimized, 0.6));
     struct Config {
         const char *name;
         bool l2;
         bool l3;
     };
-    for (const Config &c : {Config{"none", false, false},
-                            Config{"L2", true, false},
-                            Config{"L2+L3", true, true}}) {
+    const Config configs[] = {{"none", false, false},
+                              {"L2", true, false},
+                              {"L2+L3", true, true}};
+
+    std::vector<std::function<RunResult()>> jobs;
+    jobs.push_back(job(runCarriBot, MachineSpec::baseline(),
+                       options(SoftwareTier::Optimized, 0.6)));
+    for (const Config &c : configs) {
         auto spec = MachineSpec::baseline();
         spec.sys.fcpEnabled = c.l2;
         spec.sys.fcpAtL3 = c.l3;
-        auto res = runCarriBot(spec,
-                               options(SoftwareTier::Optimized, 0.6));
+        jobs.push_back(
+            job(runCarriBot, spec, options(SoftwareTier::Optimized, 0.6)));
+    }
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
+    std::printf("\n-- FCP level (CarriBot, norm. time / L2 misses) --\n");
+    std::printf("%-10s %10s %12s\n", "config", "norm.time", "l2misses");
+    std::size_t r = 0;
+    const RunResult &base = results[r++];
+    for (const Config &c : configs) {
+        const RunResult &res = results[r++];
         const std::string row = std::string("fcp/") + c.name;
         rep.kernelMetric(row, "normTime",
                          double(res.wallCycles) /
@@ -91,17 +116,26 @@ fcpLevel(BenchReporter &rep)
 }
 
 void
-npuLinkLatency(BenchReporter &rep)
+npuLinkLatency(BenchReporter &rep, RunPool &pool)
 {
-    std::printf("\n-- CPU-NPU link latency (FlyBot AXAR, norm. time) "
-                "--\n");
-    std::printf("%-10s %10s\n", "cycles", "norm.time");
-    auto exact = runFlyBot(MachineSpec::tartan(),
-                           options(SoftwareTier::Optimized));
+    std::vector<std::function<RunResult()>> jobs;
+    jobs.push_back(job(runFlyBot, MachineSpec::tartan(),
+                       options(SoftwareTier::Optimized)));
     for (tartan::sim::Cycles lat : {1u, 4u, 16u, 48u, 104u}) {
         auto spec = MachineSpec::tartan();
         spec.npuCfg.commLatency = lat;
-        auto res = runFlyBot(spec, options(SoftwareTier::Approximate));
+        jobs.push_back(
+            job(runFlyBot, spec, options(SoftwareTier::Approximate)));
+    }
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
+    std::printf("\n-- CPU-NPU link latency (FlyBot AXAR, norm. time) "
+                "--\n");
+    std::printf("%-10s %10s\n", "cycles", "norm.time");
+    std::size_t r = 0;
+    const RunResult &exact = results[r++];
+    for (tartan::sim::Cycles lat : {1u, 4u, 16u, 48u, 104u}) {
+        const RunResult &res = results[r++];
         rep.kernelMetric("npuLink/" + std::to_string(lat) + "cyc",
                          "normTime",
                          double(res.wallCycles) /
@@ -125,8 +159,9 @@ main()
     rep.config("anlSweep", "MoveBot, entries x regionBytes");
     rep.config("fcpSweep", "CarriBot, none/L2/L2+L3");
     rep.config("npuLinkSweep", "FlyBot AXAR, 1-104 cycles");
-    anlGeometry(rep);
-    fcpLevel(rep);
-    npuLinkLatency(rep);
+    RunPool pool;
+    anlGeometry(rep, pool);
+    fcpLevel(rep, pool);
+    npuLinkLatency(rep, pool);
     return 0;
 }

@@ -3,9 +3,18 @@
  * Shared helpers for the figure/table reproduction binaries: the
  * BenchReporter every driver routes its results through (human table on
  * stdout plus a machine-readable BENCH_<name>.json), normalisation and
- * geometric means, and the standard per-run metric snapshot. Every
- * bench prints the paper's expected shape next to the measured values
- * so the output can be diffed against EXPERIMENTS.md.
+ * geometric means, the standard per-run metric snapshot, and the
+ * RunPool plumbing that executes every driver's independent runs
+ * concurrently. Every bench prints the paper's expected shape next to
+ * the measured values so the output can be diffed against
+ * EXPERIMENTS.md.
+ *
+ * Parallel-run pattern: a driver builds its complete list of run
+ * closures (each capturing its own MachineSpec / WorkloadOptions /
+ * trace session by value), hands them to runAll(), and only then
+ * formats tables from the in-submission-order results. All printing
+ * happens on the main thread after the gather, so stdout and the BENCH
+ * manifest are byte-identical whatever TARTAN_JOBS is.
  */
 
 #ifndef TARTAN_BENCH_UTIL_HH
@@ -13,36 +22,65 @@
 
 #include <cmath>
 #include <cstdio>
+#include <functional>
+#include <future>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/report.hh"
+#include "sim/runpool.hh"
 #include "workloads/robots.hh"
 
 namespace tartan::bench {
 
 using tartan::sim::BenchReporter;
+using tartan::sim::RunPool;
 using workloads::MachineSpec;
+using workloads::RobotFn;
 using workloads::RunResult;
 using workloads::SoftwareTier;
 using workloads::WorkloadOptions;
 
+/**
+ * Geometric mean of the positive entries of @p values. Non-positive
+ * entries would put log(0) = -inf (or a NaN) into the accumulator and
+ * silently poison the whole mean, so they are skipped with a warn() —
+ * a degenerate run should never erase every other robot's result.
+ */
 inline double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
     double acc = 0.0;
-    for (double v : values)
+    std::size_t used = 0;
+    for (double v : values) {
+        if (!(v > 0.0)) {
+            sim::warn("bench: geomean skipping non-positive value %g", v);
+            continue;
+        }
         acc += std::log(v);
-    return std::exp(acc / static_cast<double>(values.size()));
+        ++used;
+    }
+    return used ? std::exp(acc / static_cast<double>(used)) : 0.0;
 }
 
-/** Normalised value helper (baseline / value = speedup). */
+/**
+ * Normalised value helper (baseline / value = speedup). A non-positive
+ * @p value means the run recorded no time at all — report it instead of
+ * returning a silent 0.0 that downstream means would choke on.
+ */
 inline double
 speedup(double baseline, double value)
 {
-    return value > 0.0 ? baseline / value : 0.0;
+    if (!(value > 0.0)) {
+        sim::warn("bench: speedup of a non-positive run time %g "
+                  "(baseline %g); reporting 0",
+                  value, baseline);
+        return 0.0;
+    }
+    return baseline / value;
 }
 
 /** Default per-bench workload scale (kept small for sweep benches). */
@@ -70,6 +108,66 @@ traced(WorkloadOptions opt,
 {
     opt.trace = session.get();
     return opt;
+}
+
+/**
+ * Build one run closure: a (robot function, spec, options) cell ready
+ * for RunPool submission. Everything is captured by value, so the
+ * closure owns its whole configuration and shares nothing with its
+ * siblings.
+ */
+inline std::function<RunResult()>
+job(RobotFn run, MachineSpec spec, WorkloadOptions opt)
+{
+    return [run, spec = std::move(spec), opt]() {
+        return run(spec, opt);
+    };
+}
+
+/**
+ * Build one *traced* run closure. The TraceSession is created here, on
+ * the calling thread and in submission order, so the reporter's
+ * manifest lists trace paths deterministically; the closure owns the
+ * session (shared_ptr because std::function must stay copyable) and
+ * finalizes it right after the run, exactly where the serial code
+ * called t.reset().
+ */
+inline std::function<RunResult()>
+job(BenchReporter &rep, const std::string &run_label, RobotFn run,
+    MachineSpec spec, WorkloadOptions opt)
+{
+    std::shared_ptr<sim::TraceSession> trace = rep.makeTrace(run_label);
+    return [run, spec = std::move(spec), opt,
+            trace = std::move(trace)]() {
+        WorkloadOptions traced_opt = opt;
+        traced_opt.trace = trace.get();
+        RunResult res = run(spec, traced_opt);
+        if (trace)
+            trace->finalize();
+        return res;
+    };
+}
+
+/**
+ * Execute @p jobs through @p pool and return their results in
+ * submission order. Ordering is what keeps parallel output
+ * byte-identical to serial output: workers may finish in any order,
+ * but consumers only ever see the futures' in-order gather. A worker
+ * exception re-throws here, from the offending job's position.
+ */
+template <typename R>
+std::vector<R>
+runAll(RunPool &pool, std::vector<std::function<R()>> jobs)
+{
+    std::vector<std::future<R>> futures;
+    futures.reserve(jobs.size());
+    for (auto &j : jobs)
+        futures.push_back(pool.submit(std::move(j)));
+    std::vector<R> results;
+    results.reserve(futures.size());
+    for (auto &f : futures)
+        results.push_back(f.get());
+    return results;
 }
 
 /**

@@ -12,7 +12,10 @@
  *
  * The campaign is deterministic: plans are seeded (default seed 42)
  * and each robot derives its own fault stream from (plan, robot name),
- * so two runs with the same plan produce identical BENCH rows.
+ * so two runs with the same plan produce identical BENCH rows. All
+ * (robot, class) cells are independent — each owns its injector and
+ * trace session — and execute through a RunPool; the report is
+ * formatted after the gather, so TARTAN_JOBS never changes the output.
  */
 
 #include "bench_util.hh"
@@ -127,7 +130,13 @@ main(int argc, char **argv)
                 "injected", "recovered", "degradation", "status");
 
     const MachineSpec spec = MachineSpec::tartan();
-    std::size_t min_survived = classes.size();
+
+    // Submit the whole campaign — per selected robot, the clean
+    // baseline followed by one run per fault class. Injectors and
+    // trace sessions are created here on the main thread (so manifest
+    // order is deterministic) and owned by their closures.
+    RunPool pool;
+    std::vector<std::function<RunResult()>> jobs;
     bool any_selected = false;
     for (const auto &robot : robotSuite()) {
         const std::string name(robot.name);
@@ -136,11 +145,44 @@ main(int argc, char **argv)
         any_selected = true;
 
         // Clean baseline (no injector: the null-hook path).
-        auto trace_clean = rep.makeTrace(name + "_clean");
-        const RunResult clean = robot.run(
-            spec, traced(options(SoftwareTier::Approximate, 0.5),
-                         trace_clean));
-        trace_clean.reset();
+        jobs.push_back(job(rep, name + "_clean", robot.run, spec,
+                           options(SoftwareTier::Approximate, 0.5)));
+
+        for (const FaultClass &fc : classes) {
+            FaultPlan plan;
+            std::string perr;
+            if (!FaultPlan::parse(fc.spec, plan, &perr))
+                TARTAN_FATAL("chaos: bad spec '%s': %s", fc.spec,
+                             perr.c_str());
+            std::shared_ptr<tartan::sim::FaultInjector> inj =
+                plan.makeInjector(name);
+
+            std::shared_ptr<tartan::sim::TraceSession> trace =
+                rep.makeTrace(name + "_" + fc.name);
+            jobs.push_back([run = robot.run, spec, inj, trace]() {
+                WorkloadOptions opt =
+                    options(SoftwareTier::Approximate, 0.5);
+                opt.faults = inj.get();
+                opt.trace = trace.get();
+                RunResult res = run(spec, opt);
+                if (trace)
+                    trace->finalize();
+                return res;
+            });
+        }
+    }
+    if (!any_selected)
+        TARTAN_FATAL("chaos: no robot matches the filter");
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
+    std::size_t min_survived = classes.size();
+    std::size_t r = 0;
+    for (const auto &robot : robotSuite()) {
+        const std::string name(robot.name);
+        if (!selected(name))
+            continue;
+
+        const RunResult &clean = results[r++];
         const std::string quality_key = primaryMetric(name);
         const double clean_q = metricOr(clean, quality_key, 0.0);
         rep.kernelMetric(name, "cleanQuality", clean_q);
@@ -148,20 +190,7 @@ main(int argc, char **argv)
 
         std::size_t survived = 0;
         for (const FaultClass &fc : classes) {
-            FaultPlan plan;
-            std::string perr;
-            if (!FaultPlan::parse(fc.spec, plan, &perr))
-                TARTAN_FATAL("chaos: bad spec '%s': %s", fc.spec,
-                             perr.c_str());
-            auto inj = plan.makeInjector(name);
-
-            auto trace = rep.makeTrace(name + "_" + fc.name);
-            WorkloadOptions opt =
-                traced(options(SoftwareTier::Approximate, 0.5), trace);
-            opt.faults = inj.get();
-            const RunResult res = robot.run(spec, opt);
-            trace.reset();
-
+            const RunResult &res = results[r++];
             const double injected =
                 metricOr(res, "faultsInjected", 0.0);
             const double recovered = metricOr(res, "recoveries", 0.0);
@@ -194,9 +223,6 @@ main(int argc, char **argv)
         std::printf("%-10s survived %zu/%zu classes\n\n", name.c_str(),
                     survived, classes.size());
     }
-
-    if (!any_selected)
-        TARTAN_FATAL("chaos: no robot matches the filter");
 
     rep.metric("minSurvivedClasses", double(min_survived));
     rep.note("survived = all final metrics finite AND recoveries > 0; "

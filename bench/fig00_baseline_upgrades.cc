@@ -3,7 +3,8 @@
  * §III-A "Upgraded Baseline" reproduction: shrinking cachelines from
  * 64 B to 32 B reduces unnecessary data movement (paper: 1.56x), and
  * write-through MTRR ranges for inter-stage producer-consumer buffers
- * reduce L3 traffic (paper: 9-43%) with a small performance gain.
+ * reduce L3 traffic (paper: 9-43%) with a small performance gain. The
+ * 24 runs (6 robots x 4 machine variants) execute through a RunPool.
  */
 
 #include "bench_util.hh"
@@ -24,32 +25,42 @@ main()
     rep.config("tier", "legacy");
     rep.config("scale", 0.6);
 
-    std::printf("%-10s %10s %10s %8s | %12s %12s %8s\n", "robot",
-                "UDM64[KB]", "UDM32[KB]", "ratio", "L3(noWT)",
-                "L3(WT)", "reduct");
-
-    std::vector<double> udm_ratios, l3_reductions;
+    RunPool pool;
+    std::vector<std::function<RunResult()>> jobs;
     for (const auto &robot : robotSuite()) {
-        auto opt = options(SoftwareTier::Legacy, 0.6);
+        const auto opt = options(SoftwareTier::Legacy, 0.6);
 
         auto wide = MachineSpec::stockBaseline();
         wide.sys.trackUdm = true;
         auto narrow = MachineSpec::baseline();
         narrow.sys.trackUdm = true;
         narrow.wtQueues = false;
-        auto w = robot.run(wide, opt);
-        auto n = robot.run(narrow, opt);
+        jobs.push_back(job(robot.run, wide, opt));
+        jobs.push_back(job(robot.run, narrow, opt));
+
+        auto no_wt = MachineSpec::baseline();
+        no_wt.wtQueues = false;
+        jobs.push_back(job(robot.run, no_wt, opt));
+        jobs.push_back(job(robot.run, MachineSpec::baseline(), opt));
+    }
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
+    std::printf("%-10s %10s %10s %8s | %12s %12s %8s\n", "robot",
+                "UDM64[KB]", "UDM32[KB]", "ratio", "L3(noWT)",
+                "L3(WT)", "reduct");
+
+    std::vector<double> udm_ratios, l3_reductions;
+    std::size_t r = 0;
+    for (const auto &robot : robotSuite()) {
+        const RunResult &w = results[r++];
+        const RunResult &n = results[r++];
+        const RunResult &a = results[r++];
+        const RunResult &b = results[r++];
         const double waste_w =
             double(w.udmFetchedBytes - w.udmUsedBytes) / 1024.0;
         const double waste_n =
             double(n.udmFetchedBytes - n.udmUsedBytes) / 1024.0;
         const double ratio = waste_n > 0 ? waste_w / waste_n : 0.0;
-
-        auto no_wt = MachineSpec::baseline();
-        no_wt.wtQueues = false;
-        auto with_wt = MachineSpec::baseline();
-        auto a = robot.run(no_wt, opt);
-        auto b = robot.run(with_wt, opt);
         const double red =
             a.l3Traffic
                 ? 100.0 *

@@ -2,7 +2,8 @@
  * @file
  * Fig. 1 reproduction: execution-time breakdown per robot, showing the
  * bottleneck operation's share on the upgraded baseline (B) and how
- * Tartan (T) shrinks it.
+ * Tartan (T) shrinks it. The 12 runs (6 robots x {B, T}) execute
+ * through a RunPool.
  */
 
 #include "bench_util.hh"
@@ -37,21 +38,26 @@ main()
     rep.config("baseline", "B=baseline/legacy");
     rep.config("tartan", "T=tartan/approximate");
 
+    RunPool pool;
+    std::vector<std::function<RunResult()>> jobs;
+    for (const auto &robot : robotSuite()) {
+        jobs.push_back(job(rep, std::string(robot.name) + "_B",
+                           robot.run, MachineSpec::baseline(),
+                           options(SoftwareTier::Legacy)));
+        jobs.push_back(job(rep, std::string(robot.name) + "_T",
+                           robot.run, MachineSpec::tartan(),
+                           options(SoftwareTier::Approximate)));
+    }
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
     std::printf("%-10s %-12s %8s %8s | %10s\n", "robot", "bottleneck",
                 "B share", "T share", "T time/B");
 
     std::vector<double> speedups;
+    std::size_t r = 0;
     for (const auto &robot : robotSuite()) {
-        auto trace_b = rep.makeTrace(std::string(robot.name) + "_B");
-        auto base =
-            robot.run(MachineSpec::baseline(),
-                      traced(options(SoftwareTier::Legacy), trace_b));
-        trace_b.reset();
-        auto trace_t = rep.makeTrace(std::string(robot.name) + "_T");
-        auto tartan_res = robot.run(
-            MachineSpec::tartan(),
-            traced(options(SoftwareTier::Approximate), trace_t));
-        trace_t.reset();
+        const RunResult &base = results[r++];
+        const RunResult &tartan_res = results[r++];
         // Identify the baseline's dominant kernel and report both
         // machines' share of it.
         const std::string bk = base.bottleneckKernel;

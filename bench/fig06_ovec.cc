@@ -5,7 +5,7 @@
  * VGATHERDPS reference), RACOD-style ASIC — on the two robots
  * dominated by oriented loads (DeliBot ray casting, CarriBot
  * collision checking). Reports normalised execution time and dynamic
- * instruction count.
+ * instruction count. The 8 runs execute through a RunPool.
  */
 
 #include "bench_util.hh"
@@ -42,11 +42,9 @@ main()
     const Target targets[] = {{"DeliBot", runDeliBot},
                               {"CarriBot", runCarriBot}};
 
+    RunPool pool;
+    std::vector<std::function<RunResult()>> jobs;
     for (const auto &target : targets) {
-        std::printf("\n-- %s --\n", target.name);
-        std::printf("%-3s %14s %14s %12s %12s\n", "cfg", "cycles",
-                    "instructions", "norm.time", "norm.instr");
-        double base_cycles = 0, base_instr = 0;
         for (const auto &cfg : configs) {
             auto opt = options(SoftwareTier::Optimized);
             opt.oriented = cfg.kind;
@@ -54,7 +52,19 @@ main()
             spec.useAnl = false;        // isolate the vector engine
             spec.sys.fcpEnabled = false;
             spec.npu = false;
-            auto res = target.run(spec, opt);
+            jobs.push_back(job(target.run, spec, opt));
+        }
+    }
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
+    std::size_t r = 0;
+    for (const auto &target : targets) {
+        std::printf("\n-- %s --\n", target.name);
+        std::printf("%-3s %14s %14s %12s %12s\n", "cfg", "cycles",
+                    "instructions", "norm.time", "norm.instr");
+        double base_cycles = 0, base_instr = 0;
+        for (const auto &cfg : configs) {
+            const RunResult &res = results[r++];
             if (cfg.kind == OrientedKind::Scalar) {
                 base_cycles = double(res.wallCycles);
                 base_instr = double(res.instructions);

@@ -3,7 +3,9 @@
  * Fig. 7 reproduction: ray casting with trilinear interpolation under
  * Baseline, OVEC, an Intel-style ray-casting accelerator (zero-cost
  * interpolation + local voxel storage), and OVEC combined with the
- * accelerator — demonstrating the two designs are orthogonal.
+ * accelerator — demonstrating the two designs are orthogonal. The four
+ * configurations execute through a RunPool; each run builds its own
+ * engine so no simulation state is shared between workers.
  */
 
 #include "bench_util.hh"
@@ -21,8 +23,16 @@ namespace {
 
 /** Run the DeliBot-style interpolated ray-casting kernel. */
 sim::Cycles
-rayCastingTime(robotics::OrientedEngine &engine, bool accel)
+rayCastingTime(bool use_ovec, bool accel)
 {
+    // Engines are stateful (batch statistics), so every run constructs
+    // its own rather than sharing one across concurrent configs.
+    robotics::ScalarOrientedEngine scalar;
+    core::OvecEngine ovec;
+    robotics::OrientedEngine &engine =
+        use_ovec ? static_cast<robotics::OrientedEngine &>(ovec)
+                 : scalar;
+
     sim::SysConfig sys_cfg;
     sys_cfg.lineBytes = 32;
     sim::System sys(sys_cfg);
@@ -65,13 +75,20 @@ main()
     rep.config("grid", "384x384 occupancy, 32B lines");
     rep.config("configs", "B=scalar O=ovec I=intel-accel O+I=combined");
 
-    robotics::ScalarOrientedEngine scalar;
-    core::OvecEngine ovec;
-
-    const double b = double(rayCastingTime(scalar, false));
-    const double o = double(rayCastingTime(ovec, false));
-    const double i = double(rayCastingTime(scalar, true));
-    const double oi = double(rayCastingTime(ovec, true));
+    RunPool pool;
+    std::vector<std::function<double()>> jobs;
+    const struct { const char *cfg; bool ovec; bool accel; } configs[] = {
+        {"B", false, false},
+        {"O", true, false},
+        {"I", false, true},
+        {"O+I", true, true}};
+    for (const auto &c : configs)
+        jobs.push_back([ovec = c.ovec, accel = c.accel]() {
+            return double(rayCastingTime(ovec, accel));
+        });
+    const std::vector<double> cycles = runAll(pool, std::move(jobs));
+    const double b = cycles[0], o = cycles[1], i = cycles[2],
+                 oi = cycles[3];
 
     std::printf("%-4s %14s %10s %9s\n", "cfg", "cycles", "norm", "speedup");
     std::printf("%-4s %14.0f %10.3f %8.2fx\n", "B", b, 1.0, 1.0);
@@ -81,12 +98,10 @@ main()
     std::printf("\nOrthogonality: O+I over I alone = %.2fx "
                 "(paper: 1.33x)\n", i / oi);
 
-    const struct { const char *cfg; double cycles; } rows[] = {
-        {"B", b}, {"O", o}, {"I", i}, {"O+I", oi}};
-    for (const auto &r : rows) {
-        rep.kernelMetric(r.cfg, "cycles", r.cycles);
-        rep.kernelMetric(r.cfg, "normTime", r.cycles / b);
-        rep.kernelMetric(r.cfg, "speedup", b / r.cycles);
+    for (std::size_t c = 0; c < 4; ++c) {
+        rep.kernelMetric(configs[c].cfg, "cycles", cycles[c]);
+        rep.kernelMetric(configs[c].cfg, "normTime", cycles[c] / b);
+        rep.kernelMetric(configs[c].cfg, "speedup", b / cycles[c]);
     }
     rep.metric("orthogonalityOiOverI", i / oi);
     rep.note("paper: O+I over I alone = 1.33x");

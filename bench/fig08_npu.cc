@@ -4,7 +4,8 @@
  * robots under Baseline (exact software), Hardware NPU (integrated,
  * 4 PEs), Software-executed neural model, and Co-processor NPU
  * (FSD-style: 104-cycle messages, zero-cycle inference). Reports
- * normalised execution time and dynamic instructions.
+ * normalised execution time and dynamic instructions. The 12 runs
+ * execute through a RunPool.
  */
 
 #include "bench_util.hh"
@@ -31,25 +32,22 @@ main()
                               {"HomeBot", runHomeBot},
                               {"FlyBot", runFlyBot}};
 
-    for (const auto &target : targets) {
-        std::printf("\n-- %s --\n", target.name);
-        std::printf("%-3s %14s %14s %11s %11s %10s\n", "cfg", "cycles",
-                    "instructions", "norm.time", "norm.inst",
-                    "npu-calls");
-        double base_cycles = 0, base_instr = 0;
+    struct Config {
+        const char *label;
+        SoftwareTier tier;
+        bool sw_nn;
+        bool coproc;
+    };
+    const Config configs[] = {
+        {"B", SoftwareTier::Optimized, false, false},
+        {"H", SoftwareTier::Approximate, false, false},
+        {"S", SoftwareTier::Approximate, true, false},
+        {"C", SoftwareTier::Approximate, false, true},
+    };
 
-        struct Config {
-            const char *label;
-            SoftwareTier tier;
-            bool sw_nn;
-            bool coproc;
-        };
-        const Config configs[] = {
-            {"B", SoftwareTier::Optimized, false, false},
-            {"H", SoftwareTier::Approximate, false, false},
-            {"S", SoftwareTier::Approximate, true, false},
-            {"C", SoftwareTier::Approximate, false, true},
-        };
+    RunPool pool;
+    std::vector<std::function<RunResult()>> jobs;
+    for (const auto &target : targets) {
         for (const auto &cfg : configs) {
             auto spec = MachineSpec::tartan();
             if (cfg.coproc)
@@ -57,7 +55,20 @@ main()
                     tartan::core::NpuPlacement::Coprocessor;
             auto opt = options(cfg.tier);
             opt.softwareNeural = cfg.sw_nn;
-            auto res = target.run(spec, opt);
+            jobs.push_back(job(target.run, spec, opt));
+        }
+    }
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
+    std::size_t r = 0;
+    for (const auto &target : targets) {
+        std::printf("\n-- %s --\n", target.name);
+        std::printf("%-3s %14s %14s %11s %11s %10s\n", "cfg", "cycles",
+                    "instructions", "norm.time", "norm.inst",
+                    "npu-calls");
+        double base_cycles = 0, base_instr = 0;
+        for (const auto &cfg : configs) {
+            const RunResult &res = results[r++];
             if (cfg.label[0] == 'B') {
                 base_cycles = double(res.wallCycles);
                 base_instr = double(res.instructions);

@@ -4,7 +4,7 @@
  * HomeBot with Brute force, VLN (vectorised LSH), FLANN-style scalar
  * LSH and a k-d tree, each with and without the ANL prefetcher.
  * Reports normalised execution time and L2 misses (normalised to
- * brute force without ANL).
+ * brute force without ANL). The 16 runs execute through a RunPool.
  */
 
 #include "bench_util.hh"
@@ -42,11 +42,9 @@ main()
     const Target targets[] = {{"MoveBot", runMoveBot, 123},
                               {"HomeBot", runHomeBot, 42}};
 
+    RunPool pool;
+    std::vector<std::function<RunResult()>> jobs;
     for (const auto &target : targets) {
-        std::printf("\n-- %s --\n", target.name);
-        std::printf("%-4s %14s %12s %10s %10s\n", "cfg", "cycles",
-                    "l2misses", "norm.time", "norm.miss");
-        double base_cycles = 0, base_misses = 0;
         for (const auto &backend : backends) {
             for (bool anl : {false, true}) {
                 auto spec = MachineSpec::baseline();
@@ -58,7 +56,21 @@ main()
                                    target.seed);
                 opt.nns = backend.kind;
                 opt.nnsExplicit = true;
-                auto res = target.run(spec, opt);
+                jobs.push_back(job(target.run, spec, opt));
+            }
+        }
+    }
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
+    std::size_t r = 0;
+    for (const auto &target : targets) {
+        std::printf("\n-- %s --\n", target.name);
+        std::printf("%-4s %14s %12s %10s %10s\n", "cfg", "cycles",
+                    "l2misses", "norm.time", "norm.miss");
+        double base_cycles = 0, base_misses = 0;
+        for (const auto &backend : backends) {
+            for (bool anl : {false, true}) {
+                const RunResult &res = results[r++];
                 if (backend.kind == NnsKind::Brute && !anl) {
                     base_cycles = double(res.wallCycles);
                     base_misses = double(res.l2Misses);

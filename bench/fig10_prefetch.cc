@@ -3,7 +3,9 @@
  * Fig. 10 reproduction: prefetcher comparison across all six robots —
  * no prefetcher, ANL, plain Next-Line, and a Bingo-like spatial
  * prefetcher. Reports normalised execution time, miss coverage and
- * prefetch accuracy, plus the metadata storage of ANL vs Bingo.
+ * prefetch accuracy, plus the metadata storage of ANL vs Bingo. The
+ * 30 runs (6 robots x {base, 4 prefetchers}) execute through a
+ * RunPool.
  */
 
 #include "bench_util.hh"
@@ -16,14 +18,9 @@ using namespace tartan::workloads;
 
 namespace {
 
-struct PfResult {
-    double norm_time;
-    double coverage;
-    double accuracy;
-};
-
-PfResult
-run(const tartan::workloads::RobotEntry &robot, int pf_kind, double base_cycles)
+/** The machine variant for one prefetcher configuration. */
+MachineSpec
+pfSpec(int pf_kind)
 {
     auto spec = MachineSpec::baseline();
     switch (pf_kind) {
@@ -40,7 +37,18 @@ run(const tartan::workloads::RobotEntry &robot, int pf_kind, double base_cycles)
         spec.sys.prefetcher = tartan::sim::PrefetcherKind::Bingo;
         break;
     }
-    auto res = robot.run(spec, options(SoftwareTier::Optimized));
+    return spec;
+}
+
+struct PfResult {
+    double norm_time;
+    double coverage;
+    double accuracy;
+};
+
+PfResult
+summarizePf(const RunResult &res, double base_cycles)
+{
     PfResult out;
     out.norm_time =
         base_cycles > 0 ? double(res.wallCycles) / base_cycles : 1.0;
@@ -67,6 +75,17 @@ main()
     rep.config("prefetchers", "No ANL NL Bi");
     rep.config("tier", "optimized");
 
+    RunPool pool;
+    std::vector<std::function<RunResult()>> jobs;
+    for (const auto &robot : robotSuite()) {
+        jobs.push_back(job(robot.run, MachineSpec::baseline(),
+                           options(SoftwareTier::Optimized)));
+        for (int pf = 0; pf < 4; ++pf)
+            jobs.push_back(job(robot.run, pfSpec(pf),
+                               options(SoftwareTier::Optimized)));
+    }
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
     const char *labels[] = {"No", "ANL", "NL", "Bi"};
     std::printf("%-10s", "robot");
     for (const char *l : labels)
@@ -74,13 +93,12 @@ main()
     std::printf("\n");
 
     std::vector<double> anl_gain, bingo_gain;
+    std::size_t idx = 0;
     for (const auto &robot : robotSuite()) {
-        auto base = robot.run(MachineSpec::baseline(),
-                              options(SoftwareTier::Optimized));
-        const double base_cycles = double(base.wallCycles);
+        const double base_cycles = double(results[idx++].wallCycles);
         std::printf("%-10s", robot.name);
         for (int pf = 0; pf < 4; ++pf) {
-            auto r = run(robot, pf, base_cycles);
+            const PfResult r = summarizePf(results[idx++], base_cycles);
             std::printf(" | %9.3f %3.0f%% %3.0f%%", r.norm_time,
                         100 * r.coverage, 100 * r.accuracy);
             const std::string row =

@@ -2,7 +2,8 @@
  * @file
  * Fig. 11 reproduction: FCP parameter sweep — region size {512 B,
  * 1 KB} x folded bits l {2, 3} x manipulation function m(x) in
- * {x+1, 2x, x^2} — across all six robots, normalised to no FCP.
+ * {x+1, 2x, x^2} — across all six robots, normalised to no FCP. The
+ * 78 runs (6 robots x {base, 12 configs}) execute through a RunPool.
  */
 
 #include "bench_util.hh"
@@ -28,22 +29,14 @@ main()
                                           FcpReplacement::Func::TwoX,
                                           FcpReplacement::Func::XSquared};
     const char *func_names[] = {"x+1", "2x", "x^2"};
-
-    std::printf("%-10s %-5s", "robot", "m(x)");
-    for (std::uint32_t region : {512u, 1024u})
-        for (std::uint32_t l : {2u, 3u})
-            std::printf(" %6uB-%ub", region, l);
-    std::printf("   (norm. time; < 1 is better)\n");
-
     const double scale = 0.5;
-    std::vector<double> best_gains;
+
+    RunPool pool;
+    std::vector<std::function<RunResult()>> jobs;
     for (const auto &robot : robotSuite()) {
-        auto base = robot.run(MachineSpec::baseline(),
-                              options(SoftwareTier::Optimized, scale));
-        const double base_cycles = double(base.wallCycles);
-        double best = 1.0;
+        jobs.push_back(job(robot.run, MachineSpec::baseline(),
+                           options(SoftwareTier::Optimized, scale)));
         for (int f = 0; f < 3; ++f) {
-            std::printf("%-10s %-5s", robot.name, func_names[f]);
             for (std::uint32_t region : {512u, 1024u}) {
                 for (std::uint32_t l : {2u, 3u}) {
                     auto spec = MachineSpec::baseline();
@@ -51,8 +44,31 @@ main()
                     spec.sys.fcpRegionBytes = region;
                     spec.sys.fcpXorBits = l;
                     spec.sys.fcpFunc = funcs[f];
-                    auto res = robot.run(
-                        spec, options(SoftwareTier::Optimized, scale));
+                    jobs.push_back(
+                        job(robot.run, spec,
+                            options(SoftwareTier::Optimized, scale)));
+                }
+            }
+        }
+    }
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
+    std::printf("%-10s %-5s", "robot", "m(x)");
+    for (std::uint32_t region : {512u, 1024u})
+        for (std::uint32_t l : {2u, 3u})
+            std::printf(" %6uB-%ub", region, l);
+    std::printf("   (norm. time; < 1 is better)\n");
+
+    std::vector<double> best_gains;
+    std::size_t r = 0;
+    for (const auto &robot : robotSuite()) {
+        const double base_cycles = double(results[r++].wallCycles);
+        double best = 1.0;
+        for (int f = 0; f < 3; ++f) {
+            std::printf("%-10s %-5s", robot.name, func_names[f]);
+            for (std::uint32_t region : {512u, 1024u}) {
+                for (std::uint32_t l : {2u, 3u}) {
+                    const RunResult &res = results[r++];
                     const double norm =
                         double(res.wallCycles) / base_cycles;
                     best = std::min(best, norm);

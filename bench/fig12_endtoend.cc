@@ -4,6 +4,10 @@
  * baseline for the three software tiers — legacy software (hardware-
  * only techniques apply), software optimised for Tartan without
  * approximation, and approximable software (NPU enabled).
+ *
+ * All 24 runs (6 robots x {baseline, legacy, optimized, approx}) are
+ * independent and execute through a RunPool; results are consumed in
+ * submission order so the table and manifest match a serial run.
  */
 
 #include "bench_util.hh"
@@ -21,34 +25,36 @@ main()
     rep.config("baseline", "upgraded baseline, legacy software");
     rep.config("tiers", "legacy optimized approx");
 
+    RunPool pool;
+    std::vector<std::function<RunResult()>> jobs;
+    for (const auto &robot : robotSuite()) {
+        const std::string name(robot.name);
+        jobs.push_back(job(rep, name + "_base", robot.run,
+                           MachineSpec::baseline(),
+                           options(SoftwareTier::Legacy)));
+        jobs.push_back(job(rep, name + "_legacy", robot.run,
+                           MachineSpec::tartan(),
+                           options(SoftwareTier::Legacy)));
+        jobs.push_back(job(rep, name + "_opt", robot.run,
+                           MachineSpec::tartan(),
+                           options(SoftwareTier::Optimized)));
+        jobs.push_back(job(rep, name + "_approx", robot.run,
+                           MachineSpec::tartan(),
+                           options(SoftwareTier::Approximate)));
+    }
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
     std::printf("%-10s %12s %12s %12s\n", "robot", "legacy",
                 "optimized", "approx");
 
     std::vector<double> legacy_s, opt_s, approx_s;
+    std::size_t r = 0;
     for (const auto &robot : robotSuite()) {
-        const std::string name(robot.name);
-        auto trace_base = rep.makeTrace(name + "_base");
-        const auto base =
-            robot.run(MachineSpec::baseline(),
-                      traced(options(SoftwareTier::Legacy), trace_base));
-        trace_base.reset();
+        const RunResult &base = results[r++];
+        const RunResult &legacy = results[r++];
+        const RunResult &optimized = results[r++];
+        const RunResult &approx = results[r++];
         const double base_cycles = double(base.wallCycles);
-
-        auto trace_l = rep.makeTrace(name + "_legacy");
-        const auto legacy =
-            robot.run(MachineSpec::tartan(),
-                      traced(options(SoftwareTier::Legacy), trace_l));
-        trace_l.reset();
-        auto trace_o = rep.makeTrace(name + "_opt");
-        const auto optimized =
-            robot.run(MachineSpec::tartan(),
-                      traced(options(SoftwareTier::Optimized), trace_o));
-        trace_o.reset();
-        auto trace_a = rep.makeTrace(name + "_approx");
-        const auto approx = robot.run(
-            MachineSpec::tartan(),
-            traced(options(SoftwareTier::Approximate), trace_a));
-        trace_a.reset();
 
         const double sl = speedup(base_cycles, double(legacy.wallCycles));
         const double so =

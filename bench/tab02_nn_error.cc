@@ -9,6 +9,10 @@
  *    relative rotation and translation errors (paper: 6.8%).
  *  - Native / PatrolBot classification (50/1024/512/1 on PCA(50)):
  *    misclassification rate (paper: 1.3%).
+ *
+ * The three evaluations are independent (each trains its own network
+ * from its own RNG streams) and execute through a RunPool; every job
+ * returns raw numbers and all printing happens after the gather.
  */
 
 #include "bench_util.hh"
@@ -27,23 +31,23 @@ using namespace tartan::workloads;
 
 namespace {
 
-double
-flybotPathError()
+/** {exact planCost, AXAR planCost, AXAR supervisor rollbacks}. */
+std::vector<double>
+flybotPathCosts()
 {
     auto exact = runFlyBot(MachineSpec::tartan(),
                            options(SoftwareTier::Optimized));
     auto axar = runFlyBot(MachineSpec::tartan(),
                           options(SoftwareTier::Approximate));
-    const double e = exact.metrics.at("planCost");
-    const double a = axar.metrics.at("planCost");
-    std::printf("  FlyBot plan costs: exact %.4f, AXAR %.4f, "
-                "supervisor rollbacks %.0f\n",
-                e, a, axar.metrics.at("rollbacks"));
-    return e > 0 ? 100.0 * (a - e) / e : 0.0;
+    return {exact.metrics.at("planCost"), axar.metrics.at("planCost"),
+            axar.metrics.at("rollbacks")};
 }
 
-/** Synthetic T-prediction dataset: downsampled cloud pairs -> pose. */
-double
+/**
+ * Synthetic T-prediction dataset: downsampled cloud pairs -> pose.
+ * Returns {relative rotation error %, relative translation error %}.
+ */
+std::vector<double>
 homebotTransformError()
 {
     sim::Rng rng(7);
@@ -132,12 +136,10 @@ homebotTransformError()
     }
     const double rot_rel = 100.0 * rot_err / rot_mag;
     const double trans_rel = 100.0 * trans_err / trans_mag;
-    std::printf("  HomeBot rotation error %.1f%%, translation error "
-                "%.1f%%\n", rot_rel, trans_rel);
-    return std::sqrt(rot_rel * trans_rel);
+    return {rot_rel, trans_rel};
 }
 
-double
+std::vector<double>
 patrolbotClassificationError()
 {
     sim::Rng rng(21);
@@ -191,7 +193,7 @@ patrolbotClassificationError()
         if ((score[0] > 0.5f) != label)
             ++wrong;
     }
-    return 100.0 * wrong / tests;
+    return {100.0 * wrong / tests};
 }
 
 } // namespace
@@ -207,18 +209,34 @@ main()
     rep.config("homebotTopology", "192/32/32/6");
     rep.config("patrolbotTopology", "50/1024/512/1");
 
+    RunPool pool;
+    std::vector<std::function<std::vector<double>()>> jobs = {
+        flybotPathCosts, homebotTransformError,
+        patrolbotClassificationError};
+    const auto results = runAll(pool, std::move(jobs));
+
+    const double exact_cost = results[0][0];
+    const double axar_cost = results[0][1];
+    std::printf("  FlyBot plan costs: exact %.4f, AXAR %.4f, "
+                "supervisor rollbacks %.0f\n",
+                exact_cost, axar_cost, results[0][2]);
+    const double fly = exact_cost > 0
+                           ? 100.0 * (axar_cost - exact_cost) / exact_cost
+                           : 0.0;
+
+    const double rot_rel = results[1][0], trans_rel = results[1][1];
+    std::printf("  HomeBot rotation error %.1f%%, translation error "
+                "%.1f%%\n", rot_rel, trans_rel);
+    const double home = std::sqrt(rot_rel * trans_rel);
+
+    const double patrol = results[2][0];
+
     std::printf("%-7s %-10s %-14s %-14s %10s\n", "type", "robot",
                 "function", "topology", "error");
-
-    const double fly = flybotPathError();
     std::printf("%-7s %-10s %-14s %-14s %9.2f%%\n", "AXAR", "FlyBot",
                 "HeuristicCost", "6/16/16/1", fly);
-
-    const double home = homebotTransformError();
     std::printf("%-7s %-10s %-14s %-14s %9.2f%%\n", "TRAP", "HomeBot",
                 "T Prediction", "192/32/32/6", home);
-
-    const double patrol = patrolbotClassificationError();
     std::printf("%-7s %-10s %-14s %-14s %9.2f%%\n", "Native",
                 "PatrolBot", "Classification", "50/1024/512/1", patrol);
 

@@ -2,7 +2,9 @@
  * @file
  * Table III reproduction: NPU configurations with 2, 4 and 8 PEs —
  * SRAM footprint, silicon area, and the geometric-mean speedup of the
- * three approximable robots over their exact (non-NPU) runs.
+ * three approximable robots over their exact (non-NPU) runs. The 12
+ * runs (3 exact baselines + 3 robots x 3 PE configs) execute through
+ * a RunPool.
  */
 
 #include "bench_util.hh"
@@ -30,12 +32,25 @@ main()
                               {"HomeBot", runHomeBot},
                               {"FlyBot", runFlyBot}};
 
+    RunPool pool;
+    std::vector<std::function<RunResult()>> jobs;
     // Exact (non-NPU) reference runs.
-    std::vector<double> base_cycles;
     for (const auto &t : targets)
-        base_cycles.push_back(double(
-            t.run(MachineSpec::tartan(), options(SoftwareTier::Optimized))
-                .wallCycles));
+        jobs.push_back(job(t.run, MachineSpec::tartan(),
+                           options(SoftwareTier::Optimized)));
+    for (std::uint32_t pes : {2u, 4u, 8u}) {
+        auto spec = MachineSpec::tartan();
+        spec.npuCfg.pes = pes;
+        for (const auto &t : targets)
+            jobs.push_back(
+                job(t.run, spec, options(SoftwareTier::Approximate)));
+    }
+    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
+    std::vector<double> base_cycles;
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < 3; ++i)
+        base_cycles.push_back(double(results[r++].wallCycles));
 
     std::printf("%-4s %10s %10s %14s", "PEs", "mem[KB]", "area[um2]",
                 "GMean speedup");
@@ -49,12 +64,9 @@ main()
         tartan::core::NpuModel npu(spec.npuCfg);
 
         std::vector<double> speedups;
-        for (std::size_t i = 0; i < 3; ++i) {
-            auto res = targets[i].run(spec,
-                                      options(SoftwareTier::Approximate));
-            speedups.push_back(base_cycles[i] /
-                               double(res.wallCycles));
-        }
+        for (std::size_t i = 0; i < 3; ++i)
+            speedups.push_back(speedup(base_cycles[i],
+                                       double(results[r++].wallCycles)));
         std::printf("%-4u %10.1f %10.0f %13.2fx", pes, npu.memoryKB(),
                     npu.areaUm2(), geomean(speedups));
         for (double s : speedups)

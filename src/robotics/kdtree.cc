@@ -10,29 +10,46 @@
 namespace tartan::robotics {
 
 KdTreeNns::KdTreeNns(const float *store, std::uint32_t dim,
-                     std::uint32_t stride)
-    : NnsBackend(store, dim, stride)
+                     std::uint32_t stride, tartan::sim::Arena *arena)
+    : NnsBackend(store, dim, stride), arenaPtr(arena)
 {
+}
+
+KdTreeNns::~KdTreeNns()
+{
+    if (!arenaPtr)
+        for (Node *n : nodes)
+            delete n;
+}
+
+KdTreeNns::Node *
+KdTreeNns::allocNode()
+{
+    // One cache line per node either way: individual heap allocations
+    // model OMPL's scatter; the arena path keeps the same
+    // one-line-per-node footprint while making placement a pure
+    // function of insertion order.
+    return arenaPtr ? arenaPtr->alloc<Node>(1, 64) : new Node();
 }
 
 void
 KdTreeNns::insert(Mem &mem, std::uint32_t id)
 {
-    auto fresh = std::make_unique<Node>();
+    Node *fresh = allocNode();
     fresh->id = id;
     const std::int32_t fresh_idx =
         static_cast<std::int32_t>(nodes.size());
 
     if (root < 0) {
         fresh->splitDim = 0;
-        nodes.push_back(std::move(fresh));
+        nodes.push_back(fresh);
         root = fresh_idx;
         return;
     }
 
     std::int32_t cur = root;
     while (true) {
-        Node *n = nodes[static_cast<std::size_t>(cur)].get();
+        Node *n = nodes[static_cast<std::size_t>(cur)];
         // Pointer-chasing walk: node record then the split coordinate.
         mem.loadv(&n->id, nns_pc::kdNode, MemDep::Dependent);
         const float split_val = mem.loadv(point(n->id) + n->splitDim,
@@ -44,7 +61,7 @@ KdTreeNns::insert(Mem &mem, std::uint32_t id)
         if (child < 0) {
             fresh->splitDim = (n->splitDim + 1) % dimension;
             child = fresh_idx;
-            nodes.push_back(std::move(fresh));
+            nodes.push_back(fresh);
             return;
         }
         cur = child;
@@ -57,7 +74,7 @@ KdTreeNns::nearestRec(Mem &mem, std::int32_t node, const float *query,
 {
     if (node < 0)
         return;
-    Node *n = nodes[static_cast<std::size_t>(node)].get();
+    Node *n = nodes[static_cast<std::size_t>(node)];
     mem.loadv(&n->id, nns_pc::kdNode, MemDep::Dependent);
 
     const float d = distSq(mem, query, n->id, nns_pc::kdPoint,
@@ -93,7 +110,7 @@ KdTreeNns::radiusRec(Mem &mem, std::int32_t node, const float *query,
 {
     if (node < 0)
         return;
-    Node *n = nodes[static_cast<std::size_t>(node)].get();
+    Node *n = nodes[static_cast<std::size_t>(node)];
     mem.loadv(&n->id, nns_pc::kdNode, MemDep::Dependent);
 
     const float d = distSq(mem, query, n->id, nns_pc::kdPoint,

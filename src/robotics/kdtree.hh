@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "robotics/nns.hh"
+#include "sim/arena.hh"
 
 namespace tartan::robotics {
 
@@ -22,8 +23,17 @@ namespace tartan::robotics {
 class KdTreeNns : public NnsBackend
 {
   public:
+    /**
+     * @param arena optional backing store for node records. Bind one
+     *        when the run must be address-deterministic: nodes then
+     *        come from the arena (one cache line each, preserving the
+     *        pointer-chase character) instead of individual heap
+     *        allocations whose placement depends on heap history.
+     */
     KdTreeNns(const float *store, std::uint32_t dim,
-              std::uint32_t stride = 0);
+              std::uint32_t stride = 0,
+              tartan::sim::Arena *arena = nullptr);
+    ~KdTreeNns() override;
 
     void insert(Mem &mem, std::uint32_t id) override;
     std::int32_t nearest(Mem &mem, const float *query) override;
@@ -46,8 +56,11 @@ class KdTreeNns : public NnsBackend
     void radiusRec(Mem &mem, std::int32_t node, const float *query,
                    float eps_sq, std::vector<std::uint32_t> &out);
 
+    Node *allocNode();
+
     /** Nodes are allocated individually to model heap scatter. */
-    std::vector<std::unique_ptr<Node>> nodes;
+    std::vector<Node *> nodes;
+    tartan::sim::Arena *arenaPtr;
     std::int32_t root = -1;
 };
 

@@ -14,20 +14,22 @@ namespace tartan::robotics {
 
 LshNns::LshNns(const float *store, std::uint32_t dim,
                const LshConfig &config, bool vectorized,
-               std::uint32_t stride)
-    : NnsBackend(store, dim, stride), cfg(config), vectorMode(vectorized)
+               std::uint32_t stride, tartan::sim::Arena *arena)
+    : NnsBackend(store, dim, stride), cfg(config), vectorMode(vectorized),
+      arenaPtr(arena)
 {
     tartan::sim::Rng rng(cfg.seed);
     const std::size_t total =
         static_cast<std::size_t>(cfg.tables) * cfg.hashesPerTable;
-    projections.resize(total * dim);
-    offsets.resize(total);
+    projections.bind(arena);
+    offsets.bind(arena);
+    projections.reserve(total * dim);
+    offsets.reserve(total);
     for (std::size_t i = 0; i < total; ++i) {
         for (std::uint32_t d = 0; d < dim; ++d)
-            projections[i * dim + d] =
-                static_cast<float>(rng.gaussian());
-        offsets[i] = static_cast<float>(
-            rng.uniform(0.0, cfg.bucketWidth));
+            projections.push_back(static_cast<float>(rng.gaussian()));
+        offsets.push_back(static_cast<float>(
+            rng.uniform(0.0, cfg.bucketWidth)));
     }
     tableData.resize(cfg.tables);
 }
@@ -114,6 +116,8 @@ LshNns::insert(Mem &mem, std::uint32_t id)
     for (std::uint32_t t = 0; t < cfg.tables; ++t) {
         hashPoint(mem, p, t, h);
         Bucket &bucket = tableData[t][combine(h, cfg.hashesPerTable)];
+        bucket.coords.bind(arenaPtr);
+        bucket.ids.bind(arenaPtr);
         for (std::uint32_t d = 0; d < dimension; ++d) {
             bucket.coords.push_back(p[d]);
             if (mem.attached())

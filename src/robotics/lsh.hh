@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "robotics/nns.hh"
+#include "sim/arena.hh"
 #include "sim/rng.hh"
 
 namespace tartan::robotics {
@@ -40,9 +41,17 @@ struct LshConfig {
 class LshNns : public NnsBackend
 {
   public:
+    /**
+     * @param arena optional backing store for the instrumented arrays
+     *        (projection vectors, bucket copies). Bind one when the
+     *        run must be address-deterministic: bucket growth then
+     *        bump-allocates instead of reallocating through the host
+     *        heap.
+     */
     LshNns(const float *store, std::uint32_t dim,
            const LshConfig &config, bool vectorized,
-           std::uint32_t stride = 0);
+           std::uint32_t stride = 0,
+           tartan::sim::Arena *arena = nullptr);
 
     void insert(Mem &mem, std::uint32_t id) override;
     std::int32_t nearest(Mem &mem, const float *query) override;
@@ -62,8 +71,9 @@ class LshNns : public NnsBackend
 
   private:
     struct Bucket {
-        std::vector<float> coords;       //!< contiguous candidate data
-        std::vector<std::uint32_t> ids;
+        //!< contiguous candidate data
+        tartan::sim::ArenaVec<float> coords;
+        tartan::sim::ArenaVec<std::uint32_t> ids;
     };
 
     using Table = std::unordered_map<std::uint64_t, Bucket>;
@@ -85,9 +95,10 @@ class LshNns : public NnsBackend
 
     LshConfig cfg;
     bool vectorMode;
+    tartan::sim::Arena *arenaPtr;
     /** projections[t*k + j] is a dim-vector; offsets[t*k + j] is b. */
-    std::vector<float> projections;
-    std::vector<float> offsets;
+    tartan::sim::ArenaVec<float> projections;
+    tartan::sim::ArenaVec<float> offsets;
     std::vector<Table> tableData;
     std::vector<std::uint32_t> indexed;
     std::uint64_t fallbacks = 0;

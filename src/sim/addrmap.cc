@@ -1,0 +1,44 @@
+/**
+ * @file
+ * AddrMap implementation: segment registration and the first-touch
+ * fallback table behind the inline TLB.
+ */
+
+#include "sim/addrmap.hh"
+
+#include "sim/logging.hh"
+
+namespace tartan::sim {
+
+void
+AddrMap::addSegment(Addr host_base, std::size_t bytes)
+{
+    if (!bytes)
+        return;
+    // Preserve the host base's offset within a 2 MB tile so an arena
+    // aligned to 2 MB keeps the same page/line decomposition in the
+    // simulated space.
+    const Addr offset = host_base & (kSegmentAlign - 1);
+    const Addr sim = nextSegmentBase + offset;
+    segments.push_back(Segment{host_base, host_base + bytes, sim});
+    const Addr span = offset + bytes;
+    nextSegmentBase +=
+        (span + 2 * kSegmentAlign - 1) & ~(kSegmentAlign - 1);
+    TARTAN_ASSERT(nextSegmentBase < kFallbackSpace,
+                  "AddrMap segment space exhausted");
+    // Grain translations cached before the segment existed would now
+    // shadow it through the TLB fast path.
+    for (Entry &e : tlb)
+        e.hostGrain = ~Addr(0);
+}
+
+Addr
+AddrMap::lookupGrain(Addr host_grain)
+{
+    const auto [it, inserted] = grains.try_emplace(host_grain, nextGrain);
+    if (inserted)
+        ++nextGrain;
+    return it->second;
+}
+
+} // namespace tartan::sim

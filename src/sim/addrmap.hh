@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic simulated-address translation.
+ *
+ * The simulator historically used host pointers as simulated addresses.
+ * That is fine for Arena-backed structures (the arena base is 2 MB
+ * aligned, so in-arena layout is run-invariant), but every instrumented
+ * structure on the raw heap or stack inherits the host allocator's
+ * placement — which varies with heap history, ASLR and the calling
+ * thread's malloc arena. Cache-set mapping then varies run to run, and
+ * a parallel bench sweep stops being bit-identical to a serial one.
+ *
+ * AddrMap closes that hole by translating every demand address into a
+ * deterministic simulated address space before it reaches the caches:
+ *
+ *  - registered *segments* (arenas) map linearly onto 2 MB-aligned
+ *    simulated bases assigned in registration order, preserving the
+ *    arena's internal layout exactly;
+ *  - everything else maps through a first-touch table at 16-byte
+ *    *grain* granularity. Sixteen bytes is the guaranteed malloc
+ *    alignment and the x86-64 stack alignment unit, so the grain
+ *    decomposition of any object is run-invariant even though its host
+ *    base address is not. Grains receive consecutive simulated slots in
+ *    first-touch order, so sequentially initialised buffers keep their
+ *    spatial locality.
+ *
+ * Translation is a pure function of the access sequence: two runs that
+ * issue the same accesses in the same order see identical simulated
+ * addresses, no matter where the host allocator placed the data.
+ */
+
+#ifndef TARTAN_SIM_ADDRMAP_HH
+#define TARTAN_SIM_ADDRMAP_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tartan::sim {
+
+/** First-touch deterministic address translator (one per MemPath). */
+class AddrMap
+{
+  public:
+    /** Fallback-map granularity: the guaranteed host alignment unit. */
+    static constexpr std::uint32_t kGrainBytes = 16;
+
+    /**
+     * Register [host_base, host_base+bytes) as a linearly-mapped
+     * segment. Call in deterministic (program) order before the range
+     * is accessed; later registrations win over the fallback map but
+     * not over earlier overlapping segments.
+     */
+    void addSegment(Addr host_base, std::size_t bytes);
+
+    /** Translate one host address into the simulated address space. */
+    Addr
+    translate(Addr host)
+    {
+        for (const Segment &s : segments)
+            if (host >= s.begin && host < s.end)
+                return s.simBase + (host - s.begin);
+
+        const Addr grain = host >> kGrainBits;
+        Entry &e = tlb[grain & (kTlbEntries - 1)];
+        if (e.hostGrain != grain) {
+            e.hostGrain = grain;
+            e.simGrain = lookupGrain(grain);
+        }
+        return (e.simGrain << kGrainBits) |
+               (host & (kGrainBytes - 1));
+    }
+
+    std::size_t segmentCount() const { return segments.size(); }
+    /** Fallback grains mapped so far (16-byte units). */
+    std::size_t grainCount() const { return grains.size(); }
+
+  private:
+    static constexpr unsigned kGrainBits = 4;
+    static constexpr std::size_t kTlbEntries = 8192;
+    /** Segments live at 1<<40, the fallback heap at 1<<44. */
+    static constexpr Addr kSegmentSpace = Addr(1) << 40;
+    static constexpr Addr kFallbackSpace = Addr(1) << 44;
+    static constexpr Addr kSegmentAlign = Addr(1) << 21;
+
+    struct Segment {
+        Addr begin;
+        Addr end;
+        Addr simBase;
+    };
+
+    struct Entry {
+        Addr hostGrain = ~Addr(0);
+        Addr simGrain = 0;
+    };
+
+    Addr lookupGrain(Addr host_grain);
+
+    std::vector<Segment> segments;
+    Addr nextSegmentBase = kSegmentSpace;
+    std::unordered_map<Addr, Addr> grains;
+    Addr nextGrain = kFallbackSpace >> kGrainBits;
+    std::array<Entry, kTlbEntries> tlb;
+};
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_ADDRMAP_HH

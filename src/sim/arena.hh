@@ -12,8 +12,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <new>
+#include <type_traits>
+#include <utility>
 
 #include "sim/logging.hh"
 
@@ -57,6 +60,9 @@ class Arena
     /** Bytes handed out so far. */
     std::size_t used() const { return offset; }
 
+    /** Total capacity, whether or not handed out yet. */
+    std::size_t capacityBytes() const { return capacity; }
+
     /** Base address; useful for computing deterministic offsets. */
     std::uintptr_t base() const
     {
@@ -69,6 +75,109 @@ class Arena
     std::size_t capacity;
     std::byte *storage;
     std::size_t offset = 0;
+};
+
+/**
+ * Growable array whose storage comes from an Arena when one is bound.
+ *
+ * Instrumented data structures that grow *during* a run (LSH buckets,
+ * incremental tree nodes) must not live on the raw heap: a realloc may
+ * land on recycled blocks whose placement depends on host heap history,
+ * so even address-translated runs would see a history-dependent
+ * warm/cold line sequence. An ArenaVec grows by bump-allocating a new
+ * block from the arena (old blocks are abandoned — arenas don't free),
+ * making every growth step a pure function of the access sequence.
+ * Without a bound arena it degrades to plain heap storage.
+ */
+template <typename T>
+class ArenaVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ArenaVec relocates with memcpy");
+
+  public:
+    ArenaVec() = default;
+    ~ArenaVec()
+    {
+        if (!arenaPtr)
+            delete[] dataPtr;
+    }
+
+    ArenaVec(ArenaVec &&other) noexcept { *this = std::move(other); }
+    ArenaVec &
+    operator=(ArenaVec &&other) noexcept
+    {
+        if (this != &other) {
+            if (!arenaPtr)
+                delete[] dataPtr;
+            arenaPtr = other.arenaPtr;
+            dataPtr = other.dataPtr;
+            count = other.count;
+            cap = other.cap;
+            other.dataPtr = nullptr;
+            other.count = other.cap = 0;
+        }
+        return *this;
+    }
+
+    ArenaVec(const ArenaVec &) = delete;
+    ArenaVec &operator=(const ArenaVec &) = delete;
+
+    /** Bind the backing arena; call before the first push_back. */
+    void
+    bind(Arena *arena)
+    {
+        if (!dataPtr)
+            arenaPtr = arena;
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap)
+            grow(n);
+    }
+
+    void
+    push_back(const T &value)
+    {
+        if (count == cap)
+            grow(count + 1);
+        dataPtr[count++] = value;
+    }
+
+    T *data() { return dataPtr; }
+    const T *data() const { return dataPtr; }
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    T &operator[](std::size_t i) { return dataPtr[i]; }
+    const T &operator[](std::size_t i) const { return dataPtr[i]; }
+    T &back() { return dataPtr[count - 1]; }
+    const T &back() const { return dataPtr[count - 1]; }
+    const T *begin() const { return dataPtr; }
+    const T *end() const { return dataPtr + count; }
+
+  private:
+    void
+    grow(std::size_t need)
+    {
+        std::size_t ncap = cap ? cap * 2 : 8;
+        if (ncap < need)
+            ncap = need;
+        T *fresh = arenaPtr ? arenaPtr->alloc<T>(ncap)
+                            : new T[ncap]();
+        if (count)
+            std::memcpy(fresh, dataPtr, count * sizeof(T));
+        if (!arenaPtr)
+            delete[] dataPtr;
+        dataPtr = fresh;
+        cap = ncap;
+    }
+
+    Arena *arenaPtr = nullptr;
+    T *dataPtr = nullptr;
+    std::size_t count = 0;
+    std::size_t cap = 0;
 };
 
 } // namespace tartan::sim

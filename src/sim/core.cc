@@ -265,16 +265,10 @@ Core::vecLoadContiguous(Addr base, std::uint32_t bytes, PcId pc)
 {
     addInstructions(1);
     addCycles(1);
-    const std::uint32_t line = memPath->params().l1.lineBytes;
-    const Addr first = base & ~static_cast<Addr>(line - 1);
-    const Addr last = (base + (bytes ? bytes - 1 : 0)) &
-                      ~static_cast<Addr>(line - 1);
-    Cycles worst = 0;
-    for (Addr a = first; a <= last; a += line) {
-        auto res =
-            memPath->access(a, AccessType::Load, line, pc, totalCycles);
-        worst = std::max(worst, loadStall(res, MemDep::Independent));
-    }
+    // The path walks the span line by line; the worst per-line latency
+    // bounds the stall (lines issue concurrently).
+    auto res = memPath->accessRange(base, bytes, pc, totalCycles);
+    const Cycles worst = loadStall(res, MemDep::Independent);
     if (worst)
         addMemStall(worst);
 }

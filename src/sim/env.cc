@@ -1,0 +1,49 @@
+/**
+ * @file
+ * RunEnv implementation: one-shot parsing of the TARTAN_* variables.
+ */
+
+#include "sim/env.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace tartan::sim {
+
+RunEnv
+RunEnv::parse()
+{
+    RunEnv env;
+    if (const char *dir = std::getenv("TARTAN_TRACE"))
+        env.traceDir = dir;
+    if (const char *epoch = std::getenv("TARTAN_TRACE_EPOCH")) {
+        const long long v = std::atoll(epoch);
+        if (v > 0)
+            env.traceEpochCycles = Cycles(v);
+        else
+            warn("env: ignoring invalid TARTAN_TRACE_EPOCH '%s'", epoch);
+    }
+    if (const char *dir = std::getenv("TARTAN_BENCH_DIR"))
+        env.benchDir = dir;
+    if (const char *spec = std::getenv("TARTAN_FAULTS"))
+        env.faultSpec = spec;
+    if (const char *jobs = std::getenv("TARTAN_JOBS")) {
+        const long long v = std::atoll(jobs);
+        if (v >= 1)
+            env.jobs = unsigned(v);
+        else if (*jobs)
+            warn("env: ignoring invalid TARTAN_JOBS '%s' (want >= 1)",
+                 jobs);
+    }
+    return env;
+}
+
+const RunEnv &
+RunEnv::get()
+{
+    static const RunEnv env = parse();
+    return env;
+}
+
+} // namespace tartan::sim

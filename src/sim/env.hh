@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Once-at-startup snapshot of the TARTAN_* environment variables.
+ *
+ * The simulator used to probe std::getenv at arbitrary points during
+ * execution (trace-session construction, bench-report writing, fault
+ * planning). With concurrent runs that is both a data race (getenv is
+ * not synchronised against the host environment) and a semantic hazard:
+ * a variable changing mid-sweep would reconfigure later runs of the
+ * same campaign. RunEnv::get() parses every variable exactly once, the
+ * first time any consumer asks, and hands out an immutable snapshot for
+ * the rest of the process lifetime.
+ */
+
+#ifndef TARTAN_SIM_ENV_HH
+#define TARTAN_SIM_ENV_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace tartan::sim {
+
+/** Immutable parse of the TARTAN_* configuration environment. */
+struct RunEnv {
+    /** $TARTAN_TRACE: trace output directory ("" = tracing off). */
+    std::string traceDir;
+    /** $TARTAN_TRACE_EPOCH: epoch length override (0 = default). */
+    Cycles traceEpochCycles = 0;
+    /** $TARTAN_BENCH_DIR: BENCH_*.json directory ("" = CWD). */
+    std::string benchDir;
+    /** $TARTAN_FAULTS: fault-plan spec, unparsed ("" = no faults). */
+    std::string faultSpec;
+    /** $TARTAN_JOBS: worker count for RunPool (0 = unset). */
+    unsigned jobs = 0;
+
+    /**
+     * The process-wide snapshot. Parsed exactly once (thread-safe
+     * function-local static); later changes to the host environment are
+     * intentionally invisible, so a sweep's configuration cannot drift
+     * between its runs.
+     */
+    static const RunEnv &get();
+
+    /**
+     * Parse the host environment as it is right now. This is what
+     * get() does on its first call; tests use it directly to exercise
+     * the parsing without depending on process-lifetime state.
+     */
+    static RunEnv parse();
+};
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_ENV_HH

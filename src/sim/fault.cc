@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "sim/env.hh"
 #include "sim/logging.hh"
 
 namespace tartan::sim {
@@ -186,12 +187,14 @@ FaultPlan::parse(std::string_view spec, FaultPlan &out, std::string *err)
 std::optional<FaultPlan>
 FaultPlan::fromEnv()
 {
-    const char *env = std::getenv("TARTAN_FAULTS");
-    if (!env || !*env)
+    // RunEnv snapshot, not getenv: fromEnv may run while RunPool
+    // workers are live, and a run's plan must not change mid-sweep.
+    const std::string &spec = RunEnv::get().faultSpec;
+    if (spec.empty())
         return std::nullopt;
     FaultPlan plan;
     std::string err;
-    if (!parse(env, plan, &err))
+    if (!parse(spec, plan, &err))
         TARTAN_FATAL("bad TARTAN_FAULTS spec: %s", err.c_str());
     return plan;
 }

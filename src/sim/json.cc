@@ -5,12 +5,75 @@
 
 #include "sim/json.hh"
 
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "sim/logging.hh"
 
 namespace tartan::sim::json {
+
+bool
+writeFileAtomic(const std::string &path,
+                const std::function<void(std::ostream &)> &emit,
+                const char *what)
+{
+    const auto dir = std::filesystem::path(path).parent_path();
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+    }
+
+    // Unique within the process (counter) and across processes (pid),
+    // and in the same directory so the rename stays atomic.
+    static std::atomic<std::uint64_t> serial{0};
+#if defined(_WIN32)
+    const unsigned long pid = 0;
+#else
+    const unsigned long pid = static_cast<unsigned long>(::getpid());
+#endif
+    const std::string tmp = path + ".tmp." + std::to_string(pid) + "." +
+                            std::to_string(serial.fetch_add(1));
+
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            warn("%s: cannot write %s", what, tmp.c_str());
+            return false;
+        }
+        emit(out);
+        out.flush();
+        if (!out) {
+            warn("%s: short write to %s", what, tmp.c_str());
+            return false;
+        }
+        out.close();
+        if (out.fail()) {
+            warn("%s: close failed for %s", what, tmp.c_str());
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("%s: cannot rename %s into place: %s", what, tmp.c_str(),
+             ec.message().c_str());
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
 
 void
 writeString(std::ostream &os, std::string_view s)

@@ -11,6 +11,7 @@
 #define TARTAN_SIM_JSON_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -25,6 +26,20 @@ void writeString(std::ostream &os, std::string_view s);
 
 /** Write a double the way the emitters do (finite -> shortest, else null). */
 void writeNumber(std::ostream &os, double v);
+
+/**
+ * Write a document to @p path via rename-into-place: @p emit streams
+ * into a process-unique temporary next to the target, which is then
+ * atomically renamed over it. Concurrent writers (RunPool workers
+ * finalizing traces, overlapping bench processes sharing one output
+ * directory) can therefore never interleave bytes or expose a
+ * half-written file; the last rename wins whole. Creates missing parent
+ * directories; on failure removes the temporary and reports through
+ * warn(), tagged with @p what ("trace", "bench").
+ */
+bool writeFileAtomic(const std::string &path,
+                     const std::function<void(std::ostream &)> &emit,
+                     const char *what);
 
 /** A parsed JSON value (tree-owning). */
 struct Value {

@@ -42,6 +42,21 @@ MemPath::addWriteThroughRange(Addr base, std::size_t bytes)
 }
 
 void
+MemPath::enableDeterministicAddressing()
+{
+    if (!addrMap)
+        addrMap = std::make_unique<AddrMap>();
+}
+
+void
+MemPath::mapSegment(Addr base, std::size_t bytes)
+{
+    TARTAN_ASSERT(addrMap,
+                  "mapSegment requires deterministic addressing");
+    addrMap->addSegment(base, bytes);
+}
+
+void
 MemPath::addNoAllocateRange(Addr base, std::size_t bytes)
 {
     noAllocRanges.push_back(Range{base, base + bytes});
@@ -195,7 +210,55 @@ AccessResult
 MemPath::access(Addr addr, AccessType type, std::uint32_t size, PcId pc,
                 Cycles now)
 {
-    AccessResult result = accessImpl(addr, type, size, pc, now);
+    const Addr sim = addrMap ? addrMap->translate(addr) : addr;
+    return accessHooked(addr, sim, type, size, pc, now);
+}
+
+AccessResult
+MemPath::accessRange(Addr base, std::uint32_t bytes, PcId pc, Cycles now)
+{
+    const std::uint32_t line = config.l1.lineBytes;
+    AccessResult worst;
+    bool any = false;
+    const auto take = [&](const AccessResult &res) {
+        if (!any || res.latency > worst.latency)
+            worst = res;
+        any = true;
+    };
+
+    if (!addrMap) {
+        const Addr first = base & ~static_cast<Addr>(line - 1);
+        const Addr last = (base + (bytes ? bytes - 1 : 0)) &
+                          ~static_cast<Addr>(line - 1);
+        for (Addr a = first; a <= last; a += line)
+            take(accessHooked(a, a, AccessType::Load, line, pc, now));
+        return worst;
+    }
+
+    // Deterministic mode: walk the span at translation-grain
+    // granularity and access each distinct simulated line once, so the
+    // line count reflects the span's size rather than the host base's
+    // offset within a line.
+    const Addr first =
+        base & ~static_cast<Addr>(AddrMap::kGrainBytes - 1);
+    const Addr end = base + (bytes ? bytes : 1);
+    Addr prev_line = ~Addr(0);
+    for (Addr a = first; a < end; a += AddrMap::kGrainBytes) {
+        const Addr sim_line =
+            addrMap->translate(a) & ~static_cast<Addr>(line - 1);
+        if (sim_line == prev_line)
+            continue;
+        prev_line = sim_line;
+        take(accessHooked(a, sim_line, AccessType::Load, line, pc, now));
+    }
+    return worst;
+}
+
+AccessResult
+MemPath::accessHooked(Addr host, Addr sim, AccessType type,
+                      std::uint32_t size, PcId pc, Cycles now)
+{
+    AccessResult result = accessImpl(host, sim, type, size, pc, now);
     if (faults)
         result.latency += faults->memPenalty();
     if (trace)
@@ -204,14 +267,16 @@ MemPath::access(Addr addr, AccessType type, std::uint32_t size, PcId pc,
 }
 
 AccessResult
-MemPath::accessImpl(Addr addr, AccessType type, std::uint32_t size, PcId pc,
-                    Cycles now)
+MemPath::accessImpl(Addr host, Addr sim, AccessType type,
+                    std::uint32_t size, PcId pc, Cycles now)
 {
     AccessResult result;
+    const Addr addr = sim;
 
     // Write-through ranges: update resident copies without dirtying,
     // stream the store to memory, and never allocate on a store miss.
-    if (type == AccessType::Store && inRange(wtRanges, addr)) {
+    // Ranges are declared (and matched) in host addresses.
+    if (type == AccessType::Store && inRange(wtRanges, host)) {
         ++stats.wtStores;
         ++stats.dramWrites;
         if (l1Cache.probe(addr))
@@ -244,7 +309,7 @@ MemPath::accessImpl(Addr addr, AccessType type, std::uint32_t size, PcId pc,
             issuePrefetches(pfQueue, now);
     }
 
-    const bool no_alloc = inRange(noAllocRanges, addr);
+    const bool no_alloc = inRange(noAllocRanges, host);
 
     if (l2_res.hit) {
         result.level = MemLevel::L2;

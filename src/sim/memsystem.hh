@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/addrmap.hh"
 #include "sim/cache.hh"
 #include "sim/prefetcher.hh"
 #include "sim/types.hh"
@@ -77,6 +78,32 @@ class MemPath
     AccessResult access(Addr addr, AccessType type, std::uint32_t size,
                         PcId pc, Cycles now);
 
+    /**
+     * Access every cache line of the contiguous span
+     * [base, base+bytes) as independent loads (a wide vector load) and
+     * return the worst per-line result. With deterministic addressing
+     * enabled the line count is derived from the span's translated
+     * grains, so it no longer depends on the host base's offset within
+     * a line.
+     */
+    AccessResult accessRange(Addr base, std::uint32_t bytes, PcId pc,
+                             Cycles now);
+
+    /**
+     * Route all subsequent accesses through an AddrMap: host addresses
+     * are translated into a deterministic simulated address space
+     * (registered arena segments map linearly; everything else through
+     * a 16-byte-grain first-touch table), so cache behaviour is
+     * bit-identical across runs regardless of heap ASLR or which
+     * thread's malloc arena the workload allocated from. Write-through
+     * and no-allocate ranges keep matching on *host* addresses.
+     */
+    void enableDeterministicAddressing();
+    /** Register an arena as a linearly-mapped AddrMap segment. */
+    void mapSegment(Addr base, std::size_t bytes);
+    /** The translator, or null when deterministic addressing is off. */
+    AddrMap *addrTranslator() { return addrMap.get(); }
+
     /** Attach (or replace) the L2 prefetcher. */
     void setPrefetcher(std::unique_ptr<Prefetcher> pf);
     Prefetcher *prefetcher() { return pf.get(); }
@@ -130,8 +157,12 @@ class MemPath
     };
 
     bool inRange(const std::vector<Range> &ranges, Addr addr) const;
-    AccessResult accessImpl(Addr addr, AccessType type, std::uint32_t size,
-                            PcId pc, Cycles now);
+    /** access() after translation: @p host drives the range checks,
+     *  @p sim is what the caches see. */
+    AccessResult accessHooked(Addr host, Addr sim, AccessType type,
+                              std::uint32_t size, PcId pc, Cycles now);
+    AccessResult accessImpl(Addr host, Addr sim, AccessType type,
+                            std::uint32_t size, PcId pc, Cycles now);
     void writebackToL2(Addr line_addr, Cycles now);
     void writebackToL3(Addr line_addr, Cycles now);
     /** Fetch a line into L3 if absent; returns latency beyond L2. */
@@ -145,6 +176,7 @@ class MemPath
     TraceSession *trace = nullptr;  //!< observability hook (not owned)
     FaultInjector *faults = nullptr;  //!< fault-injection hook (not owned)
     std::unique_ptr<Prefetcher> pf;
+    std::unique_ptr<AddrMap> addrMap;  //!< null = host addresses pass through
     std::vector<Range> wtRanges;
     std::vector<Range> noAllocRanges;
     std::vector<Addr> pfQueue;  //!< reused scratch buffer

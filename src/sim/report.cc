@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "sim/env.hh"
 #include "sim/fault.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
@@ -163,12 +164,11 @@ BenchReporter::writeJson(std::ostream &os) const
 std::string
 BenchReporter::outputPath() const
 {
-    std::string dir;
-    if (const char *env = std::getenv("TARTAN_BENCH_DIR")) {
-        dir = env;
-        if (!dir.empty() && dir.back() != '/')
-            dir += '/';
-    }
+    // RunEnv snapshot, not getenv: the destination is fixed for the
+    // process lifetime and safe to query from any thread.
+    std::string dir = RunEnv::get().benchDir;
+    if (!dir.empty() && dir.back() != '/')
+        dir += '/';
     return dir + "BENCH_" + benchName + ".json";
 }
 
@@ -177,27 +177,11 @@ BenchReporter::writeFile()
 {
     written = true;
     const std::string path = outputPath();
-    const auto dir = std::filesystem::path(path).parent_path();
-    if (!dir.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(dir, ec);
-    }
-    std::ofstream out(path);
-    if (!out) {
-        warn("bench: cannot write %s", path.c_str());
+    // Rename-into-place so two bench processes sharing one output
+    // directory can never interleave writes or expose a torn file.
+    if (!json::writeFileAtomic(
+            path, [this](std::ostream &os) { writeJson(os); }, "bench"))
         return false;
-    }
-    writeJson(out);
-    out.flush();
-    if (!out) {
-        warn("bench: short write to %s", path.c_str());
-        return false;
-    }
-    out.close();
-    if (out.fail()) {
-        warn("bench: close failed for %s", path.c_str());
-        return false;
-    }
     std::printf("\n[json: %s]\n", path.c_str());
     return true;
 }

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * RunPool implementation: a classic mutex + condition-variable work
+ * queue. Kept deliberately simple — runs are seconds long, so queue
+ * overhead is irrelevant; correctness and determinism are everything.
+ */
+
+#include "sim/runpool.hh"
+
+#include <algorithm>
+
+#include "sim/env.hh"
+
+namespace tartan::sim {
+
+unsigned
+RunPool::defaultJobs()
+{
+    const unsigned env_jobs = RunEnv::get().jobs;
+    if (env_jobs >= 1)
+        return env_jobs;
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+RunPool::RunPool(unsigned jobs) : jobCount(std::max(1u, jobs))
+{
+    if (jobCount <= 1)
+        return;  // serial mode: no workers, submit() runs inline
+    workers.reserve(jobCount);
+    for (unsigned w = 0; w < jobCount; ++w)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+RunPool::~RunPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+RunPool::enqueue(std::unique_ptr<TaskBase> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        queue.push_back(std::move(task));
+    }
+    cv.notify_one();
+}
+
+void
+RunPool::workerLoop()
+{
+    for (;;) {
+        std::unique_ptr<TaskBase> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return;  // stopping with a drained queue
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        // packaged_task catches the closure's exceptions and parks them
+        // in the future, so a throwing run never tears down a worker.
+        task->run();
+    }
+}
+
+} // namespace tartan::sim

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "sim/env.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -28,12 +29,28 @@ namespace tartan::sim {
 void
 PcTable::add(PcId pc, std::string name, std::string structure)
 {
+    std::lock_guard<std::mutex> lock(mtx);
     sites[pc] = Site{std::move(name), std::move(structure)};
+}
+
+bool
+PcTable::known(PcId pc) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return sites.count(pc) != 0;
+}
+
+std::size_t
+PcTable::size() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return sites.size();
 }
 
 std::string
 PcTable::name(PcId pc) const
 {
+    std::lock_guard<std::mutex> lock(mtx);
     auto it = sites.find(pc);
     if (it != sites.end())
         return it->second.name;
@@ -43,6 +60,7 @@ PcTable::name(PcId pc) const
 std::string
 PcTable::structure(PcId pc) const
 {
+    std::lock_guard<std::mutex> lock(mtx);
     auto it = sites.find(pc);
     return it != sites.end() ? it->second.structure : std::string();
 }
@@ -464,28 +482,9 @@ TraceSession::writeFileChecked(
     const std::string &path,
     const std::function<void(std::ostream &)> &emit)
 {
-    const auto dir = std::filesystem::path(path).parent_path();
-    if (!dir.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(dir, ec);
-    }
-    std::ofstream out(path);
-    if (!out) {
-        warn("trace: cannot write %s", path.c_str());
-        return false;
-    }
-    emit(out);
-    out.flush();
-    if (!out) {
-        warn("trace: short write to %s", path.c_str());
-        return false;
-    }
-    out.close();
-    if (out.fail()) {
-        warn("trace: close failed for %s", path.c_str());
-        return false;
-    }
-    return true;
+    // Rename-into-place: concurrent RunPool workers finalizing their
+    // sessions can never interleave bytes in a shared output directory.
+    return json::writeFileAtomic(path, emit, "trace");
 }
 
 bool
@@ -505,20 +504,23 @@ TraceSession::finalize()
 std::unique_ptr<TraceSession>
 TraceSession::fromEnv(const std::string &bench, const std::string &run)
 {
-    const char *dir = std::getenv("TARTAN_TRACE");
-    if (!dir || !*dir)
+    // RunEnv is a one-shot snapshot: workers can build sessions without
+    // racing on getenv, and the directory cannot change mid-sweep.
+    return fromEnv(bench, run, RunEnv::get());
+}
+
+std::unique_ptr<TraceSession>
+TraceSession::fromEnv(const std::string &bench, const std::string &run,
+                      const RunEnv &env)
+{
+    if (env.traceDir.empty())
         return nullptr;
     TraceConfig cfg;
-    cfg.dir = dir;
+    cfg.dir = env.traceDir;
     cfg.bench = bench;
     cfg.run = run;
-    if (const char *epoch = std::getenv("TARTAN_TRACE_EPOCH")) {
-        const long long v = std::atoll(epoch);
-        if (v > 0)
-            cfg.epochCycles = Cycles(v);
-        else
-            warn("trace: ignoring invalid TARTAN_TRACE_EPOCH '%s'", epoch);
-    }
+    if (env.traceEpochCycles > 0)
+        cfg.epochCycles = env.traceEpochCycles;
     return std::make_unique<TraceSession>(std::move(cfg));
 }
 

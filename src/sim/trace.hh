@@ -36,6 +36,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <ostream>
 #include <string>
@@ -46,6 +47,7 @@
 #include <sys/mman.h>
 #endif
 
+#include "sim/env.hh"
 #include "sim/types.hh"
 
 namespace tartan::sim {
@@ -114,6 +116,12 @@ struct MmapAlloc {
  * maps each to a short site name ("nns.kdNode") and a description of
  * the data structure behind it ("k-d tree node (pointer chase)"), so
  * the per-PC miss profile names structures instead of raw integers.
+ *
+ * Thread safety: every accessor locks an internal mutex. The global()
+ * table is registered into by each Machine's constructor and read while
+ * concurrent runs finalize their traces, so unsynchronised access would
+ * be a data race under RunPool. PcId values are compile-time constants,
+ * so registration order never changes a site's identity.
  */
 class PcTable
 {
@@ -126,17 +134,18 @@ class PcTable
     /** Register (or overwrite) one site. */
     void add(PcId pc, std::string name, std::string structure = "");
 
-    bool known(PcId pc) const { return sites.count(pc) != 0; }
+    bool known(PcId pc) const;
     /** Site name, or "pc<N>" for unregistered sites. */
     std::string name(PcId pc) const;
     /** Data-structure description, or "" when unregistered. */
     std::string structure(PcId pc) const;
-    std::size_t size() const { return sites.size(); }
+    std::size_t size() const;
 
     /** Process-wide table used by default (robotics registers into it). */
     static PcTable &global();
 
   private:
+    mutable std::mutex mtx;
     std::map<PcId, Site> sites;
 };
 
@@ -231,10 +240,21 @@ class TraceSession
     /**
      * Build a session from $TARTAN_TRACE (interpreted as the output
      * directory). Returns null when the variable is unset or empty.
-     * $TARTAN_TRACE_EPOCH overrides TraceConfig::epochCycles.
+     * $TARTAN_TRACE_EPOCH overrides TraceConfig::epochCycles. The
+     * environment is read through the process-wide RunEnv snapshot
+     * (parsed once at first use), never through live getenv probes.
      */
     static std::unique_ptr<TraceSession>
     fromEnv(const std::string &bench, const std::string &run);
+
+    /**
+     * Same, but from an explicit RunEnv value instead of the process
+     * snapshot (tests parse a fresh RunEnv after mutating the host
+     * environment).
+     */
+    static std::unique_ptr<TraceSession>
+    fromEnv(const std::string &bench, const std::string &run,
+            const RunEnv &env);
 
   private:
     /**

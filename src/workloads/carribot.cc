@@ -62,6 +62,7 @@ runCarriBot(const MachineSpec &spec, const WorkloadOptions &opt)
     Pipeline pipeline(core);
     tartan::sim::Rng rng(opt.seed + 5);
     tartan::sim::Arena arena(48ull << 20);
+    machine.mapArena(arena);
 
     const auto k_pom = core.registerKernel("pom");
     const auto k_collision = core.registerKernel("collision");
@@ -175,6 +176,15 @@ runCarriBot(const MachineSpec &spec, const WorkloadOptions &opt)
     const std::uint32_t frames = std::max<std::uint32_t>(
         2, static_cast<std::uint32_t>(5 * opt.scale));
     SearchResult plan;
+    // One DMP reused across frames: learn() refits the weights from
+    // scratch each frame, so hoisting is behaviour-neutral, but it
+    // keeps the basis/weight arrays (address-instrumented in
+    // forcing()) at one stable location instead of a fresh heap
+    // allocation per frame.
+    Dmp dmp(16, 1.0);
+    std::vector<double> demo(24);
+    for (std::size_t k = 0; k < demo.size(); ++k)
+        demo[k] = static_cast<double>(k) / demo.size();
     // Each POM beam's effective range passes through the fault layer: a
     // dropped/NaN beam falls back to the last good range, spikes clamp
     // to the sensor's physical reach.
@@ -223,10 +233,6 @@ runCarriBot(const MachineSpec &spec, const WorkloadOptions &opt)
         // --- Control (1 thread): DMP along the planned path ---------
         pipeline.serial([&] {
             ScopedKernel scope(core, k_control);
-            Dmp dmp(16, 1.0);
-            std::vector<double> demo(24);
-            for (std::size_t k = 0; k < demo.size(); ++k)
-                demo[k] = static_cast<double>(k) / demo.size();
             dmp.learn(mem, demo, 0.05);
             dmp.rollout(mem, 0.0, 1.0, 0.05, 24);
         });

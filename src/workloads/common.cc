@@ -56,6 +56,12 @@ Machine::Machine(const MachineSpec &spec, tartan::sim::TraceSession *trace,
     specData.sys.trace = trace;
     specData.sys.faults = faults;
     sys = std::make_unique<tartan::sim::System>(specData.sys);
+    // Workload runs always simulate in the deterministic address
+    // space: host pointers are translated before they reach the
+    // caches, so results are bit-identical whether the run executes
+    // serially or on a RunPool worker (heap ASLR and per-thread malloc
+    // arenas shift host addresses between the two).
+    sys->mem().enableDeterministicAddressing();
     if (spec.useAnl) {
         core::AnlConfig anl = spec.anlCfg;
         anl.lineBytes = spec.sys.lineBytes;

@@ -137,6 +137,19 @@ class Machine
     robotics::Mem &mem() { return memHandle; }
     const MachineSpec &spec() const { return specData; }
 
+    /**
+     * Register @p arena as a linearly-mapped segment of the
+     * deterministic address space, preserving its internal layout
+     * (cache-set mapping, prefetch-region structure) exactly. Call
+     * right after creating the arena, before anything in it is
+     * accessed.
+     */
+    void
+    mapArena(const tartan::sim::Arena &arena)
+    {
+        sys->mem().mapSegment(arena.base(), arena.capacityBytes());
+    }
+
     /** Oriented engine per tier: OVEC when available and optimised. */
     robotics::OrientedEngine &orientedEngine(SoftwareTier tier,
                                              OrientedKind kind =

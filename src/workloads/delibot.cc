@@ -28,6 +28,7 @@ runDeliBot(const MachineSpec &spec, const WorkloadOptions &opt)
     Pipeline pipeline(core);
     tartan::sim::Rng rng(opt.seed);
     tartan::sim::Arena arena(24ull << 20);
+    machine.mapArena(arena);
 
     const auto k_raycast = core.registerKernel("raycast");
     const auto k_plan = core.registerKernel("greedy");

@@ -149,6 +149,7 @@ runFlyBot(const MachineSpec &spec, const WorkloadOptions &opt)
     tartan::sim::Rng rng(opt.seed + 4);
     tartan::sim::Rng nn_rng(opt.seed + 41);
     tartan::sim::Arena arena(32ull << 20);
+    machine.mapArena(arena);
 
     const auto k_fusion = core.registerKernel("lt");
     const auto k_heur = core.registerKernel("heuristic");

@@ -24,12 +24,18 @@ using namespace tartan::robotics;
 
 namespace {
 
-/** Synthesise a room-scan frame: noisy walls/furniture points. */
-std::vector<float>
+/**
+ * Synthesise a room-scan frame: noisy walls/furniture points. Fills
+ * @p cloud in place so callers can reuse one pre-reserved buffer for
+ * every frame; a fresh heap vector per frame would make the cloud's
+ * address (and hence the translated access stream) depend on allocator
+ * history.
+ */
+void
 makeFrame(tartan::sim::Rng &rng, std::size_t points,
-          const Transform3 &pose)
+          const Transform3 &pose, std::vector<float> &cloud)
 {
-    std::vector<float> cloud;
+    cloud.clear();
     cloud.reserve(points * 3);
     for (std::size_t p = 0; p < points; ++p) {
         // Points on room surfaces (box walls plus clutter clusters).
@@ -52,14 +58,14 @@ makeFrame(tartan::sim::Rng &rng, std::size_t points,
         cloud.push_back(static_cast<float>(w.y + rng.gaussian(0, 0.01)));
         cloud.push_back(static_cast<float>(w.z + rng.gaussian(0, 0.01)));
     }
-    return cloud;
 }
 
 /** Map surfels: position plus normal/colour/radius payload. */
 inline constexpr std::uint32_t kSurfelStride = 32;
 
 std::unique_ptr<NnsBackend>
-makeBackend(NnsKind kind, const float *store, std::uint64_t seed)
+makeBackend(NnsKind kind, const float *store, std::uint64_t seed,
+            tartan::sim::Arena *arena)
 {
     LshConfig cfg;
     cfg.bucketWidth = 3.5f;
@@ -68,13 +74,14 @@ makeBackend(NnsKind kind, const float *store, std::uint64_t seed)
       case NnsKind::Brute:
         return std::make_unique<BruteForceNns>(store, 3, kSurfelStride);
       case NnsKind::KdTree:
-        return std::make_unique<KdTreeNns>(store, 3, kSurfelStride);
+        return std::make_unique<KdTreeNns>(store, 3, kSurfelStride,
+                                           arena);
       case NnsKind::Lsh:
         return std::make_unique<LshNns>(store, 3, cfg, false,
-                                        kSurfelStride);
+                                        kSurfelStride, arena);
       case NnsKind::Vln:
         return std::make_unique<LshNns>(store, 3, cfg, true,
-                                        kSurfelStride);
+                                        kSurfelStride, arena);
     }
     return nullptr;
 }
@@ -93,6 +100,11 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
     Pipeline pipeline(core);
     tartan::sim::Rng rng(opt.seed + 3);
     tartan::sim::Rng nn_rng(opt.seed + 31);
+    // Backs the NNS index structures that grow while the run is being
+    // traced (kd-tree nodes, LSH buckets), so their placement is a pure
+    // function of the insertion sequence.
+    tartan::sim::Arena arena(16ull << 20);
+    machine.mapArena(arena);
 
     const auto k_tpred = core.registerKernel("tpred");
     const auto k_fuse = core.registerKernel("fusion");
@@ -119,13 +131,14 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
             ? opt.nns
             : (opt.tier == SoftwareTier::Legacy ? NnsKind::Brute
                                                 : NnsKind::Vln);
-    auto map_nns = makeBackend(kind, map_points.data(), opt.seed);
+    auto map_nns = makeBackend(kind, map_points.data(), opt.seed, &arena);
 
     // Seed the map with the prior room model (index construction is
     // offline; queries during operation are what gets simulated).
     {
         Mem untraced;
-        auto seed_frame = makeFrame(rng, seed_surfels, Transform3{});
+        std::vector<float> seed_frame;
+        makeFrame(rng, seed_surfels, Transform3{}, seed_frame);
         for (std::size_t p = 0; p < seed_surfels; ++p) {
             for (std::uint32_t d = 0; d < kSurfelStride; ++d)
                 map_points.push_back(d < 3 ? seed_frame[p * 3 + d]
@@ -159,7 +172,12 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
     Transform3 truth_pose;
     double residual_acc = 0.0;
     tartan::sim::FaultInjector *inj = opt.faults;
+    // One stable cloud buffer reused for every frame (capacity never
+    // exceeded, so data() is constant across the run).
+    std::vector<float> cloud;
+    cloud.reserve(frame_points * 3);
     std::vector<float> last_cloud;
+    last_cloud.reserve(frame_points * 3);
     std::uint64_t recoveries = 0;
     std::size_t fusion_skipped = 0;
     std::uint64_t surrogate_fallbacks = 0;
@@ -169,11 +187,11 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
         truth_pose = makeTransform(0.0, 0.0, 0.03,
                                    Vec3{0.08, 0.05, 0.0})
                          .compose(truth_pose);
-        auto cloud = makeFrame(rng, frame_points, truth_pose);
+        makeFrame(rng, frame_points, truth_pose, cloud);
         if (inj) {
             if (inj->dropFrame() && !last_cloud.empty()) {
                 // Depth frame lost: register the previous frame again.
-                cloud = last_cloud;
+                cloud.assign(last_cloud.begin(), last_cloud.end());
                 ++recoveries;
             } else {
                 inj->corruptSamples(cloud.data(), cloud.size(), -30.0f,
@@ -184,14 +202,15 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
                 recoveries += tartan::sim::sanitizeSamples(
                     cloud.data(), cloud.size(), -30.0f, 30.0f);
             }
-            last_cloud = cloud;
+            last_cloud.assign(cloud.begin(), cloud.end());
         }
         // The frame cloud is a producer-consumer buffer between the
         // sensor and the perception stage: WT-managed when enabled.
-        if (spec.wtQueues)
+        // The buffer is reused across frames, so register it once.
+        if (spec.wtQueues && frame == 0)
             machine.system().mem().addWriteThroughRange(
                 reinterpret_cast<tartan::sim::Addr>(cloud.data()),
-                cloud.size() * sizeof(float));
+                cloud.capacity() * sizeof(float));
 
         // --- Perception (8 threads): T prediction + fusion ----------
         if (use_surrogate) {

@@ -44,7 +44,8 @@ configToLinks(Mem &mem, const float *q, Cuboid *links)
 
 std::unique_ptr<NnsBackend>
 makeBackend(NnsKind kind, const float *store, std::uint32_t dim,
-            std::uint32_t stride, std::uint64_t seed)
+            std::uint32_t stride, std::uint64_t seed,
+            tartan::sim::Arena *arena)
 {
     // Bucket width tuned so the paper's accuracy criterion holds
     // (robot operation within 1% of brute force) while RRT's
@@ -56,11 +57,13 @@ makeBackend(NnsKind kind, const float *store, std::uint32_t dim,
       case NnsKind::Brute:
         return std::make_unique<BruteForceNns>(store, dim, stride);
       case NnsKind::KdTree:
-        return std::make_unique<KdTreeNns>(store, dim, stride);
+        return std::make_unique<KdTreeNns>(store, dim, stride, arena);
       case NnsKind::Lsh:
-        return std::make_unique<LshNns>(store, dim, cfg, false, stride);
+        return std::make_unique<LshNns>(store, dim, cfg, false, stride,
+                                        arena);
       case NnsKind::Vln:
-        return std::make_unique<LshNns>(store, dim, cfg, true, stride);
+        return std::make_unique<LshNns>(store, dim, cfg, true, stride,
+                                        arena);
     }
     return nullptr;
 }
@@ -79,6 +82,7 @@ runMoveBot(const MachineSpec &spec, const WorkloadOptions &opt)
     Pipeline pipeline(core);
     tartan::sim::Rng rng(opt.seed + 2);
     tartan::sim::Arena arena(16ull << 20);
+    machine.mapArena(arena);
 
     const auto k_nns = core.registerKernel("nns");
     const auto k_cccd = core.registerKernel("cccd");
@@ -194,7 +198,7 @@ runMoveBot(const MachineSpec &spec, const WorkloadOptions &opt)
         // Each query grows a fresh tree and index.
         RrtPlanner rrt(rrt_cfg, arena);
         auto nns = makeBackend(kind, rrt.store(), rrt_cfg.dim,
-                               rrt.stride(), opt.seed + query);
+                               rrt.stride(), opt.seed + query, &arena);
         TaggedNns tagged(*nns, core, k_nns);
 
         RrtResult plan;

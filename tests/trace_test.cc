@@ -322,12 +322,18 @@ TEST(TraceValidate, RejectsMalformedEpochDocuments)
 
 TEST(TraceEnv, FromEnvHonoursDirectoryAndEpochOverride)
 {
+    // The process-wide RunEnv is a one-shot snapshot, so the test
+    // parses a fresh RunEnv after each environment change and feeds it
+    // to the explicit-env fromEnv overload.
     unsetenv("TARTAN_TRACE");
-    EXPECT_EQ(TraceSession::fromEnv("b", "r"), nullptr);
+    EXPECT_EQ(TraceSession::fromEnv("b", "r",
+                                    tartan::sim::RunEnv::parse()),
+              nullptr);
 
     setenv("TARTAN_TRACE", "trace_env_out", 1);
     setenv("TARTAN_TRACE_EPOCH", "12345", 1);
-    auto session = TraceSession::fromEnv("b", "r");
+    auto session =
+        TraceSession::fromEnv("b", "r", tartan::sim::RunEnv::parse());
     ASSERT_NE(session, nullptr);
     EXPECT_EQ(session->params().epochCycles, 12345u);
     EXPECT_EQ(session->tracePath(), "trace_env_out/TRACE_b_r.json");
