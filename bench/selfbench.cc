@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Simulator self-benchmark: host throughput of the per-access pipeline.
+ *
+ * A simulator is only useful at the scale its own host speed allows
+ * (ZSim's core argument), so this driver measures the simulator, not
+ * the modeled machine. For every robot it times the same run twice —
+ * fast paths on (AddrMap TLB single probe, L1 MRU memo, accessRange
+ * segment hoist) and off (the historical code paths) — checks the two
+ * runs are observationally identical, and reports host throughput in
+ * millions of simulated demand accesses per second plus a per-layer
+ * host-time breakdown (translate / cache / prefetch / other) from a
+ * profiled run.
+ *
+ * Runs are strictly serial (this bench measures host time; concurrent
+ * runs would contend for the same cores). Knobs: TARTAN_SELFBENCH_REPS
+ * timing repetitions per cell (best-of, default 3) and
+ * TARTAN_SELFBENCH_SCALE workload scale (default 1.0).
+ *
+ * Exits non-zero if any fast/slow pair diverges, making the
+ * observational-equivalence guarantee CI-enforceable.
+ */
+
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/env.hh"
+#include "sim/hostprof.hh"
+
+using namespace tartan::bench;
+using namespace tartan::workloads;
+using tartan::sim::HostProfiler;
+using tartan::sim::RunEnv;
+
+namespace {
+
+/** One timed cell: best-of-reps host seconds plus the run's result. */
+struct TimedRun {
+    RunResult result;
+    double bestSeconds = 0.0;
+};
+
+/** One timed repetition, folded into the running best. */
+void
+timeRobotOnce(const RobotEntry &robot, const MachineSpec &spec,
+              const WorkloadOptions &opt, unsigned rep, TimedRun *timed)
+{
+    const std::uint64_t t0 = HostProfiler::now();
+    RunResult res = robot.run(spec, opt);
+    const double sec = double(HostProfiler::now() - t0) * 1e-9;
+    if (rep == 0 || sec < timed->bestSeconds)
+        timed->bestSeconds = sec;
+    timed->result = std::move(res);
+}
+
+/**
+ * Compare every simulated observable of two runs. Host-time fields do
+ * not exist in RunResult, so field-for-field equality is exactly the
+ * observational-equivalence contract of the fast paths.
+ */
+std::string
+diffResults(const RunResult &a, const RunResult &b)
+{
+    std::string diff;
+    const auto check = [&](const char *field, double va, double vb) {
+        if (va != vb) {
+            diff += "  ";
+            diff += field;
+            diff += ": " + std::to_string(va) + " vs " +
+                    std::to_string(vb) + "\n";
+        }
+    };
+    check("wallCycles", double(a.wallCycles), double(b.wallCycles));
+    check("workCycles", double(a.workCycles), double(b.workCycles));
+    check("instructions", double(a.instructions), double(b.instructions));
+    check("l1Accesses", double(a.l1Accesses), double(b.l1Accesses));
+    check("l1Misses", double(a.l1Misses), double(b.l1Misses));
+    check("l2Accesses", double(a.l2Accesses), double(b.l2Accesses));
+    check("l2Misses", double(a.l2Misses), double(b.l2Misses));
+    check("l3Traffic", double(a.l3Traffic), double(b.l3Traffic));
+    check("pfIssued", double(a.pfIssued), double(b.pfIssued));
+    check("pfHitsTimely", double(a.pfHitsTimely), double(b.pfHitsTimely));
+    check("pfHitsLate", double(a.pfHitsLate), double(b.pfHitsLate));
+    check("udmFetchedBytes", double(a.udmFetchedBytes),
+          double(b.udmFetchedBytes));
+    check("udmUsedBytes", double(a.udmUsedBytes), double(b.udmUsedBytes));
+    check("npuInvocations", double(a.npuInvocations),
+          double(b.npuInvocations));
+    check("npuCommCycles", double(a.npuCommCycles),
+          double(b.npuCommCycles));
+    if (a.kernels.size() != b.kernels.size()) {
+        diff += "  kernel count: " + std::to_string(a.kernels.size()) +
+                " vs " + std::to_string(b.kernels.size()) + "\n";
+    } else {
+        for (std::size_t i = 0; i < a.kernels.size(); ++i) {
+            const auto &ka = a.kernels[i];
+            const auto &kb = b.kernels[i];
+            if (ka.name != kb.name || ka.cycles != kb.cycles ||
+                ka.memStallCycles != kb.memStallCycles ||
+                ka.instructions != kb.instructions) {
+                diff += "  kernel " + ka.name + "/" + kb.name +
+                        " counters differ\n";
+            }
+        }
+    }
+    if (a.metrics != b.metrics)
+        diff += "  quality-metrics map differs\n";
+    return diff;
+}
+
+} // namespace
+
+int
+main()
+{
+    const RunEnv &env = RunEnv::get();
+    const unsigned reps = env.selfbenchReps;
+    const double scale = env.selfbenchScale;
+
+    BenchReporter rep("selfbench",
+                      "simulator host throughput; fast paths "
+                      "observationally identical to slow paths, "
+                      "geomean speedup tracked across PRs");
+    rep.config("machine", "tartan");
+    rep.config("tier", "optimized");
+    rep.config("reps", double(reps));
+    rep.config("scale", scale);
+
+    const MachineSpec spec = MachineSpec::tartan();
+    WorkloadOptions fast_opt = options(SoftwareTier::Optimized, scale);
+    WorkloadOptions slow_opt = fast_opt;
+    slow_opt.fastAccessPath = false;
+
+    std::printf("%-10s %12s %6s %9s %9s %8s | %s\n", "robot",
+                "accesses", "miss", "fast M/s", "slow M/s", "speedup",
+                "host-time breakdown (slow path)");
+
+    std::vector<double> fast_tp, slow_tp, ratios;
+    bool all_equivalent = true;
+    for (const auto &robot : robotSuite()) {
+        // Interleave fast/slow repetitions so slow ambient drift of the
+        // host (frequency, co-tenants) biases the two columns equally
+        // rather than whichever ran second.
+        TimedRun fast, slow;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            timeRobotOnce(robot, spec, fast_opt, rep, &fast);
+            timeRobotOnce(robot, spec, slow_opt, rep, &slow);
+        }
+
+        const std::string diff = diffResults(fast.result, slow.result);
+        if (!diff.empty()) {
+            all_equivalent = false;
+            std::fprintf(stderr,
+                         "selfbench: %s fast/slow runs diverge:\n%s",
+                         robot.name, diff.c_str());
+        }
+
+        // One profiled run for the per-layer breakdown. The profiler
+        // routes accesses through the full (unmemoized) lookup, so the
+        // shares describe where the historical pipeline spends time.
+        HostProfiler prof;
+        WorkloadOptions prof_opt = fast_opt;
+        prof_opt.hostProf = &prof;
+        const std::uint64_t p0 = HostProfiler::now();
+        RunResult prof_res = robot.run(spec, prof_opt);
+        const std::uint64_t prof_wall = HostProfiler::now() - p0;
+        const std::string prof_diff =
+            diffResults(fast.result, prof_res);
+        if (!prof_diff.empty()) {
+            all_equivalent = false;
+            std::fprintf(stderr,
+                         "selfbench: %s profiled run diverges:\n%s",
+                         robot.name, prof_diff.c_str());
+        }
+        const std::uint64_t attributed =
+            prof.translateNs + prof.cacheNs + prof.prefetchNs;
+        prof.otherNs =
+            prof_wall > attributed ? prof_wall - attributed : 0;
+
+        const double accesses = double(fast.result.l1Accesses);
+        const double miss_pct =
+            accesses > 0
+                ? 100.0 * double(fast.result.l1Misses) / accesses
+                : 0.0;
+        const double fast_macc =
+            fast.bestSeconds > 0 ? accesses / fast.bestSeconds * 1e-6
+                                 : 0.0;
+        const double slow_macc =
+            slow.bestSeconds > 0 ? accesses / slow.bestSeconds * 1e-6
+                                 : 0.0;
+        const double ratio = speedup(slow.bestSeconds, fast.bestSeconds);
+        fast_tp.push_back(fast_macc);
+        slow_tp.push_back(slow_macc);
+        ratios.push_back(ratio);
+
+        const double wall = double(prof_wall);
+        const auto pct = [&](std::uint64_t ns) {
+            return wall > 0 ? 100.0 * double(ns) / wall : 0.0;
+        };
+        std::printf("%-10s %12.0f %5.1f%% %9.2f %9.2f %7.2fx | "
+                    "xlat %4.1f%% cache %4.1f%% pf %4.1f%% other %4.1f%%\n",
+                    robot.name, accesses, miss_pct, fast_macc, slow_macc,
+                    ratio, pct(prof.translateNs), pct(prof.cacheNs),
+                    pct(prof.prefetchNs), pct(prof.otherNs));
+
+        const std::string row = robot.name;
+        rep.kernelMetric(row, "accesses", accesses);
+        rep.kernelMetric(row, "fastMaccPerSec", fast_macc);
+        rep.kernelMetric(row, "slowMaccPerSec", slow_macc);
+        rep.kernelMetric(row, "speedup", ratio);
+        rep.kernelMetric(row, "translateShare",
+                         pct(prof.translateNs) / 100.0);
+        rep.kernelMetric(row, "cacheShare", pct(prof.cacheNs) / 100.0);
+        rep.kernelMetric(row, "prefetchShare",
+                         pct(prof.prefetchNs) / 100.0);
+        rep.kernelMetric(row, "otherShare", pct(prof.otherNs) / 100.0);
+        rep.kernelMetric(row, "equivalent", diff.empty() ? 1.0 : 0.0);
+    }
+
+    const double gm_fast = geomean(fast_tp);
+    const double gm_slow = geomean(slow_tp);
+    const double gm_ratio = geomean(ratios);
+    rep.metric("gmeanFastMaccPerSec", gm_fast);
+    rep.metric("gmeanSlowMaccPerSec", gm_slow);
+    rep.metric("gmeanSpeedup", gm_ratio);
+    rep.metric("allEquivalent", all_equivalent ? 1.0 : 0.0);
+    rep.note("fast/slow stats identical for all robots; geomean "
+             "speedup tracked across PRs");
+
+    std::printf("\ngeomean: fast %.2f M acc/s, slow %.2f M acc/s, "
+                "speedup %.2fx\n",
+                gm_fast, gm_slow, gm_ratio);
+    if (!all_equivalent) {
+        std::fprintf(stderr, "selfbench: FAST/SLOW DIVERGENCE\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,7 +1,7 @@
 /**
  * @file
- * AddrMap implementation: segment registration and the first-touch
- * fallback table behind the inline TLB.
+ * AddrMap implementation: segment registration and the TLB-miss
+ * translation path (segment scan + first-touch fallback table).
  */
 
 #include "sim/addrmap.hh"
@@ -20,6 +20,9 @@ AddrMap::addSegment(Addr host_base, std::size_t bytes)
     // simulated space.
     const Addr offset = host_base & (kSegmentAlign - 1);
     const Addr sim = nextSegmentBase + offset;
+    for (const Segment &s : segments)
+        if (host_base < s.end && host_base + bytes > s.begin)
+            overlapping = true;
     segments.push_back(Segment{host_base, host_base + bytes, sim});
     const Addr span = offset + bytes;
     nextSegmentBase +=
@@ -30,6 +33,61 @@ AddrMap::addSegment(Addr host_base, std::size_t bytes)
     // shadow it through the TLB fast path.
     for (Entry &e : tlb)
         e.hostGrain = ~Addr(0);
+}
+
+Addr
+AddrMap::translateSlow(Addr host)
+{
+    const Addr grain = host >> kGrainBits;
+
+    if (!fastTlb) {
+        // Historical probe order: segment scan on every access, TLB
+        // only in front of the first-touch table.
+        for (const Segment &s : segments)
+            if (host >= s.begin && host < s.end)
+                return s.simBase + (host - s.begin);
+        Entry &e = tlb[grain & (kTlbEntries - 1)];
+        if (e.hostGrain != grain) {
+            e.hostGrain = grain;
+            e.simGrain = lookupGrain(grain);
+        }
+        return (e.simGrain << kGrainBits) | (host & (kGrainBytes - 1));
+    }
+
+    // Fast mode: resolve the address, then decide whether the whole
+    // 16-byte grain translates uniformly — only then may the TLB cache
+    // it, because translate() answers grain-granular probes. A grain is
+    // non-uniform only when a segment boundary falls strictly inside it
+    // (possible for segments whose size is not a multiple of 16).
+    const Addr g_begin = grain << kGrainBits;
+    const Addr g_end = g_begin + kGrainBytes;
+    const Segment *match = nullptr;
+    bool uniform = !overlapping;
+    for (const Segment &s : segments) {
+        if (!match && host >= s.begin && host < s.end)
+            match = &s;
+        if ((s.begin > g_begin && s.begin < g_end) ||
+            (s.end > g_begin && s.end < g_end)) {
+            uniform = false;
+        }
+    }
+
+    Addr sim_addr;
+    if (match) {
+        // Segment deltas are multiples of 2 MB, so segment-mapped
+        // grains are linear at grain granularity too.
+        sim_addr = match->simBase + (host - match->begin);
+    } else {
+        sim_addr = (lookupGrain(grain) << kGrainBits) |
+                   (host & (kGrainBytes - 1));
+    }
+
+    if (uniform) {
+        Entry &e = tlb[grain & (kTlbEntries - 1)];
+        e.hostGrain = grain;
+        e.simGrain = sim_addr >> kGrainBits;
+    }
+    return sim_addr;
 }
 
 Addr

@@ -27,6 +27,16 @@
  * Translation is a pure function of the access sequence: two runs that
  * issue the same accesses in the same order see identical simulated
  * addresses, no matter where the host allocator placed the data.
+ *
+ * Hot path: because a segment's simulated base preserves the host
+ * base's offset within a 2 MB tile, *every* translation — segment or
+ * fallback — is linear at grain granularity (sim ≡ host mod 16), so
+ * one direct-mapped TLB caches both kinds. translate() is a single
+ * inline TLB probe; the segment scan and the first-touch table are only
+ * reached on a TLB miss (translateSlow). setFastPath(false) restores
+ * the historical probe order (segment scan first, TLB only in front of
+ * the first-touch table) for A/B measurement; the translation function
+ * is identical either way.
  */
 
 #ifndef TARTAN_SIM_ADDRMAP_HH
@@ -60,19 +70,63 @@ class AddrMap
     Addr
     translate(Addr host)
     {
-        for (const Segment &s : segments)
-            if (host >= s.begin && host < s.end)
-                return s.simBase + (host - s.begin);
-
-        const Addr grain = host >> kGrainBits;
-        Entry &e = tlb[grain & (kTlbEntries - 1)];
-        if (e.hostGrain != grain) {
-            e.hostGrain = grain;
-            e.simGrain = lookupGrain(grain);
+        if (fastTlb) {
+            const Addr grain = host >> kGrainBits;
+            const Entry &e = tlb[grain & (kTlbEntries - 1)];
+            if (e.hostGrain == grain)
+                return (e.simGrain << kGrainBits) |
+                       (host & (kGrainBytes - 1));
         }
-        return (e.simGrain << kGrainBits) |
-               (host & (kGrainBytes - 1));
+        return translateSlow(host);
     }
+
+    /**
+     * If every address of [base, base+bytes) maps linearly through one
+     * unambiguous segment, store the constant (sim - host) delta in
+     * @p delta and return true. Lets a caller translate a whole span
+     * with one lookup (MemPath::accessRange). Returns false when the
+     * span touches the fallback map, straddles a segment boundary, or
+     * overlapping segments make per-address precedence necessary.
+     */
+    bool
+    linearSpan(Addr base, std::size_t bytes, Addr *delta) const
+    {
+        if (overlapping)
+            return false;
+        // MRU memo: ranged accesses stream through one arena, so the
+        // segment that matched last almost always matches next. With no
+        // overlap a segment containing `base` is the unique match, so
+        // probing the memoised one first cannot change the answer.
+        if (spanMemo < segments.size()) {
+            const Segment &s = segments[spanMemo];
+            if (base >= s.begin && base < s.end) {
+                if (base + bytes <= s.end) {
+                    *delta = s.simBase - s.begin;
+                    return true;
+                }
+                return false;
+            }
+        }
+        for (std::size_t i = 0; i < segments.size(); ++i) {
+            const Segment &s = segments[i];
+            if (base >= s.begin && base < s.end) {
+                spanMemo = i;
+                if (base + bytes <= s.end) {
+                    *delta = s.simBase - s.begin;
+                    return true;
+                }
+                return false;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Toggle the single-probe TLB fast path (default on). Off restores
+     * the pre-optimisation probe order; translations are identical, so
+     * this exists purely for self-benchmarking and equivalence tests.
+     */
+    void setFastPath(bool on) { fastTlb = on; }
 
     std::size_t segmentCount() const { return segments.size(); }
     /** Fallback grains mapped so far (16-byte units). */
@@ -97,13 +151,19 @@ class AddrMap
         Addr simGrain = 0;
     };
 
+    /** TLB-miss path: segment scan, then the first-touch table. */
+    Addr translateSlow(Addr host);
     Addr lookupGrain(Addr host_grain);
 
     std::vector<Segment> segments;
+    /** Index of the segment linearSpan matched last (MRU memo). */
+    mutable std::size_t spanMemo = 0;
     Addr nextSegmentBase = kSegmentSpace;
     std::unordered_map<Addr, Addr> grains;
     Addr nextGrain = kFallbackSpace >> kGrainBits;
     std::array<Entry, kTlbEntries> tlb;
+    bool fastTlb = true;
+    bool overlapping = false;  //!< any segment overlaps an earlier one
 };
 
 } // namespace tartan::sim

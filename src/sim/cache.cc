@@ -14,7 +14,9 @@ namespace tartan::sim {
 
 Cache::Cache(const CacheParams &params)
     : config(params),
-      indexing(params.indexing ? params.indexing : &defaultIndexing)
+      indexing(params.indexing ? params.indexing : &defaultIndexing),
+      stdIndexing(params.indexing == nullptr),
+      fcpIndex(dynamic_cast<const FcpIndexing *>(indexing))
 {
     TARTAN_ASSERT(config.sizeBytes % (config.assoc * config.lineBytes) == 0,
                   "cache geometry must divide evenly");
@@ -23,13 +25,8 @@ Cache::Cache(const CacheParams &params)
                   "set count must be a power of two");
     lineBits = log2u(config.lineBytes);
     maxRecency = config.assoc - 1;
-    sets.assign(setCount, std::vector<Line>(config.assoc));
-}
-
-std::uint64_t
-Cache::setIndex(std::uint64_t line_number) const
-{
-    return indexing->index(line_number, setCount);
+    lines.assign(std::size_t(setCount) * config.assoc, Line{});
+    tags.assign(lines.size(), kInvalidTag);
 }
 
 std::uint64_t
@@ -39,45 +36,29 @@ Cache::regionOf(std::uint64_t line_number) const
     return line_number >> log2u(config.fcp->regionBytes / config.lineBytes);
 }
 
-void
-Cache::touch(Line &line, Addr addr, std::uint32_t size)
-{
-    if (!config.trackUdm)
-        return;
-    const std::uint32_t off = static_cast<std::uint32_t>(
-        addr & (config.lineBytes - 1));
-    const std::uint32_t first = off / 4;
-    const std::uint32_t last =
-        (off + (size ? size - 1 : 0)) >= config.lineBytes
-            ? (config.lineBytes - 1) / 4
-            : (off + (size ? size - 1 : 0)) / 4;
-    for (std::uint32_t chunk = first; chunk <= last; ++chunk)
-        line.touched |= (1ull << chunk);
-}
-
 Cache::LookupResult
 Cache::access(Addr addr, AccessType type, std::uint32_t size, Cycles now)
 {
     const std::uint64_t line_number = addr >> lineBits;
-    auto &set = sets[setIndex(line_number)];
+    const std::size_t base = setIndex(line_number) * config.assoc;
 
     for (std::uint32_t way = 0; way < config.assoc; ++way) {
-        Line &line = set[way];
-        if (line.valid && line.lineNumber == line_number) {
-            ++statsData.hits;
-            LookupResult res{true, line.prefetched, 0};
-            if (line.prefetched) {
-                ++statsData.prefetchHits;
-                if (line.readyAt > now)
-                    res.latePenalty = line.readyAt - now;
-                line.prefetched = false;
-            }
-            if (type == AccessType::Store)
-                line.dirty = true;
-            touch(line, addr, size);
-            promote(set, way);
-            return res;
+        if (tags[base + way] != line_number)
+            continue;
+        Line &line = lines[base + way];
+        ++statsData.hits;
+        LookupResult res{true, line.prefetched, 0};
+        if (line.prefetched) {
+            ++statsData.prefetchHits;
+            if (line.readyAt > now)
+                res.latePenalty = line.readyAt - now;
+            line.prefetched = false;
         }
+        if (type == AccessType::Store)
+            line.dirty = true;
+        touch(line, addr, size);
+        promote(base, way);
+        return res;
     }
     ++statsData.misses;
     return LookupResult{false, false};
@@ -87,27 +68,17 @@ bool
 Cache::probe(Addr addr) const
 {
     const std::uint64_t line_number = addr >> lineBits;
-    const auto &set = sets[setIndex(line_number)];
-    for (const Line &line : set)
-        if (line.valid && line.lineNumber == line_number)
+    const std::size_t base = setIndex(line_number) * config.assoc;
+    for (std::uint32_t way = 0; way < config.assoc; ++way)
+        if (tags[base + way] == line_number)
             return true;
     return false;
 }
 
-/** True LRU promotion helper: lines younger than @p old_rec age by one. */
-void
-Cache::promote(std::vector<Line> &set, std::uint32_t way)
-{
-    const std::uint32_t old_rec = set[way].recency;
-    for (Line &line : set)
-        if (line.valid && line.recency < old_rec)
-            ++line.recency;
-    set[way].recency = 0;
-}
-
 std::uint32_t
-Cache::victimWay(const std::vector<Line> &set) const
+Cache::victimWay(std::size_t set_base) const
 {
+    const Line *set = lines.data() + set_base;
     std::uint32_t victim = 0;
     std::uint32_t best = 0;
     bool found = false;
@@ -141,26 +112,48 @@ Cache::evictLine(Line &line)
         evictionListener(line.lineNumber << lineBits);
     line.valid = false;
     line.touched = 0;
+    tags[static_cast<std::size_t>(&line - lines.data())] = kInvalidTag;
+    if (memoLine == &line)
+        memoLine = nullptr;
 }
 
 Cache::Eviction
 Cache::fill(Addr addr, bool prefetch, bool dirty, Cycles ready_at)
 {
     const std::uint64_t line_number = addr >> lineBits;
-    auto &set = sets[setIndex(line_number)];
+    const std::size_t base = setIndex(line_number) * config.assoc;
 
     // Refilling a resident line is a no-op apart from flag updates.
     for (std::uint32_t way = 0; way < config.assoc; ++way) {
-        Line &line = set[way];
-        if (line.valid && line.lineNumber == line_number) {
-            line.dirty = line.dirty || dirty;
-            promote(set, way);
-            return Eviction{};
-        }
+        if (tags[base + way] != line_number)
+            continue;
+        Line &line = lines[base + way];
+        line.dirty = line.dirty || dirty;
+        promote(base, way);
+        return Eviction{};
     }
 
-    const std::uint32_t way = victimWay(set);
-    Line &line = set[way];
+    return fillAbsent(base, line_number, prefetch, dirty, ready_at);
+}
+
+Cache::Eviction
+Cache::fillKnownAbsent(Addr addr, bool prefetch, bool dirty,
+                       Cycles ready_at)
+{
+    TARTAN_ASSERT(!probe(addr),
+                  "fillKnownAbsent called on a resident line");
+    const std::uint64_t line_number = addr >> lineBits;
+    return fillAbsent(setIndex(line_number) * config.assoc, line_number,
+                      prefetch, dirty, ready_at);
+}
+
+/** Victim selection + installation tail shared by the fill flavours. */
+Cache::Eviction
+Cache::fillAbsent(std::size_t base, std::uint64_t line_number,
+                  bool prefetch, bool dirty, Cycles ready_at)
+{
+    const std::uint32_t way = victimWay(base);
+    Line &line = lines[base + way];
     Eviction ev;
     if (line.valid) {
         ev.valid = true;
@@ -170,9 +163,11 @@ Cache::fill(Addr addr, bool prefetch, bool dirty, Cycles ready_at)
     }
     // Insertion: age every resident line (saturating at the natural LRU
     // maximum) and install the new line at MRU.
-    for (Line &other : set)
+    for (std::uint32_t w = 0; w < config.assoc; ++w) {
+        Line &other = lines[base + w];
         if (other.valid && other.recency < maxRecency)
             ++other.recency;
+    }
     line.lineNumber = line_number;
     line.valid = true;
     line.dirty = dirty;
@@ -180,6 +175,8 @@ Cache::fill(Addr addr, bool prefetch, bool dirty, Cycles ready_at)
     line.touched = 0;
     line.recency = 0;
     line.readyAt = prefetch ? ready_at : 0;
+    tags[base + way] = line_number;
+    memoLine = &line;
     if (prefetch)
         ++statsData.prefetchFills;
 
@@ -192,7 +189,7 @@ Cache::fill(Addr addr, bool prefetch, bool dirty, Cycles ready_at)
         const std::uint32_t ceiling = manipCeiling();
         const std::uint64_t region = regionOf(line_number);
         for (std::uint32_t w = 0; w < config.assoc; ++w) {
-            Line &other = set[w];
+            Line &other = lines[base + w];
             if (w == way || !other.valid)
                 continue;
             if (regionOf(other.lineNumber) == region) {
@@ -210,10 +207,10 @@ void
 Cache::invalidate(Addr addr)
 {
     const std::uint64_t line_number = addr >> lineBits;
-    auto &set = sets[setIndex(line_number)];
-    for (Line &line : set) {
-        if (line.valid && line.lineNumber == line_number) {
-            evictLine(line);
+    const std::size_t base = setIndex(line_number) * config.assoc;
+    for (std::uint32_t way = 0; way < config.assoc; ++way) {
+        if (tags[base + way] == line_number) {
+            evictLine(lines[base + way]);
             return;
         }
     }
@@ -223,10 +220,9 @@ std::uint64_t
 Cache::dirtyLines() const
 {
     std::uint64_t count = 0;
-    for (const auto &set : sets)
-        for (const Line &line : set)
-            if (line.valid && line.dirty)
-                ++count;
+    for (const Line &line : lines)
+        if (line.valid && line.dirty)
+            ++count;
     return count;
 }
 
@@ -234,10 +230,9 @@ std::uint64_t
 Cache::prefetchedLines() const
 {
     std::uint64_t count = 0;
-    for (const auto &set : sets)
-        for (const Line &line : set)
-            if (line.valid && line.prefetched)
-                ++count;
+    for (const Line &line : lines)
+        if (line.valid && line.prefetched)
+            ++count;
     return count;
 }
 

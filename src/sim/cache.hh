@@ -3,6 +3,17 @@
  * Set-associative cache model with pluggable indexing, LRU replacement,
  * FCP replacement-metadata manipulation, prefetched-line tracking,
  * unnecessary-data-movement (UDM) accounting, and eviction listeners.
+ *
+ * Storage is a single flat line array plus a parallel flat tag array
+ * (one cache line covers a whole set's tags during the hit scan), the
+ * default power-of-two and FCP indexing policies are devirtualised, and
+ * an inline lookup (lookupFast, fronted by a one-entry MRU memo) lets
+ * the owning MemPath resolve any demand hit — and prove any miss —
+ * without an out-of-line call; fillKnownAbsent then installs the missed
+ * line without rescanning the set. All of that is mechanical speedup:
+ * the observable behaviour — every stat, every eviction, every
+ * replacement decision — is identical to the straightforward
+ * set-of-vectors implementation it replaced.
  */
 
 #ifndef TARTAN_SIM_CACHE_HH
@@ -33,8 +44,8 @@ struct FcpReplacement {
     /** Manipulation function family evaluated in the paper (Fig. 11). */
     enum class Func { XPlus1, TwoX, XSquared };
 
-    std::uint32_t regionBytes = 1024;
-    Func func = Func::XSquared;
+    std::uint32_t regionBytes = 1024;  //!< region granularity (bytes)
+    Func func = Func::XSquared;  //!< which m(x) to apply
 
     /** Apply m(x) to a recency value. */
     std::uint32_t
@@ -54,11 +65,11 @@ struct FcpReplacement {
 
 /** Static configuration of one cache. */
 struct CacheParams {
-    std::string name = "cache";
-    std::uint32_t sizeBytes = 32 * 1024;
-    std::uint32_t assoc = 8;
-    std::uint32_t lineBytes = 64;
-    Cycles latency = 4;
+    std::string name = "cache";  //!< stats/debug label
+    std::uint32_t sizeBytes = 32 * 1024;  //!< total capacity
+    std::uint32_t assoc = 8;  //!< ways per set
+    std::uint32_t lineBytes = 64;  //!< cache line size
+    Cycles latency = 4;  //!< hit latency charged by MemPath
     /** Track per-line touched bytes for UDM accounting (L1 only). */
     bool trackUdm = false;
     /** Optional non-standard indexing (owned by the caller/system). */
@@ -69,16 +80,17 @@ struct CacheParams {
 
 /** Aggregate statistics of a cache. */
 struct CacheStats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t dirtyEvictions = 0;
-    std::uint64_t prefetchFills = 0;
+    std::uint64_t hits = 0;            //!< demand hits
+    std::uint64_t misses = 0;          //!< demand misses
+    std::uint64_t evictions = 0;       //!< valid lines displaced
+    std::uint64_t dirtyEvictions = 0;  //!< displaced lines that were dirty
+    std::uint64_t prefetchFills = 0;   //!< fills triggered by a prefetcher
     std::uint64_t prefetchHits = 0;     //!< demand hits on prefetched lines
     std::uint64_t prefetchUnused = 0;   //!< prefetched lines evicted unused
     std::uint64_t udmFetchedBytes = 0;  //!< bytes brought in (UDM tracking)
     std::uint64_t udmUsedBytes = 0;     //!< bytes actually referenced
 
+    /** Demand accesses (hits + misses). */
     std::uint64_t accesses() const { return hits + misses; }
     double
     missRatio() const
@@ -129,6 +141,68 @@ class Cache
     LookupResult access(Addr addr, AccessType type, std::uint32_t size,
                         Cycles now = 0);
 
+    /** Outcome of the inline fast-path lookup (lookupFast). */
+    enum class FastLookup {
+        Hit,    //!< hit resolved in full (stats, dirty, UDM, LRU)
+        Miss,   //!< miss proven and counted; caller skips the L1 lookup
+        Defer,  //!< not handled at all; caller takes the access() path
+    };
+
+    /**
+     * Inline demand-access fast path. A Hit performs exactly what
+     * access() would — the hit counter, dirty marking, UDM accounting
+     * and LRU promotion all happen here; the one-entry MRU memo
+     * short-circuits the common repeat-hit case without even a set
+     * scan (promotion is skipped there only because the memoised line
+     * is by construction already at MRU). A Miss means the set scan
+     * proved the line absent and the miss counter was bumped, so the
+     * caller continues directly with the fill path without calling
+     * access() again. Defer (fast lookup disabled, or a hit on a
+     * prefetched line whose timeliness accounting needs the current
+     * cycle) leaves all state untouched.
+     *
+     * @param count_miss bump the miss counter on a Miss outcome. Demand
+     *        accesses count misses; write-back lookups pass false
+     *        because the historical write-back path (probe + fill)
+     *        never counted one.
+     */
+    FastLookup
+    lookupFast(Addr addr, AccessType type, std::uint32_t size,
+               bool count_miss = true)
+    {
+        if (!fastLookup)
+            return FastLookup::Defer;
+        const std::uint64_t line_number = addr >> lineBits;
+        Line *m = memoLine;
+        // A memo tag match implies same set and same line for any
+        // indexing policy (the set is a pure function of the line).
+        if (m && m->valid && m->lineNumber == line_number &&
+            !m->prefetched) {
+            ++statsData.hits;
+            if (type == AccessType::Store)
+                m->dirty = true;
+            touchFast(*m, addr, size);
+            return FastLookup::Hit;
+        }
+        const std::size_t base = setIndex(line_number) * config.assoc;
+        for (std::uint32_t way = 0; way < config.assoc; ++way) {
+            if (tags[base + way] != line_number)
+                continue;
+            Line &line = lines[base + way];
+            if (line.prefetched)
+                return FastLookup::Defer;
+            ++statsData.hits;
+            if (type == AccessType::Store)
+                line.dirty = true;
+            touchFast(line, addr, size);
+            promote(base, way);
+            return FastLookup::Hit;
+        }
+        if (count_miss)
+            ++statsData.misses;
+        return FastLookup::Miss;
+    }
+
     /** Check residency without perturbing any state. */
     bool probe(Addr addr) const;
 
@@ -141,6 +215,16 @@ class Cache
      */
     Eviction fill(Addr addr, bool prefetch = false, bool dirty = false,
                   Cycles ready_at = 0);
+
+    /**
+     * fill() for a line the caller has proven absent (a lookup or probe
+     * of @p addr just missed and nothing can have installed it since):
+     * skips fill()'s redundant residency scan and goes straight to
+     * victim selection. Asserted in debug builds; behaviour is
+     * otherwise identical to fill(). Used by the MemPath fast path.
+     */
+    Eviction fillKnownAbsent(Addr addr, bool prefetch = false,
+                             bool dirty = false, Cycles ready_at = 0);
 
     /** Invalidate a line if present (used by write-through stores). */
     void invalidate(Addr addr);
@@ -156,6 +240,18 @@ class Cache
 
     /** Register an eviction listener (e.g. ANL region termination). */
     void setEvictionListener(EvictionListener listener);
+
+    /**
+     * Toggle the MRU memo (default on). Off forces every access through
+     * the full lookup; behaviour is identical either way, so this exists
+     * purely for self-benchmarking and equivalence tests.
+     */
+    void
+    setFastLookup(bool on)
+    {
+        fastLookup = on;
+        memoLine = nullptr;
+    }
 
     const CacheParams &params() const { return config; }
     const CacheStats &stats() const { return statsData; }
@@ -180,22 +276,112 @@ class Cache
         Cycles readyAt = 0;         //!< when a prefetched line arrives
     };
 
-    std::uint64_t setIndex(std::uint64_t line_number) const;
+    /** Tag-array value for ways holding no valid line. */
+    static constexpr std::uint64_t kInvalidTag = ~std::uint64_t(0);
+
+    std::uint64_t
+    setIndex(std::uint64_t line_number) const
+    {
+        // Devirtualised default: StandardIndexing is a power-of-two
+        // modulus, and setCount is asserted to be a power of two.
+        if (stdIndexing)
+            return line_number & (setCount - 1);
+        // Fast mode also devirtualises the FCP permutation (a qualified
+        // call inlines the XOR fold); slow mode keeps the historical
+        // virtual dispatch so A/B host timings stay faithful.
+        if (fastLookup && fcpIndex)
+            return fcpIndex->FcpIndexing::index(line_number, setCount);
+        return indexing->index(line_number, setCount);
+    }
+
     /** Upper bound on FCP-manipulated recency values. */
     std::uint32_t manipCeiling() const { return 4 * maxRecency + 1; }
-    void promote(std::vector<Line> &set, std::uint32_t way);
-    std::uint32_t victimWay(const std::vector<Line> &set) const;
+    Eviction fillAbsent(std::size_t base, std::uint64_t line_number,
+                        bool prefetch, bool dirty, Cycles ready_at);
+
+    /** True LRU promotion: lines younger than @p way's age by one.
+     *  Inline so lookupFast hits resolve without an out-of-line call. */
+    void
+    promote(std::size_t set_base, std::uint32_t way)
+    {
+        Line *set = lines.data() + set_base;
+        const std::uint32_t old_rec = set[way].recency;
+        for (std::uint32_t w = 0; w < config.assoc; ++w)
+            if (set[w].valid && set[w].recency < old_rec)
+                ++set[w].recency;
+        set[way].recency = 0;
+        memoLine = &set[way];
+    }
+
+    std::uint32_t victimWay(std::size_t set_base) const;
     void evictLine(Line &line);
-    void touch(Line &line, Addr addr, std::uint32_t size);
+
+    /** UDM accounting: mark the 4-byte granules an access covers. */
+    void
+    touch(Line &line, Addr addr, std::uint32_t size)
+    {
+        if (!config.trackUdm)
+            return;
+        const std::uint32_t off = static_cast<std::uint32_t>(
+            addr & (config.lineBytes - 1));
+        const std::uint32_t first = off / 4;
+        const std::uint32_t last =
+            (off + (size ? size - 1 : 0)) >= config.lineBytes
+                ? (config.lineBytes - 1) / 4
+                : (off + (size ? size - 1 : 0)) / 4;
+        for (std::uint32_t chunk = first; chunk <= last; ++chunk)
+            line.touched |= (1ull << chunk);
+    }
+
+    /**
+     * touch() with the granule loop collapsed into one mask OR
+     * (identical resulting bitmap). A full-line access — the common
+     * case when accessRange streams whole lines — otherwise pays a
+     * 16-iteration loop per hit. Fast-path only, so slow-mode host
+     * timings keep the historical per-granule loop.
+     */
+    void
+    touchFast(Line &line, Addr addr, std::uint32_t size)
+    {
+        if (!config.trackUdm)
+            return;
+        const std::uint32_t off = static_cast<std::uint32_t>(
+            addr & (config.lineBytes - 1));
+        const std::uint32_t last_byte = off + (size ? size - 1 : 0);
+        const std::uint32_t first = off / 4;
+        const std::uint32_t last = last_byte >= config.lineBytes
+                                       ? (config.lineBytes - 1) / 4
+                                       : last_byte / 4;
+        const std::uint32_t span = last - first + 1;
+        const std::uint64_t mask =
+            span >= 64 ? ~0ull : ((1ull << span) - 1);
+        line.touched |= mask << first;
+    }
+
     std::uint64_t regionOf(std::uint64_t line_number) const;
 
     CacheParams config;
     StandardIndexing defaultIndexing;
     const IndexingPolicy *indexing;
+    bool stdIndexing;  //!< default indexing in use: skip the vcall
+    /** Non-null when the policy is FcpIndexing: fast-mode setIndex
+     *  inlines the permutation instead of dispatching virtually. */
+    const FcpIndexing *fcpIndex = nullptr;
     std::uint32_t setCount;
     std::uint32_t lineBits;
     std::uint32_t maxRecency;
-    std::vector<std::vector<Line>> sets;
+    /** All lines, flat: way w of set s lives at [s * assoc + w]. */
+    std::vector<Line> lines;
+    /** Parallel tag array (kInvalidTag when the way is empty). */
+    std::vector<std::uint64_t> tags;
+    /**
+     * One-entry hit memo: the line most recently made MRU by
+     * access()/fill(), or null. Every mutation that can demote a line
+     * from MRU also retargets or clears the memo, so a memo tag match
+     * proves the line is still at recency 0.
+     */
+    Line *memoLine = nullptr;
+    bool fastLookup = true;
     CacheStats statsData;
     EvictionListener evictionListener;
 };

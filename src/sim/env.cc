@@ -36,6 +36,24 @@ RunEnv::parse()
             warn("env: ignoring invalid TARTAN_JOBS '%s' (want >= 1)",
                  jobs);
     }
+    if (const char *reps = std::getenv("TARTAN_SELFBENCH_REPS")) {
+        const long long v = std::atoll(reps);
+        if (v >= 1)
+            env.selfbenchReps = unsigned(v);
+        else
+            warn("env: ignoring invalid TARTAN_SELFBENCH_REPS '%s' "
+                 "(want >= 1)",
+                 reps);
+    }
+    if (const char *scale = std::getenv("TARTAN_SELFBENCH_SCALE")) {
+        const double v = std::atof(scale);
+        if (v > 0)
+            env.selfbenchScale = v;
+        else
+            warn("env: ignoring invalid TARTAN_SELFBENCH_SCALE '%s' "
+                 "(want > 0)",
+                 scale);
+    }
     return env;
 }
 

@@ -33,6 +33,10 @@ struct RunEnv {
     std::string faultSpec;
     /** $TARTAN_JOBS: worker count for RunPool (0 = unset). */
     unsigned jobs = 0;
+    /** $TARTAN_SELFBENCH_REPS: timing repetitions per selfbench cell. */
+    unsigned selfbenchReps = 3;
+    /** $TARTAN_SELFBENCH_SCALE: workload scale override for selfbench. */
+    double selfbenchScale = 1.0;
 
     /**
      * The process-wide snapshot. Parsed exactly once (thread-safe

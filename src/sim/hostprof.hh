@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Host-side self-profiling of the per-access simulation pipeline.
+ *
+ * The simulator's usefulness is bounded by its own host throughput
+ * (ZSim's core argument): every modeled load/store costs host time in
+ * translate → cache walk → prefetcher bookkeeping. HostProfiler is a
+ * passive accumulator a MemPath fills when one is attached
+ * (MemPath::setHostProfiler): wall-clock nanoseconds per pipeline
+ * layer, so bench/selfbench can report where host time actually goes.
+ *
+ * Attaching a profiler changes *host* timing only — the modeled
+ * stats stream is bit-identical with and without it (profiled accesses
+ * take the full, unmemoized lookup path, which is observationally
+ * equivalent to the fast path by construction).
+ */
+
+#ifndef TARTAN_SIM_HOSTPROF_HH
+#define TARTAN_SIM_HOSTPROF_HH
+
+#include <cstdint>
+#include <ctime>
+
+namespace tartan::sim {
+
+/** Per-layer host-time accumulator for the access pipeline. */
+struct HostProfiler {
+    /** Demand accesses measured (denominator for per-access costs). */
+    std::uint64_t accesses = 0;
+    /** Host ns spent in AddrMap::translate. */
+    std::uint64_t translateNs = 0;
+    /** Host ns in the cache hierarchy walk (excluding prefetch work). */
+    std::uint64_t cacheNs = 0;
+    /** Host ns in prefetcher observe + issue. */
+    std::uint64_t prefetchNs = 0;
+    /** Host ns attributed to no pipeline layer (caller bookkeeping). */
+    std::uint64_t otherNs = 0;
+
+    /** Monotonic host clock in nanoseconds. */
+    static std::uint64_t
+    now()
+    {
+        timespec ts;
+        clock_gettime(CLOCK_MONOTONIC, &ts);
+        return std::uint64_t(ts.tv_sec) * 1000000000ull +
+               std::uint64_t(ts.tv_nsec);
+    }
+
+    /** Zero all accumulators. */
+    void reset() { *this = HostProfiler{}; }
+};
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_HOSTPROF_HH

@@ -7,6 +7,7 @@
 #include "sim/memsystem.hh"
 
 #include "sim/fault.hh"
+#include "sim/hostprof.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -26,15 +27,6 @@ MemPath::MemPath(const MemPathParams &params, Cache *shared_l3)
     });
 }
 
-bool
-MemPath::inRange(const std::vector<Range> &ranges, Addr addr) const
-{
-    for (const Range &r : ranges)
-        if (r.contains(addr))
-            return true;
-    return false;
-}
-
 void
 MemPath::addWriteThroughRange(Addr base, std::size_t bytes)
 {
@@ -44,8 +36,10 @@ MemPath::addWriteThroughRange(Addr base, std::size_t bytes)
 void
 MemPath::enableDeterministicAddressing()
 {
-    if (!addrMap)
+    if (!addrMap) {
         addrMap = std::make_unique<AddrMap>();
+        addrMap->setFastPath(fastPath);
+    }
 }
 
 void
@@ -141,6 +135,89 @@ MemPath::issuePrefetches(const std::vector<Addr> &targets, Cycles now)
 }
 
 void
+MemPath::writebackToL3Fast(Addr line_addr, Cycles now)
+{
+    // count_miss=false: the historical write-back path is probe + fill,
+    // which never bumps the miss counter.
+    const auto looked = l3Cache->lookupFast(line_addr, AccessType::Store,
+                                            0, false);
+    if (looked == Cache::FastLookup::Defer) {
+        writebackToL3(line_addr, now);
+        return;
+    }
+    ++stats.l3Writebacks;
+    if (looked == Cache::FastLookup::Hit)
+        return;
+    auto ev = l3Cache->fillKnownAbsent(line_addr, false, true);
+    if (ev.valid && ev.dirty)
+        ++stats.dramWrites;
+}
+
+void
+MemPath::writebackToL2Fast(Addr line_addr, Cycles now)
+{
+    // Defer covers both the fast lookup being disabled and a hit on a
+    // prefetched-unused line (pfHitsOther accounting needs the full
+    // access path); writebackToL2 handles either identically to the
+    // historical code.
+    const auto looked =
+        l2Cache.lookupFast(line_addr, AccessType::Store, 0, false);
+    if (looked == Cache::FastLookup::Defer) {
+        writebackToL2(line_addr, now);
+        return;
+    }
+    if (looked == Cache::FastLookup::Hit)
+        return;
+    auto ev = l2Cache.fillKnownAbsent(line_addr, false, true);
+    if (ev.valid && ev.dirty)
+        writebackToL3Fast(ev.lineAddr, now);
+}
+
+Cycles
+MemPath::fetchThroughL3Fast(Addr addr, Cycles now)
+{
+    const auto looked =
+        l3Cache->lookupFast(addr, AccessType::Load, 0);
+    if (looked == Cache::FastLookup::Defer) {
+        // The shared L3's inline lookup was disabled (a sibling path
+        // runs in slow mode): take the historical walk untouched.
+        return fetchThroughL3(addr, now);
+    }
+    ++stats.l3Accesses;
+    if (looked == Cache::FastLookup::Hit)
+        return config.l3Latency;
+    ++stats.dramReads;
+    auto ev = l3Cache->fillKnownAbsent(addr);
+    if (ev.valid && ev.dirty)
+        ++stats.dramWrites;
+    return config.l3Latency + config.dramLatency;
+}
+
+void
+MemPath::issuePrefetchesFast(const std::vector<Addr> &targets, Cycles now)
+{
+    Cycles queue_delay = 0;
+    for (Addr target : targets) {
+        const Addr line = l2Cache.lineAddr(target);
+        ++pf->stats.issued;
+        if (l2Cache.probe(line)) {
+            ++pf->stats.dropped;
+            ++stats.pfDropped;
+            continue;
+        }
+        // The fetch below touches only the L3, so the probe above still
+        // proves the line absent from the L2 at fill time.
+        const Cycles fetch = fetchThroughL3Fast(line, now);
+        const Cycles ready = now + config.l2.latency + fetch + queue_delay;
+        queue_delay += config.prefetchBurst;
+        auto ev = l2Cache.fillKnownAbsent(line, true, false, ready);
+        if (ev.valid && ev.dirty)
+            writebackToL3Fast(ev.lineAddr, now);
+        ++stats.pfIssued;
+    }
+}
+
+void
 MemPath::registerStats(StatsGroup &group)
 {
     group.addCounter("l3Accesses", &stats.l3Accesses,
@@ -207,11 +284,21 @@ MemPath::registerStats(StatsGroup &group)
 }
 
 AccessResult
-MemPath::access(Addr addr, AccessType type, std::uint32_t size, PcId pc,
-                Cycles now)
+MemPath::accessProfiled(Addr addr, AccessType type, std::uint32_t size,
+                        PcId pc, Cycles now)
 {
+    const std::uint64_t t0 = HostProfiler::now();
     const Addr sim = addrMap ? addrMap->translate(addr) : addr;
-    return accessHooked(addr, sim, type, size, pc, now);
+    const std::uint64_t t1 = HostProfiler::now();
+    const std::uint64_t pf_before = hostProf->prefetchNs;
+    AccessResult result = accessHooked(addr, sim, type, size, pc, now);
+    const std::uint64_t t2 = HostProfiler::now();
+    ++hostProf->accesses;
+    hostProf->translateNs += t1 - t0;
+    // accessImpl accumulated its prefetch work into prefetchNs; what
+    // remains of the walk is cache time.
+    hostProf->cacheNs += (t2 - t1) - (hostProf->prefetchNs - pf_before);
+    return result;
 }
 
 AccessResult
@@ -242,14 +329,65 @@ MemPath::accessRange(Addr base, std::uint32_t bytes, PcId pc, Cycles now)
     const Addr first =
         base & ~static_cast<Addr>(AddrMap::kGrainBytes - 1);
     const Addr end = base + (bytes ? bytes : 1);
+
+    // Hoisted segment lookup: a span that maps linearly through one
+    // unambiguous arena segment has a constant (sim - host) delta that
+    // is a multiple of 2 MB, so simulated line boundaries coincide with
+    // host line boundaries and the grain walk collapses to one access
+    // per host line — same accessHooked sequence, one segment lookup
+    // instead of one translation per grain.
+    Addr delta = 0;
+    if (fastPath && !hostProf &&
+        addrMap->linearSpan(first, end - first, &delta)) {
+        const Addr line_mask = ~static_cast<Addr>(line - 1);
+        const bool inline_ok = !faults && !trace;
+        const auto line_access = [&](Addr host, Addr sim) {
+            if (inline_ok) {
+                const auto looked =
+                    l1Cache.lookupFast(sim, AccessType::Load, line);
+                if (looked == Cache::FastLookup::Hit) {
+                    AccessResult res;
+                    res.latency = config.l1.latency;
+                    res.level = MemLevel::L1;
+                    take(res);
+                    return;
+                }
+                if (looked == Cache::FastLookup::Miss) {
+                    AccessResult res;
+                    res.latency = config.l1.latency;
+                    take(accessMissFast(host, sim, AccessType::Load,
+                                        line, pc, now, res));
+                    return;
+                }
+            }
+            take(accessHooked(host, sim, AccessType::Load, line, pc,
+                              now));
+        };
+        line_access(first, (first & line_mask) + delta);
+        for (Addr al = (first & line_mask) + line; al < end; al += line)
+            line_access(al, al + delta);
+        return worst;
+    }
+
+    const bool prof = hostProf != nullptr;
     Addr prev_line = ~Addr(0);
     for (Addr a = first; a < end; a += AddrMap::kGrainBytes) {
+        std::uint64_t t0 = prof ? HostProfiler::now() : 0;
         const Addr sim_line =
             addrMap->translate(a) & ~static_cast<Addr>(line - 1);
+        if (prof)
+            hostProf->translateNs += HostProfiler::now() - t0;
         if (sim_line == prev_line)
             continue;
         prev_line = sim_line;
+        const std::uint64_t pf_before = prof ? hostProf->prefetchNs : 0;
+        t0 = prof ? HostProfiler::now() : 0;
         take(accessHooked(a, sim_line, AccessType::Load, line, pc, now));
+        if (prof) {
+            ++hostProf->accesses;
+            hostProf->cacheNs += (HostProfiler::now() - t0) -
+                                 (hostProf->prefetchNs - pf_before);
+        }
     }
     return worst;
 }
@@ -297,16 +435,27 @@ MemPath::accessImpl(Addr host, Addr sim, AccessType type,
         result.level = MemLevel::L1;
         return result;
     }
+    return accessBelowL1(host, sim, type, size, pc, now, result);
+}
 
+AccessResult
+MemPath::accessBelowL1(Addr host, Addr sim, AccessType type,
+                       std::uint32_t size, PcId pc, Cycles now,
+                       AccessResult result)
+{
+    const Addr addr = sim;
     result.latency += config.l2.latency;
     auto l2_res = l2Cache.access(addr, type, size, now);
 
     if (pf && !(faults && faults->prefetchBlackout())) {
+        const std::uint64_t t0 = hostProf ? HostProfiler::now() : 0;
         PrefetchObservation obs{addr, pc, !l2_res.hit};
         pfQueue.clear();
         pf->observe(obs, pfQueue);
         if (!pfQueue.empty())
             issuePrefetches(pfQueue, now);
+        if (hostProf)
+            hostProf->prefetchNs += HostProfiler::now() - t0;
     }
 
     const bool no_alloc = inRange(noAllocRanges, host);
@@ -342,6 +491,83 @@ MemPath::accessImpl(Addr host, Addr sim, AccessType type,
         auto l1_ev = l1Cache.fill(addr, false, type == AccessType::Store);
         if (l1_ev.valid && l1_ev.dirty)
             writebackToL2(l1_ev.lineAddr, now);
+    }
+    return result;
+}
+
+AccessResult
+MemPath::accessMissFast(Addr host, Addr sim, AccessType type,
+                        std::uint32_t size, PcId pc, Cycles now,
+                        AccessResult result)
+{
+    // Reachable only from the inline fast path: no fault injector, no
+    // trace session, no host profiler, and the L1 miss already proved
+    // and counted. Mirrors accessBelowL1 statement for statement; the
+    // only differences are host-cost ones — inline L2/L3 lookups and
+    // known-absent fills in place of the historical lookup+rescan
+    // pairs. Nothing between the proving lookup and each fill can have
+    // installed the demand line: prefetch targets never include the
+    // observed line itself, and the L3 fetch touches no private cache.
+    const Addr addr = sim;
+    result.latency += config.l2.latency;
+
+    Cache::LookupResult l2_res;
+    switch (l2Cache.lookupFast(addr, type, size)) {
+      case Cache::FastLookup::Hit:
+        l2_res.hit = true;
+        break;
+      case Cache::FastLookup::Miss:
+        break;
+      case Cache::FastLookup::Defer:
+        // Prefetched-line hit (timeliness needs `now`) or the inline
+        // lookup is off: take the full historical lookup.
+        l2_res = l2Cache.access(addr, type, size, now);
+        break;
+    }
+
+    if (pf) {
+        PrefetchObservation obs{addr, pc, !l2_res.hit};
+        pfQueue.clear();
+        pf->observe(obs, pfQueue);
+        if (!pfQueue.empty())
+            issuePrefetchesFast(pfQueue, now);
+    }
+
+    const bool no_alloc = inRange(noAllocRanges, host);
+
+    if (l2_res.hit) {
+        result.level = MemLevel::L2;
+        if (l2_res.prefetched) {
+            result.prefetchHit = true;
+            result.latency += l2_res.latePenalty;
+            if (l2_res.latePenalty) {
+                ++stats.pfHitsLate;
+                stats.pfLateCycles += l2_res.latePenalty;
+            } else {
+                ++stats.pfHitsTimely;
+            }
+        }
+        if (!no_alloc) {
+            auto ev = l1Cache.fillKnownAbsent(
+                addr, false, type == AccessType::Store);
+            if (ev.valid && ev.dirty)
+                writebackToL2Fast(ev.lineAddr, now);
+        }
+        return result;
+    }
+
+    const Cycles below = fetchThroughL3Fast(addr, now);
+    result.latency += below;
+    result.level = below > config.l3Latency ? MemLevel::Dram : MemLevel::L3;
+
+    if (!no_alloc) {
+        auto l2_ev = l2Cache.fillKnownAbsent(addr);
+        if (l2_ev.valid && l2_ev.dirty)
+            writebackToL3Fast(l2_ev.lineAddr, now);
+        auto l1_ev = l1Cache.fillKnownAbsent(
+            addr, false, type == AccessType::Store);
+        if (l1_ev.valid && l1_ev.dirty)
+            writebackToL2Fast(l1_ev.lineAddr, now);
     }
     return result;
 }

@@ -3,6 +3,18 @@
  * Per-core memory path: private L1 and L2, shared L3, DRAM backend,
  * an L2-attached prefetcher, write-through (MTRR-style) ranges, and
  * selective-caching (no-allocate) ranges.
+ *
+ * Hot path: access() is inline. With no fault injector, trace session
+ * or host profiler attached it resolves an L1 hit with one TLB probe
+ * (AddrMap::translate) plus one inline lookup (Cache::lookupFast) and
+ * no out-of-line call, and routes a proven L1 miss into a merged miss
+ * walk (accessMissFast) built from inline L2/L3 lookups, known-absent
+ * fills and single-lookup write-backs. Everything else falls through
+ * to the full hierarchy walk in accessHooked(). The fast paths are
+ * observationally equivalent: every stats counter, trace event and
+ * latency they produce is bit-identical to the slow path
+ * (setFastPath(false) forces the historical code for A/B runs and
+ * equivalence tests).
  */
 
 #ifndef TARTAN_SIM_MEMSYSTEM_HH
@@ -22,13 +34,14 @@ namespace tartan::sim {
 class FaultInjector;
 class StatsGroup;
 class TraceSession;
+struct HostProfiler;
 
 /** Configuration of one core's memory path. */
 struct MemPathParams {
-    CacheParams l1;
-    CacheParams l2;
-    Cycles l3Latency = 45;
-    Cycles dramLatency = 200;
+    CacheParams l1;  //!< private first-level cache
+    CacheParams l2;  //!< private second-level cache
+    Cycles l3Latency = 45;    //!< shared-L3 hit latency
+    Cycles dramLatency = 200; //!< DRAM access latency beyond L3
     /** Cycle spacing between queued prefetch fills (DRAM burst model). */
     Cycles prefetchBurst = 8;
 };
@@ -37,11 +50,11 @@ struct MemPathParams {
 struct MemPathStats {
     std::uint64_t l3Accesses = 0;   //!< demand + prefetch L3 lookups
     std::uint64_t l3Writebacks = 0; //!< dirty L2 victims written to L3
-    std::uint64_t dramReads = 0;
-    std::uint64_t dramWrites = 0;
+    std::uint64_t dramReads = 0;    //!< L3 miss fetches
+    std::uint64_t dramWrites = 0;   //!< dirty L3 victims + WT stores
     std::uint64_t wtStores = 0;     //!< stores absorbed by WT ranges
-    std::uint64_t pfIssued = 0;
-    std::uint64_t pfDropped = 0;
+    std::uint64_t pfIssued = 0;     //!< prefetch fills issued to L2
+    std::uint64_t pfDropped = 0;    //!< prefetch candidates dropped
     std::uint64_t pfHitsTimely = 0; //!< prefetch fully hid the miss
     std::uint64_t pfHitsLate = 0;   //!< prefetch arrived late
     std::uint64_t pfLateCycles = 0; //!< residual cycles paid on late hits
@@ -73,10 +86,41 @@ class MemPath
     /**
      * Perform a demand access and return the observed latency.
      *
+     * Inline fast path: translate through the AddrMap TLB, then resolve
+     * an L1 memo hit in place. Falls back to the full hierarchy walk
+     * whenever the memo misses, a WT range might match a store, or an
+     * observer (faults / trace / host profiler) is attached.
+     *
      * @param now current core cycle (prefetch timeliness)
      */
-    AccessResult access(Addr addr, AccessType type, std::uint32_t size,
-                        PcId pc, Cycles now);
+    AccessResult
+    access(Addr addr, AccessType type, std::uint32_t size, PcId pc,
+           Cycles now)
+    {
+        if (hostProf)
+            return accessProfiled(addr, type, size, pc, now);
+        const Addr sim = addrMap ? addrMap->translate(addr) : addr;
+        if (fastPath && !faults && !trace &&
+            (type != AccessType::Store || wtRanges.empty() ||
+             !inRange(wtRanges, addr))) {
+            const auto looked = l1Cache.lookupFast(sim, type, size);
+            if (looked == Cache::FastLookup::Hit) {
+                AccessResult result;
+                result.latency = config.l1.latency;
+                result.level = MemLevel::L1;
+                return result;
+            }
+            if (looked == Cache::FastLookup::Miss) {
+                // The inline lookup already proved and counted the L1
+                // miss; continue with the walk below it.
+                AccessResult result;
+                result.latency = config.l1.latency;
+                return accessMissFast(addr, sim, type, size, pc, now,
+                                      result);
+            }
+        }
+        return accessHooked(addr, sim, type, size, pc, now);
+    }
 
     /**
      * Access every cache line of the contiguous span
@@ -84,7 +128,9 @@ class MemPath
      * return the worst per-line result. With deterministic addressing
      * enabled the line count is derived from the span's translated
      * grains, so it no longer depends on the host base's offset within
-     * a line.
+     * a line. Spans that map linearly through a single arena segment
+     * hoist the segment lookup out of the per-line loop
+     * (AddrMap::linearSpan) and walk host lines directly.
      */
     AccessResult accessRange(Addr base, std::uint32_t bytes, PcId pc,
                              Cycles now);
@@ -106,6 +152,7 @@ class MemPath
 
     /** Attach (or replace) the L2 prefetcher. */
     void setPrefetcher(std::unique_ptr<Prefetcher> pf);
+    /** The attached prefetcher, or null. */
     Prefetcher *prefetcher() { return pf.get(); }
 
     /**
@@ -123,6 +170,35 @@ class MemPath
      */
     void setFaultInjector(FaultInjector *inj) { faults = inj; }
 
+    /**
+     * Attach (or detach, with nullptr) a host-time profiler: every
+     * demand access is timed per pipeline layer (translate / cache /
+     * prefetch). Purely observational on the modeled state; profiled
+     * accesses take the full lookup path, so the breakdown reflects
+     * the unmemoized pipeline.
+     */
+    void setHostProfiler(HostProfiler *prof) { hostProf = prof; }
+
+    /**
+     * Toggle the whole fast-path stack (default on): the inline
+     * L1/L2/L3 lookups, the cache-side MRU memos, the merged miss walk
+     * (accessMissFast), the AddrMap single-probe TLB and the
+     * accessRange segment hoist. Off restores the historical code paths
+     * bit-for-bit; behaviour is identical either way, so this exists
+     * purely for self-benchmarking and equivalence tests. The shared L3
+     * is toggled too, so configure every path of a system identically.
+     */
+    void
+    setFastPath(bool on)
+    {
+        fastPath = on;
+        l1Cache.setFastLookup(on);
+        l2Cache.setFastLookup(on);
+        l3Cache->setFastLookup(on);
+        if (addrMap)
+            addrMap->setFastPath(on);
+    }
+
     /** Declare a write-through (MTRR WT) range [base, base+bytes). */
     void addWriteThroughRange(Addr base, std::size_t bytes);
     /**
@@ -133,8 +209,11 @@ class MemPath
     /** Declare a no-allocate (streaming load) range. */
     void addNoAllocateRange(Addr base, std::size_t bytes);
 
+    /** Private first-level data cache. */
     Cache &l1() { return l1Cache; }
+    /** Private second-level cache (prefetcher fill target). */
     Cache &l2() { return l2Cache; }
+    /** Shared last-level cache. */
     Cache &l3() { return *l3Cache; }
 
     /**
@@ -146,7 +225,9 @@ class MemPath
      */
     void registerStats(StatsGroup &group);
 
+    /** Path-level traffic and prefetch counters. */
     MemPathStats stats;
+    /** The configuration this path was built from. */
     const MemPathParams &params() const { return config; }
 
   private:
@@ -156,15 +237,53 @@ class MemPath
         bool contains(Addr a) const { return a >= base && a < limit; }
     };
 
-    bool inRange(const std::vector<Range> &ranges, Addr addr) const;
+    bool
+    inRange(const std::vector<Range> &ranges, Addr addr) const
+    {
+        for (const Range &r : ranges)
+            if (r.contains(addr))
+                return true;
+        return false;
+    }
+
     /** access() after translation: @p host drives the range checks,
      *  @p sim is what the caches see. */
     AccessResult accessHooked(Addr host, Addr sim, AccessType type,
                               std::uint32_t size, PcId pc, Cycles now);
     AccessResult accessImpl(Addr host, Addr sim, AccessType type,
                             std::uint32_t size, PcId pc, Cycles now);
+    /** accessImpl after an L1 miss: L2 lookup, prefetch, fills.
+     *  @p result carries the latency accumulated so far. */
+    AccessResult accessBelowL1(Addr host, Addr sim, AccessType type,
+                               std::uint32_t size, PcId pc, Cycles now,
+                               AccessResult result);
+    /**
+     * Fast-path twin of accessBelowL1, reachable only after the inline
+     * L1 lookup proved (and counted) the miss with no fault injector,
+     * trace session or host profiler attached. Produces bit-identical
+     * observable state through merged cache operations: inline L2/L3
+     * lookups and known-absent fills that skip the residency rescans
+     * the historical path performs.
+     */
+    AccessResult accessMissFast(Addr host, Addr sim, AccessType type,
+                                std::uint32_t size, PcId pc, Cycles now,
+                                AccessResult result);
+    /** fetchThroughL3 with an inline L3 lookup and known-absent fill. */
+    Cycles fetchThroughL3Fast(Addr addr, Cycles now);
+    /** issuePrefetches with known-absent L2 fills (fast path only). */
+    void issuePrefetchesFast(const std::vector<Addr> &targets,
+                             Cycles now);
+    /** access() with per-layer host timing (hostProf attached). */
+    AccessResult accessProfiled(Addr addr, AccessType type,
+                                std::uint32_t size, PcId pc, Cycles now);
     void writebackToL2(Addr line_addr, Cycles now);
     void writebackToL3(Addr line_addr, Cycles now);
+    /** writebackToL2 with one inline lookup replacing the probe +
+     *  access/fill pair (fast path only). */
+    void writebackToL2Fast(Addr line_addr, Cycles now);
+    /** writebackToL3 with one inline lookup replacing the probe +
+     *  access/fill pair (fast path only). */
+    void writebackToL3Fast(Addr line_addr, Cycles now);
     /** Fetch a line into L3 if absent; returns latency beyond L2. */
     Cycles fetchThroughL3(Addr addr, Cycles now);
     void issuePrefetches(const std::vector<Addr> &targets, Cycles now);
@@ -175,6 +294,8 @@ class MemPath
     Cache *l3Cache;
     TraceSession *trace = nullptr;  //!< observability hook (not owned)
     FaultInjector *faults = nullptr;  //!< fault-injection hook (not owned)
+    HostProfiler *hostProf = nullptr; //!< self-profiling hook (not owned)
+    bool fastPath = true;  //!< inline memo + TLB + span hoist enabled
     std::unique_ptr<Prefetcher> pf;
     std::unique_ptr<AddrMap> addrMap;  //!< null = host addresses pass through
     std::vector<Range> wtRanges;

@@ -78,6 +78,13 @@ Machine::Machine(const MachineSpec &spec, tartan::sim::TraceSession *trace,
     memHandle = robotics::Mem(&sys->core());
 }
 
+Machine::Machine(const MachineSpec &spec, const WorkloadOptions &opt)
+    : Machine(spec, opt.trace, opt.faults)
+{
+    sys->mem().setFastPath(opt.fastAccessPath);
+    sys->mem().setHostProfiler(opt.hostProf);
+}
+
 robotics::OrientedEngine &
 Machine::orientedEngine(SoftwareTier tier, OrientedKind kind)
 {
@@ -159,6 +166,8 @@ Machine::finish(RunResult &result)
 {
     auto &mem_path = sys->mem();
     mem_path.drainDirty();
+    result.l1Accesses = mem_path.l1().stats().accesses();
+    result.l1Misses = mem_path.l1().stats().misses;
     result.l2Misses = mem_path.l2().stats().misses;
     result.l2Accesses = mem_path.l2().stats().accesses();
     result.l3Traffic = mem_path.stats.l3Traffic();

@@ -19,6 +19,7 @@
 #include "robotics/oriented.hh"
 #include "sim/arena.hh"
 #include "sim/fault.hh"
+#include "sim/hostprof.hh"
 #include "sim/system.hh"
 #include "sim/trace.hh"
 
@@ -90,6 +91,23 @@ struct WorkloadOptions {
      * an injector is attached.
      */
     tartan::sim::FaultInjector *faults = nullptr;
+
+    /**
+     * Host-side per-layer profiler for the access pipeline (not owned;
+     * null = off). Attached to the MemPath by Machine; used by
+     * bench/selfbench for the translate/cache/prefetch breakdown.
+     * Observationally inert: the modeled stats are bit-identical with
+     * and without it.
+     */
+    tartan::sim::HostProfiler *hostProf = nullptr;
+
+    /**
+     * Use the inlined hot path (AddrMap TLB single probe, L1 MRU memo,
+     * accessRange segment hoist). Off forces the historical slow path;
+     * results are bit-identical either way. Exists for selfbench A/B
+     * runs and equivalence tests.
+     */
+    bool fastAccessPath = true;
 };
 
 /** Outcome of one robot run. */
@@ -103,6 +121,8 @@ struct RunResult {
     double bottleneckShare = 0.0;           //!< of work cycles
 
     // Memory-system snapshot.
+    std::uint64_t l1Accesses = 0;  //!< demand accesses reaching the L1
+    std::uint64_t l1Misses = 0;
     std::uint64_t l2Misses = 0;
     std::uint64_t l2Accesses = 0;
     std::uint64_t l3Traffic = 0;
@@ -126,11 +146,11 @@ class Machine
                      tartan::sim::TraceSession *trace = nullptr,
                      tartan::sim::FaultInjector *faults = nullptr);
 
-    /** Convenience: wires both the trace and fault hooks from @p opt. */
-    Machine(const MachineSpec &spec, const WorkloadOptions &opt)
-        : Machine(spec, opt.trace, opt.faults)
-    {
-    }
+    /**
+     * Convenience: wires the trace, fault and host-profiler hooks and
+     * the fast-path toggle from @p opt.
+     */
+    Machine(const MachineSpec &spec, const WorkloadOptions &opt);
 
     tartan::sim::System &system() { return *sys; }
     tartan::sim::Core &core() { return sys->core(); }

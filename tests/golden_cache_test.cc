@@ -153,4 +153,119 @@ TEST(GoldenCache, FillEvictionsMatchReferenceOccupancy)
     EXPECT_GT(evictions, fills - 64);
 }
 
+/**
+ * The inline fast path (lookupFast + fillKnownAbsent) must be
+ * observationally identical to the historical access() + fill() pair:
+ * same per-access outcomes and, at the end of a long randomized trace
+ * with stores, prefetch fills and UDM tracking, bit-identical stats.
+ * Run once with standard indexing and once with FCP indexing plus
+ * replacement manipulation, so the devirtualised index and the
+ * mask-based UDM touch are both exercised against their historical
+ * counterparts.
+ */
+TEST(GoldenCache, FastLookupEquivalentToHistoricalAccess)
+{
+    FcpIndexing fcp_index(1024, 64, 1);
+    FcpReplacement fcp;
+    for (int variant = 0; variant < 2; ++variant) {
+        CacheParams params;
+        params.sizeBytes = 8 * 1024;
+        params.assoc = 8;
+        params.lineBytes = 64;
+        params.trackUdm = true;
+        if (variant == 1) {
+            params.indexing = &fcp_index;
+            params.fcp = &fcp;
+        }
+        Cache fast(params);
+        Cache slow(params);
+        fast.setFastLookup(true);
+        slow.setFastLookup(false);
+
+        Rng rng(7 + variant);
+        Cycles now = 0;
+        for (int step = 0; step < 30000; ++step) {
+            now += 4;
+            if (rng.uniform() < 0.1) {
+                // A prefetch fill, so some lookups land on
+                // prefetched-unused lines (the Defer outcome).
+                const Addr pf_addr = rng.uniformInt(64 * 1024);
+                if (!fast.probe(pf_addr)) {
+                    fast.fill(pf_addr, true, false, now + 20);
+                    slow.fill(pf_addr, true, false, now + 20);
+                }
+                continue;
+            }
+            const Addr addr = rng.uniformInt(64 * 1024);
+            const bool store = rng.uniform() < 0.3;
+            const AccessType type =
+                store ? AccessType::Store : AccessType::Load;
+            const std::uint32_t size = 4u << rng.uniformInt(3);
+
+            // Fast side: the MemPath fast-path protocol.
+            bool fast_hit;
+            switch (fast.lookupFast(addr, type, size)) {
+              case Cache::FastLookup::Hit:
+                fast_hit = true;
+                break;
+              case Cache::FastLookup::Miss:
+                fast_hit = false;
+                fast.fillKnownAbsent(addr, false, store);
+                break;
+              case Cache::FastLookup::Defer:
+              default:
+                fast_hit = fast.access(addr, type, size, now).hit;
+                if (!fast_hit)
+                    fast.fillKnownAbsent(addr, false, store);
+                break;
+            }
+
+            // Slow side: the historical protocol.
+            const bool slow_hit = slow.access(addr, type, size, now).hit;
+            if (!slow_hit)
+                slow.fill(addr, false, store);
+
+            ASSERT_EQ(fast_hit, slow_hit)
+                << "variant " << variant << " step " << step;
+        }
+
+        EXPECT_EQ(fast.stats().hits, slow.stats().hits);
+        EXPECT_EQ(fast.stats().misses, slow.stats().misses);
+        EXPECT_EQ(fast.stats().evictions, slow.stats().evictions);
+        EXPECT_EQ(fast.stats().dirtyEvictions, slow.stats().dirtyEvictions);
+        EXPECT_EQ(fast.stats().prefetchFills, slow.stats().prefetchFills);
+        EXPECT_EQ(fast.stats().prefetchHits, slow.stats().prefetchHits);
+        EXPECT_EQ(fast.stats().prefetchUnused,
+                  slow.stats().prefetchUnused);
+        EXPECT_EQ(fast.stats().udmFetchedBytes,
+                  slow.stats().udmFetchedBytes);
+        EXPECT_EQ(fast.stats().udmUsedBytes, slow.stats().udmUsedBytes);
+        EXPECT_EQ(fast.dirtyLines(), slow.dirtyLines());
+        EXPECT_EQ(fast.prefetchedLines(), slow.prefetchedLines());
+        // The final resident sets must agree line for line.
+        for (Addr a = 0; a < 64 * 1024; a += 64)
+            ASSERT_EQ(fast.probe(a), slow.probe(a)) << "addr " << a;
+    }
+}
+
+TEST(GoldenCache, WritebackLookupDoesNotCountMisses)
+{
+    // The historical write-back path is probe + fill and never counts
+    // a miss; lookupFast(count_miss=false) must match that.
+    CacheParams params;
+    Cache cache(params);
+    EXPECT_EQ(cache.lookupFast(0x1000, AccessType::Store, 0, false),
+              Cache::FastLookup::Miss);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    cache.fillKnownAbsent(0x1000, false, true);
+    EXPECT_EQ(cache.lookupFast(0x1000, AccessType::Store, 0, false),
+              Cache::FastLookup::Hit);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    // A demand lookup counts the miss exactly once.
+    EXPECT_EQ(cache.lookupFast(0x2000, AccessType::Load, 4),
+              Cache::FastLookup::Miss);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
 } // namespace

@@ -716,4 +716,47 @@ TEST(AddrMap, SegmentRegistrationWinsOverStaleFallbackCaching)
     EXPECT_EQ(map.translate(base + 100), after + 100);
 }
 
+TEST(AddrMap, FastAndSlowProbeOrdersTranslateIdentically)
+{
+    // The single-probe TLB fast path and the historical probe order
+    // (segment scan first) are the same translation function.
+    AddrMap fast, slow;
+    slow.setFastPath(false);
+    const Addr seg = 0x7f00'0000'0000ull;
+    fast.addSegment(seg, 1 << 16);
+    slow.addSegment(seg, 1 << 16);
+    const Addr heap = 0x5600'1234'0000ull;
+    const Addr offsets[] = {0, 8, 16, 64, 8, 0, 4096, 72, 64, 1000};
+    for (Addr off : offsets) {
+        EXPECT_EQ(fast.translate(seg + off), slow.translate(seg + off));
+        EXPECT_EQ(fast.translate(heap + off), slow.translate(heap + off));
+    }
+}
+
+TEST(AddrMap, LinearSpanMatchesPerAddressTranslation)
+{
+    AddrMap map;
+    const Addr seg_a = 0x7f10'0000'0000ull;
+    const Addr seg_b = 0x7f20'0000'0000ull;
+    map.addSegment(seg_a, 1 << 16);
+    map.addSegment(seg_b, 1 << 16);
+
+    // Alternate between the two segments so the MRU segment memo both
+    // hits and has to be retargeted.
+    for (int round = 0; round < 3; ++round) {
+        for (Addr base : {seg_a + 128, seg_b + 4096}) {
+            Addr delta = 0;
+            ASSERT_TRUE(map.linearSpan(base, 256, &delta));
+            for (Addr off = 0; off < 256; off += 64)
+                EXPECT_EQ(map.translate(base + off), base + off + delta);
+        }
+    }
+
+    // A span straddling the segment end and a fallback-heap span must
+    // both decline the hoist.
+    Addr delta = 0;
+    EXPECT_FALSE(map.linearSpan(seg_a + (1 << 16) - 32, 64, &delta));
+    EXPECT_FALSE(map.linearSpan(0x5600'0000'0000ull, 64, &delta));
+}
+
 } // namespace

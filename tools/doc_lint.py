@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Doc-coverage lint for the public simulator headers.
+
+Walks every ``src/sim/*.hh`` and checks that each *public* declaration
+(namespace-scope classes/structs/enums/functions/aliases/constants, and
+public members of classes and structs) carries a documentation comment:
+either a ``/** ... */`` / ``///`` / ``//`` block ending on the previous
+non-blank line, or a trailing ``//!<`` on the declaration line itself.
+
+Intentionally a line-oriented heuristic, not a C++ parser: the goal is
+to stop *new* undocumented API from landing, not to referee comment
+style. Declarations the heuristic cannot classify are skipped.
+Legacy gaps can be grandfathered in tools/doc_lint_allow.txt
+(``file.hh:identifier`` per line, '#' comments allowed); unused
+allowlist entries are reported so the list shrinks over time.
+
+Usage: tools/doc_lint.py [--root REPO_ROOT]
+Exit status: 0 clean, 1 violations (or stale allowlist entries).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+ACCESS_RE = re.compile(r"^\s*(public|private|protected)\s*:\s*$")
+CLASS_RE = re.compile(r"^\s*(?:template\s*<[^>]*>\s*)?"
+                      r"(class|struct|union)\s+([A-Za-z_]\w*)")
+ENUM_RE = re.compile(r"^\s*enum\s+(?:class\s+)?([A-Za-z_]\w*)")
+USING_RE = re.compile(r"^\s*using\s+([A-Za-z_]\w*)\s*=")
+# Variable or constant: optionally static/constexpr/..., a type, a name,
+# then '=', '{' or ';'.
+VAR_RE = re.compile(r"^\s*(?:static\s+|constexpr\s+|const\s+|inline\s+|"
+                    r"mutable\s+)*[A-Za-z_][\w:<>,\s\*&]*?"
+                    r"\b([A-Za-z_]\w*)\s*(?:=[^=]|\{[^{]*\}\s*;|;)")
+# Function/method: a name followed by '(' on a line that starts a
+# declaration (the return type may be on this or the previous line).
+FUNC_RE = re.compile(r"^\s*(?:template\s*<[^>]*>\s*)?"
+                     r"(?:(?:static|virtual|constexpr|inline|explicit|"
+                     r"friend)\s+)*"
+                     r"[~A-Za-z_][\w:<>,\s\*&]*?\b([A-Za-z_]\w*)\s*\(")
+DOC_END_RE = re.compile(r"\*/\s*$")
+LINE_COMMENT_RE = re.compile(r"^\s*(///|//)")
+TRAILING_DOC_RE = re.compile(r"//!?<")
+
+# Tokens that mean "this line is not a fresh declaration".
+SKIP_PREFIXES = (
+    "#", "}", "{", ")", "namespace", "template <", "template<",
+    "TARTAN_", "return", "if ", "if (", "for ", "for (", "while",
+    "switch", "case ", "default:", "else", "typedef struct",
+)
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string literals so regexes don't trip on their contents."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+
+
+class Scope:
+    """One brace scope: a namespace, class body, or code block."""
+
+    def __init__(self, kind: str, access: str, visible: bool):
+        self.kind = kind      # 'namespace' | 'class' | 'block'
+        self.access = access  # current access inside a class body
+        # Whether this scope itself is reachable from the public API: a
+        # struct declared in a private section is not, and neither is
+        # anything inside it.
+        self.visible = visible
+
+
+def lint_header(path: pathlib.Path, rel: str, allow: set,
+                used_allow: set) -> list:
+    violations = []
+    lines = path.read_text().splitlines()
+
+    scopes = [Scope("namespace", "public", True)]
+    in_block_comment = False
+    prev_code_line = ""   # last non-blank, non-comment line
+    prev_was_doc = False  # previous non-blank line closed a comment
+
+    for lineno, raw in enumerate(lines, 1):
+        line = strip_strings(raw.rstrip())
+        stripped = line.strip()
+
+        # ---- comment tracking
+        if in_block_comment:
+            if "*/" in stripped:
+                in_block_comment = False
+                prev_was_doc = True
+            continue
+        if stripped.startswith("/*"):
+            if "*/" not in stripped:
+                in_block_comment = True
+            else:
+                prev_was_doc = True
+            continue
+        if LINE_COMMENT_RE.match(stripped):
+            prev_was_doc = True
+            continue
+        if not stripped:
+            # Blank lines detach a doc comment from a declaration.
+            prev_was_doc = False
+            continue
+
+        # ---- scope bookkeeping (before declaration checks)
+        top = scopes[-1]
+        acc = ACCESS_RE.match(stripped)
+        if acc:
+            top.access = acc.group(1)
+            prev_was_doc = False
+            continue
+
+        in_public = top.visible and (
+            top.kind != "class" or top.access == "public")
+        # A declaration continued from the previous line is never
+        # re-checked (the first line was).
+        continuation = prev_code_line.endswith(
+            (",", "(", "&&", "||", "+", "-", "=", "<", ":"))
+
+        checked_name = None
+        kind = None
+        if in_public and not continuation and \
+                not stripped.startswith(SKIP_PREFIXES):
+            m = CLASS_RE.match(stripped)
+            if m and not stripped.endswith(";"):
+                checked_name, kind = m.group(2), "type"
+            elif m:
+                checked_name = None  # forward declaration: skip
+            elif ENUM_RE.match(stripped):
+                checked_name, kind = ENUM_RE.match(stripped).group(1), \
+                    "enum"
+            elif USING_RE.match(stripped):
+                checked_name, kind = USING_RE.match(stripped).group(1), \
+                    "alias"
+            elif FUNC_RE.match(stripped) and "=" not in \
+                    stripped.split("(")[0]:
+                name = FUNC_RE.match(stripped).group(1)
+                # operator overloads and deleted/defaulted specials are
+                # self-describing; skip them.
+                if "operator" not in stripped and \
+                        "= delete" not in stripped and \
+                        "= default" not in stripped:
+                    checked_name, kind = name, "function"
+            elif VAR_RE.match(stripped):
+                checked_name, kind = VAR_RE.match(stripped).group(1), \
+                    "member"
+
+        if checked_name:
+            documented = prev_was_doc or TRAILING_DOC_RE.search(raw)
+            key = f"{rel}:{checked_name}"
+            if not documented:
+                if key in allow:
+                    used_allow.add(key)
+                else:
+                    violations.append(
+                        (rel, lineno, kind, checked_name, raw.strip()))
+
+        # ---- push/pop scopes by brace balance
+        opens = line.count("{")
+        closes = line.count("}")
+        if opens > closes:
+            m = CLASS_RE.match(stripped)
+            for _ in range(opens - closes):
+                if m:
+                    default = ("public" if m.group(1) in
+                               ("struct", "union") else "private")
+                    scopes.append(Scope("class", default, in_public))
+                    m = None
+                elif stripped.startswith("namespace"):
+                    scopes.append(
+                        Scope("namespace", "public", top.visible))
+                else:
+                    scopes.append(Scope("block", "public", False))
+        elif closes > opens:
+            for _ in range(closes - opens):
+                if len(scopes) > 1:
+                    scopes.pop()
+
+        prev_code_line = stripped
+        prev_was_doc = False
+
+    return violations
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    args = ap.parse_args()
+    root = pathlib.Path(args.root)
+
+    allow = set()
+    allow_path = root / "tools" / "doc_lint_allow.txt"
+    if allow_path.exists():
+        for entry in allow_path.read_text().splitlines():
+            entry = entry.split("#", 1)[0].strip()
+            if entry:
+                allow.add(entry)
+
+    headers = sorted((root / "src" / "sim").glob("*.hh"))
+    if not headers:
+        print("doc_lint: no headers found under src/sim", file=sys.stderr)
+        return 1
+
+    used_allow = set()
+    all_violations = []
+    for header in headers:
+        rel = header.name
+        all_violations += lint_header(header, rel, allow, used_allow)
+
+    status = 0
+    for rel, lineno, kind, name, text in all_violations:
+        print(f"{rel}:{lineno}: undocumented public {kind} "
+              f"'{name}': {text}")
+        status = 1
+
+    stale = allow - used_allow
+    for entry in sorted(stale):
+        print(f"doc_lint: stale allowlist entry '{entry}' "
+              f"(now documented or gone) — remove it")
+        status = 1
+
+    if status == 0:
+        print(f"doc_lint: {len(headers)} headers clean "
+              f"({len(used_allow)} grandfathered)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
