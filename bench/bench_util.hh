@@ -49,6 +49,12 @@ using workloads::WorkloadOptions;
  * entries would put log(0) = -inf (or a NaN) into the accumulator and
  * silently poison the whole mean, so they are skipped with a warn() —
  * a degenerate run should never erase every other robot's result.
+ *
+ * When *every* entry is skipped (or @p values is empty) there is no
+ * mean to report: the result is NaN, which the JSON writer emits as
+ * null and report_md renders as "n/a". The historical 0.0 here was a
+ * silent lie — it flowed into normalised columns and speedup() as a
+ * fake baseline.
  */
 inline double
 geomean(const std::vector<double> &values)
@@ -63,7 +69,11 @@ geomean(const std::vector<double> &values)
         acc += std::log(v);
         ++used;
     }
-    return used ? std::exp(acc / static_cast<double>(used)) : 0.0;
+    if (!used) {
+        sim::warn("bench: geomean of no positive values; reporting NaN");
+        return std::nan("");
+    }
+    return std::exp(acc / static_cast<double>(used));
 }
 
 /**

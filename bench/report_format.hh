@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Metric-cell formatting shared by the RESULTS.md generator and its
+ * tests. Kept separate from report_md.cc so the rendering of degenerate
+ * metrics (JSON null from a non-finite value) is unit-testable.
+ */
+
+#ifndef TARTAN_BENCH_REPORT_FORMAT_HH
+#define TARTAN_BENCH_REPORT_FORMAT_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "sim/json.hh"
+
+namespace tartan::bench {
+
+/** Format a metric value the way the summary table wants it. */
+inline std::string
+formatNumber(double v)
+{
+    char buf[64];
+    if (v == static_cast<std::int64_t>(v) && std::abs(v) < 1e15)
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+    else
+        std::snprintf(buf, sizeof buf, "%.4g", v);
+    return buf;
+}
+
+/**
+ * Format a metric Value. Non-finite metrics (e.g. a geomean with no
+ * positive inputs) are emitted as JSON null and must surface as "n/a",
+ * not as a fake 0.
+ */
+inline std::string
+formatMetric(const sim::json::Value &v)
+{
+    return v.isNumber() ? formatNumber(v.number) : "n/a";
+}
+
+} // namespace tartan::bench
+
+#endif // TARTAN_BENCH_REPORT_FORMAT_HH

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "report_format.hh"
 #include "sim/env.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
@@ -29,6 +30,8 @@
 
 namespace {
 
+using tartan::bench::formatMetric;
+using tartan::bench::formatNumber;
 using tartan::sim::json::Value;
 
 std::string
@@ -38,19 +41,6 @@ readFile(const std::string &path)
     std::ostringstream buf;
     buf << in.rdbuf();
     return buf.str();
-}
-
-/** Format a metric value the way the summary table wants it. */
-std::string
-formatNumber(double v)
-{
-    char buf[64];
-    if (v == static_cast<std::int64_t>(v) && std::abs(v) < 1e15)
-        std::snprintf(buf, sizeof buf, "%lld",
-                      static_cast<long long>(v));
-    else
-        std::snprintf(buf, sizeof buf, "%.4g", v);
-    return buf;
 }
 
 /** One parsed bench document. */
@@ -91,7 +81,7 @@ emitBench(std::ostream &os, const BenchDoc &bench)
     if (metrics && !metrics->object.empty()) {
         os << "| metric | value |\n|---|---|\n";
         for (const auto &[k, v] : metrics->object)
-            os << "| " << k << " | " << formatNumber(v.number) << " |\n";
+            os << "| " << k << " | " << formatMetric(v) << " |\n";
         os << "\n";
     }
 
@@ -122,7 +112,7 @@ emitBench(std::ostream &os, const BenchDoc &bench)
             const Value *m = row.find("metrics");
             for (const auto &c : cols) {
                 const Value *v = m ? m->find(c) : nullptr;
-                os << " " << (v ? formatNumber(v->number) : "") << " |";
+                os << " " << (v ? formatMetric(*v) : "") << " |";
             }
             os << "\n";
         }

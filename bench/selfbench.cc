@@ -14,11 +14,15 @@
  *
  * Runs are strictly serial (this bench measures host time; concurrent
  * runs would contend for the same cores). Knobs: TARTAN_SELFBENCH_REPS
- * timing repetitions per cell (best-of, default 3) and
- * TARTAN_SELFBENCH_SCALE workload scale (default 1.0).
+ * timing repetitions per cell (best-of, default 3),
+ * TARTAN_SELFBENCH_SCALE workload scale (default 1.0), and
+ * TARTAN_SELFBENCH_FLOOR minimum acceptable geomean speedup (default 0
+ * = no gate; CI passes the floor recorded in the committed baseline
+ * payload).
  *
- * Exits non-zero if any fast/slow pair diverges, making the
- * observational-equivalence guarantee CI-enforceable.
+ * Exits non-zero if any fast/slow pair diverges — making the
+ * observational-equivalence guarantee CI-enforceable — or if the
+ * measured geomean speedup falls below the configured floor.
  */
 
 #include <cinttypes>
@@ -118,6 +122,7 @@ main()
     const RunEnv &env = RunEnv::get();
     const unsigned reps = env.selfbenchReps;
     const double scale = env.selfbenchScale;
+    const double floor = env.selfbenchFloor;
 
     BenchReporter rep("selfbench",
                       "simulator host throughput; fast paths "
@@ -174,8 +179,8 @@ main()
                          "selfbench: %s profiled run diverges:\n%s",
                          robot.name, prof_diff.c_str());
         }
-        const std::uint64_t attributed =
-            prof.translateNs + prof.cacheNs + prof.prefetchNs;
+        const std::uint64_t attributed = prof.translateNs + prof.cacheNs +
+                                         prof.prefetchNs + prof.fillNs;
         prof.otherNs =
             prof_wall > attributed ? prof_wall - attributed : 0;
 
@@ -200,10 +205,12 @@ main()
             return wall > 0 ? 100.0 * double(ns) / wall : 0.0;
         };
         std::printf("%-10s %12.0f %5.1f%% %9.2f %9.2f %7.2fx | "
-                    "xlat %4.1f%% cache %4.1f%% pf %4.1f%% other %4.1f%%\n",
+                    "xlat %4.1f%% cache %4.1f%% pf %4.1f%% fill %4.1f%% "
+                    "other %4.1f%%\n",
                     robot.name, accesses, miss_pct, fast_macc, slow_macc,
                     ratio, pct(prof.translateNs), pct(prof.cacheNs),
-                    pct(prof.prefetchNs), pct(prof.otherNs));
+                    pct(prof.prefetchNs), pct(prof.fillNs),
+                    pct(prof.otherNs));
 
         const std::string row = robot.name;
         rep.kernelMetric(row, "accesses", accesses);
@@ -215,6 +222,7 @@ main()
         rep.kernelMetric(row, "cacheShare", pct(prof.cacheNs) / 100.0);
         rep.kernelMetric(row, "prefetchShare",
                          pct(prof.prefetchNs) / 100.0);
+        rep.kernelMetric(row, "fillShare", pct(prof.fillNs) / 100.0);
         rep.kernelMetric(row, "otherShare", pct(prof.otherNs) / 100.0);
         rep.kernelMetric(row, "equivalent", diff.empty() ? 1.0 : 0.0);
     }
@@ -225,6 +233,10 @@ main()
     rep.metric("gmeanFastMaccPerSec", gm_fast);
     rep.metric("gmeanSlowMaccPerSec", gm_slow);
     rep.metric("gmeanSpeedup", gm_ratio);
+    // The floor this run was gated against, recorded machine-readably
+    // so the committed baseline payload *is* the regression threshold
+    // CI re-applies to future runs.
+    rep.metric("speedupFloor", floor);
     rep.metric("allEquivalent", all_equivalent ? 1.0 : 0.0);
     rep.note("fast/slow stats identical for all robots; geomean "
              "speedup tracked across PRs");
@@ -234,6 +246,13 @@ main()
                 gm_fast, gm_slow, gm_ratio);
     if (!all_equivalent) {
         std::fprintf(stderr, "selfbench: FAST/SLOW DIVERGENCE\n");
+        return 1;
+    }
+    if (floor > 0.0 && !(gm_ratio >= floor)) {
+        std::fprintf(stderr,
+                     "selfbench: geomean speedup %.3fx below the "
+                     "committed floor %.3fx\n",
+                     gm_ratio, floor);
         return 1;
     }
     return 0;

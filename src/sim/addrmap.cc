@@ -93,10 +93,39 @@ AddrMap::translateSlow(Addr host)
 Addr
 AddrMap::lookupGrain(Addr host_grain)
 {
+    if (fastTlb) {
+        // Fast backend: one flat-table probe. Real slot numbers start
+        // at 1<<40, so a default-constructed 0 means "just inserted".
+        Addr &sim = grainsFlat.getOrInsert(host_grain);
+        if (sim == 0)
+            sim = nextGrain++;
+        return sim;
+    }
     const auto [it, inserted] = grains.try_emplace(host_grain, nextGrain);
     if (inserted)
         ++nextGrain;
     return it->second;
+}
+
+void
+AddrMap::setFastPath(bool on)
+{
+    // Migrate the first-touch table into the backend the new mode
+    // reads. The translation is defined by the (grain -> slot) values,
+    // not by the container, so a migrated table answers every future
+    // lookup exactly as the old backend would have.
+    if (on && !fastTlb) {
+        for (const auto &[host_grain, sim] : grains)
+            grainsFlat.getOrInsert(host_grain) = sim;
+        grains.clear();
+    } else if (!on && fastTlb) {
+        grainsFlat.forEach(
+            [this](std::uint64_t host_grain, const Addr &sim) {
+                grains.emplace(host_grain, sim);
+            });
+        grainsFlat.clear();
+    }
+    fastTlb = on;
 }
 
 } // namespace tartan::sim

@@ -47,6 +47,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/flat_table.hh"
 #include "sim/types.hh"
 
 namespace tartan::sim {
@@ -123,14 +124,23 @@ class AddrMap
 
     /**
      * Toggle the single-probe TLB fast path (default on). Off restores
-     * the pre-optimisation probe order; translations are identical, so
-     * this exists purely for self-benchmarking and equivalence tests.
+     * the pre-optimisation probe order and the historical
+     * std::unordered_map grain backend; translations are identical
+     * either way, so this exists purely for self-benchmarking and
+     * equivalence tests. Switching modes migrates the first-touch table
+     * between backends — values (the first-touch slot numbers) are what
+     * define the translation, so which container holds them is not
+     * observable.
      */
-    void setFastPath(bool on) { fastTlb = on; }
+    void setFastPath(bool on);
 
     std::size_t segmentCount() const { return segments.size(); }
     /** Fallback grains mapped so far (16-byte units). */
-    std::size_t grainCount() const { return grains.size(); }
+    std::size_t
+    grainCount() const
+    {
+        return fastTlb ? grainsFlat.size() : grains.size();
+    }
 
   private:
     static constexpr unsigned kGrainBits = 4;
@@ -159,7 +169,15 @@ class AddrMap
     /** Index of the segment linearSpan matched last (MRU memo). */
     mutable std::size_t spanMemo = 0;
     Addr nextSegmentBase = kSegmentSpace;
+    /** Historical first-touch backend (slow mode). */
     std::unordered_map<Addr, Addr> grains;
+    /**
+     * Fast-mode first-touch backend: flat open-addressed, so the
+     * TLB-miss grain lookup is one probe run in a contiguous array
+     * instead of a node chase. Sim grain numbers start at 1<<40, so a
+     * value of 0 unambiguously marks a slot getOrInsert just created.
+     */
+    FlatTable<Addr> grainsFlat;
     Addr nextGrain = kFallbackSpace >> kGrainBits;
     std::array<Entry, kTlbEntries> tlb;
     bool fastTlb = true;

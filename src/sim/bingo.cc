@@ -5,6 +5,8 @@
 
 #include "sim/bingo.hh"
 
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace tartan::sim {
@@ -18,6 +20,9 @@ BingoPrefetcher::BingoPrefetcher(std::uint32_t line_bytes,
       historyCapacity(history_entries)
 {
     TARTAN_ASSERT(linesPerPage <= 64, "footprint bitmap limited to 64 lines");
+    TARTAN_ASSERT(historyCapacity >= 1, "history capacity must be >= 1");
+    ringSlots = historyCapacity;
+    ringBuf.assign(ringSlots, 0);
 }
 
 std::uint32_t
@@ -35,6 +40,10 @@ BingoPrefetcher::triggerKey(PcId pc, std::uint32_t offset) const
 void
 BingoPrefetcher::retire(std::uint64_t page)
 {
+    if (fastMode) {
+        retireFast(page);
+        return;
+    }
     auto it = active.find(page);
     if (it == active.end())
         return;
@@ -42,17 +51,62 @@ BingoPrefetcher::retire(std::uint64_t page)
         if (history.size() >= historyCapacity && fifoHead < historyFifo.size()) {
             history.erase(historyFifo[fifoHead]);
             ++fifoHead;
+            // The FIFO historically never reclaimed its retired prefix,
+            // so the vector grew with total insertions — a host-memory
+            // leak under history churn. Compact once the dead prefix
+            // dominates: each compaction moves at most the live window
+            // (<= capacity) and is paid for by the fifoHead advances
+            // since the last one, so the cost stays amortised O(1) and
+            // the backing storage bounded.
+            if (fifoHead >= 1024 && fifoHead * 2 >= historyFifo.size()) {
+                historyFifo.erase(historyFifo.begin(),
+                                  historyFifo.begin() +
+                                      static_cast<std::ptrdiff_t>(fifoHead));
+                fifoHead = 0;
+            }
         }
         historyFifo.push_back(it->second.triggerKey);
+        TARTAN_ASSERT(historyFifo.size() - fifoHead <= historyCapacity,
+                      "Bingo history FIFO live window exceeds capacity");
     }
     history[it->second.triggerKey] = it->second.footprint;
     active.erase(it);
 }
 
 void
+BingoPrefetcher::retireFast(std::uint64_t page)
+{
+    const ActiveRegion *region = activeFlat.find(page);
+    if (!region)
+        return;
+    const std::uint64_t key = region->triggerKey;
+    const std::uint64_t footprint = region->footprint;
+    activeFlat.erase(page);
+    if (std::uint64_t *learned = historyFlat.find(key)) {
+        *learned = footprint;
+        return;
+    }
+    if (historyFlat.size() >= historyCapacity && ringCount > 0) {
+        historyFlat.erase(ringBuf[ringHead]);
+        ringHead = (ringHead + 1) % ringSlots;
+        --ringCount;
+    }
+    ringBuf[(ringHead + ringCount) % ringSlots] = key;
+    ++ringCount;
+    historyFlat.getOrInsert(key) = footprint;
+    TARTAN_ASSERT(ringCount == historyFlat.size() &&
+                      ringCount <= historyCapacity,
+                  "Bingo ring FIFO out of sync with the history table");
+}
+
+void
 BingoPrefetcher::observe(const PrefetchObservation &obs,
                          std::vector<Addr> &out)
 {
+    if (fastMode) {
+        observeFast(obs, out);
+        return;
+    }
     const std::uint64_t page = pageOf(obs.addr);
     const std::uint32_t offset = lineOffset(obs.addr);
 
@@ -82,11 +136,89 @@ BingoPrefetcher::observe(const PrefetchObservation &obs,
 }
 
 void
+BingoPrefetcher::observeFast(const PrefetchObservation &obs,
+                             std::vector<Addr> &out)
+{
+    const std::uint64_t page = pageOf(obs.addr);
+    const std::uint32_t offset = lineOffset(obs.addr);
+
+    if (ActiveRegion *region = activeFlat.find(page)) {
+        region->footprint |= (1ull << offset);
+        return;
+    }
+
+    // Trigger access for this page: replay the learned footprint.
+    const std::uint64_t key = triggerKey(obs.pc, offset);
+    ActiveRegion &region = activeFlat.getOrInsert(page);
+    region.triggerKey = key;
+    region.footprint = (1ull << offset);
+
+    if (const std::uint64_t *learned = historyFlat.find(key)) {
+        // Bit iteration replaces the historical 0..linesPerPage scan:
+        // footprints only ever set offsets below linesPerPage, so
+        // walking the set bits in ascending order (masking the trigger
+        // offset out up front) emits the exact same target sequence.
+        const Addr page_base = page * pageBytes;
+        std::uint64_t fp = *learned & ~(1ull << offset);
+        while (fp) {
+            const unsigned line =
+                static_cast<unsigned>(std::countr_zero(fp));
+            fp &= fp - 1;
+            out.push_back(page_base + line * lineBytes);
+        }
+    }
+}
+
+void
 BingoPrefetcher::onEviction(Addr line_addr)
 {
     // A page whose lines start leaving the cache has finished its
     // residency; learn its footprint.
     retire(pageOf(line_addr));
+}
+
+void
+BingoPrefetcher::setFastMode(bool on)
+{
+    if (on == fastMode)
+        return;
+    // Migrate every entry into the backend the new mode reads. The
+    // hash tables are keyed lookups (iteration order is irrelevant),
+    // and the FIFO live window is copied oldest-first, so eviction
+    // order — the only order the tables make observable — survives the
+    // switch exactly.
+    if (on) {
+        for (const auto &[page, region] : active)
+            activeFlat.getOrInsert(page) = region;
+        active.clear();
+        for (const auto &[key, footprint] : history)
+            historyFlat.getOrInsert(key) = footprint;
+        history.clear();
+        ringHead = 0;
+        ringCount = 0;
+        for (std::size_t i = fifoHead; i < historyFifo.size(); ++i)
+            ringBuf[ringCount++] = historyFifo[i];
+        historyFifo.clear();
+        fifoHead = 0;
+    } else {
+        activeFlat.forEach(
+            [this](std::uint64_t page, const ActiveRegion &region) {
+                active.emplace(page, region);
+            });
+        activeFlat.clear();
+        historyFlat.forEach(
+            [this](std::uint64_t key, const std::uint64_t &footprint) {
+                history.emplace(key, footprint);
+            });
+        historyFlat.clear();
+        historyFifo.clear();
+        fifoHead = 0;
+        for (std::size_t i = 0; i < ringCount; ++i)
+            historyFifo.push_back(ringBuf[(ringHead + i) % ringSlots]);
+        ringHead = 0;
+        ringCount = 0;
+    }
+    fastMode = on;
 }
 
 std::uint64_t

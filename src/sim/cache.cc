@@ -25,8 +25,12 @@ Cache::Cache(const CacheParams &params)
                   "set count must be a power of two");
     lineBits = log2u(config.lineBytes);
     maxRecency = config.assoc - 1;
-    lines.assign(std::size_t(setCount) * config.assoc, Line{});
-    tags.assign(lines.size(), kInvalidTag);
+    const std::size_t ways = std::size_t(setCount) * config.assoc;
+    tags.assign(ways, kInvalidTag);
+    recency.assign(ways, 0);
+    flags.assign(ways, 0);
+    touched.assign(ways, 0);
+    readyAt.assign(ways, 0);
 }
 
 std::uint64_t
@@ -45,18 +49,18 @@ Cache::access(Addr addr, AccessType type, std::uint32_t size, Cycles now)
     for (std::uint32_t way = 0; way < config.assoc; ++way) {
         if (tags[base + way] != line_number)
             continue;
-        Line &line = lines[base + way];
+        const std::size_t idx = base + way;
         ++statsData.hits;
-        LookupResult res{true, line.prefetched, 0};
-        if (line.prefetched) {
+        LookupResult res{true, (flags[idx] & kPrefetched) != 0, 0};
+        if (flags[idx] & kPrefetched) {
             ++statsData.prefetchHits;
-            if (line.readyAt > now)
-                res.latePenalty = line.readyAt - now;
-            line.prefetched = false;
+            if (readyAt[idx] > now)
+                res.latePenalty = readyAt[idx] - now;
+            flags[idx] &= static_cast<std::uint8_t>(~kPrefetched);
         }
         if (type == AccessType::Store)
-            line.dirty = true;
-        touch(line, addr, size);
+            flags[idx] |= kDirty;
+        touch(idx, addr, size);
         promote(base, way);
         return res;
     }
@@ -78,16 +82,15 @@ Cache::probe(Addr addr) const
 std::uint32_t
 Cache::victimWay(std::size_t set_base) const
 {
-    const Line *set = lines.data() + set_base;
     std::uint32_t victim = 0;
     std::uint32_t best = 0;
     bool found = false;
     for (std::uint32_t way = 0; way < config.assoc; ++way) {
-        const Line &line = set[way];
-        if (!line.valid)
+        const std::size_t idx = set_base + way;
+        if (!(flags[idx] & kValid))
             return way;
-        if (!found || line.recency > best) {
-            best = line.recency;
+        if (!found || recency[idx] > best) {
+            best = recency[idx];
             victim = way;
             found = true;
         }
@@ -96,25 +99,25 @@ Cache::victimWay(std::size_t set_base) const
 }
 
 void
-Cache::evictLine(Line &line)
+Cache::evictLine(std::size_t idx)
 {
     ++statsData.evictions;
-    if (line.dirty)
+    if (flags[idx] & kDirty)
         ++statsData.dirtyEvictions;
-    if (line.prefetched)
+    if (flags[idx] & kPrefetched)
         ++statsData.prefetchUnused;
     if (config.trackUdm) {
         statsData.udmFetchedBytes += config.lineBytes;
         statsData.udmUsedBytes +=
-            4ull * static_cast<std::uint64_t>(std::popcount(line.touched));
+            4ull * static_cast<std::uint64_t>(std::popcount(touched[idx]));
     }
     if (evictionListener)
-        evictionListener(line.lineNumber << lineBits);
-    line.valid = false;
-    line.touched = 0;
-    tags[static_cast<std::size_t>(&line - lines.data())] = kInvalidTag;
-    if (memoLine == &line)
-        memoLine = nullptr;
+        evictionListener(tags[idx] << lineBits);
+    flags[idx] = 0;
+    touched[idx] = 0;
+    tags[idx] = kInvalidTag;
+    if (memoIdx == idx)
+        memoIdx = kNoMemo;
 }
 
 Cache::Eviction
@@ -127,8 +130,8 @@ Cache::fill(Addr addr, bool prefetch, bool dirty, Cycles ready_at)
     for (std::uint32_t way = 0; way < config.assoc; ++way) {
         if (tags[base + way] != line_number)
             continue;
-        Line &line = lines[base + way];
-        line.dirty = line.dirty || dirty;
+        if (dirty)
+            flags[base + way] |= kDirty;
         promote(base, way);
         return Eviction{};
     }
@@ -140,43 +143,146 @@ Cache::Eviction
 Cache::fillKnownAbsent(Addr addr, bool prefetch, bool dirty,
                        Cycles ready_at)
 {
-    TARTAN_ASSERT(!probe(addr),
+    TARTAN_DCHECK(!probe(addr),
                   "fillKnownAbsent called on a resident line");
     const std::uint64_t line_number = addr >> lineBits;
-    return fillAbsent(setIndex(line_number) * config.assoc, line_number,
-                      prefetch, dirty, ready_at);
+    const std::size_t base = setIndex(line_number) * config.assoc;
+
+    // Fused fill: one scan selects the victim exactly as victimWay()
+    // would (first invalid way, else the earliest way of strictly
+    // maximal recency), then one write pass retires the eviction, the
+    // insertion aging and the FCP manipulation together. Element for
+    // element this is the fillAbsent() sequence — aging and m(x) touch
+    // disjoint state per way, so pass order cannot change the result.
+    std::uint32_t victim = 0;
+    std::uint32_t best = 0;
+    bool found = false;
+    for (std::uint32_t way = 0; way < config.assoc; ++way) {
+        const std::size_t idx = base + way;
+        if (!(flags[idx] & kValid)) {
+            victim = way;
+            found = false;
+            break;
+        }
+        if (!found || recency[idx] > best) {
+            best = recency[idx];
+            victim = way;
+            found = true;
+        }
+    }
+
+    return finishFill(base, line_number, victim, prefetch, dirty,
+                      ready_at);
 }
 
-/** Victim selection + installation tail shared by the fill flavours. */
+Cache::Eviction
+Cache::fillAtWay(Addr addr, std::uint32_t victim_way, bool prefetch,
+                 bool dirty, Cycles ready_at)
+{
+    TARTAN_DCHECK(!probe(addr), "fillAtWay called on a resident line");
+    const std::uint64_t line_number = addr >> lineBits;
+    const std::size_t base = setIndex(line_number) * config.assoc;
+    TARTAN_DCHECK(victim_way == victimWay(base),
+                  "fillAtWay victim is stale (set modified since the "
+                  "selecting scan)");
+    return finishFill(base, line_number, victim_way, prefetch, dirty,
+                      ready_at);
+}
+
+/**
+ * Shared fill tail: eviction, insertion aging, FCP manipulation and
+ * installation, with the victim already chosen. One write pass; element
+ * for element the fillAbsent() sequence.
+ */
+Cache::Eviction
+Cache::finishFill(std::size_t base, std::uint64_t line_number,
+                  std::uint32_t victim, bool prefetch, bool dirty,
+                  Cycles ready_at)
+{
+    const std::size_t vidx = base + victim;
+    Eviction ev;
+    if (flags[vidx] & kValid) {
+        ev.valid = true;
+        ev.lineAddr = tags[vidx] << lineBits;
+        ev.dirty = (flags[vidx] & kDirty) != 0;
+        evictLine(vidx);
+    }
+
+    if (!config.fcp) {
+        // Branchless insertion aging: invalid ways' recency is dead
+        // state (no reader looks at it before checking validity), and
+        // the victim way's aged value is overwritten by the install
+        // below, so neither needs excluding and the saturating
+        // increment vectorises.
+        for (std::uint32_t w = 0; w < config.assoc; ++w) {
+            const std::size_t idx = base + w;
+            recency[idx] += recency[idx] < maxRecency ? 1u : 0u;
+        }
+    } else {
+        const std::uint32_t ceiling = manipCeiling();
+        const std::uint64_t region = regionOf(line_number);
+        for (std::uint32_t w = 0; w < config.assoc; ++w) {
+            const std::size_t idx = base + w;
+            if (w == victim || !(flags[idx] & kValid))
+                continue;
+            std::uint32_t rec = recency[idx];
+            if (rec < maxRecency)
+                ++rec;
+            if (regionOf(tags[idx]) == region) {
+                const std::uint32_t manipulated = config.fcp->apply(rec);
+                rec = manipulated > ceiling ? ceiling : manipulated;
+            }
+            recency[idx] = rec;
+        }
+    }
+
+    tags[vidx] = line_number;
+    flags[vidx] = static_cast<std::uint8_t>(
+        kValid | (dirty ? kDirty : 0) | (prefetch ? kPrefetched : 0));
+    // Dead-store elimination the historical install skips: touched is
+    // only ever read under trackUdm, and readyAt only under the
+    // kPrefetched flag (which every prefetch fill rewrites before
+    // setting), so the unconditional clears would drag two more host
+    // cache lines into every fill for nothing.
+    if (config.trackUdm)
+        touched[vidx] = 0;
+    recency[vidx] = 0;
+    if (prefetch) {
+        readyAt[vidx] = ready_at;
+        ++statsData.prefetchFills;
+    }
+    memoIdx = vidx;
+    return ev;
+}
+
+/** Victim selection + installation tail of the historical fill path. */
 Cache::Eviction
 Cache::fillAbsent(std::size_t base, std::uint64_t line_number,
                   bool prefetch, bool dirty, Cycles ready_at)
 {
     const std::uint32_t way = victimWay(base);
-    Line &line = lines[base + way];
+    const std::size_t vidx = base + way;
     Eviction ev;
-    if (line.valid) {
+    if (flags[vidx] & kValid) {
         ev.valid = true;
-        ev.lineAddr = line.lineNumber << lineBits;
-        ev.dirty = line.dirty;
-        evictLine(line);
+        ev.lineAddr = tags[vidx] << lineBits;
+        ev.dirty = (flags[vidx] & kDirty) != 0;
+        evictLine(vidx);
     }
     // Insertion: age every resident line (saturating at the natural LRU
     // maximum) and install the new line at MRU.
     for (std::uint32_t w = 0; w < config.assoc; ++w) {
-        Line &other = lines[base + w];
-        if (other.valid && other.recency < maxRecency)
-            ++other.recency;
+        const std::size_t idx = base + w;
+        if ((flags[idx] & kValid) && recency[idx] < maxRecency)
+            ++recency[idx];
     }
-    line.lineNumber = line_number;
-    line.valid = true;
-    line.dirty = dirty;
-    line.prefetched = prefetch;
-    line.touched = 0;
-    line.recency = 0;
-    line.readyAt = prefetch ? ready_at : 0;
-    tags[base + way] = line_number;
-    memoLine = &line;
+    tags[vidx] = line_number;
+    flags[vidx] = static_cast<std::uint8_t>(
+        kValid | (dirty ? kDirty : 0) | (prefetch ? kPrefetched : 0));
+    touched[vidx] = 0;
+    recency[vidx] = 0;
+    readyAt[vidx] = prefetch ? ready_at : 0;
+    memoIdx = vidx;
     if (prefetch)
         ++statsData.prefetchFills;
 
@@ -189,13 +295,13 @@ Cache::fillAbsent(std::size_t base, std::uint64_t line_number,
         const std::uint32_t ceiling = manipCeiling();
         const std::uint64_t region = regionOf(line_number);
         for (std::uint32_t w = 0; w < config.assoc; ++w) {
-            Line &other = lines[base + w];
-            if (w == way || !other.valid)
+            const std::size_t idx = base + w;
+            if (w == way || !(flags[idx] & kValid))
                 continue;
-            if (regionOf(other.lineNumber) == region) {
+            if (regionOf(tags[idx]) == region) {
                 const std::uint32_t manipulated =
-                    config.fcp->apply(other.recency);
-                other.recency =
+                    config.fcp->apply(recency[idx]);
+                recency[idx] =
                     manipulated > ceiling ? ceiling : manipulated;
             }
         }
@@ -210,7 +316,7 @@ Cache::invalidate(Addr addr)
     const std::size_t base = setIndex(line_number) * config.assoc;
     for (std::uint32_t way = 0; way < config.assoc; ++way) {
         if (tags[base + way] == line_number) {
-            evictLine(lines[base + way]);
+            evictLine(base + way);
             return;
         }
     }
@@ -220,8 +326,8 @@ std::uint64_t
 Cache::dirtyLines() const
 {
     std::uint64_t count = 0;
-    for (const Line &line : lines)
-        if (line.valid && line.dirty)
+    for (const std::uint8_t f : flags)
+        if ((f & (kValid | kDirty)) == (kValid | kDirty))
             ++count;
     return count;
 }
@@ -230,8 +336,8 @@ std::uint64_t
 Cache::prefetchedLines() const
 {
     std::uint64_t count = 0;
-    for (const Line &line : lines)
-        if (line.valid && line.prefetched)
+    for (const std::uint8_t f : flags)
+        if ((f & (kValid | kPrefetched)) == (kValid | kPrefetched))
             ++count;
     return count;
 }

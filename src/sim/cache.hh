@@ -4,16 +4,19 @@
  * FCP replacement-metadata manipulation, prefetched-line tracking,
  * unnecessary-data-movement (UDM) accounting, and eviction listeners.
  *
- * Storage is a single flat line array plus a parallel flat tag array
- * (one cache line covers a whole set's tags during the hit scan), the
- * default power-of-two and FCP indexing policies are devirtualised, and
- * an inline lookup (lookupFast, fronted by a one-entry MRU memo) lets
- * the owning MemPath resolve any demand hit — and prove any miss —
- * without an out-of-line call; fillKnownAbsent then installs the missed
- * line without rescanning the set. All of that is mechanical speedup:
- * the observable behaviour — every stat, every eviction, every
- * replacement decision — is identical to the straightforward
- * set-of-vectors implementation it replaced.
+ * Storage is struct-of-arrays: parallel flat arrays for tags, recency,
+ * state flags, UDM bitmaps and prefetch-ready cycles, so each loop of
+ * the per-access protocol (hit scan, victim scan, LRU aging) streams
+ * through one dense row per set instead of striding across fat line
+ * records. The default power-of-two and FCP indexing policies are
+ * devirtualised, an inline lookup (lookupFast, fronted by a one-entry
+ * MRU memo) lets the owning MemPath resolve any demand hit — and prove
+ * any miss — without an out-of-line call, and fillKnownAbsent collapses
+ * victim selection, eviction, LRU aging and FCP manipulation into one
+ * fused pass over the set. All of that is mechanical speedup: the
+ * observable behaviour — every stat, every eviction, every replacement
+ * decision — is identical to the straightforward set-of-vectors
+ * implementation it replaced.
  */
 
 #ifndef TARTAN_SIM_CACHE_HH
@@ -173,29 +176,30 @@ class Cache
         if (!fastLookup)
             return FastLookup::Defer;
         const std::uint64_t line_number = addr >> lineBits;
-        Line *m = memoLine;
-        // A memo tag match implies same set and same line for any
-        // indexing policy (the set is a pure function of the line).
-        if (m && m->valid && m->lineNumber == line_number &&
-            !m->prefetched) {
+        // A memo tag match implies same set, same line and a valid way
+        // for any indexing policy (the set is a pure function of the
+        // line, and invalid ways carry kInvalidTag).
+        const std::size_t m = memoIdx;
+        if (m != kNoMemo && tags[m] == line_number &&
+            !(flags[m] & kPrefetched)) {
             ++statsData.hits;
             if (type == AccessType::Store)
-                m->dirty = true;
-            touchFast(*m, addr, size);
+                flags[m] |= kDirty;
+            touchFast(m, addr, size);
             return FastLookup::Hit;
         }
         const std::size_t base = setIndex(line_number) * config.assoc;
         for (std::uint32_t way = 0; way < config.assoc; ++way) {
             if (tags[base + way] != line_number)
                 continue;
-            Line &line = lines[base + way];
-            if (line.prefetched)
+            const std::size_t idx = base + way;
+            if (flags[idx] & kPrefetched)
                 return FastLookup::Defer;
             ++statsData.hits;
             if (type == AccessType::Store)
-                line.dirty = true;
-            touchFast(line, addr, size);
-            promote(base, way);
+                flags[idx] |= kDirty;
+            touchFast(idx, addr, size);
+            promoteFast(base, way);
             return FastLookup::Hit;
         }
         if (count_miss)
@@ -203,8 +207,112 @@ class Cache
         return FastLookup::Miss;
     }
 
+    /**
+     * lookupFast() that additionally selects the fill victim during the
+     * same set scan. On a Miss, @p victim_way receives exactly what
+     * victimWay() would return for this set, so the caller can retire
+     * the fill through fillAtWay() without rescanning — valid only
+     * while the set is not modified in between (the caller's contract;
+     * fillAtWay() re-derives the victim in debug builds to check it).
+     * On Hit or Defer @p victim_way is left untouched. Behaviour is
+     * otherwise identical to lookupFast(): the victim bookkeeping reads
+     * only state the miss scan already has in cache.
+     */
+    FastLookup
+    lookupForFill(Addr addr, AccessType type, std::uint32_t size,
+                  bool count_miss, std::uint32_t *victim_way)
+    {
+        if (!fastLookup)
+            return FastLookup::Defer;
+        const std::uint64_t line_number = addr >> lineBits;
+        const std::size_t m = memoIdx;
+        if (m != kNoMemo && tags[m] == line_number &&
+            !(flags[m] & kPrefetched)) {
+            ++statsData.hits;
+            if (type == AccessType::Store)
+                flags[m] |= kDirty;
+            touchFast(m, addr, size);
+            return FastLookup::Hit;
+        }
+        const std::size_t base = setIndex(line_number) * config.assoc;
+        // Victim tracking mirrors victimWay(): the first invalid way
+        // wins outright (invalid ⟺ tag kInvalidTag), otherwise the
+        // earliest way of strictly maximal recency. Unlike victimWay()
+        // the scan cannot stop at an invalid way — a later way might
+        // still hold the line — but when no way does, the choice made
+        // here is exactly victimWay()'s.
+        std::uint32_t victim = 0;
+        std::uint32_t best = 0;
+        bool found = false;
+        bool have_invalid = false;
+        for (std::uint32_t way = 0; way < config.assoc; ++way) {
+            const std::size_t idx = base + way;
+            const std::uint64_t tag = tags[idx];
+            if (tag == line_number) {
+                if (flags[idx] & kPrefetched)
+                    return FastLookup::Defer;
+                ++statsData.hits;
+                if (type == AccessType::Store)
+                    flags[idx] |= kDirty;
+                touchFast(idx, addr, size);
+                promoteFast(base, way);
+                return FastLookup::Hit;
+            }
+            if (have_invalid)
+                continue;
+            if (tag == kInvalidTag) {
+                victim = way;
+                have_invalid = true;
+            } else if (!found || recency[idx] > best) {
+                best = recency[idx];
+                victim = way;
+                found = true;
+            }
+        }
+        if (count_miss)
+            ++statsData.misses;
+        *victim_way = victim;
+        return FastLookup::Miss;
+    }
+
     /** Check residency without perturbing any state. */
     bool probe(Addr addr) const;
+
+    /**
+     * probe() that additionally selects the fill victim during the same
+     * set scan: when the line is absent, @p victim_way receives what
+     * victimWay() would return, under the same unmodified-set contract
+     * as lookupForFill(). Used by the fast prefetch-issue path, whose
+     * historical shape is probe-then-fill. No state is perturbed.
+     */
+    bool
+    probeForFill(Addr addr, std::uint32_t *victim_way) const
+    {
+        const std::uint64_t line_number = addr >> lineBits;
+        const std::size_t base = setIndex(line_number) * config.assoc;
+        std::uint32_t victim = 0;
+        std::uint32_t best = 0;
+        bool found = false;
+        bool have_invalid = false;
+        for (std::uint32_t way = 0; way < config.assoc; ++way) {
+            const std::size_t idx = base + way;
+            const std::uint64_t tag = tags[idx];
+            if (tag == line_number)
+                return true;
+            if (have_invalid)
+                continue;
+            if (tag == kInvalidTag) {
+                victim = way;
+                have_invalid = true;
+            } else if (!found || recency[idx] > best) {
+                best = recency[idx];
+                victim = way;
+                found = true;
+            }
+        }
+        *victim_way = victim;
+        return false;
+    }
 
     /**
      * Install a line (after fetching it from below). Returns the victim.
@@ -219,12 +327,24 @@ class Cache
     /**
      * fill() for a line the caller has proven absent (a lookup or probe
      * of @p addr just missed and nothing can have installed it since):
-     * skips fill()'s redundant residency scan and goes straight to
-     * victim selection. Asserted in debug builds; behaviour is
+     * skips fill()'s redundant residency scan and retires victim
+     * selection, eviction, LRU aging and FCP manipulation in one fused
+     * pass over the set. Asserted in debug builds; behaviour is
      * otherwise identical to fill(). Used by the MemPath fast path.
      */
     Eviction fillKnownAbsent(Addr addr, bool prefetch = false,
                              bool dirty = false, Cycles ready_at = 0);
+
+    /**
+     * fillKnownAbsent() with the victim scan already done: @p
+     * victim_way is the way a lookupForFill()/probeForFill() miss on
+     * @p addr selected, and the set has not been modified since, so
+     * this retires the fill in a single write pass. Debug builds
+     * re-derive the victim and assert it matches.
+     */
+    Eviction fillAtWay(Addr addr, std::uint32_t victim_way,
+                       bool prefetch = false, bool dirty = false,
+                       Cycles ready_at = 0);
 
     /** Invalidate a line if present (used by write-through stores). */
     void invalidate(Addr addr);
@@ -250,7 +370,7 @@ class Cache
     setFastLookup(bool on)
     {
         fastLookup = on;
-        memoLine = nullptr;
+        memoIdx = kNoMemo;
     }
 
     const CacheParams &params() const { return config; }
@@ -266,18 +386,16 @@ class Cache
     }
 
   private:
-    struct Line {
-        std::uint64_t lineNumber = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false;
-        std::uint32_t recency = 0;  //!< 0 = MRU, grows towards eviction
-        std::uint64_t touched = 0;  //!< 4-byte-granule touched bitmap
-        Cycles readyAt = 0;         //!< when a prefetched line arrives
-    };
+    /** Way-state bits of the flags array. */
+    static constexpr std::uint8_t kValid = 1;
+    static constexpr std::uint8_t kDirty = 2;
+    static constexpr std::uint8_t kPrefetched = 4;
 
     /** Tag-array value for ways holding no valid line. */
     static constexpr std::uint64_t kInvalidTag = ~std::uint64_t(0);
+
+    /** memoIdx value meaning "no line memoised". */
+    static constexpr std::size_t kNoMemo = ~std::size_t(0);
 
     std::uint64_t
     setIndex(std::uint64_t line_number) const
@@ -304,21 +422,46 @@ class Cache
     void
     promote(std::size_t set_base, std::uint32_t way)
     {
-        Line *set = lines.data() + set_base;
-        const std::uint32_t old_rec = set[way].recency;
-        for (std::uint32_t w = 0; w < config.assoc; ++w)
-            if (set[w].valid && set[w].recency < old_rec)
-                ++set[w].recency;
-        set[way].recency = 0;
-        memoLine = &set[way];
+        const std::uint32_t old_rec = recency[set_base + way];
+        for (std::uint32_t w = 0; w < config.assoc; ++w) {
+            const std::size_t idx = set_base + w;
+            if ((flags[idx] & kValid) && recency[idx] < old_rec)
+                ++recency[idx];
+        }
+        recency[set_base + way] = 0;
+        memoIdx = set_base + way;
+    }
+
+    /**
+     * promote() with the per-way validity branch dropped: an invalid
+     * way's recency is dead state — every reader checks validity before
+     * looking at it — so ageing it is unobservable and the loop becomes
+     * a branchless compare-and-add the compiler can vectorise. The
+     * increment saturates at @p way's old recency exactly as promote()'s
+     * does. Fast-path only; the historical paths keep promote() so slow
+     * -mode host timings stay faithful.
+     */
+    void
+    promoteFast(std::size_t set_base, std::uint32_t way)
+    {
+        const std::uint32_t old_rec = recency[set_base + way];
+        for (std::uint32_t w = 0; w < config.assoc; ++w) {
+            const std::size_t idx = set_base + w;
+            recency[idx] += recency[idx] < old_rec ? 1u : 0u;
+        }
+        recency[set_base + way] = 0;
+        memoIdx = set_base + way;
     }
 
     std::uint32_t victimWay(std::size_t set_base) const;
-    void evictLine(Line &line);
+    void evictLine(std::size_t idx);
+    Eviction finishFill(std::size_t base, std::uint64_t line_number,
+                        std::uint32_t victim, bool prefetch, bool dirty,
+                        Cycles ready_at);
 
     /** UDM accounting: mark the 4-byte granules an access covers. */
     void
-    touch(Line &line, Addr addr, std::uint32_t size)
+    touch(std::size_t idx, Addr addr, std::uint32_t size)
     {
         if (!config.trackUdm)
             return;
@@ -330,7 +473,7 @@ class Cache
                 ? (config.lineBytes - 1) / 4
                 : (off + (size ? size - 1 : 0)) / 4;
         for (std::uint32_t chunk = first; chunk <= last; ++chunk)
-            line.touched |= (1ull << chunk);
+            touched[idx] |= (1ull << chunk);
     }
 
     /**
@@ -341,7 +484,7 @@ class Cache
      * timings keep the historical per-granule loop.
      */
     void
-    touchFast(Line &line, Addr addr, std::uint32_t size)
+    touchFast(std::size_t idx, Addr addr, std::uint32_t size)
     {
         if (!config.trackUdm)
             return;
@@ -355,7 +498,7 @@ class Cache
         const std::uint32_t span = last - first + 1;
         const std::uint64_t mask =
             span >= 64 ? ~0ull : ((1ull << span) - 1);
-        line.touched |= mask << first;
+        touched[idx] |= mask << first;
     }
 
     std::uint64_t regionOf(std::uint64_t line_number) const;
@@ -370,17 +513,28 @@ class Cache
     std::uint32_t setCount;
     std::uint32_t lineBits;
     std::uint32_t maxRecency;
-    /** All lines, flat: way w of set s lives at [s * assoc + w]. */
-    std::vector<Line> lines;
-    /** Parallel tag array (kInvalidTag when the way is empty). */
-    std::vector<std::uint64_t> tags;
     /**
-     * One-entry hit memo: the line most recently made MRU by
-     * access()/fill(), or null. Every mutation that can demote a line
-     * from MRU also retargets or clears the memo, so a memo tag match
-     * proves the line is still at recency 0.
+     * Way state as struct-of-arrays, flat: way w of set s lives at
+     * index [s * assoc + w] of every row. The tag row doubles as the
+     * line-number store (kInvalidTag when the way is empty), so the hit
+     * scan and the eviction bookkeeping read the same contiguous array.
      */
-    Line *memoLine = nullptr;
+    std::vector<std::uint64_t> tags;
+    /** LRU age per way: 0 = MRU, grows towards eviction. */
+    std::vector<std::uint32_t> recency;
+    /** kValid / kDirty / kPrefetched bits per way. */
+    std::vector<std::uint8_t> flags;
+    /** 4-byte-granule touched bitmap per way (UDM tracking). */
+    std::vector<std::uint64_t> touched;
+    /** Cycle at which a prefetched way's line arrives. */
+    std::vector<Cycles> readyAt;
+    /**
+     * One-entry hit memo: the flat index of the way most recently made
+     * MRU by access()/fill(), or kNoMemo. Every mutation that can
+     * demote a line from MRU also retargets or clears the memo, so a
+     * memo tag match proves the line is still at recency 0.
+     */
+    std::size_t memoIdx = kNoMemo;
     bool fastLookup = true;
     CacheStats statsData;
     EvictionListener evictionListener;

@@ -37,6 +37,14 @@ struct RunEnv {
     unsigned selfbenchReps = 3;
     /** $TARTAN_SELFBENCH_SCALE: workload scale override for selfbench. */
     double selfbenchScale = 1.0;
+    /**
+     * $TARTAN_SELFBENCH_FLOOR: minimum acceptable fast/slow geomean
+     * speedup (0 = no gate). When set, selfbench exits non-zero if the
+     * measured geomean falls below it; CI passes the floor recorded in
+     * the committed bench/baselines/BENCH_selfbench.json, turning host
+     * performance regressions of the fast paths into test failures.
+     */
+    double selfbenchFloor = 0.0;
 
     /**
      * The process-wide snapshot. Parsed exactly once (thread-safe

@@ -29,10 +29,13 @@ struct HostProfiler {
     std::uint64_t accesses = 0;
     /** Host ns spent in AddrMap::translate. */
     std::uint64_t translateNs = 0;
-    /** Host ns in the cache hierarchy walk (excluding prefetch work). */
+    /** Host ns in the cache hierarchy walk (excluding prefetch and
+     *  fill work). */
     std::uint64_t cacheNs = 0;
     /** Host ns in prefetcher observe + issue. */
     std::uint64_t prefetchNs = 0;
+    /** Host ns in demand fills and victim write-back chains. */
+    std::uint64_t fillNs = 0;
     /** Host ns attributed to no pipeline layer (caller bookkeeping). */
     std::uint64_t otherNs = 0;
 

@@ -125,4 +125,21 @@ inform(const char *fmt, ...)
         if (!(cond)) TARTAN_PANIC(__VA_ARGS__); \
     } while (0)
 
+/**
+ * Debug-build-only invariant check for per-access hot paths. Compiled
+ * out under NDEBUG (release benches), active in debug and sanitizer
+ * builds, where the randomized equivalence tests exercise the same
+ * invariants. Use TARTAN_ASSERT for anything off the per-access path.
+ */
+#ifdef NDEBUG
+#define TARTAN_DCHECK(cond, ...) \
+    do { \
+    } while (0)
+#else
+#define TARTAN_DCHECK(cond, ...) \
+    do { \
+        if (!(cond)) TARTAN_PANIC(__VA_ARGS__); \
+    } while (0)
+#endif
+
 #endif // TARTAN_SIM_LOGGING_HH

@@ -59,6 +59,12 @@ MemPath::addNoAllocateRange(Addr base, std::size_t bytes)
 void
 MemPath::drainDirty()
 {
+    // Latched rather than clearing dirty bits: the caches' residentDirty
+    // derived stat must keep reporting the true resident state in any
+    // dump taken after the drain.
+    if (drainAccounted)
+        return;
+    drainAccounted = true;
     stats.l3Writebacks += l1Cache.dirtyLines() + l2Cache.dirtyLines();
 }
 
@@ -66,6 +72,8 @@ void
 MemPath::setPrefetcher(std::unique_ptr<Prefetcher> prefetcher)
 {
     pf = std::move(prefetcher);
+    if (pf)
+        pf->setFastMode(fastPath);
 }
 
 void
@@ -137,10 +145,17 @@ MemPath::issuePrefetches(const std::vector<Addr> &targets, Cycles now)
 void
 MemPath::writebackToL3Fast(Addr line_addr, Cycles now)
 {
+    // Queued write-backs are ordered before this one; retire them first
+    // so the L3 observes the historical operation sequence.
+    if (!txn.l3Writebacks.empty())
+        flushL3Writebacks(now);
     // count_miss=false: the historical write-back path is probe + fill,
-    // which never bumps the miss counter.
-    const auto looked = l3Cache->lookupFast(line_addr, AccessType::Store,
-                                            0, false);
+    // which never bumps the miss counter. The combined lookup carries
+    // the victim choice straight into the fill — nothing touches the L3
+    // in between — so the miss costs one set scan, not two.
+    std::uint32_t victim = 0;
+    const auto looked = l3Cache->lookupForFill(
+        line_addr, AccessType::Store, 0, false, &victim);
     if (looked == Cache::FastLookup::Defer) {
         writebackToL3(line_addr, now);
         return;
@@ -148,9 +163,37 @@ MemPath::writebackToL3Fast(Addr line_addr, Cycles now)
     ++stats.l3Writebacks;
     if (looked == Cache::FastLookup::Hit)
         return;
-    auto ev = l3Cache->fillKnownAbsent(line_addr, false, true);
+    auto ev = l3Cache->fillAtWay(line_addr, victim, false, true);
     if (ev.valid && ev.dirty)
         ++stats.dramWrites;
+}
+
+void
+MemPath::flushL3Writebacks(Cycles now)
+{
+    // FIFO retirement: entries were appended in the order the
+    // historical path would have written them back, and nothing touched
+    // the L3 since (the queue is only populated after the transaction's
+    // last inline L3 operation), so draining here preserves the L3's
+    // per-cache operation order exactly. Index loop, not iterators:
+    // writebackToL3 never appends, but keep the drain robust anyway.
+    for (std::size_t i = 0; i < txn.l3Writebacks.size(); ++i) {
+        const Addr line_addr = txn.l3Writebacks[i];
+        std::uint32_t victim = 0;
+        const auto looked = l3Cache->lookupForFill(
+            line_addr, AccessType::Store, 0, false, &victim);
+        if (looked == Cache::FastLookup::Defer) {
+            writebackToL3(line_addr, now);
+            continue;
+        }
+        ++stats.l3Writebacks;
+        if (looked == Cache::FastLookup::Hit)
+            continue;
+        auto ev = l3Cache->fillAtWay(line_addr, victim, false, true);
+        if (ev.valid && ev.dirty)
+            ++stats.dramWrites;
+    }
+    txn.l3Writebacks.clear();
 }
 
 void
@@ -159,25 +202,30 @@ MemPath::writebackToL2Fast(Addr line_addr, Cycles now)
     // Defer covers both the fast lookup being disabled and a hit on a
     // prefetched-unused line (pfHitsOther accounting needs the full
     // access path); writebackToL2 handles either identically to the
-    // historical code.
-    const auto looked =
-        l2Cache.lookupFast(line_addr, AccessType::Store, 0, false);
+    // historical code. It performs its L3 write-back inline, so any
+    // queued write-backs (ordered earlier) must retire first.
+    std::uint32_t victim = 0;
+    const auto looked = l2Cache.lookupForFill(
+        line_addr, AccessType::Store, 0, false, &victim);
     if (looked == Cache::FastLookup::Defer) {
+        if (!txn.l3Writebacks.empty())
+            flushL3Writebacks(now);
         writebackToL2(line_addr, now);
         return;
     }
     if (looked == Cache::FastLookup::Hit)
         return;
-    auto ev = l2Cache.fillKnownAbsent(line_addr, false, true);
+    auto ev = l2Cache.fillAtWay(line_addr, victim, false, true);
     if (ev.valid && ev.dirty)
-        writebackToL3Fast(ev.lineAddr, now);
+        txn.l3Writebacks.push_back(ev.lineAddr);
 }
 
 Cycles
 MemPath::fetchThroughL3Fast(Addr addr, Cycles now)
 {
+    std::uint32_t victim = 0;
     const auto looked =
-        l3Cache->lookupFast(addr, AccessType::Load, 0);
+        l3Cache->lookupForFill(addr, AccessType::Load, 0, true, &victim);
     if (looked == Cache::FastLookup::Defer) {
         // The shared L3's inline lookup was disabled (a sibling path
         // runs in slow mode): take the historical walk untouched.
@@ -187,7 +235,7 @@ MemPath::fetchThroughL3Fast(Addr addr, Cycles now)
     if (looked == Cache::FastLookup::Hit)
         return config.l3Latency;
     ++stats.dramReads;
-    auto ev = l3Cache->fillKnownAbsent(addr);
+    auto ev = l3Cache->fillAtWay(addr, victim);
     if (ev.valid && ev.dirty)
         ++stats.dramWrites;
     return config.l3Latency + config.dramLatency;
@@ -200,17 +248,19 @@ MemPath::issuePrefetchesFast(const std::vector<Addr> &targets, Cycles now)
     for (Addr target : targets) {
         const Addr line = l2Cache.lineAddr(target);
         ++pf->stats.issued;
-        if (l2Cache.probe(line)) {
+        std::uint32_t victim = 0;
+        if (l2Cache.probeForFill(line, &victim)) {
             ++pf->stats.dropped;
             ++stats.pfDropped;
             continue;
         }
         // The fetch below touches only the L3, so the probe above still
-        // proves the line absent from the L2 at fill time.
+        // proves the line absent from the L2 — and its victim choice
+        // still current — at fill time.
         const Cycles fetch = fetchThroughL3Fast(line, now);
         const Cycles ready = now + config.l2.latency + fetch + queue_delay;
         queue_delay += config.prefetchBurst;
-        auto ev = l2Cache.fillKnownAbsent(line, true, false, ready);
+        auto ev = l2Cache.fillAtWay(line, victim, true, false, ready);
         if (ev.valid && ev.dirty)
             writebackToL3Fast(ev.lineAddr, now);
         ++stats.pfIssued;
@@ -291,13 +341,15 @@ MemPath::accessProfiled(Addr addr, AccessType type, std::uint32_t size,
     const Addr sim = addrMap ? addrMap->translate(addr) : addr;
     const std::uint64_t t1 = HostProfiler::now();
     const std::uint64_t pf_before = hostProf->prefetchNs;
+    const std::uint64_t fill_before = hostProf->fillNs;
     AccessResult result = accessHooked(addr, sim, type, size, pc, now);
     const std::uint64_t t2 = HostProfiler::now();
     ++hostProf->accesses;
     hostProf->translateNs += t1 - t0;
-    // accessImpl accumulated its prefetch work into prefetchNs; what
-    // remains of the walk is cache time.
-    hostProf->cacheNs += (t2 - t1) - (hostProf->prefetchNs - pf_before);
+    // accessImpl accumulated its prefetch and fill work into their own
+    // layers; what remains of the walk is cache (lookup) time.
+    hostProf->cacheNs += (t2 - t1) - (hostProf->prefetchNs - pf_before) -
+                         (hostProf->fillNs - fill_before);
     return result;
 }
 
@@ -343,8 +395,9 @@ MemPath::accessRange(Addr base, std::uint32_t bytes, PcId pc, Cycles now)
         const bool inline_ok = !faults && !trace;
         const auto line_access = [&](Addr host, Addr sim) {
             if (inline_ok) {
-                const auto looked =
-                    l1Cache.lookupFast(sim, AccessType::Load, line);
+                std::uint32_t l1_victim = 0;
+                const auto looked = l1Cache.lookupForFill(
+                    sim, AccessType::Load, line, true, &l1_victim);
                 if (looked == Cache::FastLookup::Hit) {
                     AccessResult res;
                     res.latency = config.l1.latency;
@@ -356,7 +409,7 @@ MemPath::accessRange(Addr base, std::uint32_t bytes, PcId pc, Cycles now)
                     AccessResult res;
                     res.latency = config.l1.latency;
                     take(accessMissFast(host, sim, AccessType::Load,
-                                        line, pc, now, res));
+                                        line, pc, now, res, l1_victim));
                     return;
                 }
             }
@@ -381,12 +434,14 @@ MemPath::accessRange(Addr base, std::uint32_t bytes, PcId pc, Cycles now)
             continue;
         prev_line = sim_line;
         const std::uint64_t pf_before = prof ? hostProf->prefetchNs : 0;
+        const std::uint64_t fill_before = prof ? hostProf->fillNs : 0;
         t0 = prof ? HostProfiler::now() : 0;
         take(accessHooked(a, sim_line, AccessType::Load, line, pc, now));
         if (prof) {
             ++hostProf->accesses;
             hostProf->cacheNs += (HostProfiler::now() - t0) -
-                                 (hostProf->prefetchNs - pf_before);
+                                 (hostProf->prefetchNs - pf_before) -
+                                 (hostProf->fillNs - fill_before);
         }
     }
     return worst;
@@ -473,13 +528,17 @@ MemPath::accessBelowL1(Addr host, Addr sim, AccessType type,
             }
         }
         if (!no_alloc) {
+            const std::uint64_t f0 = hostProf ? HostProfiler::now() : 0;
             auto ev = l1Cache.fill(addr, false, type == AccessType::Store);
             if (ev.valid && ev.dirty)
                 writebackToL2(ev.lineAddr, now);
+            if (hostProf)
+                hostProf->fillNs += HostProfiler::now() - f0;
         }
         return result;
     }
 
+    const std::uint64_t f0 = hostProf ? HostProfiler::now() : 0;
     const Cycles below = fetchThroughL3(addr, now);
     result.latency += below;
     result.level = below > config.l3Latency ? MemLevel::Dram : MemLevel::L3;
@@ -492,20 +551,24 @@ MemPath::accessBelowL1(Addr host, Addr sim, AccessType type,
         if (l1_ev.valid && l1_ev.dirty)
             writebackToL2(l1_ev.lineAddr, now);
     }
+    if (hostProf)
+        hostProf->fillNs += HostProfiler::now() - f0;
     return result;
 }
 
 AccessResult
 MemPath::accessMissFast(Addr host, Addr sim, AccessType type,
                         std::uint32_t size, PcId pc, Cycles now,
-                        AccessResult result)
+                        AccessResult result, std::uint32_t l1_victim)
 {
     // Reachable only from the inline fast path: no fault injector, no
     // trace session, no host profiler, and the L1 miss already proved
     // and counted. Mirrors accessBelowL1 statement for statement; the
-    // only differences are host-cost ones — inline L2/L3 lookups and
+    // only differences are host-cost ones — inline L2/L3 lookups, fused
     // known-absent fills in place of the historical lookup+rescan
-    // pairs. Nothing between the proving lookup and each fill can have
+    // pairs, and the demand fill chain's L3 write-backs coalesced into
+    // txn.l3Writebacks and retired at the end of the transaction.
+    // Nothing between the proving lookup and each fill can have
     // installed the demand line: prefetch targets never include the
     // observed line itself, and the L3 fetch touches no private cache.
     const Addr addr = sim;
@@ -526,11 +589,17 @@ MemPath::accessMissFast(Addr host, Addr sim, AccessType type,
     }
 
     if (pf) {
+        // Prefetch candidates are collected into the transaction record
+        // and issued before the demand fill, exactly where the
+        // historical path issues them. Each candidate's L3 fetch and
+        // victim write-back stay inline and in order (a queued
+        // write-back could otherwise install a line a later candidate's
+        // fetch must miss on).
         PrefetchObservation obs{addr, pc, !l2_res.hit};
-        pfQueue.clear();
-        pf->observe(obs, pfQueue);
-        if (!pfQueue.empty())
-            issuePrefetchesFast(pfQueue, now);
+        txn.pfTargets.clear();
+        pf->observe(obs, txn.pfTargets);
+        if (!txn.pfTargets.empty())
+            issuePrefetchesFast(txn.pfTargets, now);
     }
 
     const bool no_alloc = inRange(noAllocRanges, host);
@@ -548,10 +617,12 @@ MemPath::accessMissFast(Addr host, Addr sim, AccessType type,
             }
         }
         if (!no_alloc) {
-            auto ev = l1Cache.fillKnownAbsent(
-                addr, false, type == AccessType::Store);
+            auto ev = l1Cache.fillAtWay(addr, l1_victim, false,
+                                        type == AccessType::Store);
             if (ev.valid && ev.dirty)
                 writebackToL2Fast(ev.lineAddr, now);
+            if (!txn.l3Writebacks.empty())
+                flushL3Writebacks(now);
         }
         return result;
     }
@@ -561,13 +632,20 @@ MemPath::accessMissFast(Addr host, Addr sim, AccessType type,
     result.level = below > config.l3Latency ? MemLevel::Dram : MemLevel::L3;
 
     if (!no_alloc) {
+        // The demand L3 fetch above was the transaction's last inline
+        // L3 operation; from here every L3 write-back the victim chain
+        // produces is queued, then retired FIFO — one coalesced batch
+        // in place of the historical probe/fill ping-pong, same
+        // operation order.
         auto l2_ev = l2Cache.fillKnownAbsent(addr);
         if (l2_ev.valid && l2_ev.dirty)
-            writebackToL3Fast(l2_ev.lineAddr, now);
-        auto l1_ev = l1Cache.fillKnownAbsent(
-            addr, false, type == AccessType::Store);
+            txn.l3Writebacks.push_back(l2_ev.lineAddr);
+        auto l1_ev = l1Cache.fillAtWay(addr, l1_victim, false,
+                                       type == AccessType::Store);
         if (l1_ev.valid && l1_ev.dirty)
             writebackToL2Fast(l1_ev.lineAddr, now);
+        if (!txn.l3Writebacks.empty())
+            flushL3Writebacks(now);
     }
     return result;
 }

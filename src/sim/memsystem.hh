@@ -7,10 +7,13 @@
  * Hot path: access() is inline. With no fault injector, trace session
  * or host profiler attached it resolves an L1 hit with one TLB probe
  * (AddrMap::translate) plus one inline lookup (Cache::lookupFast) and
- * no out-of-line call, and routes a proven L1 miss into a merged miss
- * walk (accessMissFast) built from inline L2/L3 lookups, known-absent
- * fills and single-lookup write-backs. Everything else falls through
- * to the full hierarchy walk in accessHooked(). The fast paths are
+ * no out-of-line call, and routes a proven L1 miss into a batched miss
+ * transaction (accessMissFast): inline L2/L3 lookups, fused
+ * known-absent fills, and an L2->L3 victim write-back chain collected
+ * into a per-miss scratch record and retired through a coalesced
+ * write-back queue once the fills are done, instead of interleaving a
+ * probe/fill ping-pong per victim. Everything else falls through to
+ * the full hierarchy walk in accessHooked(). The fast paths are
  * observationally equivalent: every stats counter, trace event and
  * latency they produce is bit-identical to the slow path
  * (setFastPath(false) forces the historical code for A/B runs and
@@ -103,7 +106,9 @@ class MemPath
         if (fastPath && !faults && !trace &&
             (type != AccessType::Store || wtRanges.empty() ||
              !inRange(wtRanges, addr))) {
-            const auto looked = l1Cache.lookupFast(sim, type, size);
+            std::uint32_t l1_victim = 0;
+            const auto looked =
+                l1Cache.lookupForFill(sim, type, size, true, &l1_victim);
             if (looked == Cache::FastLookup::Hit) {
                 AccessResult result;
                 result.latency = config.l1.latency;
@@ -112,11 +117,12 @@ class MemPath
             }
             if (looked == Cache::FastLookup::Miss) {
                 // The inline lookup already proved and counted the L1
-                // miss; continue with the walk below it.
+                // miss — and selected the fill victim; continue with
+                // the walk below it.
                 AccessResult result;
                 result.latency = config.l1.latency;
                 return accessMissFast(addr, sim, type, size, pc, now,
-                                      result);
+                                      result, l1_victim);
             }
         }
         return accessHooked(addr, sim, type, size, pc, now);
@@ -197,6 +203,8 @@ class MemPath
         l3Cache->setFastLookup(on);
         if (addrMap)
             addrMap->setFastPath(on);
+        if (pf)
+            pf->setFastMode(on);
     }
 
     /** Declare a write-through (MTRR WT) range [base, base+bytes). */
@@ -204,6 +212,8 @@ class MemPath
     /**
      * End-of-run drain: account the write-back traffic the resident
      * dirty private-cache lines will eventually cost the L3.
+     * Idempotent — a second call (a double finish()) adds nothing, so
+     * l3Writebacks cannot be double-counted.
      */
     void drainDirty();
     /** Declare a no-allocate (streaming load) range. */
@@ -260,29 +270,47 @@ class MemPath
     /**
      * Fast-path twin of accessBelowL1, reachable only after the inline
      * L1 lookup proved (and counted) the miss with no fault injector,
-     * trace session or host profiler attached. Produces bit-identical
-     * observable state through merged cache operations: inline L2/L3
-     * lookups and known-absent fills that skip the residency rescans
-     * the historical path performs.
+     * trace session or host profiler attached. Runs the miss as one
+     * batched transaction over the `txn` scratch record: inline L2/L3
+     * lookups, fused known-absent fills, and every L3 write-back the
+     * demand fill chain produces coalesced into txn.l3Writebacks and
+     * retired FIFO by flushL3Writebacks once the fills are done. The
+     * queue holds only write-backs ordered *after* every inline L3
+     * operation of the transaction (the prefetch fetches and the
+     * demand fetch), so the L3 observes exactly the historical
+     * per-cache operation sequence. Observable state is bit-identical
+     * to accessBelowL1.
+     *
+     * @param l1_victim the L1 victim way the caller's lookupForFill
+     *        miss selected; still current at the L1 fill because the
+     *        transaction touches only the L2/L3 before it.
      */
     AccessResult accessMissFast(Addr host, Addr sim, AccessType type,
                                 std::uint32_t size, PcId pc, Cycles now,
-                                AccessResult result);
+                                AccessResult result,
+                                std::uint32_t l1_victim);
     /** fetchThroughL3 with an inline L3 lookup and known-absent fill. */
     Cycles fetchThroughL3Fast(Addr addr, Cycles now);
     /** issuePrefetches with known-absent L2 fills (fast path only). */
     void issuePrefetchesFast(const std::vector<Addr> &targets,
                              Cycles now);
+    /** Retire txn.l3Writebacks in FIFO order via the fused L3 path. */
+    void flushL3Writebacks(Cycles now);
     /** access() with per-layer host timing (hostProf attached). */
     AccessResult accessProfiled(Addr addr, AccessType type,
                                 std::uint32_t size, PcId pc, Cycles now);
     void writebackToL2(Addr line_addr, Cycles now);
     void writebackToL3(Addr line_addr, Cycles now);
-    /** writebackToL2 with one inline lookup replacing the probe +
-     *  access/fill pair (fast path only). */
+    /**
+     * writebackToL2 with one inline lookup replacing the probe +
+     * access/fill pair (fast path only). An L3 write-back produced by
+     * the L2 victim is appended to txn.l3Writebacks instead of being
+     * performed inline; the owning miss transaction flushes the queue.
+     */
     void writebackToL2Fast(Addr line_addr, Cycles now);
     /** writebackToL3 with one inline lookup replacing the probe +
-     *  access/fill pair (fast path only). */
+     *  access/fill pair (fast path only). Flushes any queued
+     *  write-backs first so the L3 operation order stays historical. */
     void writebackToL3Fast(Addr line_addr, Cycles now);
     /** Fetch a line into L3 if absent; returns latency beyond L2. */
     Cycles fetchThroughL3(Addr addr, Cycles now);
@@ -300,7 +328,21 @@ class MemPath
     std::unique_ptr<AddrMap> addrMap;  //!< null = host addresses pass through
     std::vector<Range> wtRanges;
     std::vector<Range> noAllocRanges;
-    std::vector<Addr> pfQueue;  //!< reused scratch buffer
+    std::vector<Addr> pfQueue;  //!< reused scratch buffer (slow path)
+
+    /**
+     * Per-miss transaction scratch of the fast path: the prefetch
+     * candidates the L2 observation produced and the L3 write-backs
+     * coalesced out of the demand fill chain. Member state (not locals)
+     * so the buffers' capacity persists across misses and the hot path
+     * stays allocation-free after warm-up.
+     */
+    struct MissTxn {
+        std::vector<Addr> pfTargets;     //!< prefetcher proposals
+        std::vector<Addr> l3Writebacks;  //!< coalesced write-back queue
+    };
+    MissTxn txn;
+    bool drainAccounted = false;  //!< drainDirty already ran (idempotence)
 };
 
 } // namespace tartan::sim

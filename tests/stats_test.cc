@@ -11,6 +11,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "../bench/bench_util.hh"
+#include "../bench/report_format.hh"
 #include "sim/json.hh"
 #include "sim/memsystem.hh"
 #include "sim/report.hh"
@@ -213,6 +215,51 @@ TEST(MemPathStats, DrainDirtyCountsResidentDirtyLines)
 
     mem.drainDirty();
     EXPECT_EQ(mem.stats.l3Writebacks, before + dirty);
+}
+
+TEST(Bench, GeomeanOfNoPositiveValuesIsNaN)
+{
+    // The historical 0.0 flowed into normalised columns as a fake
+    // baseline; degenerate inputs must be unmistakable instead.
+    EXPECT_TRUE(std::isnan(tartan::bench::geomean({})));
+    EXPECT_TRUE(std::isnan(tartan::bench::geomean({0.0, -3.0})));
+    // Non-positive values are skipped, not poisoning the rest.
+    EXPECT_DOUBLE_EQ(tartan::bench::geomean({2.0, 8.0, 0.0}), 4.0);
+}
+
+TEST(Bench, NonFiniteMetricsRenderAsNa)
+{
+    // A NaN metric serialises as JSON null and must render "n/a" in
+    // RESULTS.md, never a fake 0.
+    std::ostringstream os;
+    json::writeNumber(os, tartan::bench::geomean({}));
+    EXPECT_EQ(os.str(), "null");
+
+    json::Value v;
+    ASSERT_TRUE(json::parse("null", v));
+    EXPECT_EQ(tartan::bench::formatMetric(v), "n/a");
+
+    ASSERT_TRUE(json::parse("1.5", v));
+    EXPECT_EQ(tartan::bench::formatMetric(v), "1.5");
+}
+
+TEST(MemPathStats, DrainDirtyIsIdempotent)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    auto &mem = sys.mem();
+
+    mem.access(0x60000, AccessType::Store, 4, 1, 0);
+    mem.access(0x60040, AccessType::Store, 4, 1, 0);
+
+    mem.drainDirty();
+    const std::uint64_t after_first = mem.stats.l3Writebacks;
+    EXPECT_GT(after_first, 0u);
+
+    // A second drain (e.g. a stats dump after the run already drained)
+    // must not double-count the still-resident dirty lines.
+    mem.drainDirty();
+    EXPECT_EQ(mem.stats.l3Writebacks, after_first);
 }
 
 TEST(MemPathStats, PrefetchInvariantsHoldEndToEnd)

@@ -177,7 +177,11 @@ def lint_header(path: pathlib.Path, rel: str, allow: set,
                     scopes.pop()
 
         prev_code_line = stripped
-        prev_was_doc = False
+        # A standalone template prefix ("template <typename T>" on its
+        # own line) belongs to the declaration that follows; let the doc
+        # comment above it carry through to that declaration.
+        prev_was_doc = bool(
+            re.match(r"^template\s*<[^>]*>$", stripped)) and prev_was_doc
 
     return violations
 
