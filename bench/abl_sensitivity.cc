@@ -51,9 +51,12 @@ anlGeometry(BenchReporter &rep, RunPool &pool)
                 "norm.time", "coverage", "accuracy");
     std::size_t r = 0;
     const RunResult &base = results[r++];
+    reportCpi(rep, "anl/base", base);
     for (std::uint32_t entries : {8u, 16u, 32u, 64u}) {
         for (std::uint32_t region : {512u, 1024u, 2048u}) {
             const RunResult &res = results[r++];
+            if (entries == 16 && region == 1024)
+                reportCpi(rep, "anl/16e-1024B", res);
             const double hits =
                 double(res.pfHitsTimely + res.pfHitsLate);
             const double norm =
@@ -102,9 +105,11 @@ fcpLevel(BenchReporter &rep, RunPool &pool)
     std::printf("%-10s %10s %12s\n", "config", "norm.time", "l2misses");
     std::size_t r = 0;
     const RunResult &base = results[r++];
+    reportCpi(rep, "fcp/base", base);
     for (const Config &c : configs) {
         const RunResult &res = results[r++];
         const std::string row = std::string("fcp/") + c.name;
+        reportCpi(rep, row, res);
         rep.kernelMetric(row, "normTime",
                          double(res.wallCycles) /
                              double(base.wallCycles));
@@ -134,8 +139,10 @@ npuLinkLatency(BenchReporter &rep, RunPool &pool)
     std::printf("%-10s %10s\n", "cycles", "norm.time");
     std::size_t r = 0;
     const RunResult &exact = results[r++];
+    reportCpi(rep, "npuLink/exact", exact);
     for (tartan::sim::Cycles lat : {1u, 4u, 16u, 48u, 104u}) {
         const RunResult &res = results[r++];
+        reportCpi(rep, "npuLink/" + std::to_string(lat) + "cyc", res);
         rep.kernelMetric("npuLink/" + std::to_string(lat) + "cyc",
                          "normTime",
                          double(res.wallCycles) /

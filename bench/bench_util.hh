@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/env.hh"
 #include "sim/logging.hh"
 #include "sim/report.hh"
 #include "sim/runpool.hh"
@@ -200,6 +201,32 @@ reportRun(BenchReporter &rep, const std::string &row, const RunResult &res)
     if (res.npuInvocations)
         rep.kernelMetric(row, "npuInvocations",
                          double(res.npuInvocations));
+}
+
+/**
+ * Record per-kernel CPI stacks of run @p run (one cpi row per kernel
+ * that accumulated cycles) into @p rep. No-op when TARTAN_CPISTACK is
+ * off — attribution is still computed inside the core, the knob only
+ * gates the surfaces.
+ */
+inline void
+reportCpi(BenchReporter &rep, const std::string &run,
+          const std::vector<sim::KernelCounters> &kernels)
+{
+    if (!sim::RunEnv::get().cpiStack)
+        return;
+    for (const auto &k : kernels) {
+        if (!k.cycles)
+            continue;
+        rep.cpiRow(run, k.name, k.cycles, k.cpi);
+    }
+}
+
+/** Overload for the standard robot-run snapshot. */
+inline void
+reportCpi(BenchReporter &rep, const std::string &run, const RunResult &res)
+{
+    reportCpi(rep, run, res.kernels);
 }
 
 } // namespace tartan::bench

@@ -187,6 +187,7 @@ main(int argc, char **argv)
         const double clean_q = metricOr(clean, quality_key, 0.0);
         rep.kernelMetric(name, "cleanQuality", clean_q);
         reportRun(rep, name + "/clean", clean);
+        reportCpi(rep, name + "/clean", clean);
 
         std::size_t survived = 0;
         for (const FaultClass &fc : classes) {
@@ -212,6 +213,9 @@ main(int argc, char **argv)
                                                         : -1.0);
             rep.kernelMetric(row, "wallCycles", double(res.wallCycles));
             rep.kernelMetric(row, "survived", ok ? 1.0 : 0.0);
+            // Fault-class runs carry a 'fault' CPI category: the stack
+            // shows where injected latency spikes landed.
+            reportCpi(rep, row, res);
 
             std::printf("%-10s %-18s %10.0f %10.0f %11.1f%% %8s\n",
                         name.c_str(), fc.name, injected, recovered,

@@ -78,6 +78,8 @@ main()
         rep.kernelMetric(robot.name, "l3TrafficNoWt", double(a.l3Traffic));
         rep.kernelMetric(robot.name, "l3TrafficWt", double(b.l3Traffic));
         rep.kernelMetric(robot.name, "l3ReductionPct", red);
+        reportCpi(rep, std::string(robot.name) + "/stock64B", w);
+        reportCpi(rep, std::string(robot.name) + "/upgraded", b);
         if (ratio > 0)
             udm_ratios.push_back(ratio);
         l3_reductions.push_back(red);

@@ -70,6 +70,8 @@ main()
                     s);
         reportRun(rep, std::string(robot.name) + "/B", base);
         reportRun(rep, std::string(robot.name) + "/T", tartan_res);
+        reportCpi(rep, std::string(robot.name) + "/B", base);
+        reportCpi(rep, std::string(robot.name) + "/T", tartan_res);
         rep.kernelMetric(robot.name, "baselineBottleneckShare", b_share);
         rep.kernelMetric(robot.name, "tartanBottleneckShare", t_share);
         rep.kernelMetric(robot.name, "speedup", s);

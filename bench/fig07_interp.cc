@@ -21,8 +21,14 @@ using robotics::Mem;
 
 namespace {
 
+/** One configuration's outcome: total cycles + per-kernel counters. */
+struct RayRun {
+    double cycles = 0.0;
+    std::vector<sim::KernelCounters> kernels;
+};
+
 /** Run the DeliBot-style interpolated ray-casting kernel. */
-sim::Cycles
+RayRun
 rayCastingTime(bool use_ovec, bool accel)
 {
     // Engines are stateful (batch statistics), so every run constructs
@@ -60,7 +66,7 @@ rayCastingTime(bool use_ovec, bool accel)
                         accel ? &lvs : nullptr);
         }
     }
-    return sys.core().cycles();
+    return RayRun{double(sys.core().cycles()), sys.core().kernels()};
 }
 
 } // namespace
@@ -76,7 +82,7 @@ main()
     rep.config("configs", "B=scalar O=ovec I=intel-accel O+I=combined");
 
     RunPool pool;
-    std::vector<std::function<double()>> jobs;
+    std::vector<std::function<RayRun()>> jobs;
     const struct { const char *cfg; bool ovec; bool accel; } configs[] = {
         {"B", false, false},
         {"O", true, false},
@@ -84,11 +90,11 @@ main()
         {"O+I", true, true}};
     for (const auto &c : configs)
         jobs.push_back([ovec = c.ovec, accel = c.accel]() {
-            return double(rayCastingTime(ovec, accel));
+            return rayCastingTime(ovec, accel);
         });
-    const std::vector<double> cycles = runAll(pool, std::move(jobs));
-    const double b = cycles[0], o = cycles[1], i = cycles[2],
-                 oi = cycles[3];
+    const std::vector<RayRun> runs = runAll(pool, std::move(jobs));
+    const double b = runs[0].cycles, o = runs[1].cycles,
+                 i = runs[2].cycles, oi = runs[3].cycles;
 
     std::printf("%-4s %14s %10s %9s\n", "cfg", "cycles", "norm", "speedup");
     std::printf("%-4s %14.0f %10.3f %8.2fx\n", "B", b, 1.0, 1.0);
@@ -99,9 +105,10 @@ main()
                 "(paper: 1.33x)\n", i / oi);
 
     for (std::size_t c = 0; c < 4; ++c) {
-        rep.kernelMetric(configs[c].cfg, "cycles", cycles[c]);
-        rep.kernelMetric(configs[c].cfg, "normTime", cycles[c] / b);
-        rep.kernelMetric(configs[c].cfg, "speedup", b / cycles[c]);
+        rep.kernelMetric(configs[c].cfg, "cycles", runs[c].cycles);
+        rep.kernelMetric(configs[c].cfg, "normTime", runs[c].cycles / b);
+        rep.kernelMetric(configs[c].cfg, "speedup", b / runs[c].cycles);
+        reportCpi(rep, configs[c].cfg, runs[c].kernels);
     }
     rep.metric("orthogonalityOiOverI", i / oi);
     rep.note("paper: O+I over I alone = 1.33x");

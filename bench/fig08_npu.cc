@@ -76,6 +76,7 @@ main()
             const std::string row =
                 std::string(target.name) + "/" + cfg.label;
             reportRun(rep, row, res);
+            reportCpi(rep, row, res);
             rep.kernelMetric(row, "normTime",
                              double(res.wallCycles) / base_cycles);
             rep.kernelMetric(row, "normInstr",

@@ -78,6 +78,7 @@ main()
                 const std::string row = std::string(target.name) + "/" +
                                         backend.label + (anl ? "+" : "");
                 reportRun(rep, row, res);
+                reportCpi(rep, row, res);
                 rep.kernelMetric(row, "normTime",
                                  double(res.wallCycles) / base_cycles);
                 rep.kernelMetric(row, "normMisses",

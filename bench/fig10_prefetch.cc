@@ -98,11 +98,13 @@ main()
         const double base_cycles = double(results[idx++].wallCycles);
         std::printf("%-10s", robot.name);
         for (int pf = 0; pf < 4; ++pf) {
-            const PfResult r = summarizePf(results[idx++], base_cycles);
+            const RunResult &res = results[idx++];
+            const PfResult r = summarizePf(res, base_cycles);
             std::printf(" | %9.3f %3.0f%% %3.0f%%", r.norm_time,
                         100 * r.coverage, 100 * r.accuracy);
             const std::string row =
                 std::string(robot.name) + "/" + labels[pf];
+            reportCpi(rep, row, res);
             rep.kernelMetric(row, "normTime", r.norm_time);
             rep.kernelMetric(row, "coverage", r.coverage);
             rep.kernelMetric(row, "accuracy", r.accuracy);

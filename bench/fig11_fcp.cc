@@ -62,6 +62,10 @@ main()
     std::vector<double> best_gains;
     std::size_t r = 0;
     for (const auto &robot : robotSuite()) {
+        // CPI stacks for the no-FCP reference and the paper's chosen
+        // configuration (x^2, 1 KB regions, l=2) — the full 13-config
+        // sweep would bloat the payload without adding shape.
+        reportCpi(rep, std::string(robot.name) + "/base", results[r]);
         const double base_cycles = double(results[r++].wallCycles);
         double best = 1.0;
         for (int f = 0; f < 3; ++f) {
@@ -69,6 +73,10 @@ main()
             for (std::uint32_t region : {512u, 1024u}) {
                 for (std::uint32_t l : {2u, 3u}) {
                     const RunResult &res = results[r++];
+                    if (f == 2 && region == 1024 && l == 2)
+                        reportCpi(rep,
+                                  std::string(robot.name) + "/x^2/1024B-2b",
+                                  res);
                     const double norm =
                         double(res.wallCycles) / base_cycles;
                     best = std::min(best, norm);

@@ -64,6 +64,8 @@ main()
         std::printf("%-10s %11.2fx %11.2fx %11.2fx\n", robot.name, sl,
                     so, sa);
         reportRun(rep, std::string(robot.name) + "/approx", approx);
+        reportCpi(rep, std::string(robot.name) + "/base", base);
+        reportCpi(rep, std::string(robot.name) + "/approx", approx);
         rep.kernelMetric(robot.name, "legacySpeedup", sl);
         rep.kernelMetric(robot.name, "optimizedSpeedup", so);
         rep.kernelMetric(robot.name, "approxSpeedup", sa);

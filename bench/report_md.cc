@@ -49,6 +49,65 @@ struct BenchDoc {
     Value doc;
 };
 
+/**
+ * Render the bench's cpi block as a stacked-breakdown table: one row
+ * per (run, kernel), one column per category that is nonzero in at
+ * least one row, each cell showing that category's share of the row's
+ * cycles. Structurally-zero categories are dropped so the table stays
+ * readable.
+ */
+void
+emitCpi(std::ostream &os, const Value &cpi)
+{
+    const Value *cats = cpi.find("categories");
+    const Value *rows = cpi.find("rows");
+    if (!cats || !rows || rows->array.empty())
+        return;
+
+    std::vector<std::string> used;
+    for (const Value &cat : cats->array) {
+        for (const Value &row : rows->array) {
+            const Value *stack = row.find("stack");
+            const Value *v = stack ? stack->find(cat.string) : nullptr;
+            if (v && v->number > 0) {
+                used.push_back(cat.string);
+                break;
+            }
+        }
+    }
+    if (used.empty())
+        return;
+
+    os << "CPI stacks (share of each run/kernel's cycles):\n\n";
+    os << "| run | kernel | cycles |";
+    for (const auto &c : used)
+        os << " " << c << " |";
+    os << "\n|---|---|---|";
+    for (std::size_t i = 0; i < used.size(); ++i)
+        os << "---|";
+    os << "\n";
+    for (const Value &row : rows->array) {
+        const Value *run = row.find("run");
+        const Value *kernel = row.find("kernel");
+        const Value *cycles = row.find("cycles");
+        const Value *stack = row.find("stack");
+        const double total = cycles ? cycles->number : 0.0;
+        os << "| " << (run ? run->string : "?") << " | "
+           << (kernel ? kernel->string : "?") << " | "
+           << formatNumber(total) << " |";
+        for (const auto &c : used) {
+            const Value *v = stack ? stack->find(c) : nullptr;
+            const double share =
+                v && total > 0 ? 100.0 * v->number / total : 0.0;
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.1f%%", share);
+            os << " " << buf << " |";
+        }
+        os << "\n";
+    }
+    os << "\n";
+}
+
 void
 emitBench(std::ostream &os, const BenchDoc &bench)
 {
@@ -118,6 +177,9 @@ emitBench(std::ostream &os, const BenchDoc &bench)
         }
         os << "\n";
     }
+
+    if (const Value *cpi = bench.doc.find("cpi"))
+        emitCpi(os, *cpi);
 }
 
 } // namespace

@@ -107,6 +107,10 @@ diffResults(const RunResult &a, const RunResult &b)
                 diff += "  kernel " + ka.name + "/" + kb.name +
                         " counters differ\n";
             }
+            // The CPI decomposition is an observable too: the fast and
+            // slow miss walks must charge identical categories.
+            if (!(ka.cpi == kb.cpi))
+                diff += "  kernel " + ka.name + " CPI stack differs\n";
         }
     }
     if (a.metrics != b.metrics)
@@ -179,10 +183,9 @@ main()
                          "selfbench: %s profiled run diverges:\n%s",
                          robot.name, prof_diff.c_str());
         }
-        const std::uint64_t attributed = prof.translateNs + prof.cacheNs +
-                                         prof.prefetchNs + prof.fillNs;
-        prof.otherNs =
-            prof_wall > attributed ? prof_wall - attributed : 0;
+        // Close the per-layer breakdown: 'other' becomes the explicit
+        // remainder and the five buckets sum to the wall exactly.
+        prof.finalizeWall(prof_wall);
 
         const double accesses = double(fast.result.l1Accesses);
         const double miss_pct =
@@ -200,7 +203,7 @@ main()
         slow_tp.push_back(slow_macc);
         ratios.push_back(ratio);
 
-        const double wall = double(prof_wall);
+        const double wall = double(prof.wallNs);
         const auto pct = [&](std::uint64_t ns) {
             return wall > 0 ? 100.0 * double(ns) / wall : 0.0;
         };
@@ -225,6 +228,7 @@ main()
         rep.kernelMetric(row, "fillShare", pct(prof.fillNs) / 100.0);
         rep.kernelMetric(row, "otherShare", pct(prof.otherNs) / 100.0);
         rep.kernelMetric(row, "equivalent", diff.empty() ? 1.0 : 0.0);
+        reportCpi(rep, row, fast.result);
     }
 
     const double gm_fast = geomean(fast_tp);

@@ -31,18 +31,6 @@ using namespace tartan::workloads;
 
 namespace {
 
-/** {exact planCost, AXAR planCost, AXAR supervisor rollbacks}. */
-std::vector<double>
-flybotPathCosts()
-{
-    auto exact = runFlyBot(MachineSpec::tartan(),
-                           options(SoftwareTier::Optimized));
-    auto axar = runFlyBot(MachineSpec::tartan(),
-                          options(SoftwareTier::Approximate));
-    return {exact.metrics.at("planCost"), axar.metrics.at("planCost"),
-            axar.metrics.at("rollbacks")};
-}
-
 /**
  * Synthetic T-prediction dataset: downsampled cloud pairs -> pose.
  * Returns {relative rotation error %, relative translation error %}.
@@ -210,26 +198,38 @@ main()
     rep.config("patrolbotTopology", "50/1024/512/1");
 
     RunPool pool;
+    // The FlyBot error needs the full simulated runs (exact vs AXAR
+    // plan cost), so those two execute as RunResult jobs — which also
+    // makes their per-kernel CPI stacks available to the report.
+    std::vector<std::function<RunResult()>> fly_jobs;
+    fly_jobs.push_back(job(runFlyBot, MachineSpec::tartan(),
+                           options(SoftwareTier::Optimized)));
+    fly_jobs.push_back(job(runFlyBot, MachineSpec::tartan(),
+                           options(SoftwareTier::Approximate)));
     std::vector<std::function<std::vector<double>()>> jobs = {
-        flybotPathCosts, homebotTransformError,
-        patrolbotClassificationError};
+        homebotTransformError, patrolbotClassificationError};
+    const auto fly_results = runAll(pool, std::move(fly_jobs));
     const auto results = runAll(pool, std::move(jobs));
 
-    const double exact_cost = results[0][0];
-    const double axar_cost = results[0][1];
+    const RunResult &fly_exact = fly_results[0];
+    const RunResult &fly_axar = fly_results[1];
+    const double exact_cost = fly_exact.metrics.at("planCost");
+    const double axar_cost = fly_axar.metrics.at("planCost");
     std::printf("  FlyBot plan costs: exact %.4f, AXAR %.4f, "
                 "supervisor rollbacks %.0f\n",
-                exact_cost, axar_cost, results[0][2]);
+                exact_cost, axar_cost, fly_axar.metrics.at("rollbacks"));
     const double fly = exact_cost > 0
                            ? 100.0 * (axar_cost - exact_cost) / exact_cost
                            : 0.0;
+    reportCpi(rep, "FlyBot/exact", fly_exact);
+    reportCpi(rep, "FlyBot/AXAR", fly_axar);
 
-    const double rot_rel = results[1][0], trans_rel = results[1][1];
+    const double rot_rel = results[0][0], trans_rel = results[0][1];
     std::printf("  HomeBot rotation error %.1f%%, translation error "
                 "%.1f%%\n", rot_rel, trans_rel);
     const double home = std::sqrt(rot_rel * trans_rel);
 
-    const double patrol = results[2][0];
+    const double patrol = results[1][0];
 
     std::printf("%-7s %-10s %-14s %-14s %10s\n", "type", "robot",
                 "function", "topology", "error");

@@ -29,7 +29,7 @@ NpuModel::configure(Core &core, const tartan::nn::Mlp &mlp)
     // charge one latency plus a cycle per message of occupancy.
     const Cycles total = comm_each + messages;
     statsData.commCycles += total;
-    core.stall(total);
+    core.stall(total, tartan::sim::CpiCat::Npu);
     core.countInstructions(messages);
 }
 
@@ -76,7 +76,7 @@ NpuModel::infer(Core &core, const tartan::nn::Mlp &mlp,
                             : 0;  // optimistic off-die array
     statsData.commCycles += comm;
     statsData.inferenceCycles += exec;
-    core.stall(comm + exec);
+    core.stall(comm + exec, tartan::sim::CpiCat::Npu);
     core.countInstructions(4);  // enqueue inputs, dequeue outputs
 }
 

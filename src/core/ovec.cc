@@ -46,8 +46,10 @@ OvecEngine::load(Mem &mem, const float *data, std::size_t size,
     for (std::uint32_t i = 0; i < lanes; ++i)
         addrs[i] = reinterpret_cast<Addr>(cells[i]);
     // One O_MOVE instruction: hardware address generation then all
-    // lanes issued to the memory system concurrently.
-    mem.core()->vecLoadLanes({addrs, lanes}, pc, agLatency);
+    // lanes issued to the memory system concurrently. The AG unit's
+    // cycles are OVEC wait in the CPI stack.
+    mem.core()->vecLoadLanes({addrs, lanes}, pc, agLatency,
+                             /*lane_size=*/4, tartan::sim::CpiCat::Ovec);
 }
 
 void

@@ -38,12 +38,19 @@ Core::registerStats(StatsGroup &group)
                                : 0.0;
         },
         "instructions per cycle");
+    StatsGroup &cpi = group.child("cpi");
+    for (std::size_t i = 0; i < kNumCpiCats; ++i)
+        cpi.addCounter(cpiCatName(CpiCat(i)), &cpiTotal.cat[i],
+                       "machine-wide cycles in this CPI category");
     group.child("kernels").setProvider([this](StatsGroup &kernels) {
         for (const KernelCounters &k : kernelData) {
             StatsGroup &one = kernels.child(k.name);
             one.set("cycles", double(k.cycles));
             one.set("memStallCycles", double(k.memStallCycles));
             one.set("instructions", double(k.instructions));
+            StatsGroup &kcpi = one.child("cpi");
+            for (std::size_t i = 0; i < kNumCpiCats; ++i)
+                kcpi.set(cpiCatName(CpiCat(i)), double(k.cpi.cat[i]));
         }
     });
     // Kernel attribution is exhaustive: with the sub-issue-width
@@ -60,6 +67,21 @@ Core::registerStats(StatsGroup &group)
         }
         return cycles == totalCycles && mem_stall == totalMemStall &&
                instructions == totalInstructions;
+    });
+    // Cycle accounting is exhaustive and exclusive: every charged
+    // cycle flows through addCycles/addMemStall with exactly one
+    // category, so the CPI stacks partition the cycle totals.
+    group.addInvariant("cpi categories sum to total cycles", [this] {
+        return cpiTotal.sum() == totalCycles;
+    });
+    group.addInvariant("kernel cpi stacks sum to kernel cycles", [this] {
+        CpiStack all;
+        for (const KernelCounters &k : kernelData) {
+            if (k.cpi.sum() != k.cycles)
+                return false;
+            all.add(k.cpi);
+        }
+        return all == cpiTotal;
     });
 }
 
@@ -81,8 +103,12 @@ Core::setKernel(std::uint32_t id)
     // would charge this kernel's fractional cycles to the next one.
     if (opCarry) {
         opCarry = 0;
-        addCycles(1);
+        addCycles(1, CpiCat::Issue);
     }
+    TARTAN_DCHECK(kernelData[kernelId].cpi.sum() ==
+                      kernelData[kernelId].cycles,
+                  "kernel '%s' CPI stack out of sync with its cycles",
+                  kernelData[kernelId].name.c_str());
     kernelId = id;
     if (trace)
         trace->kernelSwitch(kernelData[id].name, totalCycles);
@@ -120,8 +146,10 @@ Core::traceInstant(const std::string &name)
 }
 
 void
-Core::addCycles(Cycles c)
+Core::addCycles(Cycles c, CpiCat cat)
 {
+    cpiTotal[cat] += c;
+    kernelData[kernelId].cpi[cat] += c;
     totalCycles += c;
     kernelData[kernelId].cycles += c;
     if (trace)
@@ -129,11 +157,22 @@ Core::addCycles(Cycles c)
 }
 
 void
-Core::addMemStall(Cycles c)
+Core::addMemStall(Cycles c, const CpiStack &split)
 {
+    TARTAN_DCHECK(split.sum() == c,
+                  "CPI stall split (%llu) must sum to the stall (%llu)",
+                  static_cast<unsigned long long>(split.sum()),
+                  static_cast<unsigned long long>(c));
+    cpiTotal.add(split);
+    kernelData[kernelId].cpi.add(split);
     totalMemStall += c;
     kernelData[kernelId].memStallCycles += c;
-    addCycles(c);
+    // One cycle advance (not one per category): trace epoch sampling
+    // observes the same tick sequence as the pre-accounting model.
+    totalCycles += c;
+    kernelData[kernelId].cycles += c;
+    if (trace)
+        trace->tick(totalCycles);
 }
 
 void
@@ -152,13 +191,13 @@ Core::exec(std::uint64_t ops, OpClass cls)
     const Cycles whole = opCarry / config.issueWidth;
     opCarry %= config.issueWidth;
     if (whole)
-        addCycles(whole);
+        addCycles(whole, CpiCat::Issue);
 }
 
 void
-Core::stall(Cycles cycles)
+Core::stall(Cycles cycles, CpiCat cat)
 {
-    addCycles(cycles);
+    addCycles(cycles, cat);
 }
 
 void
@@ -179,6 +218,53 @@ Core::loadStall(const AccessResult &res, MemDep dep)
     return (beyond + config.missOverlap - 1) / config.missOverlap;
 }
 
+Cycles
+Core::stallComponents(const AccessResult &res, CpiStack &comp) const
+{
+    const MemPathParams &mp = memPath->params();
+    const Cycles l1_lat = mp.l1.latency;
+    if (res.latency <= l1_lat)
+        return 0;
+    const Cycles beyond = res.latency - l1_lat;
+    // Tagged components first (injected spikes, late-prefetch
+    // residuals); what remains is hierarchy latency split by the level
+    // that serviced the access.
+    Cycles rest = beyond;
+    const Cycles fault = std::min(res.faultCycles, rest);
+    rest -= fault;
+    const Cycles late = std::min(res.lateCycles, rest);
+    rest -= late;
+    Cycles l2 = 0, l3 = 0, dram = 0;
+    switch (res.level) {
+      case MemLevel::L1:
+        // Only a tagged component can push an L1 hit beyond the L1
+        // latency; any untagged remainder is charged to the L1 itself.
+        comp[CpiCat::L1] += rest;
+        rest = 0;
+        break;
+      case MemLevel::L2:
+        l2 = rest;
+        break;
+      case MemLevel::L3:
+        l2 = std::min(mp.l2.latency, rest);
+        l3 = rest - l2;
+        break;
+      case MemLevel::Dram:
+        l2 = std::min(mp.l2.latency, rest);
+        l3 = std::min(mp.l3Latency, rest - l2);
+        dram = rest - l2 - l3;
+        break;
+      case MemLevel::NumLevels:
+        break;
+    }
+    comp[CpiCat::L2] += l2;
+    comp[CpiCat::L3] += l3;
+    comp[CpiCat::Dram] += dram;
+    comp[CpiCat::PfLate] += late;
+    comp[CpiCat::Fault] += fault;
+    return beyond;
+}
+
 void
 Core::load(Addr addr, PcId pc, MemDep dep, std::uint32_t size)
 {
@@ -186,8 +272,11 @@ Core::load(Addr addr, PcId pc, MemDep dep, std::uint32_t size)
     auto res = memPath->access(addr, AccessType::Load, size, pc,
                                totalCycles);
     const Cycles s = loadStall(res, dep);
-    if (s)
-        addMemStall(s);
+    if (s) {
+        CpiStack comp;
+        const Cycles beyond = stallComponents(res, comp);
+        addMemStall(s, splitStall(comp, beyond, s));
+    }
 }
 
 void
@@ -204,73 +293,77 @@ Core::vecOp(std::uint64_t n)
 {
     addInstructions(n);
     // Vector units sustain one op per cycle in this model.
-    addCycles(n);
+    addCycles(n, CpiCat::Issue);
 }
 
 void
 Core::deviceLoadLanes(std::span<const Addr> lanes, PcId pc,
-                      Cycles device_cycles)
+                      Cycles device_cycles, CpiCat device_cat)
 {
     if (device_cycles)
-        addCycles(device_cycles);
+        addCycles(device_cycles, device_cat);
     // The accelerator streams the lanes through the same bandwidth-
-    // bound overlap window as the core's OoO engine.
+    // bound overlap window as the core's OoO engine. Per-category
+    // components aggregate across lanes first; the compressed stall is
+    // then split over the aggregate, so the attribution is independent
+    // of lane order within a batch.
     Cycles total_beyond = 0;
-    const Cycles l1_lat = memPath->params().l1.latency;
+    CpiStack comp;
     for (Addr lane : lanes) {
         auto res = memPath->access(lane, AccessType::Load, 4, pc,
                                    totalCycles);
-        if (res.latency > l1_lat)
-            total_beyond += res.latency - l1_lat;
+        total_beyond += stallComponents(res, comp);
     }
     const std::uint32_t overlap = config.missOverlap;
     const Cycles stall = (total_beyond + overlap - 1) / overlap;
     if (stall)
-        addMemStall(stall);
+        addMemStall(stall, splitStall(comp, total_beyond, stall));
 }
 
 void
 Core::vecLoadLanes(std::span<const Addr> lanes, PcId pc, Cycles ag_latency,
-                   std::uint32_t lane_size)
+                   std::uint32_t lane_size, CpiCat ag_cat)
 {
     addInstructions(1);
     if (ag_latency)
-        addCycles(ag_latency);
+        addCycles(ag_latency, ag_cat);
     // Scattered lanes contend for the L1 ports.
-    addCycles((lanes.size() + 3) / 4);
+    addCycles((lanes.size() + 3) / 4, CpiCat::L1);
     // Lanes issue concurrently but remain bandwidth-bound: the stall is
     // the aggregate beyond-L1 latency through the same miss-overlap
     // window a scalar stream enjoys, floored by the slowest lane.
     Cycles total_beyond = 0;
     Cycles worst = 0;
-    const Cycles l1_lat = memPath->params().l1.latency;
+    CpiStack comp;
     for (Addr lane : lanes) {
         auto res = memPath->access(lane, AccessType::Load, lane_size, pc,
                                    totalCycles);
-        if (res.latency > l1_lat) {
-            total_beyond += res.latency - l1_lat;
+        if (res.latency > memPath->params().l1.latency)
             worst = std::max(worst,
                              loadStall(res, MemDep::Independent));
-        }
+        total_beyond += stallComponents(res, comp);
     }
     const Cycles stall = std::max(
         worst, (total_beyond + config.missOverlap - 1) /
                    config.missOverlap);
     if (stall)
-        addMemStall(stall);
+        addMemStall(stall, splitStall(comp, total_beyond, stall));
 }
 
 void
 Core::vecLoadContiguous(Addr base, std::uint32_t bytes, PcId pc)
 {
     addInstructions(1);
-    addCycles(1);
+    addCycles(1, CpiCat::Issue);
     // The path walks the span line by line; the worst per-line latency
     // bounds the stall (lines issue concurrently).
     auto res = memPath->accessRange(base, bytes, pc, totalCycles);
     const Cycles worst = loadStall(res, MemDep::Independent);
-    if (worst)
-        addMemStall(worst);
+    if (worst) {
+        CpiStack comp;
+        const Cycles beyond = stallComponents(res, comp);
+        addMemStall(worst, splitStall(comp, beyond, worst));
+    }
 }
 
 } // namespace tartan::sim

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/cpistack.hh"
 #include "sim/memsystem.hh"
 #include "sim/types.hh"
 
@@ -44,6 +45,13 @@ struct KernelCounters {
     Cycles cycles = 0;
     Cycles memStallCycles = 0;
     std::uint64_t instructions = 0;
+    /**
+     * CPI stack of this kernel: cycles per CpiCat category. The
+     * categories partition `cycles` exactly (sum-to-total invariant,
+     * checked at every stats dump and by TARTAN_DCHECK on kernel
+     * switches).
+     */
+    CpiStack cpi;
 };
 
 /** The analytical OoO core. */
@@ -80,8 +88,12 @@ class Core
 
     /** Execute @p ops instructions of class @p cls. */
     void exec(std::uint64_t ops, OpClass cls = OpClass::IntAlu);
-    /** Charge raw cycles (e.g. a long-latency divide or NPU wait). */
-    void stall(Cycles cycles);
+    /**
+     * Charge raw cycles (e.g. a long-latency divide or NPU wait),
+     * attributed to @p cat in the CPI stack (issue/compute unless the
+     * caller is a device-wait path).
+     */
+    void stall(Cycles cycles, CpiCat cat = CpiCat::Issue);
     /** Charge raw instructions without cycles (folded ops). */
     void countInstructions(std::uint64_t n);
 
@@ -97,18 +109,24 @@ class Core
      * DMA-style device access (e.g. a RACOD ASIC walking the map): the
      * lanes traverse the memory system concurrently without consuming
      * any CPU instructions; @p device_cycles models the accelerator's
-     * own processing time.
+     * own processing time, attributed to @p device_cat in the CPI
+     * stack (the oriented-load engines are the only callers today).
      */
     void deviceLoadLanes(std::span<const Addr> lanes, PcId pc,
-                         Cycles device_cycles);
+                         Cycles device_cycles,
+                         CpiCat device_cat = CpiCat::Ovec);
     /**
      * One vector load instruction touching the given (scattered) lane
      * addresses in parallel after @p ag_latency cycles of address
      * generation. Scattered lanes contend for L1 ports: issue occupies
-     * lanes / 4 cycles on top of the address generation.
+     * lanes / 4 cycles on top of the address generation. The address-
+     * generation cycles are attributed to @p ag_cat (OVEC passes
+     * CpiCat::Ovec for its hardware AG unit); the port-contention
+     * cycles land in the L1 category.
      */
     void vecLoadLanes(std::span<const Addr> lanes, PcId pc,
-                      Cycles ag_latency, std::uint32_t lane_size = 4);
+                      Cycles ag_latency, std::uint32_t lane_size = 4,
+                      CpiCat ag_cat = CpiCat::Issue);
 
     /**
      * One packed (contiguous) vector load of @p bytes starting at
@@ -120,6 +138,13 @@ class Core
     Cycles cycles() const { return totalCycles; }
     Cycles memStallCycles() const { return totalMemStall; }
     std::uint64_t instructions() const { return totalInstructions; }
+    /**
+     * Machine-wide CPI stack: every simulated cycle attributed to one
+     * CpiCat category. Categories partition cycles() exactly; the
+     * per-category counters are stable storage, so the epoch sampler
+     * and stats registry reference them directly.
+     */
+    const CpiStack &cpiTotals() const { return cpiTotal; }
 
     const std::vector<KernelCounters> &kernels() const { return kernelData; }
     MemPath &mem() { return *memPath; }
@@ -134,11 +159,22 @@ class Core
     void registerStats(StatsGroup &group);
 
   private:
-    void addCycles(Cycles c);
-    void addMemStall(Cycles c);
+    /** The single chokepoint every charged cycle flows through: adds
+     *  @p c to the totals, the current kernel, and category @p cat. */
+    void addCycles(Cycles c, CpiCat cat);
+    /** Charge a memory stall whose CPI split is @p split (must sum to
+     *  @p c); one cycle advance, so trace epochs are unchanged. */
+    void addMemStall(Cycles c, const CpiStack &split);
     void addInstructions(std::uint64_t n);
     /** Stall beyond L1 for one access, applying the MLP hint. */
     Cycles loadStall(const AccessResult &res, MemDep dep);
+    /**
+     * Decompose the beyond-L1 latency of @p res into CPI categories
+     * (L2/L3/DRAM by servicing level, pfLate and fault from the tagged
+     * result fields) accumulated into @p comp; returns the beyond-L1
+     * total added.
+     */
+    Cycles stallComponents(const AccessResult &res, CpiStack &comp) const;
 
     CoreParams config;
     MemPath *memPath;
@@ -147,6 +183,7 @@ class Core
     Cycles totalCycles = 0;
     Cycles totalMemStall = 0;
     std::uint64_t totalInstructions = 0;
+    CpiStack cpiTotal;          //!< machine-wide per-category cycles
     std::uint64_t opCarry = 0;  //!< sub-issue-width op remainder
 
     std::uint32_t kernelId = 0;

@@ -45,6 +45,26 @@ struct RunEnv {
      * performance regressions of the fast paths into test failures.
      */
     double selfbenchFloor = 0.0;
+    /**
+     * $TARTAN_CPISTACK: surface per-kernel CPI stacks in BENCH
+     * payloads and per-epoch cpi.* trace probes (default on; "0",
+     * "off" or "false" disables). The attribution itself is always
+     * computed — the knob only gates the surfaces, so turning it off
+     * never changes simulated timing or non-cpi output.
+     */
+    bool cpiStack = true;
+    /**
+     * $TARTAN_DIFF_TOL: default relative tolerance of bench_diff for
+     * plain metrics (0 = exact). The --tol flag overrides it.
+     */
+    double diffTol = 0.0;
+    /**
+     * $TARTAN_DIFF_TOL_CPI: default relative tolerance of bench_diff
+     * for CPI-stack categories (0 = exact; simulated cycle counts are
+     * deterministic, so exact is the sane default). The --tol-cpi flag
+     * overrides it.
+     */
+    double diffTolCpi = 0.0;
 
     /**
      * The process-wide snapshot. Parsed exactly once (thread-safe

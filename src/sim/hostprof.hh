@@ -36,8 +36,36 @@ struct HostProfiler {
     std::uint64_t prefetchNs = 0;
     /** Host ns in demand fills and victim write-back chains. */
     std::uint64_t fillNs = 0;
-    /** Host ns attributed to no pipeline layer (caller bookkeeping). */
+    /** Host ns attributed to no pipeline layer (caller bookkeeping).
+     *  Computed by finalizeWall() as the explicit remainder, never
+     *  accumulated directly: the layers + other always sum to wallNs. */
     std::uint64_t otherNs = 0;
+    /** Total wall ns of the profiled run (set by finalizeWall; the
+     *  denominator for per-layer shares). */
+    std::uint64_t wallNs = 0;
+
+    /** Host ns the instrumented layers account for (excludes other). */
+    std::uint64_t
+    attributedNs() const
+    {
+        return translateNs + cacheNs + prefetchNs + fillNs;
+    }
+
+    /**
+     * Close the breakdown against the measured wall time @p wall_ns:
+     * otherNs becomes the explicit remainder, so afterwards
+     * attributedNs() + otherNs == wallNs exactly. Clock granularity
+     * can make the per-layer sums overshoot a short wall measurement;
+     * in that case the wall is widened to the attributed total (other
+     * = 0) rather than silently truncating a layer.
+     */
+    void
+    finalizeWall(std::uint64_t wall_ns)
+    {
+        const std::uint64_t attr = attributedNs();
+        wallNs = wall_ns < attr ? attr : wall_ns;
+        otherNs = wallNs - attr;
+    }
 
     /** Monotonic host clock in nanoseconds. */
     static std::uint64_t

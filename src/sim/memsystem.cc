@@ -452,8 +452,14 @@ MemPath::accessHooked(Addr host, Addr sim, AccessType type,
                       std::uint32_t size, PcId pc, Cycles now)
 {
     AccessResult result = accessImpl(host, sim, type, size, pc, now);
-    if (faults)
-        result.latency += faults->memPenalty();
+    if (faults) {
+        // Tagged as well as added: the CPI stack must charge injected
+        // spikes to the fault category, not to the hierarchy level the
+        // access happened to be serviced from.
+        const Cycles penalty = faults->memPenalty();
+        result.latency += penalty;
+        result.faultCycles += penalty;
+    }
     if (trace)
         trace->pcAccess(pc, result.level, type);
     return result;
@@ -520,6 +526,7 @@ MemPath::accessBelowL1(Addr host, Addr sim, AccessType type,
         if (l2_res.prefetched) {
             result.prefetchHit = true;
             result.latency += l2_res.latePenalty;
+            result.lateCycles = l2_res.latePenalty;
             if (l2_res.latePenalty) {
                 ++stats.pfHitsLate;
                 stats.pfLateCycles += l2_res.latePenalty;
@@ -609,6 +616,7 @@ MemPath::accessMissFast(Addr host, Addr sim, AccessType type,
         if (l2_res.prefetched) {
             result.prefetchHit = true;
             result.latency += l2_res.latePenalty;
+            result.lateCycles = l2_res.latePenalty;
             if (l2_res.latePenalty) {
                 ++stats.pfHitsLate;
                 stats.pfLateCycles += l2_res.latePenalty;

@@ -5,6 +5,7 @@
 
 #include "sim/report.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -75,6 +76,13 @@ BenchReporter::kernelMetric(const std::string &kernel, const std::string &key,
 }
 
 void
+BenchReporter::cpiRow(const std::string &run, const std::string &kernel,
+                      Cycles cycles, const CpiStack &stack)
+{
+    cpiRows.push_back(CpiRowData{run, kernel, cycles, stack});
+}
+
+void
 BenchReporter::note(const std::string &text)
 {
     noteText = text;
@@ -106,6 +114,16 @@ BenchReporter::writeJson(std::ostream &os) const
     json::writeString(os, faultSpec);
     os << ",\n    \"faultSeed\": ";
     json::writeNumber(os, static_cast<double>(faultSeed));
+    // The CPI taxonomy is echoed in every manifest — with or without
+    // cpi rows — so any payload states which category schema it was
+    // built against.
+    os << ",\n    \"cpiTaxonomyVersion\": "
+       << kCpiTaxonomyVersion << ",\n    \"cpiCategories\": [";
+    for (std::size_t i = 0; i < kNumCpiCats; ++i) {
+        os << (i ? ", " : "");
+        json::writeString(os, cpiCatName(CpiCat(i)));
+    }
+    os << "]";
     if (!noteText.empty()) {
         os << ",\n    \"note\": ";
         json::writeString(os, noteText);
@@ -158,7 +176,33 @@ BenchReporter::writeJson(std::ostream &os) const
         }
         os << "}}";
     }
-    os << (first ? "" : "\n  ") << "]\n}\n";
+    os << (first ? "" : "\n  ") << "]";
+    if (!cpiRows.empty()) {
+        os << ",\n  \"cpi\": {\n    \"taxonomyVersion\": "
+           << kCpiTaxonomyVersion << ",\n    \"categories\": [";
+        for (std::size_t i = 0; i < kNumCpiCats; ++i) {
+            os << (i ? ", " : "");
+            json::writeString(os, cpiCatName(CpiCat(i)));
+        }
+        os << "],\n    \"rows\": [";
+        first = true;
+        for (const CpiRowData &row : cpiRows) {
+            os << (first ? "\n" : ",\n") << "      {\"run\": ";
+            first = false;
+            json::writeString(os, row.run);
+            os << ", \"kernel\": ";
+            json::writeString(os, row.kernel);
+            os << ", \"cycles\": " << row.cycles << ", \"stack\": {";
+            for (std::size_t i = 0; i < kNumCpiCats; ++i) {
+                os << (i ? ", " : "");
+                json::writeString(os, cpiCatName(CpiCat(i)));
+                os << ": " << row.stack.cat[i];
+            }
+            os << "}}";
+        }
+        os << (first ? "" : "\n    ") << "]\n  }";
+    }
+    os << "\n}\n";
 }
 
 std::string
@@ -239,6 +283,31 @@ validateBenchJson(std::string_view text, std::string *err)
     if (const json::Value *v = manifest->find("faultSeed"))
         if (!v->isNumber())
             return schemaFail(err, "manifest.faultSeed is not a number");
+    // The CPI taxonomy echo: optional (historical documents), but when
+    // present it must match the compiled taxonomy exactly — a payload
+    // built against another category schema must be rejected, not
+    // silently half-compared.
+    if (const json::Value *v = manifest->find("cpiTaxonomyVersion")) {
+        if (!v->isNumber())
+            return schemaFail(err,
+                              "manifest.cpiTaxonomyVersion not a number");
+        if (v->number != double(kCpiTaxonomyVersion))
+            return schemaFail(err, "manifest.cpiTaxonomyVersion " +
+                                       std::to_string(int(v->number)) +
+                                       " != compiled taxonomy version");
+    }
+    if (const json::Value *v = manifest->find("cpiCategories")) {
+        if (!v->isArray() || v->array.size() != kNumCpiCats)
+            return schemaFail(err, "manifest.cpiCategories is not the "
+                                   "compiled category list");
+        for (std::size_t i = 0; i < kNumCpiCats; ++i)
+            if (!v->array[i].isString() ||
+                v->array[i].string != cpiCatName(CpiCat(i)))
+                return schemaFail(err, "manifest.cpiCategories[" +
+                                           std::to_string(i) +
+                                           "] != '" +
+                                           cpiCatName(CpiCat(i)) + "'");
+    }
 
     const json::Value *config = doc.find("config");
     if (!config || !config->isObject())
@@ -269,6 +338,71 @@ validateBenchJson(std::string_view text, std::string *err)
             return schemaFail(err, where + ".metrics missing");
         if (!allNumbers(*km, err, where.c_str()))
             return false;
+    }
+
+    // The cpi block: optional, but when present its category set must
+    // be exactly the compiled taxonomy (no unknown, no missing) and
+    // every row's stack must sum to its cycles.
+    if (const json::Value *cpi = doc.find("cpi")) {
+        if (!cpi->isObject())
+            return schemaFail(err, "'cpi' is not an object");
+        const json::Value *version = cpi->find("taxonomyVersion");
+        if (!version || !version->isNumber() ||
+            version->number != double(kCpiTaxonomyVersion))
+            return schemaFail(err, "cpi.taxonomyVersion missing or != "
+                                   "compiled taxonomy version");
+        const json::Value *cats = cpi->find("categories");
+        if (!cats || !cats->isArray() ||
+            cats->array.size() != kNumCpiCats)
+            return schemaFail(err,
+                              "cpi.categories is not the compiled list");
+        for (std::size_t i = 0; i < kNumCpiCats; ++i)
+            if (!cats->array[i].isString() ||
+                cats->array[i].string != cpiCatName(CpiCat(i)))
+                return schemaFail(err, "cpi.categories[" +
+                                           std::to_string(i) + "] != '" +
+                                           cpiCatName(CpiCat(i)) + "'");
+        const json::Value *rows = cpi->find("rows");
+        if (!rows || !rows->isArray())
+            return schemaFail(err, "cpi.rows missing or not an array");
+        for (std::size_t i = 0; i < rows->array.size(); ++i) {
+            const json::Value &row = rows->array[i];
+            const std::string where = "cpi.rows[" + std::to_string(i) +
+                                      "]";
+            if (!row.isObject())
+                return schemaFail(err, where + " is not an object");
+            const json::Value *run = row.find("run");
+            if (!run || !run->isString())
+                return schemaFail(err, where + ".run missing");
+            const json::Value *kernel = row.find("kernel");
+            if (!kernel || !kernel->isString() ||
+                kernel->string.empty())
+                return schemaFail(err, where + ".kernel missing");
+            const json::Value *cycles = row.find("cycles");
+            if (!cycles || !cycles->isNumber())
+                return schemaFail(err, where + ".cycles missing");
+            const json::Value *stack = row.find("stack");
+            if (!stack || !stack->isObject())
+                return schemaFail(err, where + ".stack missing");
+            double sum = 0.0;
+            std::size_t known = 0;
+            for (const auto &[key, val] : stack->object) {
+                if (cpiCatFromName(key) == CpiCat::NumCats)
+                    return schemaFail(err, where + ".stack has unknown "
+                                               "category '" + key + "'");
+                if (!val.isNumber())
+                    return schemaFail(err, where + ".stack." + key +
+                                               " is not a number");
+                sum += val.number;
+                ++known;
+            }
+            if (known != kNumCpiCats)
+                return schemaFail(err, where +
+                                           ".stack is missing categories");
+            if (std::fabs(sum - cycles->number) > 0.5)
+                return schemaFail(err, where + ".stack does not sum to "
+                                               ".cycles");
+        }
     }
     return true;
 }

@@ -8,11 +8,21 @@
  *
  *   {
  *     "bench":    "<name>",
- *     "manifest": {"git": ..., "timestamp": ..., "paper": ...},
+ *     "manifest": {"git": ..., "timestamp": ..., "paper": ...,
+ *                  "cpiTaxonomyVersion": ..., "cpiCategories": [...]},
  *     "config":   {<knob>: <value>, ...},
  *     "metrics":  {<metric>: <number>, ...},
- *     "kernels":  [{"name": ..., "metrics": {...}}, ...]
+ *     "kernels":  [{"name": ..., "metrics": {...}}, ...],
+ *     "cpi":      {"taxonomyVersion": ..., "categories": [...],
+ *                  "rows": [{"run": ..., "kernel": ..., "cycles": ...,
+ *                            "stack": {<category>: <cycles>, ...}}]}
  *   }
+ *
+ * The cpi block (present whenever a driver recorded CPI rows) carries
+ * one row per (run, kernel) with the per-category cycle stack; the
+ * categories always sum exactly to the row's cycles, and the schema
+ * validator rejects payloads whose category set deviates from the
+ * compiled taxonomy.
  *
  * so successive PRs accumulate a queryable perf trajectory. The output
  * directory defaults to the CWD and can be redirected with the
@@ -30,6 +40,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "sim/cpistack.hh"
 
 namespace tartan::sim {
 
@@ -64,6 +76,15 @@ class BenchReporter
     void kernelMetric(const std::string &kernel, const std::string &key,
                       double value);
 
+    /**
+     * Record one per-kernel CPI-stack row of run @p run: @p cycles
+     * total cycles of simulated kernel @p kernel decomposed into
+     * @p stack (one entry per CpiCat, must sum to @p cycles — the
+     * validator enforces it).
+     */
+    void cpiRow(const std::string &run, const std::string &kernel,
+                Cycles cycles, const CpiStack &stack);
+
     /** Attach a free-form note (shape checks) to the manifest. */
     void note(const std::string &text);
 
@@ -94,6 +115,13 @@ class BenchReporter
         double num = 0.0;
     };
 
+    struct CpiRowData {
+        std::string run;
+        std::string kernel;
+        Cycles cycles = 0;
+        CpiStack stack;
+    };
+
     std::string benchName;
     std::string paperNote;
     std::string noteText;
@@ -103,6 +131,7 @@ class BenchReporter
     std::map<std::string, double> metrics;
     std::vector<std::pair<std::string, std::map<std::string, double>>>
         kernelRows;
+    std::vector<CpiRowData> cpiRows;
     std::vector<std::string> tracePaths;
     bool written = false;
 };

@@ -6,6 +6,8 @@
 #include "sim/system.hh"
 
 #include "sim/bingo.hh"
+#include "sim/cpistack.hh"
+#include "sim/env.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -84,6 +86,16 @@ System::System(const SysConfig &config) : cfg(config)
         cfg.trace->addProbe("pfIssued", &path->stats.pfIssued);
         cfg.trace->addProbe("pfHitsTimely", &path->stats.pfHitsTimely);
         cfg.trace->addProbe("pfHitsLate", &path->stats.pfHitsLate);
+        // Per-epoch CPI-stack deltas: one probe per category, sampling
+        // the same stable storage the stats registry references.
+        // TARTAN_CPISTACK=0 suppresses the columns (attribution is
+        // still computed — it is free at this layer).
+        if (RunEnv::get().cpiStack) {
+            for (std::size_t i = 0; i < kNumCpiCats; ++i)
+                cfg.trace->addProbe(
+                    std::string("cpi.") + cpiCatName(CpiCat(i)),
+                    &coreModel->cpiTotals().cat[i]);
+        }
         path->setTrace(cfg.trace);
         coreModel->attachTrace(cfg.trace);
     }
@@ -154,6 +166,11 @@ System::registerStats(StatsRegistry &registry)
     config.set("trackUdm", double(cfg.trackUdm));
     config.set("traceEnabled", double(cfg.trace != nullptr));
     config.set("faultsEnabled", double(cfg.faults != nullptr));
+
+    // The CPI taxonomy is part of every manifest so a stats dump is
+    // self-describing about which category schema its cpi groups use.
+    registry.setMeta("cpiTaxonomyVersion", double(kCpiTaxonomyVersion));
+    registry.setMeta("cpiCategories", cpiCategoryList());
 
     coreModel->registerStats(registry.group("core"));
     path->registerStats(registry.group("mem"));

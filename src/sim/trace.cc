@@ -15,6 +15,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "sim/cpistack.hh"
 #include "sim/env.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
@@ -631,9 +632,18 @@ validateEpochsJson(std::string_view text, std::string *err)
     const json::Value *probes = doc.find("probes");
     if (!probes || !probes->isArray())
         return schemaFail(err, "missing or invalid 'probes'");
-    for (const json::Value &p : probes->array)
+    for (const json::Value &p : probes->array) {
         if (!p.isString())
             return schemaFail(err, "probes[] entry is not a string");
+        // cpi.* probes are namespaced onto the compiled taxonomy: a
+        // payload sampling a category this build does not know about
+        // must be rejected rather than silently passed through.
+        const std::string &name = p.string;
+        if (name.rfind("cpi.", 0) == 0 &&
+            cpiCatFromName(name.substr(4)) == CpiCat::NumCats)
+            return schemaFail(err, "probes[] has unknown CPI category '" +
+                                       name + "'");
+    }
 
     const json::Value *epochs = doc.find("epochs");
     if (!epochs || !epochs->isArray())

@@ -267,7 +267,7 @@ class TraceSession
      * allocation-free.
      */
     static constexpr std::size_t kNameBytes = 48;
-    static constexpr std::size_t kMaxProbes = 16;
+    static constexpr std::size_t kMaxProbes = 32;
     static constexpr std::size_t kMaxPhaseDepth = 16;
     static constexpr std::size_t kMaxPcSites = 256;
 

@@ -62,6 +62,10 @@ struct AccessResult {
     Cycles latency = 0;       //!< total latency observed by the core
     MemLevel level = MemLevel::L1;  //!< level that serviced the access
     bool prefetchHit = false;       //!< hit on a prefetched line
+    /** Of latency: residual wait on a late (in-flight) prefetch. */
+    Cycles lateCycles = 0;
+    /** Of latency: injected fault latency spike (sim/fault). */
+    Cycles faultCycles = 0;
 };
 
 } // namespace tartan::sim

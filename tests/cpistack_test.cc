@@ -1,0 +1,319 @@
+/**
+ * @file
+ * CPI-stack accounting tests: the deterministic stall split, the
+ * taxonomy name round-trip, the per-kernel and machine-wide
+ * sum-to-total invariants on real robot runs, fast/slow category
+ * identity, and fault-injection attribution (spikes must land in
+ * `fault`, never inflate the DRAM category).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cpistack.hh"
+#include "sim/fault.hh"
+#include "sim/report.hh"
+#include "sim/stats.hh"
+#include "sim/system.hh"
+#include "workloads/robots.hh"
+
+using namespace tartan::sim;
+using namespace tartan::workloads;
+
+namespace {
+
+WorkloadOptions
+smallRun()
+{
+    WorkloadOptions opt;
+    opt.scale = 0.35;
+    return opt;
+}
+
+Cycles
+faultCycles(const RunResult &res)
+{
+    Cycles total = 0;
+    for (const auto &k : res.kernels)
+        total += k.cpi[CpiCat::Fault];
+    return total;
+}
+
+} // namespace
+
+TEST(SplitStall, SumsExactlyToStall)
+{
+    CpiStack comp;
+    comp[CpiCat::L2] = 14;
+    comp[CpiCat::L3] = 45;
+    comp[CpiCat::Dram] = 200;
+    const Cycles total = comp.sum();
+
+    // Sweep compressed stalls, including awkward non-divisors.
+    for (Cycles stall : {Cycles(0), Cycles(1), Cycles(7), Cycles(13),
+                         Cycles(100), Cycles(258), Cycles(259)}) {
+        const CpiStack out = splitStall(comp, total, stall);
+        EXPECT_EQ(out.sum(), stall) << "stall=" << stall;
+    }
+}
+
+TEST(SplitStall, UncompressedStallIsExactComponents)
+{
+    CpiStack comp;
+    comp[CpiCat::Fault] = 400;
+    comp[CpiCat::PfLate] = 33;
+    comp[CpiCat::L2] = 14;
+    comp[CpiCat::L3] = 45;
+    comp[CpiCat::Dram] = 200;
+    const Cycles total = comp.sum();
+
+    // A Dependent (uncompressed) stall pays every component exactly.
+    const CpiStack out = splitStall(comp, total, total);
+    EXPECT_TRUE(out == comp);
+}
+
+TEST(SplitStall, DegenerateInputsYieldZero)
+{
+    CpiStack comp;
+    comp[CpiCat::Dram] = 200;
+    EXPECT_EQ(splitStall(comp, comp.sum(), 0).sum(), 0u);
+    EXPECT_EQ(splitStall(CpiStack{}, 0, 100).sum(), 0u);
+}
+
+TEST(SplitStall, MonotoneNonNegativeShares)
+{
+    CpiStack comp;
+    comp[CpiCat::L2] = 3;
+    comp[CpiCat::L3] = 1;
+    comp[CpiCat::Dram] = 1000;
+    const Cycles total = comp.sum();
+    for (Cycles stall = 0; stall <= total; stall += 17) {
+        const CpiStack out = splitStall(comp, total, stall);
+        for (std::size_t i = 0; i < kNumCpiCats; ++i) {
+            EXPECT_LE(out.cat[i], comp.cat[i]);
+        }
+        EXPECT_EQ(out.sum(), stall);
+    }
+}
+
+TEST(CpiTaxonomy, NamesRoundTrip)
+{
+    for (std::size_t i = 0; i < kNumCpiCats; ++i) {
+        const CpiCat cat = CpiCat(i);
+        EXPECT_EQ(cpiCatFromName(cpiCatName(cat)), cat);
+    }
+    EXPECT_EQ(cpiCatFromName("bogus"), CpiCat::NumCats);
+    EXPECT_EQ(cpiCatFromName(""), CpiCat::NumCats);
+    EXPECT_EQ(cpiCatFromName("DRAM"), CpiCat::NumCats) << "names are "
+        "case-sensitive schema keys";
+}
+
+TEST(CpiTaxonomy, CategoryListMatchesEnumOrder)
+{
+    EXPECT_EQ(cpiCategoryList(),
+              "issue,l1,l2,l3,dram,tlb,pfLate,writeback,fault,npu,"
+              "ovec,anl");
+    EXPECT_EQ(kCpiTaxonomyVersion, 1u);
+}
+
+TEST(CpiCore, DependentMissDecomposesByLevel)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    Core &core = sys.core();
+
+    // First-touch Dependent load: full uncompressed beyond-L1 latency.
+    core.load(0x10000, 1, MemDep::Dependent);
+    const CpiStack &cpi = core.cpiTotals();
+    EXPECT_EQ(cpi[CpiCat::L2], cfg.l2Latency);
+    EXPECT_EQ(cpi[CpiCat::L3], cfg.l3Latency);
+    EXPECT_EQ(cpi[CpiCat::Dram], cfg.dramLatency);
+    EXPECT_EQ(cpi[CpiCat::Fault], 0u);
+    EXPECT_EQ(cpi.sum(), core.cycles());
+}
+
+TEST(CpiCore, FaultSpikeLandsInFaultNotDram)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("mem:spike=1.0@400", plan));
+    auto inj = plan.makeInjector("cpistack_test");
+
+    SysConfig cfg;
+    cfg.faults = inj.get();
+    System faulty(cfg);
+    faulty.core().load(0x10000, 1, MemDep::Dependent);
+
+    SysConfig clean_cfg;
+    System clean(clean_cfg);
+    clean.core().load(0x10000, 1, MemDep::Dependent);
+
+    const CpiStack &fc = faulty.core().cpiTotals();
+    const CpiStack &cc = clean.core().cpiTotals();
+    // The spike is wholly in `fault`; the hierarchy categories are
+    // untouched relative to the clean machine.
+    EXPECT_EQ(fc[CpiCat::Fault], 400u);
+    EXPECT_EQ(cc[CpiCat::Fault], 0u);
+    EXPECT_EQ(fc[CpiCat::Dram], cc[CpiCat::Dram]);
+    EXPECT_EQ(fc[CpiCat::L2], cc[CpiCat::L2]);
+    EXPECT_EQ(fc[CpiCat::L3], cc[CpiCat::L3]);
+    EXPECT_EQ(fc.sum(), faulty.core().cycles());
+}
+
+TEST(CpiCore, StatsInvariantsHoldAfterMixedWork)
+{
+    SysConfig cfg;
+    System sys(cfg);
+    StatsRegistry registry;
+    sys.registerStats(registry);
+
+    Core &core = sys.core();
+    const auto knav = core.registerKernel("nav");
+    const auto kmap = core.registerKernel("map");
+    core.setKernel(knav);
+    core.exec(1000);
+    core.load(0x20000, 2, MemDep::Dependent);
+    core.setKernel(kmap);
+    core.exec(37); // sub-issue-width remainder exercises the flush
+    core.stall(250, CpiCat::Npu);
+    core.setKernel(0);
+
+    // verify() panics if any per-kernel or machine-wide sum-to-total
+    // invariant is broken; reaching the asserts below means they hold.
+    registry.verify();
+    Cycles kernel_sum = 0;
+    for (const auto &k : core.kernels()) {
+        EXPECT_EQ(k.cpi.sum(), k.cycles) << "kernel " << k.name;
+        kernel_sum += k.cycles;
+    }
+    EXPECT_EQ(kernel_sum, core.cycles());
+    EXPECT_EQ(core.cpiTotals().sum(), core.cycles());
+    EXPECT_EQ(core.cpiTotals()[CpiCat::Npu], 250u);
+}
+
+TEST(CpiWorkload, PerKernelStacksSumToCycles)
+{
+    const RunResult res = runDeliBot(MachineSpec::baseline(), smallRun());
+    ASSERT_FALSE(res.kernels.empty());
+    Cycles kernel_sum = 0;
+    for (const auto &k : res.kernels) {
+        EXPECT_EQ(k.cpi.sum(), k.cycles) << "kernel " << k.name;
+        kernel_sum += k.cycles;
+    }
+    EXPECT_EQ(kernel_sum, res.workCycles);
+}
+
+TEST(CpiWorkload, ReservedCategoriesStayStructurallyZero)
+{
+    const RunResult res = runDeliBot(MachineSpec::tartan(), smallRun());
+    for (const auto &k : res.kernels) {
+        EXPECT_EQ(k.cpi[CpiCat::Tlb], 0u) << "kernel " << k.name;
+        EXPECT_EQ(k.cpi[CpiCat::Writeback], 0u) << "kernel " << k.name;
+        EXPECT_EQ(k.cpi[CpiCat::Anl], 0u) << "kernel " << k.name;
+    }
+}
+
+TEST(CpiWorkload, FastAndSlowPathsChargeIdenticalCategories)
+{
+    WorkloadOptions fast = smallRun();
+    WorkloadOptions slow = smallRun();
+    slow.fastAccessPath = false;
+
+    const RunResult a = runDeliBot(MachineSpec::baseline(), fast);
+    const RunResult b = runDeliBot(MachineSpec::baseline(), slow);
+    ASSERT_EQ(a.kernels.size(), b.kernels.size());
+    for (std::size_t i = 0; i < a.kernels.size(); ++i) {
+        EXPECT_EQ(a.kernels[i].name, b.kernels[i].name);
+        EXPECT_EQ(a.kernels[i].cycles, b.kernels[i].cycles);
+        EXPECT_TRUE(a.kernels[i].cpi == b.kernels[i].cpi)
+            << "kernel " << a.kernels[i].name;
+    }
+}
+
+namespace {
+
+/** Minimal schema-valid bench document with one CPI row. */
+std::string
+benchDocWithStack(const std::string &stack_json,
+                  const std::string &version = "1")
+{
+    std::string cats;
+    for (std::size_t i = 0; i < kNumCpiCats; ++i) {
+        if (i)
+            cats += ", ";
+        cats += '"';
+        cats += cpiCatName(CpiCat(i));
+        cats += '"';
+    }
+    return "{\"bench\": \"b\", \"manifest\": {\"git\": \"g\", "
+           "\"timestamp\": \"t\", \"paper\": \"p\"}, \"config\": {}, "
+           "\"metrics\": {}, \"kernels\": [], \"cpi\": "
+           "{\"taxonomyVersion\": " + version + ", \"categories\": [" +
+           cats + "], \"rows\": [{\"run\": \"r\", \"kernel\": \"k\", "
+           "\"cycles\": 10, \"stack\": " + stack_json + "}]}}";
+}
+
+/** A stack JSON covering every category; @p issue fills category 0. */
+std::string
+fullStack(Cycles issue)
+{
+    std::string out = "{\"issue\": " + std::to_string(issue);
+    for (std::size_t i = 1; i < kNumCpiCats; ++i) {
+        out += ", \"";
+        out += cpiCatName(CpiCat(i));
+        out += "\": 0";
+    }
+    return out + "}";
+}
+
+} // namespace
+
+TEST(CpiSchema, ValidatorAcceptsWellFormedStack)
+{
+    std::string err;
+    EXPECT_TRUE(validateBenchJson(benchDocWithStack(fullStack(10)),
+                                  &err)) << err;
+}
+
+TEST(CpiSchema, ValidatorRejectsBadStacks)
+{
+    std::string err;
+    // Unknown category key.
+    EXPECT_FALSE(validateBenchJson(
+        benchDocWithStack("{\"bogus\": 10}"), &err));
+    EXPECT_NE(err.find("bogus"), std::string::npos) << err;
+    // Missing categories (partial stack).
+    err.clear();
+    EXPECT_FALSE(validateBenchJson(
+        benchDocWithStack("{\"issue\": 10}"), &err));
+    EXPECT_NE(err.find("missing categories"), std::string::npos) << err;
+    // Stack that does not sum to the row's cycles.
+    err.clear();
+    EXPECT_FALSE(validateBenchJson(
+        benchDocWithStack(fullStack(7)), &err));
+    EXPECT_NE(err.find("sum"), std::string::npos) << err;
+    // Foreign taxonomy version.
+    err.clear();
+    EXPECT_FALSE(validateBenchJson(
+        benchDocWithStack(fullStack(10), "99"), &err));
+    EXPECT_NE(err.find("taxonomyVersion"), std::string::npos) << err;
+}
+
+TEST(CpiWorkload, InjectedSpikesShowUpInFaultCategory)
+{
+    const RunResult clean =
+        runDeliBot(MachineSpec::baseline(), smallRun());
+    EXPECT_EQ(faultCycles(clean), 0u);
+
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("mem:spike=1.0@400", plan));
+    auto inj = plan.makeInjector("cpistack_test");
+    WorkloadOptions opt = smallRun();
+    opt.faults = inj.get();
+    const RunResult faulty = runDeliBot(MachineSpec::baseline(), opt);
+
+    const Cycles spikes = faultCycles(faulty);
+    EXPECT_GT(spikes, 0u);
+    // Each kernel's stack still partitions its cycles exactly even
+    // with the extra fault component in every miss.
+    for (const auto &k : faulty.kernels)
+        EXPECT_EQ(k.cpi.sum(), k.cycles) << "kernel " << k.name;
+}
