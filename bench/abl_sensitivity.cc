@@ -28,9 +28,9 @@ namespace {
 void
 anlGeometry(BenchReporter &rep, RunPool &pool)
 {
-    std::vector<std::function<RunResult()>> jobs;
-    jobs.push_back(job(runMoveBot, MachineSpec::baseline(),
-                       options(SoftwareTier::Optimized, 1.0, 123)));
+    std::vector<Cell<RunResult>> jobs;
+    jobs.push_back(cell("anl/base", runMoveBot, MachineSpec::baseline(),
+                        options(SoftwareTier::Optimized, 1.0, 123)));
     for (std::uint32_t entries : {8u, 16u, 32u, 64u}) {
         for (std::uint32_t region : {512u, 1024u, 2048u}) {
             auto spec = MachineSpec::baseline();
@@ -39,11 +39,14 @@ anlGeometry(BenchReporter &rep, RunPool &pool)
             spec.anlCfg.regionBytes = region;
             spec.anlCfg.lineBytes = spec.sys.lineBytes;
             jobs.push_back(
-                job(runMoveBot, spec,
-                    options(SoftwareTier::Optimized, 1.0, 123)));
+                cell("anl/" + std::to_string(entries) + "e-" +
+                         std::to_string(region) + "B",
+                     runMoveBot, spec,
+                     options(SoftwareTier::Optimized, 1.0, 123)));
         }
     }
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
 
     std::printf("\n-- ANL geometry (MoveBot, norm. time and coverage) "
                 "--\n");
@@ -89,17 +92,18 @@ fcpLevel(BenchReporter &rep, RunPool &pool)
                               {"L2", true, false},
                               {"L2+L3", true, true}};
 
-    std::vector<std::function<RunResult()>> jobs;
-    jobs.push_back(job(runCarriBot, MachineSpec::baseline(),
-                       options(SoftwareTier::Optimized, 0.6)));
+    std::vector<Cell<RunResult>> jobs;
+    jobs.push_back(cell("fcp/base", runCarriBot, MachineSpec::baseline(),
+                        options(SoftwareTier::Optimized, 0.6)));
     for (const Config &c : configs) {
         auto spec = MachineSpec::baseline();
         spec.sys.fcpEnabled = c.l2;
         spec.sys.fcpAtL3 = c.l3;
-        jobs.push_back(
-            job(runCarriBot, spec, options(SoftwareTier::Optimized, 0.6)));
+        jobs.push_back(cell(std::string("fcp/") + c.name, runCarriBot,
+                            spec, options(SoftwareTier::Optimized, 0.6)));
     }
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
 
     std::printf("\n-- FCP level (CarriBot, norm. time / L2 misses) --\n");
     std::printf("%-10s %10s %12s\n", "config", "norm.time", "l2misses");
@@ -123,16 +127,18 @@ fcpLevel(BenchReporter &rep, RunPool &pool)
 void
 npuLinkLatency(BenchReporter &rep, RunPool &pool)
 {
-    std::vector<std::function<RunResult()>> jobs;
-    jobs.push_back(job(runFlyBot, MachineSpec::tartan(),
-                       options(SoftwareTier::Optimized)));
+    std::vector<Cell<RunResult>> jobs;
+    jobs.push_back(cell("npuLink/exact", runFlyBot, MachineSpec::tartan(),
+                        options(SoftwareTier::Optimized)));
     for (tartan::sim::Cycles lat : {1u, 4u, 16u, 48u, 104u}) {
         auto spec = MachineSpec::tartan();
         spec.npuCfg.commLatency = lat;
-        jobs.push_back(
-            job(runFlyBot, spec, options(SoftwareTier::Approximate)));
+        jobs.push_back(cell("npuLink/" + std::to_string(lat) + "cyc",
+                            runFlyBot, spec,
+                            options(SoftwareTier::Approximate)));
     }
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
 
     std::printf("\n-- CPU-NPU link latency (FlyBot AXAR, norm. time) "
                 "--\n");
@@ -170,5 +176,5 @@ main()
     anlGeometry(rep, pool);
     fcpLevel(rep, pool);
     npuLinkLatency(rep, pool);
-    return 0;
+    return campaignExit(rep);
 }

@@ -9,12 +9,20 @@
  * the measured values so the output can be diffed against
  * EXPERIMENTS.md.
  *
- * Parallel-run pattern: a driver builds its complete list of run
- * closures (each capturing its own MachineSpec / WorkloadOptions /
- * trace session by value), hands them to runAll(), and only then
- * formats tables from the in-submission-order results. All printing
- * happens on the main thread after the gather, so stdout and the BENCH
- * manifest are byte-identical whatever TARTAN_JOBS is.
+ * Parallel-run pattern: a driver builds its complete list of campaign
+ * cells (each capturing its own MachineSpec / WorkloadOptions / trace
+ * session by value), hands them to runAll(), and only then formats
+ * tables from the in-submission-order results. All printing happens on
+ * the main thread after the gather, so stdout and the BENCH manifest
+ * are byte-identical whatever TARTAN_JOBS is.
+ *
+ * The campaign-aware runAll(rep, pool, cells) overload routes every
+ * cell through sim::CampaignRunner: journal replay under
+ * TARTAN_RESUME, verified result-cache hits under TARTAN_CACHE_DIR,
+ * watchdog deadlines under TARTAN_TIMEOUT with TARTAN_RETRIES
+ * re-attempts, and quarantine (placeholder result + manifest failure
+ * row) instead of sweep abort. Result types round-trip through
+ * CellCodec so a replayed payload is byte-identical to a fresh one.
  */
 
 #ifndef TARTAN_BENCH_UTIL_HH
@@ -25,14 +33,19 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/campaign.hh"
+#include "sim/checksum.hh"
 #include "sim/env.hh"
 #include "sim/logging.hh"
 #include "sim/report.hh"
 #include "sim/runpool.hh"
+#include "sim/watchdog.hh"
+#include "workloads/cellcodec.hh"
 #include "workloads/robots.hh"
 
 namespace tartan::bench {
@@ -122,33 +135,154 @@ traced(WorkloadOptions opt,
 }
 
 /**
- * Build one run closure: a (robot function, spec, options) cell ready
- * for RunPool submission. Everything is captured by value, so the
- * closure owns its whole configuration and shares nothing with its
- * siblings.
+ * One campaign cell: a labelled, content-addressed run closure. The
+ * label is the human identity (journal rows, failure reports); the
+ * (configHash, seed) pair is the machine identity that keys the
+ * journal and the result cache. Everything inside fn is captured by
+ * value, so the closure owns its whole configuration and shares
+ * nothing with its siblings — which is also what makes a retry or a
+ * replay reproduce the identical payload.
  */
-inline std::function<RunResult()>
-job(RobotFn run, MachineSpec spec, WorkloadOptions opt)
+template <typename R>
+struct Cell {
+    std::string label;
+    std::uint64_t configHash = 0;
+    std::uint64_t seed = 0;
+    std::function<R()> fn;
+};
+
+/**
+ * Exact payload codec for a cell-result type. The primary template is
+ * the "no codec" marker: such cells still get watchdog / retry /
+ * quarantine hardening, but are never journaled or cached (their
+ * results travel through an in-memory side channel instead), so
+ * resume and cache hits re-simulate them. Specialisations must
+ * round-trip exactly — decode(encode(x)) == x bit for bit — and
+ * expose a schema() that changes whenever the encoding does.
+ */
+template <typename R>
+struct CellCodec {
+    static constexpr bool available = false;
+    /** Schema tag (keys journals/caches); 0 for the no-codec marker. */
+    static std::uint64_t schema() { return 0; }
+    static std::string encode(const R &) { return {}; }
+    static bool
+    decode(const std::string &, R &, std::string * = nullptr)
+    {
+        return false;
+    }
+};
+
+/** RunResult codec: the exact encoder from workloads/cellcodec. */
+template <>
+struct CellCodec<RunResult> {
+    static constexpr bool available = true;
+    static std::uint64_t schema() { return workloads::cellSchemaVersion(); }
+    static std::string
+    encode(const RunResult &res)
+    {
+        return workloads::encodeRunResult(res);
+    }
+    static bool
+    decode(const std::string &payload, RunResult &out,
+           std::string *err = nullptr)
+    {
+        return workloads::decodeRunResult(payload, out, err);
+    }
+};
+
+/**
+ * Codec for plain double vectors (tab02's error sweeps): a JSON array
+ * of %a hexfloat strings, exact for every value including nan/inf.
+ */
+template <>
+struct CellCodec<std::vector<double>> {
+    static constexpr bool available = true;
+    static std::uint64_t
+    schema()
+    {
+        // Distinct schema space from the RunResult codec so the two
+        // payload families never share a journal file or cache entry.
+        return sim::fnv1a64("tartan-vecd-codec-v1");
+    }
+    static std::string
+    encode(const std::vector<double> &values)
+    {
+        std::string out = "{\"v\":\"1\",\"d\":[";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            out += (i ? ",\"" : "\"");
+            out += workloads::encodeDouble(values[i]);
+            out += "\"";
+        }
+        out += "]}";
+        return out;
+    }
+    static bool
+    decode(const std::string &payload, std::vector<double> &out,
+           std::string *err = nullptr)
+    {
+        sim::json::Value doc;
+        if (!sim::json::parse(payload, doc, err) || !doc.isObject())
+            return false;
+        const sim::json::Value *version = doc.find("v");
+        const sim::json::Value *data = doc.find("d");
+        if (!version || !version->isString() || version->string != "1" ||
+            !data || !data->isArray()) {
+            if (err && err->empty())
+                *err = "bad vector payload envelope";
+            return false;
+        }
+        out.clear();
+        out.reserve(data->array.size());
+        for (const sim::json::Value &v : data->array) {
+            double d = 0.0;
+            if (!v.isString() || !workloads::decodeDouble(v.string, d)) {
+                if (err && err->empty())
+                    *err = "bad vector payload element";
+                return false;
+            }
+            out.push_back(d);
+        }
+        return true;
+    }
+};
+
+/**
+ * Build one robot-run cell. The label doubles as the cell's
+ * human-readable identity and as part of its content address
+ * (together with every result-relevant spec/options field); @p salt
+ * carries driver dimensions the spec cannot see, e.g. a fault spec.
+ */
+inline Cell<RunResult>
+cell(std::string label, RobotFn run, MachineSpec spec, WorkloadOptions opt,
+     std::string_view salt = {})
 {
-    return [run, spec = std::move(spec), opt]() {
-        return run(spec, opt);
-    };
+    Cell<RunResult> c;
+    c.configHash = workloads::cellConfigHash(label, spec, opt, salt);
+    c.seed = opt.seed;
+    c.label = std::move(label);
+    c.fn = [run, spec = std::move(spec), opt]() { return run(spec, opt); };
+    return c;
 }
 
 /**
- * Build one *traced* run closure. The TraceSession is created here, on
- * the calling thread and in submission order, so the reporter's
- * manifest lists trace paths deterministically; the closure owns the
- * session (shared_ptr because std::function must stay copyable) and
- * finalizes it right after the run, exactly where the serial code
- * called t.reset().
+ * Build one *traced* robot-run cell. The TraceSession is created
+ * here, on the calling thread and in submission order, so the
+ * reporter's manifest lists trace paths deterministically; the
+ * closure owns the session (shared_ptr because std::function must
+ * stay copyable) and finalizes it right after the run, exactly where
+ * the serial code called t.reset().
  */
-inline std::function<RunResult()>
-job(BenchReporter &rep, const std::string &run_label, RobotFn run,
-    MachineSpec spec, WorkloadOptions opt)
+inline Cell<RunResult>
+cell(BenchReporter &rep, std::string label, RobotFn run, MachineSpec spec,
+     WorkloadOptions opt, std::string_view salt = {})
 {
-    std::shared_ptr<sim::TraceSession> trace = rep.makeTrace(run_label);
-    return [run, spec = std::move(spec), opt,
+    std::shared_ptr<sim::TraceSession> trace = rep.makeTrace(label);
+    Cell<RunResult> c;
+    c.configHash = workloads::cellConfigHash(label, spec, opt, salt);
+    c.seed = opt.seed;
+    c.label = std::move(label);
+    c.fn = [run, spec = std::move(spec), opt,
             trace = std::move(trace)]() {
         WorkloadOptions traced_opt = opt;
         traced_opt.trace = trace.get();
@@ -157,14 +291,103 @@ job(BenchReporter &rep, const std::string &run_label, RobotFn run,
             trace->finalize();
         return res;
     };
+    return c;
+}
+
+/**
+ * Execute @p cells through the campaign-resilience layer and return
+ * their results in submission order. Ordering is what keeps parallel
+ * output byte-identical to serial output: workers may finish in any
+ * order, but consumers only ever see the in-order gather.
+ *
+ * Codec-backed result types always travel encode → decode — for fresh
+ * runs too, not only replays — so every source (simulation, journal,
+ * cache) flows through the identical decode path and resume
+ * byte-identity cannot be broken by an asymmetric codec bug.
+ *
+ * Quarantined cells come back as default-constructed placeholders;
+ * their identity, error class and attempt count land in @p rep's
+ * manifest (campaign + failures blocks). Drivers decide the exit code
+ * via campaignExit().
+ */
+template <typename R>
+std::vector<R>
+runAll(BenchReporter &rep, RunPool &pool, std::vector<Cell<R>> cells)
+{
+    using Codec = CellCodec<R>;
+    sim::CampaignRunner runner(rep.name(), pool,
+                               sim::CampaignConfig::fromEnv(),
+                               Codec::schema());
+    // Side channel for codec-less result types: the closure parks the
+    // value here and returns an empty payload.
+    auto boxes = std::make_shared<std::vector<std::optional<R>>>(
+        Codec::available ? 0 : cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        sim::CellSpec spec;
+        spec.label = std::move(cells[i].label);
+        spec.configHash = cells[i].configHash;
+        spec.seed = cells[i].seed;
+        spec.cacheable = Codec::available;
+        if constexpr (Codec::available) {
+            runner.submit(std::move(spec),
+                          [fn = std::move(cells[i].fn)]() {
+                              return Codec::encode(fn());
+                          });
+        } else {
+            runner.submit(std::move(spec),
+                          [fn = std::move(cells[i].fn), boxes, i]() {
+                              (*boxes)[i] = fn();
+                              return std::string();
+                          });
+        }
+    }
+    const std::vector<sim::CellOutcome> outcomes = runner.gather();
+    const sim::CampaignStats &st = runner.stats();
+    rep.campaignStats(st.simulated, st.journalHits, st.cacheHits,
+                      st.failed);
+    for (const sim::CellFailure &f : st.failures)
+        rep.cellFailure(f.label, f.errorClass, f.detail, f.attempts);
+
+    std::vector<R> results(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const sim::CellOutcome &out = outcomes[i];
+        if (out.status != sim::CellOutcome::Status::Ok)
+            continue;  // quarantined: default-constructed placeholder
+        if constexpr (Codec::available) {
+            std::string err;
+            if (!Codec::decode(out.payload, results[i], &err)) {
+                // Journal rows and cache entries are CRC- and
+                // schema-checked before they get here, so this is a
+                // codec bug, not expected operation — but degrade to a
+                // quarantine-style placeholder rather than aborting.
+                sim::warn("bench: cell '%s' payload failed to decode "
+                          "(%s); treating as failed",
+                          out.label.c_str(), err.c_str());
+                rep.cellFailure(out.label, "decode", err, out.attempts);
+            }
+        } else if ((*boxes)[i]) {
+            results[i] = std::move(*(*boxes)[i]);
+        }
+    }
+    return results;
+}
+
+/** Exit-code policy: 0 for a clean sweep, 3 when cells were
+ * quarantined — the sweep completed and the manifest is whole, but the
+ * payload contains placeholders. */
+inline int
+campaignExit(const BenchReporter &rep)
+{
+    return rep.hasFailures() ? 3 : 0;
 }
 
 /**
  * Execute @p jobs through @p pool and return their results in
- * submission order. Ordering is what keeps parallel output
- * byte-identical to serial output: workers may finish in any order,
- * but consumers only ever see the futures' in-order gather. A worker
- * exception re-throws here, from the offending job's position.
+ * submission order (the raw, reporter-less path: no journal, no
+ * cache, no retry). Worker exceptions do not abort the gather at the
+ * first victim: every future is drained, and the failures — each with
+ * its submission index and error class — surface together as one
+ * aggregate sim::RunPoolError.
  */
 template <typename R>
 std::vector<R>
@@ -176,8 +399,28 @@ runAll(RunPool &pool, std::vector<std::function<R()>> jobs)
         futures.push_back(pool.submit(std::move(j)));
     std::vector<R> results;
     results.reserve(futures.size());
-    for (auto &f : futures)
-        results.push_back(f.get());
+    std::vector<sim::CellFailure> failures;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        try {
+            results.push_back(futures[i].get());
+        } catch (const std::exception &e) {
+            sim::CellFailure f;
+            f.index = i;
+            f.label = "job[" + std::to_string(i) + "]";
+            f.errorClass =
+                dynamic_cast<const sim::CellTimeoutError *>(&e)
+                    ? "timeout"
+                    : dynamic_cast<const sim::CellCrashError *>(&e)
+                          ? "crash"
+                          : "exception";
+            f.detail = e.what();
+            f.attempts = 1;
+            failures.push_back(std::move(f));
+            results.emplace_back();
+        }
+    }
+    if (!failures.empty())
+        throw sim::RunPoolError(std::move(failures));
     return results;
 }
 

@@ -8,7 +8,18 @@
  *
  * Usage:
  *   chaos_campaign [robot-name ...]      # default: all six robots
+ *   chaos_campaign --cells [robot ...]   # + cell-crash/cell-hang cells
  *   TARTAN_FAULTS=<spec> chaos_campaign  # single user-supplied plan
+ *
+ * --cells exercises the campaign-resilience layer itself: two extra
+ * cells (first selected robot only) run under `cell:crash=1@400` and
+ * `cell:hang=1@400`, which deterministically kill / wedge the cell on
+ * its 401st hooked memory access. They are expected to exhaust their
+ * retries and be quarantined — excluded from the survival gate, they
+ * verify that a dying cell ends up as a manifest failure row instead
+ * of aborting the sweep (exit 3 per the campaign exit policy). The
+ * hang cell requires a TARTAN_TIMEOUT, since only the watchdog can
+ * reclaim a wedged cell.
  *
  * The campaign is deterministic: plans are seeded (default seed 42)
  * and each robot derives its own fault stream from (plan, robot name),
@@ -113,10 +124,23 @@ main(int argc, char **argv)
     for (const FaultClass &fc : classes)
         rep.config(std::string("class.") + fc.name, fc.spec);
 
-    // Optional positional robot filter.
+    // Optional positional robot filter; --cells turns on the
+    // self-test cells for the resilience layer.
     std::vector<std::string> filter;
-    for (int a = 1; a < argc; ++a)
-        filter.emplace_back(argv[a]);
+    bool cells_mode = false;
+    for (int a = 1; a < argc; ++a) {
+        if (std::string(argv[a]) == "--cells")
+            cells_mode = true;
+        else
+            filter.emplace_back(argv[a]);
+    }
+    const FaultClass kCellClasses[] = {
+        {"cell-crash", "cell:crash=1@400"},
+        {"cell-hang", "cell:hang=1@400"},
+    };
+    if (cells_mode && !(tartan::sim::RunEnv::get().timeoutSec > 0.0))
+        TARTAN_FATAL("chaos: --cells includes a hang cell; set "
+                     "TARTAN_TIMEOUT so the watchdog can reclaim it");
     auto selected = [&](const std::string &name) {
         if (filter.empty())
             return true;
@@ -132,21 +156,64 @@ main(int argc, char **argv)
     const MachineSpec spec = MachineSpec::tartan();
 
     // Submit the whole campaign — per selected robot, the clean
-    // baseline followed by one run per fault class. Injectors and
-    // trace sessions are created here on the main thread (so manifest
-    // order is deterministic) and owned by their closures.
+    // baseline followed by one run per fault class. Trace sessions are
+    // created here on the main thread (so manifest order is
+    // deterministic); the fault injector is created *inside* the
+    // closure, so a watchdog retry restarts the fault stream from the
+    // beginning instead of resuming it mid-way — the re-attempt is the
+    // byte-identical re-execution the resilience layer assumes.
+    const auto fault_cell = [&rep, &spec](const std::string &label,
+                                          RobotFn run, std::string robot,
+                                          std::string fault_spec) {
+        Cell<RunResult> c;
+        c.label = label;
+        // The fault spec is invisible to the machine/options hash, so
+        // it rides in as salt: two classes over the same machine must
+        // never share a journal row or cache entry.
+        c.configHash = cellConfigHash(
+            label, spec, options(SoftwareTier::Approximate, 0.5),
+            fault_spec);
+        c.seed = 42;
+        std::shared_ptr<tartan::sim::TraceSession> trace =
+            rep.makeTrace(label);
+        c.fn = [run, spec, robot = std::move(robot),
+                fault_spec = std::move(fault_spec), trace]() {
+            FaultPlan plan;
+            std::string perr;
+            if (!FaultPlan::parse(fault_spec, plan, &perr))
+                TARTAN_FATAL("chaos: bad spec '%s': %s",
+                             fault_spec.c_str(), perr.c_str());
+            std::shared_ptr<tartan::sim::FaultInjector> inj =
+                plan.makeInjector(robot);
+            WorkloadOptions opt = options(SoftwareTier::Approximate, 0.5);
+            opt.faults = inj.get();
+            opt.trace = trace.get();
+            RunResult res = run(spec, opt);
+            if (trace)
+                trace->finalize();
+            return res;
+        };
+        return c;
+    };
+
     RunPool pool;
-    std::vector<std::function<RunResult()>> jobs;
+    std::vector<Cell<RunResult>> jobs;
     bool any_selected = false;
+    std::string first_robot;
+    RobotFn first_run = nullptr;
     for (const auto &robot : robotSuite()) {
         const std::string name(robot.name);
         if (!selected(name))
             continue;
         any_selected = true;
+        if (first_robot.empty()) {
+            first_robot = name;
+            first_run = robot.run;
+        }
 
         // Clean baseline (no injector: the null-hook path).
-        jobs.push_back(job(rep, name + "_clean", robot.run, spec,
-                           options(SoftwareTier::Approximate, 0.5)));
+        jobs.push_back(cell(rep, name + "_clean", robot.run, spec,
+                            options(SoftwareTier::Approximate, 0.5)));
 
         for (const FaultClass &fc : classes) {
             FaultPlan plan;
@@ -154,26 +221,25 @@ main(int argc, char **argv)
             if (!FaultPlan::parse(fc.spec, plan, &perr))
                 TARTAN_FATAL("chaos: bad spec '%s': %s", fc.spec,
                              perr.c_str());
-            std::shared_ptr<tartan::sim::FaultInjector> inj =
-                plan.makeInjector(name);
-
-            std::shared_ptr<tartan::sim::TraceSession> trace =
-                rep.makeTrace(name + "_" + fc.name);
-            jobs.push_back([run = robot.run, spec, inj, trace]() {
-                WorkloadOptions opt =
-                    options(SoftwareTier::Approximate, 0.5);
-                opt.faults = inj.get();
-                opt.trace = trace.get();
-                RunResult res = run(spec, opt);
-                if (trace)
-                    trace->finalize();
-                return res;
-            });
+            jobs.push_back(fault_cell(name + "_" + fc.name, robot.run,
+                                      name, fc.spec));
         }
     }
     if (!any_selected)
         TARTAN_FATAL("chaos: no robot matches the filter");
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+
+    // The resilience self-test cells ride at the tail so the per-robot
+    // result indexing above them is untouched.
+    std::size_t chaos_cells = 0;
+    if (cells_mode) {
+        for (const FaultClass &fc : kCellClasses) {
+            jobs.push_back(fault_cell(first_robot + "_" + fc.name,
+                                      first_run, first_robot, fc.spec));
+            ++chaos_cells;
+        }
+    }
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
 
     std::size_t min_survived = classes.size();
     std::size_t r = 0;
@@ -228,6 +294,24 @@ main(int argc, char **argv)
                     survived, classes.size());
     }
 
+    // The resilience self-test cells: quarantined cells come back as
+    // default placeholders (wallCycles == 0). They are excluded from
+    // the survival gate; their verdict is the exit policy below.
+    if (cells_mode) {
+        std::printf("-- resilience self-test cells (expected to be "
+                    "quarantined) --\n");
+        for (std::size_t c = 0; c < chaos_cells; ++c) {
+            const FaultClass &fc = kCellClasses[c];
+            const RunResult &res = results[r++];
+            const bool quarantined = res.wallCycles == 0;
+            std::printf("%-10s %-18s %30s\n", first_robot.c_str(),
+                        fc.name,
+                        quarantined ? "quarantined" : "UNEXPECTEDLY OK");
+            rep.kernelMetric(first_robot + "/" + fc.name, "quarantined",
+                             quarantined ? 1.0 : 0.0);
+        }
+    }
+
     rep.metric("minSurvivedClasses", double(min_survived));
     rep.note("survived = all final metrics finite AND recoveries > 0; "
              "'benign' = finite metrics but no recovery path engaged "
@@ -241,5 +325,8 @@ main(int argc, char **argv)
     }
     std::printf("PASS: every robot survived >= %zu fault classes\n",
                 required);
-    return 0;
+    // Quarantined cells (the --cells self-test, or a genuinely dying
+    // robot) surface through the campaign exit policy: the manifest is
+    // complete, the exit code says it contains placeholders.
+    return campaignExit(rep);
 }

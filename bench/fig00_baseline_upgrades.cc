@@ -26,24 +26,27 @@ main()
     rep.config("scale", 0.6);
 
     RunPool pool;
-    std::vector<std::function<RunResult()>> jobs;
+    std::vector<Cell<RunResult>> jobs;
     for (const auto &robot : robotSuite()) {
         const auto opt = options(SoftwareTier::Legacy, 0.6);
+        const std::string name = robot.name;
 
         auto wide = MachineSpec::stockBaseline();
         wide.sys.trackUdm = true;
         auto narrow = MachineSpec::baseline();
         narrow.sys.trackUdm = true;
         narrow.wtQueues = false;
-        jobs.push_back(job(robot.run, wide, opt));
-        jobs.push_back(job(robot.run, narrow, opt));
+        jobs.push_back(cell(name + "/stock64B", robot.run, wide, opt));
+        jobs.push_back(cell(name + "/narrow32B", robot.run, narrow, opt));
 
         auto no_wt = MachineSpec::baseline();
         no_wt.wtQueues = false;
-        jobs.push_back(job(robot.run, no_wt, opt));
-        jobs.push_back(job(robot.run, MachineSpec::baseline(), opt));
+        jobs.push_back(cell(name + "/noWT", robot.run, no_wt, opt));
+        jobs.push_back(cell(name + "/upgraded", robot.run,
+                            MachineSpec::baseline(), opt));
     }
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
 
     std::printf("%-10s %10s %10s %8s | %12s %12s %8s\n", "robot",
                 "UDM64[KB]", "UDM32[KB]", "ratio", "L3(noWT)",
@@ -95,5 +98,5 @@ main()
     std::printf("\nGMean UDM-waste reduction (64B vs 32B): %.2fx "
                 "(paper: 1.56x)\n",
                 geomean(udm_ratios));
-    return 0;
+    return campaignExit(rep);
 }

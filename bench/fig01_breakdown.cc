@@ -39,16 +39,17 @@ main()
     rep.config("tartan", "T=tartan/approximate");
 
     RunPool pool;
-    std::vector<std::function<RunResult()>> jobs;
+    std::vector<Cell<RunResult>> jobs;
     for (const auto &robot : robotSuite()) {
-        jobs.push_back(job(rep, std::string(robot.name) + "_B",
-                           robot.run, MachineSpec::baseline(),
-                           options(SoftwareTier::Legacy)));
-        jobs.push_back(job(rep, std::string(robot.name) + "_T",
-                           robot.run, MachineSpec::tartan(),
-                           options(SoftwareTier::Approximate)));
+        jobs.push_back(cell(rep, std::string(robot.name) + "_B",
+                            robot.run, MachineSpec::baseline(),
+                            options(SoftwareTier::Legacy)));
+        jobs.push_back(cell(rep, std::string(robot.name) + "_T",
+                            robot.run, MachineSpec::tartan(),
+                            options(SoftwareTier::Approximate)));
     }
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
 
     std::printf("%-10s %-12s %8s %8s | %10s\n", "robot", "bottleneck",
                 "B share", "T share", "T time/B");
@@ -83,5 +84,5 @@ main()
     std::printf("\nShape check: every Tartan bottleneck share <= the "
                 "baseline share,\nand the bottleneck kernels match the "
                 "paper's list above.\n");
-    return 0;
+    return campaignExit(rep);
 }

@@ -43,7 +43,7 @@ main()
                               {"CarriBot", runCarriBot}};
 
     RunPool pool;
-    std::vector<std::function<RunResult()>> jobs;
+    std::vector<Cell<RunResult>> jobs;
     for (const auto &target : targets) {
         for (const auto &cfg : configs) {
             auto opt = options(SoftwareTier::Optimized);
@@ -52,10 +52,13 @@ main()
             spec.useAnl = false;        // isolate the vector engine
             spec.sys.fcpEnabled = false;
             spec.npu = false;
-            jobs.push_back(job(target.run, spec, opt));
+            jobs.push_back(cell(std::string(target.name) + "/" +
+                                    cfg.label,
+                                target.run, spec, opt));
         }
     }
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
 
     std::size_t r = 0;
     for (const auto &target : targets) {
@@ -88,5 +91,5 @@ main()
              "well below B; G's above O");
     std::printf("\nShape check: O < B (time), G ~= B, R < O; O's "
                 "instruction bar well below B; G's above O.\n");
-    return 0;
+    return campaignExit(rep);
 }

@@ -10,6 +10,8 @@
 
 #include "bench_util.hh"
 
+#include <sstream>
+
 #include "core/ovec.hh"
 #include "robotics/geometry.hh"
 #include "robotics/raycast.hh"
@@ -26,6 +28,62 @@ struct RayRun {
     double cycles = 0.0;
     std::vector<sim::KernelCounters> kernels;
 };
+
+} // namespace
+
+namespace tartan::bench {
+
+/**
+ * Exact RayRun codec so fig07's cells journal/cache like everyone
+ * else's: cycles as a %a hexfloat, kernels through the shared
+ * kernel-counter encoder.
+ */
+template <>
+struct CellCodec<RayRun> {
+    static constexpr bool available = true;
+    static std::uint64_t
+    schema()
+    {
+        // Kernel rows embed CPI stacks, so the taxonomy version is
+        // folded in next to the layout tag.
+        return sim::fnv1a64Mix(sim::fnv1a64("tartan-rayrun-codec-v1"),
+                               sim::kCpiTaxonomyVersion);
+    }
+    static std::string
+    encode(const RayRun &run)
+    {
+        std::ostringstream os;
+        os << "{\"v\":\"1\",\"cyc\":\""
+           << workloads::encodeDouble(run.cycles) << "\",\"k\":";
+        workloads::encodeKernels(os, run.kernels);
+        os << "}";
+        return os.str();
+    }
+    static bool
+    decode(const std::string &payload, RayRun &out,
+           std::string *err = nullptr)
+    {
+        sim::json::Value doc;
+        if (!sim::json::parse(payload, doc, err) || !doc.isObject())
+            return false;
+        const sim::json::Value *version = doc.find("v");
+        const sim::json::Value *cycles = doc.find("cyc");
+        const sim::json::Value *kernels = doc.find("k");
+        if (!version || !version->isString() || version->string != "1" ||
+            !cycles || !cycles->isString() ||
+            !workloads::decodeDouble(cycles->string, out.cycles) ||
+            !kernels || !workloads::decodeKernels(*kernels, out.kernels)) {
+            if (err && err->empty())
+                *err = "bad RayRun payload";
+            return false;
+        }
+        return true;
+    }
+};
+
+} // namespace tartan::bench
+
+namespace {
 
 /** Run the DeliBot-style interpolated ray-casting kernel. */
 RayRun
@@ -82,17 +140,29 @@ main()
     rep.config("configs", "B=scalar O=ovec I=intel-accel O+I=combined");
 
     RunPool pool;
-    std::vector<std::function<RayRun()>> jobs;
+    std::vector<Cell<RayRun>> jobs;
     const struct { const char *cfg; bool ovec; bool accel; } configs[] = {
         {"B", false, false},
         {"O", true, false},
         {"I", false, true},
         {"O+I", true, true}};
-    for (const auto &c : configs)
-        jobs.push_back([ovec = c.ovec, accel = c.accel]() {
+    for (const auto &c : configs) {
+        Cell<RayRun> one;
+        one.label = c.cfg;
+        // Content address: every knob rayCastingTime() bakes into the
+        // run, so a kernel change shows up as a config change only if
+        // it is reflected here — the codec schema covers the rest.
+        one.configHash = sim::fnv1a64(
+            std::string("fig07;grid=384x384;lines=32;rays=16;"
+                        "rounds=6;scans=8;ovec=") +
+            (c.ovec ? "1" : "0") + ";accel=" + (c.accel ? "1" : "0"));
+        one.seed = 42;
+        one.fn = [ovec = c.ovec, accel = c.accel]() {
             return rayCastingTime(ovec, accel);
-        });
-    const std::vector<RayRun> runs = runAll(pool, std::move(jobs));
+        };
+        jobs.push_back(std::move(one));
+    }
+    const std::vector<RayRun> runs = runAll(rep, pool, std::move(jobs));
     const double b = runs[0].cycles, o = runs[1].cycles,
                  i = runs[2].cycles, oi = runs[3].cycles;
 
@@ -112,5 +182,5 @@ main()
     }
     rep.metric("orthogonalityOiOverI", i / oi);
     rep.note("paper: O+I over I alone = 1.33x");
-    return 0;
+    return campaignExit(rep);
 }

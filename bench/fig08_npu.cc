@@ -46,7 +46,7 @@ main()
     };
 
     RunPool pool;
-    std::vector<std::function<RunResult()>> jobs;
+    std::vector<Cell<RunResult>> jobs;
     for (const auto &target : targets) {
         for (const auto &cfg : configs) {
             auto spec = MachineSpec::tartan();
@@ -55,10 +55,13 @@ main()
                     tartan::core::NpuPlacement::Coprocessor;
             auto opt = options(cfg.tier);
             opt.softwareNeural = cfg.sw_nn;
-            jobs.push_back(job(target.run, spec, opt));
+            jobs.push_back(cell(std::string(target.name) + "/" +
+                                    cfg.label,
+                                target.run, spec, opt));
         }
     }
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
 
     std::size_t r = 0;
     for (const auto &target : targets) {
@@ -96,5 +99,5 @@ main()
     std::printf("\nShape check: H < B everywhere; S > B (instruction "
                 "blow-up); C < B only for PatrolBot's coarse-grained "
                 "native network.\n");
-    return 0;
+    return campaignExit(rep);
 }

@@ -43,7 +43,7 @@ main()
                               {"HomeBot", runHomeBot, 42}};
 
     RunPool pool;
-    std::vector<std::function<RunResult()>> jobs;
+    std::vector<Cell<RunResult>> jobs;
     for (const auto &target : targets) {
         for (const auto &backend : backends) {
             for (bool anl : {false, true}) {
@@ -56,11 +56,14 @@ main()
                                    target.seed);
                 opt.nns = backend.kind;
                 opt.nnsExplicit = true;
-                jobs.push_back(job(target.run, spec, opt));
+                jobs.push_back(cell(std::string(target.name) + "/" +
+                                        backend.label + (anl ? "+" : ""),
+                                    target.run, spec, opt));
             }
         }
     }
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
 
     std::size_t r = 0;
     for (const auto &target : targets) {
@@ -102,5 +105,5 @@ main()
              "method; V+ is the overall best");
     std::printf("\nShape check: V < F < K < B in time; '+' (ANL) "
                 "improves every method; V+ is the overall best.\n");
-    return 0;
+    return campaignExit(rep);
 }

@@ -75,18 +75,22 @@ main()
     rep.config("prefetchers", "No ANL NL Bi");
     rep.config("tier", "optimized");
 
-    RunPool pool;
-    std::vector<std::function<RunResult()>> jobs;
-    for (const auto &robot : robotSuite()) {
-        jobs.push_back(job(robot.run, MachineSpec::baseline(),
-                           options(SoftwareTier::Optimized)));
-        for (int pf = 0; pf < 4; ++pf)
-            jobs.push_back(job(robot.run, pfSpec(pf),
-                               options(SoftwareTier::Optimized)));
-    }
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
-
     const char *labels[] = {"No", "ANL", "NL", "Bi"};
+    RunPool pool;
+    std::vector<Cell<RunResult>> jobs;
+    for (const auto &robot : robotSuite()) {
+        jobs.push_back(cell(std::string(robot.name) + "/base", robot.run,
+                            MachineSpec::baseline(),
+                            options(SoftwareTier::Optimized)));
+        for (int pf = 0; pf < 4; ++pf)
+            jobs.push_back(cell(std::string(robot.name) + "/" +
+                                    labels[pf],
+                                robot.run, pfSpec(pf),
+                                options(SoftwareTier::Optimized)));
+    }
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
+
     std::printf("%-10s", "robot");
     for (const char *l : labels)
         std::printf(" | %-4s time cov  acc ", l);
@@ -137,5 +141,5 @@ main()
     rep.metric("bingoMetadataBytes", double(bingo.storageBits() / 8));
     rep.note("paper: ANL ~85% of Bingo's gain; 120 B vs >100 KB "
              "metadata per core");
-    return 0;
+    return campaignExit(rep);
 }

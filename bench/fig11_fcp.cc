@@ -32,10 +32,11 @@ main()
     const double scale = 0.5;
 
     RunPool pool;
-    std::vector<std::function<RunResult()>> jobs;
+    std::vector<Cell<RunResult>> jobs;
     for (const auto &robot : robotSuite()) {
-        jobs.push_back(job(robot.run, MachineSpec::baseline(),
-                           options(SoftwareTier::Optimized, scale)));
+        jobs.push_back(cell(std::string(robot.name) + "/base", robot.run,
+                            MachineSpec::baseline(),
+                            options(SoftwareTier::Optimized, scale)));
         for (int f = 0; f < 3; ++f) {
             for (std::uint32_t region : {512u, 1024u}) {
                 for (std::uint32_t l : {2u, 3u}) {
@@ -44,14 +45,18 @@ main()
                     spec.sys.fcpRegionBytes = region;
                     spec.sys.fcpXorBits = l;
                     spec.sys.fcpFunc = funcs[f];
-                    jobs.push_back(
-                        job(robot.run, spec,
-                            options(SoftwareTier::Optimized, scale)));
+                    jobs.push_back(cell(
+                        std::string(robot.name) + "/" + func_names[f] +
+                            "/" + std::to_string(region) + "B-" +
+                            std::to_string(l) + "b",
+                        robot.run, spec,
+                        options(SoftwareTier::Optimized, scale)));
                 }
             }
         }
     }
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
 
     std::printf("%-10s %-5s", "robot", "m(x)");
     for (std::uint32_t region : {512u, 1024u})
@@ -98,5 +103,5 @@ main()
     std::printf("\nBest-config GMean speedup over no-FCP: %.3fx "
                 "(paper: up to 8%% on single robots)\n",
                 geomean(best_gains));
-    return 0;
+    return campaignExit(rep);
 }

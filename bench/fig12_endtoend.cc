@@ -26,23 +26,24 @@ main()
     rep.config("tiers", "legacy optimized approx");
 
     RunPool pool;
-    std::vector<std::function<RunResult()>> jobs;
+    std::vector<Cell<RunResult>> jobs;
     for (const auto &robot : robotSuite()) {
         const std::string name(robot.name);
-        jobs.push_back(job(rep, name + "_base", robot.run,
-                           MachineSpec::baseline(),
-                           options(SoftwareTier::Legacy)));
-        jobs.push_back(job(rep, name + "_legacy", robot.run,
-                           MachineSpec::tartan(),
-                           options(SoftwareTier::Legacy)));
-        jobs.push_back(job(rep, name + "_opt", robot.run,
-                           MachineSpec::tartan(),
-                           options(SoftwareTier::Optimized)));
-        jobs.push_back(job(rep, name + "_approx", robot.run,
-                           MachineSpec::tartan(),
-                           options(SoftwareTier::Approximate)));
+        jobs.push_back(cell(rep, name + "_base", robot.run,
+                            MachineSpec::baseline(),
+                            options(SoftwareTier::Legacy)));
+        jobs.push_back(cell(rep, name + "_legacy", robot.run,
+                            MachineSpec::tartan(),
+                            options(SoftwareTier::Legacy)));
+        jobs.push_back(cell(rep, name + "_opt", robot.run,
+                            MachineSpec::tartan(),
+                            options(SoftwareTier::Optimized)));
+        jobs.push_back(cell(rep, name + "_approx", robot.run,
+                            MachineSpec::tartan(),
+                            options(SoftwareTier::Approximate)));
     }
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
 
     std::printf("%-10s %12s %12s %12s\n", "robot", "legacy",
                 "optimized", "approx");
@@ -86,5 +87,5 @@ main()
     std::printf("\nShape check: approx >= optimized >= legacy >= ~1 for "
                 "every robot; NPU-less robots show approx == "
                 "optimized.\n");
-    return 0;
+    return campaignExit(rep);
 }

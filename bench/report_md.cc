@@ -239,7 +239,7 @@ main(int argc, char **argv)
         benches.push_back(std::move(bench));
     }
 
-    const bool ok = tartan::sim::json::writeFileAtomic(
+    const bool ok = tartan::sim::json::writeFileDurable(
         out_path,
         [&](std::ostream &os) {
             os << "# Bench results\n\n"

@@ -33,19 +33,23 @@ main()
                               {"FlyBot", runFlyBot}};
 
     RunPool pool;
-    std::vector<std::function<RunResult()>> jobs;
+    std::vector<Cell<RunResult>> jobs;
     // Exact (non-NPU) reference runs.
     for (const auto &t : targets)
-        jobs.push_back(job(t.run, MachineSpec::tartan(),
-                           options(SoftwareTier::Optimized)));
+        jobs.push_back(cell(std::string(t.name) + "/exact", t.run,
+                            MachineSpec::tartan(),
+                            options(SoftwareTier::Optimized)));
     for (std::uint32_t pes : {2u, 4u, 8u}) {
         auto spec = MachineSpec::tartan();
         spec.npuCfg.pes = pes;
         for (const auto &t : targets)
-            jobs.push_back(
-                job(t.run, spec, options(SoftwareTier::Approximate)));
+            jobs.push_back(cell(std::string(t.name) + "/" +
+                                    std::to_string(pes) + "PE",
+                                t.run, spec,
+                                options(SoftwareTier::Approximate)));
     }
-    const std::vector<RunResult> results = runAll(pool, std::move(jobs));
+    const std::vector<RunResult> results =
+        runAll(rep, pool, std::move(jobs));
 
     std::vector<double> base_cycles;
     std::size_t r = 0;
@@ -97,5 +101,5 @@ main()
              "4 PEs (the paper picks 4)");
     std::printf("\nShape check: memory/area grow with PEs; speedup "
                 "saturates past 4 PEs (the paper picks 4).\n");
-    return 0;
+    return campaignExit(rep);
 }

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * CampaignRunner implementation.
+ */
+
+#include "sim/campaign.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "sim/env.hh"
+#include "sim/logging.hh"
+#include "sim/watchdog.hh"
+
+namespace tartan::sim {
+
+namespace {
+
+/** Journal/cache payloads must stay single-line; reject raw newlines. */
+bool
+payloadPersistable(const std::string &payload)
+{
+    return payload.find('\n') == std::string::npos;
+}
+
+/** Strip record-framing characters from a label. */
+std::string
+sanitizeLabel(std::string label)
+{
+    for (char &c : label)
+        if (c == '\t' || c == '\n' || c == '\r')
+            c = ' ';
+    return label;
+}
+
+} // namespace
+
+CampaignConfig
+CampaignConfig::fromEnv()
+{
+    const RunEnv &env = RunEnv::get();
+    CampaignConfig cfg;
+    cfg.timeoutSec = env.timeoutSec;
+    cfg.retries = env.retries;
+    cfg.backoffMs = env.backoffMs;
+    cfg.resume = env.resume;
+    cfg.journalDir = env.benchDir;
+    cfg.cacheDir = env.cacheDir;
+    return cfg;
+}
+
+std::string
+RunPoolError::describe(const std::vector<CellFailure> &failures)
+{
+    std::string msg = std::to_string(failures.size()) +
+                      " cell(s) failed:";
+    for (const CellFailure &f : failures)
+        msg += "\n  [" + std::to_string(f.index) + "] " + f.label +
+               " (" + f.errorClass + ", " + std::to_string(f.attempts) +
+               " attempts): " + f.detail;
+    return msg;
+}
+
+RunPoolError::RunPoolError(std::vector<CellFailure> failures)
+    : std::runtime_error(describe(failures)), fails(std::move(failures))
+{
+}
+
+CampaignRunner::CampaignRunner(std::string driver, RunPool &pool_,
+                               CampaignConfig cfg_,
+                               std::uint64_t schema_version)
+    : driverName(std::move(driver)), pool(pool_), cfg(std::move(cfg_)),
+      schemaVersion(schema_version)
+{
+    if (cfg.resume) {
+        std::string dir = cfg.journalDir;
+        if (!dir.empty() && dir.back() != '/')
+            dir += '/';
+        // The schema version is part of the file name, not only the
+        // header: a driver sweeping two payload types (two runners,
+        // two schemas) gets two journals instead of the second runner
+        // treating the first one's file as foreign and resetting it.
+        journalPtr = std::make_unique<RunJournal>(
+            dir + "JOURNAL_" + driverName + "_s" +
+                std::to_string(schemaVersion) + ".tjl",
+            driverName, schemaVersion);
+        if (!journalPtr->ok()) {
+            warn("campaign: journal unavailable; resume disabled for %s",
+                 driverName.c_str());
+            journalPtr.reset();
+        }
+    }
+    if (!cfg.cacheDir.empty())
+        cachePtr = std::make_unique<ResultCache>(cfg.cacheDir,
+                                                 schemaVersion);
+}
+
+CampaignRunner::~CampaignRunner() = default;
+
+CellOutcome
+CampaignRunner::runAttempts(const CellSpec &spec, std::uint64_t index,
+                            const std::function<std::string()> &run) const
+{
+    CellOutcome out;
+    out.index = index;
+    out.label = spec.label;
+    const unsigned tries = cfg.retries + 1;
+    for (unsigned attempt = 1; attempt <= tries; ++attempt) {
+        out.attempts = attempt;
+        try {
+            const auto deadline = std::chrono::milliseconds(
+                static_cast<long long>(cfg.timeoutSec * 1000.0));
+            ScopedCellWatch watch(deadline, spec.label);
+            out.payload = run();
+            out.status = CellOutcome::Status::Ok;
+            out.source = CellOutcome::Source::Run;
+            return out;
+        } catch (const CellTimeoutError &e) {
+            out.errorClass = "timeout";
+            out.errorDetail = e.what();
+        } catch (const CellCrashError &e) {
+            out.errorClass = "crash";
+            out.errorDetail = e.what();
+        } catch (const std::exception &e) {
+            out.errorClass = "exception";
+            out.errorDetail = e.what();
+        } catch (...) {
+            out.errorClass = "exception";
+            out.errorDetail = "unknown exception";
+        }
+        warn("campaign: cell '%s' attempt %u/%u failed (%s: %s)",
+             spec.label.c_str(), attempt, tries, out.errorClass.c_str(),
+             out.errorDetail.c_str());
+        if (attempt < tries) {
+            // Exponential backoff: transient host conditions (memory
+            // pressure, scheduler stalls tripping the deadline) get
+            // room to clear before the re-attempt.
+            const auto backoff = std::chrono::milliseconds(
+                static_cast<long long>(cfg.backoffMs) << (attempt - 1));
+            std::this_thread::sleep_for(backoff);
+        }
+    }
+    out.status = CellOutcome::Status::Failed;
+    return out;
+}
+
+void
+CampaignRunner::submit(CellSpec spec, std::function<std::string()> run)
+{
+    spec.label = sanitizeLabel(std::move(spec.label));
+    const std::uint64_t index = pending.size();
+
+    if (journalPtr && spec.cacheable) {
+        if (const JournalRecord *rec = journalPtr->find(
+                index, spec.configHash, spec.seed, spec.label)) {
+            CellOutcome out;
+            out.status = CellOutcome::Status::Ok;
+            out.source = CellOutcome::Source::Journal;
+            out.index = index;
+            out.label = spec.label;
+            out.payload = rec->payload;
+            PendingCell cell;
+            cell.spec = std::move(spec);
+            cell.ready = std::move(out);
+            pending.push_back(std::move(cell));
+            return;
+        }
+    }
+
+    auto task = [this, spec, index, run = std::move(run)]() -> CellOutcome {
+        if (cachePtr && spec.cacheable) {
+            if (auto hit = cachePtr->load(spec.configHash, spec.seed,
+                                          spec.label)) {
+                CellOutcome out;
+                out.status = CellOutcome::Status::Ok;
+                out.source = CellOutcome::Source::Cache;
+                out.index = index;
+                out.label = spec.label;
+                out.payload = std::move(*hit);
+                return out;
+            }
+        }
+        return runAttempts(spec, index, run);
+    };
+
+    PendingCell cell;
+    cell.spec = std::move(spec);
+    cell.fut = pool.submit(std::move(task));
+    pending.push_back(std::move(cell));
+}
+
+std::vector<CellOutcome>
+CampaignRunner::gather()
+{
+    TARTAN_ASSERT(!gathered, "CampaignRunner::gather called twice");
+    gathered = true;
+
+    std::vector<CellOutcome> outcomes;
+    outcomes.reserve(pending.size());
+    for (PendingCell &cell : pending) {
+        CellOutcome out =
+            cell.ready ? std::move(*cell.ready) : cell.fut.get();
+
+        if (out.status == CellOutcome::Status::Ok) {
+            switch (out.source) {
+            case CellOutcome::Source::Run:
+                ++statsData.simulated;
+                break;
+            case CellOutcome::Source::Journal:
+                ++statsData.journalHits;
+                break;
+            case CellOutcome::Source::Cache:
+                ++statsData.cacheHits;
+                break;
+            }
+            if (cell.spec.cacheable && !payloadPersistable(out.payload)) {
+                warn("campaign: cell '%s' payload is not single-line; "
+                     "not persisting it",
+                     out.label.c_str());
+            } else if (cell.spec.cacheable) {
+                // Journal every completed cell (fresh or cache-loaded)
+                // the moment it is consumed: a kill between two cells
+                // preserves the whole prefix. Replays are already on
+                // disk and are not re-appended, so a resumed journal
+                // never grows unboundedly.
+                if (journalPtr &&
+                    out.source != CellOutcome::Source::Journal)
+                    journalPtr->append(JournalRecord{
+                        out.index, cell.spec.configHash, cell.spec.seed,
+                        out.label, out.payload});
+                if (cachePtr && out.source == CellOutcome::Source::Run)
+                    cachePtr->store(cell.spec.configHash, cell.spec.seed,
+                                    out.label, out.payload);
+            }
+        } else {
+            ++statsData.failed;
+            statsData.failures.push_back(
+                CellFailure{out.index, out.label, out.errorClass,
+                            out.errorDetail, out.attempts});
+        }
+        outcomes.push_back(std::move(out));
+    }
+    return outcomes;
+}
+
+} // namespace tartan::sim

@@ -10,6 +10,7 @@
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
+#include "sim/watchdog.hh"
 
 namespace tartan::sim {
 
@@ -148,6 +149,10 @@ Core::traceInstant(const std::string &name)
 void
 Core::addCycles(Cycles c, CpiCat cat)
 {
+    // Campaign-liveness tick: near-free without an armed watch (one
+    // thread-local pointer test); with one, a timed-out cell unwinds
+    // from here via CellTimeoutError.
+    heartbeat();
     cpiTotal[cat] += c;
     kernelData[kernelId].cpi[cat] += c;
     totalCycles += c;
@@ -159,6 +164,7 @@ Core::addCycles(Cycles c, CpiCat cat)
 void
 Core::addMemStall(Cycles c, const CpiStack &split)
 {
+    heartbeat();  // same liveness tick as addCycles
     TARTAN_DCHECK(split.sum() == c,
                   "CPI stall split (%llu) must sum to the stall (%llu)",
                   static_cast<unsigned long long>(split.sum()),

@@ -85,6 +85,38 @@ RunEnv::parse()
                  "(want >= 0)",
                  tol);
     }
+    if (const char *timeout = std::getenv("TARTAN_TIMEOUT")) {
+        const double v = std::atof(timeout);
+        if (v >= 0)
+            env.timeoutSec = v;
+        else
+            warn("env: ignoring invalid TARTAN_TIMEOUT '%s' (want >= 0)",
+                 timeout);
+    }
+    if (const char *retries = std::getenv("TARTAN_RETRIES")) {
+        const long long v = std::atoll(retries);
+        if (v >= 0 && v <= 16)
+            env.retries = unsigned(v);
+        else
+            warn("env: ignoring invalid TARTAN_RETRIES '%s' "
+                 "(want 0..16)",
+                 retries);
+    }
+    if (const char *backoff = std::getenv("TARTAN_BACKOFF_MS")) {
+        const long long v = std::atoll(backoff);
+        if (v >= 0)
+            env.backoffMs = unsigned(v);
+        else
+            warn("env: ignoring invalid TARTAN_BACKOFF_MS '%s' "
+                 "(want >= 0)",
+                 backoff);
+    }
+    if (const char *resume = std::getenv("TARTAN_RESUME")) {
+        const std::string v = resume;
+        env.resume = v == "1" || v == "on" || v == "true";
+    }
+    if (const char *dir = std::getenv("TARTAN_CACHE_DIR"))
+        env.cacheDir = dir;
     return env;
 }
 

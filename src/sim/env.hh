@@ -65,6 +65,36 @@ struct RunEnv {
      * overrides it.
      */
     double diffTolCpi = 0.0;
+    /**
+     * $TARTAN_TIMEOUT: per-cell wall-clock deadline in seconds for
+     * campaign runs (0 = no watchdog). A cell exceeding it is unwound
+     * via the heartbeat, retried with backoff and — still failing —
+     * quarantined instead of hanging the sweep.
+     */
+    double timeoutSec = 0.0;
+    /**
+     * $TARTAN_RETRIES: re-attempts after a cell's first failure
+     * (default 1). 0 quarantines on the first failure.
+     */
+    unsigned retries = 1;
+    /**
+     * $TARTAN_BACKOFF_MS: base delay between cell attempts in
+     * milliseconds, doubling per retry (default 100).
+     */
+    unsigned backoffMs = 100;
+    /**
+     * $TARTAN_RESUME: when truthy ("1"/"on"/"true"), campaigns keep a
+     * durable run journal next to their BENCH output and replay
+     * completed cells from it — a killed sweep resumes where it died,
+     * with a byte-identical final payload.
+     */
+    bool resume = false;
+    /**
+     * $TARTAN_CACHE_DIR: content-addressed result-cache directory
+     * ("" = caching off). Cells whose (config hash, seed, schema)
+     * already have a verified entry load it instead of re-simulating.
+     */
+    std::string cacheDir;
 
     /**
      * The process-wide snapshot. Parsed exactly once (thread-safe

@@ -12,6 +12,7 @@
 
 #include "sim/env.hh"
 #include "sim/logging.hh"
+#include "sim/watchdog.hh"
 
 namespace tartan::sim {
 
@@ -168,9 +169,15 @@ FaultPlan::parse(std::string_view spec, FaultPlan &out, std::string *err)
                                       {"blackout", &out.memBlackout}};
             if (!parseLayerItems(body, slots, err, "mem"))
                 return false;
+        } else if (layer == "cell") {
+            const ItemSlot slots[] = {{"crash", &out.cellCrash},
+                                      {"hang", &out.cellHang}};
+            if (!parseLayerItems(body, slots, err, "cell"))
+                return false;
         } else {
             return parseFail(err, "unknown layer '" + std::string(layer) +
-                                      "' (want sensor|surrogate|mem)");
+                                      "' (want sensor|surrogate|mem|"
+                                      "cell)");
         }
     }
 
@@ -209,7 +216,8 @@ FaultPlan::makeInjector(std::string_view stream) const
 FaultInjector::FaultInjector(const FaultPlan &plan,
                              std::uint64_t stream_seed)
     : planData(plan), sensorRng(mix64(stream_seed + 1)),
-      surrogateRng(mix64(stream_seed + 2)), memRng(mix64(stream_seed + 3))
+      surrogateRng(mix64(stream_seed + 2)), memRng(mix64(stream_seed + 3)),
+      cellRng(mix64(stream_seed + 4))
 {
 }
 
@@ -341,6 +349,27 @@ FaultInjector::prefetchBlackout()
         return true;
     }
     return false;
+}
+
+void
+FaultInjector::cellFault()
+{
+    if (!planData.cellEnabled())
+        return;  // null hook: no RNG draw, no counter
+    const std::uint64_t n = cellOpportunities++;
+    if (planData.cellCrash.rate > 0 &&
+        n >= static_cast<std::uint64_t>(planData.cellCrash.mag) &&
+        cellRng.uniform() < planData.cellCrash.rate) {
+        ++statsData.cellCrashes;
+        throw CellCrashError("injected cell crash (access " +
+                             std::to_string(n) + ")");
+    }
+    if (planData.cellHang.rate > 0 &&
+        n >= static_cast<std::uint64_t>(planData.cellHang.mag) &&
+        cellRng.uniform() < planData.cellHang.rate) {
+        ++statsData.cellHangs;
+        hangUntilWatchdog();
+    }
 }
 
 std::uint64_t

@@ -14,7 +14,11 @@
  *    approximation error on the NPU's functional results (stressing
  *    the Table 2 tolerance claim);
  *  - **mem**: demand-latency spikes and prefetcher blackout windows in
- *    the memory path, modelling degraded hardware.
+ *    the memory path, modelling degraded hardware;
+ *  - **cell**: whole-run failures — a simulated crash (CellCrashError
+ *    thrown out of the run) or a wedged cell (cooperative hang until
+ *    the campaign watchdog fires) — exercising the campaign
+ *    retry/quarantine/resume machinery deterministically.
  *
  * A FaultPlan is parsed from a compact spec string (typically the
  * TARTAN_FAULTS environment variable) and echoed verbatim into every
@@ -32,13 +36,16 @@
  *
  *   spec      := group (';' group)*
  *   group     := "seed=" <uint> | layer ':' item (',' item)*
- *   layer     := "sensor" | "surrogate" | "mem"
+ *   layer     := "sensor" | "surrogate" | "mem" | "cell"
  *   item      := name '=' rate ['@' magnitude]
  *
  *   sensor    : drop, stuck, noise(@sigma, of range), spike(@offset,
  *               of range), nan
  *   surrogate : garbage(@amplitude), inflate(@sigma)
  *   mem       : spike(@cycles), blackout(@accesses)
+ *   cell      : crash(@afterAccesses), hang(@afterAccesses) — the
+ *               magnitude gates the trigger window, so `crash=1@400`
+ *               crashes deterministically on the 401st hooked access
  *
  * Example:
  *   TARTAN_FAULTS="seed=7;sensor:drop=0.05,nan=0.01;mem:spike=0.001@400"
@@ -79,6 +86,8 @@ struct FaultStats {
     std::uint64_t memSpikes = 0;
     std::uint64_t memBlackouts = 0;         //!< blackout windows opened
     std::uint64_t memBlackoutAccesses = 0;  //!< accesses inside windows
+    std::uint64_t cellCrashes = 0;          //!< injected cell crashes
+    std::uint64_t cellHangs = 0;            //!< injected cell hangs
 
     std::uint64_t
     sensorTotal() const
@@ -87,12 +96,12 @@ struct FaultStats {
                sensorNans;
     }
 
-    /** Every injected fault across all three layers. */
+    /** Every injected fault across all four layers. */
     std::uint64_t
     total() const
     {
         return sensorTotal() + surrogateGarbage + surrogateInflated +
-               memSpikes + memBlackouts;
+               memSpikes + memBlackouts + cellCrashes + cellHangs;
     }
 };
 
@@ -149,9 +158,15 @@ class FaultPlan
         return memSpike.rate > 0 || memBlackout.rate > 0;
     }
     bool
+    cellEnabled() const
+    {
+        return cellCrash.rate > 0 || cellHang.rate > 0;
+    }
+    bool
     anyEnabled() const
     {
-        return sensorEnabled() || surrogateEnabled() || memEnabled();
+        return sensorEnabled() || surrogateEnabled() || memEnabled() ||
+               cellEnabled();
     }
 
     // Sensor layer.
@@ -168,6 +183,10 @@ class FaultPlan
     // Memory-timing layer.
     FaultRate memSpike;     //!< +mag cycles on one demand access
     FaultRate memBlackout;  //!< prefetcher disabled for mag accesses
+
+    // Cell layer (whole-run failures; mag = trigger-window start).
+    FaultRate cellCrash;  //!< throw CellCrashError out of the run
+    FaultRate cellHang;   //!< wedge the run until the watchdog fires
 
   private:
     std::string specText;
@@ -228,6 +247,17 @@ class FaultInjector
      */
     bool prefetchBlackout();
 
+    /**
+     * Cell layer: one failure opportunity (call once per hooked demand
+     * access). Past the trigger window, a crash draw throws
+     * CellCrashError and a hang draw parks the thread in
+     * hangUntilWatchdog() — the campaign's watchdog (or, with none
+     * armed, a genuine hang for the kill-resume path). No-op with the
+     * cell layer disabled; draws from its own RNG stream, so enabling
+     * it never perturbs the other layers' schedules.
+     */
+    void cellFault();
+
     const FaultPlan &plan() const { return planData; }
     const FaultStats &stats() const { return statsData; }
 
@@ -236,9 +266,11 @@ class FaultInjector
     Rng sensorRng;
     Rng surrogateRng;
     Rng memRng;
+    Rng cellRng;
     double lastClean = 0.0;
     bool haveLastClean = false;
     std::uint64_t blackoutLeft = 0;
+    std::uint64_t cellOpportunities = 0;
     FaultStats statsData;
 };
 

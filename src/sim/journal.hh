@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Durable run journal: crash-tolerant campaign resume.
+ *
+ * A campaign appends one record per *completed* cell — keyed by
+ * (submission index, config hash, seed, label) and carrying the cell's
+ * encoded result payload — to `JOURNAL_<driver>.tjl`, fsyncing after
+ * every append. A campaign killed mid-flight (SIGKILL, OOM, power cut)
+ * therefore leaves a valid prefix of completed cells on disk; the
+ * rerun replays those records instead of re-simulating and re-runs
+ * only the remainder, producing a BENCH payload byte-identical to an
+ * uninterrupted run.
+ *
+ * File format (line-oriented, one record per line):
+ *
+ *   TARTANJ <formatVersion> <schemaVersion> <driver>        # header
+ *   R <index> <confighash16> <seed16> <crc8> <len> <label>\t<payload>
+ *
+ * Hex fields are fixed-width lowercase; <crc8> is the CRC-32 of the
+ * payload bytes and <len> its byte length, so both truncated tails and
+ * in-place corruption are detected. Payloads are single-line JSON (the
+ * cell codec guarantees no raw newlines).
+ *
+ * Corruption policy: on open, the file is scanned from the top and
+ * every record is validated in order. The first malformed line — bad
+ * magic, field mismatch, CRC failure, short (truncated) payload —
+ * ends the replayable prefix: everything before it is trusted,
+ * everything from it on is discarded and the file is truncated back
+ * to the valid prefix so subsequent appends extend clean state. A
+ * header from a different format/schema version (or driver) discards
+ * the whole file — stale journals must re-simulate, never resurrect
+ * rows that an old codec encoded differently.
+ */
+
+#ifndef TARTAN_SIM_JOURNAL_HH
+#define TARTAN_SIM_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tartan::sim {
+
+/** One journaled cell: identity key plus the encoded result payload. */
+struct JournalRecord {
+    std::uint64_t index = 0;      //!< submission index within the driver
+    std::uint64_t configHash = 0; //!< cell configuration content hash
+    std::uint64_t seed = 0;       //!< workload seed
+    std::string label;            //!< human-readable cell label
+    std::string payload;          //!< encoded result (single-line JSON)
+};
+
+/** Append-only, CRC-guarded, fsync-on-append campaign journal. */
+class RunJournal
+{
+  public:
+    /**
+     * Open (creating if absent) the journal at @p path for @p driver
+     * with payload-schema version @p schema_version, replaying the
+     * valid prefix into records(). Invalid suffixes are warned about
+     * and truncated away; a foreign header restarts the file empty.
+     */
+    RunJournal(std::string path, std::string driver,
+               std::uint64_t schema_version);
+
+    /** Closes the journal fd (appends are already durable). */
+    ~RunJournal();
+
+    RunJournal(const RunJournal &) = delete;
+    RunJournal &operator=(const RunJournal &) = delete;
+
+    /** True when the journal file is open and appendable. */
+    bool ok() const { return fd >= 0; }
+
+    /**
+     * The journal's rows in file order: the valid prefix replayed at
+     * open time plus every record appended since.
+     */
+    const std::vector<JournalRecord> &records() const { return replayed; }
+
+    /**
+     * The replayed record matching the full key, or null. When
+     * duplicate keys exist (a driver running two identical sweeps),
+     * the latest record wins.
+     */
+    const JournalRecord *find(std::uint64_t index,
+                              std::uint64_t config_hash,
+                              std::uint64_t seed,
+                              const std::string &label) const;
+
+    /**
+     * Append @p rec and fsync before returning, so a completed cell
+     * survives any subsequent crash. Returns false (with a warn) when
+     * the write fails; the campaign then continues unjournaled.
+     */
+    bool append(const JournalRecord &rec);
+
+    /** The journal file path (diagnostics, tests). */
+    const std::string &path() const { return filePath; }
+
+  private:
+    std::string filePath;
+    std::string driverName;
+    std::uint64_t schemaVersion;
+    std::vector<JournalRecord> replayed;
+    int fd = -1;
+};
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_JOURNAL_HH

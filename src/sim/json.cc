@@ -14,6 +14,7 @@
 #include <fstream>
 
 #if !defined(_WIN32)
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -22,9 +23,28 @@
 namespace tartan::sim::json {
 
 bool
-writeFileAtomic(const std::string &path,
-                const std::function<void(std::ostream &)> &emit,
-                const char *what)
+syncParentDir(const std::string &path)
+{
+#if defined(_WIN32)
+    (void)path;
+    return true;
+#else
+    std::string dir = std::filesystem::path(path).parent_path().string();
+    if (dir.empty())
+        dir = ".";
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+#endif
+}
+
+bool
+writeFileDurable(const std::string &path,
+                 const std::function<void(std::ostream &)> &emit,
+                 const char *what)
 {
     const auto dir = std::filesystem::path(path).parent_path();
     if (!dir.empty()) {
@@ -64,6 +84,24 @@ writeFileAtomic(const std::string &path,
         }
     }
 
+#if !defined(_WIN32)
+    // Flush the temporary's *contents* before the rename makes it
+    // visible: rename-then-crash must never expose a zero-length or
+    // partial file under the final name.
+    {
+        const int fd = ::open(tmp.c_str(), O_RDONLY);
+        if (fd < 0 || ::fsync(fd) != 0) {
+            warn("%s: cannot fsync %s", what, tmp.c_str());
+            if (fd >= 0)
+                ::close(fd);
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+        ::close(fd);
+    }
+#endif
+
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
@@ -72,6 +110,10 @@ writeFileAtomic(const std::string &path,
         std::filesystem::remove(tmp, ec);
         return false;
     }
+    // And the directory entry, so the rename itself is durable.
+    if (!syncParentDir(path))
+        warn("%s: cannot fsync parent directory of %s", what,
+             path.c_str());
     return true;
 }
 

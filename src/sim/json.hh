@@ -28,18 +28,29 @@ void writeString(std::ostream &os, std::string_view s);
 void writeNumber(std::ostream &os, double v);
 
 /**
- * Write a document to @p path via rename-into-place: @p emit streams
- * into a process-unique temporary next to the target, which is then
- * atomically renamed over it. Concurrent writers (RunPool workers
- * finalizing traces, overlapping bench processes sharing one output
- * directory) can therefore never interleave bytes or expose a
- * half-written file; the last rename wins whole. Creates missing parent
- * directories; on failure removes the temporary and reports through
- * warn(), tagged with @p what ("trace", "bench").
+ * Write a document to @p path atomically *and durably*: @p emit
+ * streams into a process-unique temporary next to the target, the
+ * temporary is fsynced, renamed over the target, and the parent
+ * directory is fsynced so the rename itself survives a crash.
+ * Concurrent writers (RunPool workers finalizing traces, overlapping
+ * bench processes sharing one output directory) can therefore never
+ * interleave bytes or expose a half-written file, and once the call
+ * returns true the bytes are on disk — a kill -9 (or power cut)
+ * immediately after leaves either the old file or the complete new
+ * one, never a torn mix. Creates missing parent directories; on
+ * failure removes the temporary and reports through warn(), tagged
+ * with @p what ("trace", "bench", "cache").
  */
-bool writeFileAtomic(const std::string &path,
-                     const std::function<void(std::ostream &)> &emit,
-                     const char *what);
+bool writeFileDurable(const std::string &path,
+                      const std::function<void(std::ostream &)> &emit,
+                      const char *what);
+
+/**
+ * Flush the directory entry of @p path: fsync its parent directory so
+ * a rename into it is durable. Shared by writeFileDurable and the run
+ * journal. No-op (returns true) on platforms without directory fsync.
+ */
+bool syncParentDir(const std::string &path);
 
 /** A parsed JSON value (tree-owning). */
 struct Value {

@@ -451,6 +451,12 @@ AccessResult
 MemPath::accessHooked(Addr host, Addr sim, AccessType type,
                       std::uint32_t size, PcId pc, Cycles now)
 {
+    if (faults) {
+        // Cell-layer faults first: an injected crash/hang models the
+        // whole run dying *at* this access, so no further state of
+        // this access should be mutated when it fires.
+        faults->cellFault();
+    }
     AccessResult result = accessImpl(host, sim, type, size, pc, now);
     if (faults) {
         // Tagged as well as added: the CPI stack must charge injected

@@ -88,6 +88,26 @@ BenchReporter::note(const std::string &text)
     noteText = text;
 }
 
+void
+BenchReporter::cellFailure(const std::string &cell,
+                           const std::string &err_class,
+                           const std::string &detail, unsigned attempts)
+{
+    failureRows.push_back(FailureRow{cell, err_class, detail, attempts});
+}
+
+void
+BenchReporter::campaignStats(std::uint64_t simulated,
+                             std::uint64_t journal_hits,
+                             std::uint64_t cache_hits, std::uint64_t failed)
+{
+    campaignTotals.recorded = true;
+    campaignTotals.simulated += simulated;
+    campaignTotals.journalHits += journal_hits;
+    campaignTotals.cacheHits += cache_hits;
+    campaignTotals.failed += failed;
+}
+
 std::unique_ptr<TraceSession>
 BenchReporter::makeTrace(const std::string &run)
 {
@@ -137,6 +157,31 @@ BenchReporter::writeJson(std::ostream &os) const
             json::writeString(os, path);
         }
         os << "]";
+    }
+    // Campaign accounting lives in the manifest on purpose: bench_diff
+    // compares config/metrics/kernels/cpi only, so where a result came
+    // from (fresh, journal, cache) never perturbs payload comparison.
+    if (campaignTotals.recorded) {
+        os << ",\n    \"campaign\": {\"simulated\": "
+           << campaignTotals.simulated
+           << ", \"journalHits\": " << campaignTotals.journalHits
+           << ", \"cacheHits\": " << campaignTotals.cacheHits
+           << ", \"failed\": " << campaignTotals.failed << "}";
+    }
+    if (!failureRows.empty()) {
+        os << ",\n    \"failures\": [";
+        bool ffirst = true;
+        for (const FailureRow &row : failureRows) {
+            os << (ffirst ? "\n" : ",\n") << "      {\"cell\": ";
+            ffirst = false;
+            json::writeString(os, row.cell);
+            os << ", \"class\": ";
+            json::writeString(os, row.errClass);
+            os << ", \"detail\": ";
+            json::writeString(os, row.detail);
+            os << ", \"attempts\": " << row.attempts << "}";
+        }
+        os << "\n    ]";
     }
     os << "\n  },\n  \"config\": {";
     bool first = true;
@@ -223,7 +268,7 @@ BenchReporter::writeFile()
     const std::string path = outputPath();
     // Rename-into-place so two bench processes sharing one output
     // directory can never interleave writes or expose a torn file.
-    if (!json::writeFileAtomic(
+    if (!json::writeFileDurable(
             path, [this](std::ostream &os) { writeJson(os); }, "bench"))
         return false;
     std::printf("\n[json: %s]\n", path.c_str());
@@ -295,6 +340,40 @@ validateBenchJson(std::string_view text, std::string *err)
             return schemaFail(err, "manifest.cpiTaxonomyVersion " +
                                        std::to_string(int(v->number)) +
                                        " != compiled taxonomy version");
+    }
+    // Campaign-resilience echo: optional (pre-campaign documents), but
+    // when present both blocks must be well-typed — a manifest that
+    // claims quarantined cells without naming them is invalid.
+    if (const json::Value *v = manifest->find("campaign")) {
+        if (!v->isObject())
+            return schemaFail(err, "manifest.campaign is not an object");
+        for (const char *key :
+             {"simulated", "journalHits", "cacheHits", "failed"}) {
+            const json::Value *field = v->find(key);
+            if (!field || !field->isNumber())
+                return schemaFail(err, std::string("manifest.campaign.") +
+                                           key + " missing or non-number");
+        }
+    }
+    if (const json::Value *v = manifest->find("failures")) {
+        if (!v->isArray())
+            return schemaFail(err, "manifest.failures is not an array");
+        for (std::size_t i = 0; i < v->array.size(); ++i) {
+            const json::Value &row = v->array[i];
+            const std::string where =
+                "manifest.failures[" + std::to_string(i) + "]";
+            if (!row.isObject())
+                return schemaFail(err, where + " is not an object");
+            for (const char *key : {"cell", "class", "detail"}) {
+                const json::Value *field = row.find(key);
+                if (!field || !field->isString())
+                    return schemaFail(err, where + "." + key +
+                                               " missing or non-string");
+            }
+            const json::Value *attempts = row.find("attempts");
+            if (!attempts || !attempts->isNumber())
+                return schemaFail(err, where + ".attempts missing");
+        }
     }
     if (const json::Value *v = manifest->find("cpiCategories")) {
         if (!v->isArray() || v->array.size() != kNumCpiCats)

@@ -89,6 +89,27 @@ class BenchReporter
     void note(const std::string &text);
 
     /**
+     * Record one quarantined campaign cell: the sweep kept going, this
+     * cell's result is a placeholder, and the manifest says so. Rows
+     * land in manifest.failures (cell identity, error class, detail,
+     * attempts burned), which bench_diff ignores by construction — a
+     * failing sweep still emits a complete, comparable payload.
+     */
+    void cellFailure(const std::string &cell, const std::string &err_class,
+                     const std::string &detail, unsigned attempts);
+
+    /**
+     * Accumulate campaign counters (multiple runAll sweeps per driver
+     * add up) into the manifest.campaign block: cells simulated fresh,
+     * replayed from the journal, served from the result cache, failed.
+     */
+    void campaignStats(std::uint64_t simulated, std::uint64_t journal_hits,
+                       std::uint64_t cache_hits, std::uint64_t failed);
+
+    /** True when any cellFailure() was recorded (exit-code policy). */
+    bool hasFailures() const { return !failureRows.empty(); }
+
+    /**
      * Build a TraceSession for one run of this bench, honouring the
      * TARTAN_TRACE environment variable (output directory). Returns
      * null when tracing is off; otherwise the session writes
@@ -122,6 +143,21 @@ class BenchReporter
         CpiStack stack;
     };
 
+    struct FailureRow {
+        std::string cell;
+        std::string errClass;
+        std::string detail;
+        unsigned attempts = 0;
+    };
+
+    struct CampaignTotals {
+        bool recorded = false;
+        std::uint64_t simulated = 0;
+        std::uint64_t journalHits = 0;
+        std::uint64_t cacheHits = 0;
+        std::uint64_t failed = 0;
+    };
+
     std::string benchName;
     std::string paperNote;
     std::string noteText;
@@ -132,6 +168,8 @@ class BenchReporter
     std::vector<std::pair<std::string, std::map<std::string, double>>>
         kernelRows;
     std::vector<CpiRowData> cpiRows;
+    std::vector<FailureRow> failureRows;
+    CampaignTotals campaignTotals;
     std::vector<std::string> tracePaths;
     bool written = false;
 };

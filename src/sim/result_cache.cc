@@ -1,0 +1,123 @@
+/**
+ * @file
+ * ResultCache implementation: verified JSON envelopes around encoded
+ * cell payloads.
+ */
+
+#include "sim/result_cache.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/checksum.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace tartan::sim {
+
+namespace {
+
+/** Entry-envelope format version (bump on layout change). */
+constexpr std::uint64_t kCacheFormatVersion = 1;
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir, std::uint64_t schema_version)
+    : cacheDir(std::move(dir)), schemaVersion(schema_version)
+{
+    if (!cacheDir.empty() && cacheDir.back() != '/')
+        cacheDir += '/';
+}
+
+std::string
+ResultCache::entryPath(std::uint64_t config_hash, std::uint64_t seed) const
+{
+    // The file name is the content address: (config, seed, schema)
+    // folded into one key. The envelope echoes the raw key fields so
+    // a (vanishingly unlikely) fold collision is still caught.
+    std::uint64_t key = fnv1a64("tartan-cell");
+    key = fnv1a64Mix(key, config_hash);
+    key = fnv1a64Mix(key, seed);
+    key = fnv1a64Mix(key, schemaVersion);
+    return cacheDir + "cell_" + hex64(key) + ".json";
+}
+
+std::optional<std::string>
+ResultCache::load(std::uint64_t config_hash, std::uint64_t seed,
+                  const std::string &label) const
+{
+    const std::string path = entryPath(config_hash, seed);
+    std::string content;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return std::nullopt;  // plain miss
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        content = ss.str();
+    }
+
+    const auto evict = [&](const char *why) -> std::optional<std::string> {
+        warn("cache: evicting %s (%s); cell '%s' will be re-simulated",
+             path.c_str(), why, label.c_str());
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        return std::nullopt;
+    };
+
+    json::Value doc;
+    if (!json::parse(content, doc, nullptr) || !doc.isObject())
+        return evict("unparseable entry");
+    const json::Value *ver = doc.find("cacheVersion");
+    const json::Value *schema = doc.find("schemaVersion");
+    const json::Value *hash = doc.find("configHash");
+    const json::Value *seed_v = doc.find("seed");
+    const json::Value *crc = doc.find("crc");
+    const json::Value *payload = doc.find("payload");
+    if (!ver || !ver->isNumber() ||
+        ver->number != double(kCacheFormatVersion))
+        return evict("foreign cache format version");
+    if (!schema || !schema->isString() ||
+        schema->string != std::to_string(schemaVersion))
+        return evict("stale payload schema version");
+    if (!hash || !hash->isString() || hash->string != hex64(config_hash))
+        return evict("config-hash mismatch");
+    if (!seed_v || !seed_v->isString() || seed_v->string != hex64(seed))
+        return evict("seed mismatch");
+    if (!payload || !payload->isString())
+        return evict("missing payload");
+    if (!crc || !crc->isString() ||
+        crc->string != hex32(crc32(payload->string)))
+        return evict("payload CRC mismatch");
+    return payload->string;
+}
+
+bool
+ResultCache::store(std::uint64_t config_hash, std::uint64_t seed,
+                   const std::string &label,
+                   const std::string &payload) const
+{
+    const std::string path = entryPath(config_hash, seed);
+    return json::writeFileDurable(
+        path,
+        [&](std::ostream &os) {
+            os << "{\"cacheVersion\": " << kCacheFormatVersion
+               << ", \"schemaVersion\": ";
+            json::writeString(os, std::to_string(schemaVersion));
+            os << ", \"configHash\": ";
+            json::writeString(os, hex64(config_hash));
+            os << ", \"seed\": ";
+            json::writeString(os, hex64(seed));
+            os << ", \"label\": ";
+            json::writeString(os, label);
+            os << ", \"crc\": ";
+            json::writeString(os, hex32(crc32(payload)));
+            os << ", \"payload\": ";
+            json::writeString(os, payload);
+            os << "}\n";
+        },
+        "cache");
+}
+
+} // namespace tartan::sim

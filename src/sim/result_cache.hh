@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Content-addressed result cache for campaign cells.
+ *
+ * A cell's result is a pure function of its configuration (hashed into
+ * a 64-bit content address by the cell codec), its workload seed and
+ * the payload schema version. With TARTAN_CACHE_DIR set, a campaign
+ * stores every freshly simulated cell's encoded payload as
+ * `cell_<key16>.json` in that directory and later sweeps load the
+ * payload instead of re-simulating — a repeated sweep simulates zero
+ * cells and still emits byte-identical BENCH output, because cached
+ * and fresh results flow through the exact same decode path.
+ *
+ * Verified on load: the entry must parse, echo the expected config
+ * hash / seed / schema version, and its payload must match the stored
+ * CRC-32. Any mismatch — torn write, bit rot, a stale entry from an
+ * older codec or CPI taxonomy — evicts the entry (the file is
+ * removed) and the cell is re-simulated; a corrupt cache can cost
+ * time, never correctness. Entries are written with the durable
+ * atomic writer, so concurrent campaigns sharing one cache directory
+ * see whole entries or none.
+ */
+
+#ifndef TARTAN_SIM_RESULT_CACHE_HH
+#define TARTAN_SIM_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace tartan::sim {
+
+/** Verified load/store of encoded cell payloads under one directory. */
+class ResultCache
+{
+  public:
+    /**
+     * A cache over @p dir for payload-schema version
+     * @p schema_version. The directory is created on first store.
+     */
+    ResultCache(std::string dir, std::uint64_t schema_version);
+
+    /**
+     * Load the payload of (config_hash, seed), verifying the entry's
+     * key echo, schema version and payload CRC. Returns nullopt on
+     * miss; a present-but-invalid entry is evicted (removed) first so
+     * the re-simulated result can replace it cleanly.
+     */
+    std::optional<std::string> load(std::uint64_t config_hash,
+                                    std::uint64_t seed,
+                                    const std::string &label) const;
+
+    /**
+     * Store @p payload for (config_hash, seed) durably (atomic
+     * rename + fsync). Returns false (with a warn) on I/O failure;
+     * the campaign continues uncached.
+     */
+    bool store(std::uint64_t config_hash, std::uint64_t seed,
+               const std::string &label, const std::string &payload) const;
+
+    /** The entry path for (config_hash, seed) (tests, diagnostics). */
+    std::string entryPath(std::uint64_t config_hash,
+                          std::uint64_t seed) const;
+
+  private:
+    std::string cacheDir;
+    std::uint64_t schemaVersion;
+};
+
+} // namespace tartan::sim
+
+#endif // TARTAN_SIM_RESULT_CACHE_HH

@@ -485,7 +485,7 @@ TraceSession::writeFileChecked(
 {
     // Rename-into-place: concurrent RunPool workers finalizing their
     // sessions can never interleave bytes in a shared output directory.
-    return json::writeFileAtomic(path, emit, "trace");
+    return json::writeFileDurable(path, emit, "trace");
 }
 
 bool

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Cell-result codec implementation.
+ */
+
+#include "workloads/cellcodec.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/checksum.hh"
+#include "sim/cpistack.hh"
+
+namespace tartan::workloads {
+
+namespace {
+
+using sim::json::Value;
+
+/** Fetch a string member; false (with @p err) when absent/mistyped. */
+bool
+member(const Value &obj, const char *key, const Value *&out,
+       std::string *err)
+{
+    out = obj.find(key);
+    if (!out) {
+        if (err && err->empty())
+            *err = std::string("missing '") + key + "'";
+        return false;
+    }
+    return true;
+}
+
+/** Decode the u64-as-string member @p key of @p obj. */
+bool
+memberU64(const Value &obj, const char *key, std::uint64_t &out,
+          std::string *err)
+{
+    const Value *v = nullptr;
+    if (!member(obj, key, v, err))
+        return false;
+    if (!v->isString() || !decodeU64(v->string, out)) {
+        if (err && err->empty())
+            *err = std::string("bad u64 '") + key + "'";
+        return false;
+    }
+    return true;
+}
+
+/** Decode the double-as-hexfloat-string member @p key of @p obj. */
+bool
+memberDouble(const Value &obj, const char *key, double &out,
+             std::string *err)
+{
+    const Value *v = nullptr;
+    if (!member(obj, key, v, err))
+        return false;
+    if (!v->isString() || !decodeDouble(v->string, out)) {
+        if (err && err->empty())
+            *err = std::string("bad double '") + key + "'";
+        return false;
+    }
+    return true;
+}
+
+/** Decode the plain-string member @p key of @p obj. */
+bool
+memberString(const Value &obj, const char *key, std::string &out,
+             std::string *err)
+{
+    const Value *v = nullptr;
+    if (!member(obj, key, v, err))
+        return false;
+    if (!v->isString()) {
+        if (err && err->empty())
+            *err = std::string("bad string '") + key + "'";
+        return false;
+    }
+    out = v->string;
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+cellSchemaVersion()
+{
+    return kCellCodecVersion * 1000 + sim::kCpiTaxonomyVersion;
+}
+
+std::string
+encodeDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+bool
+decodeDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE || !end || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+std::string
+encodeU64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+bool
+decodeU64(const std::string &text, std::uint64_t &out)
+{
+    // strtoull silently wraps negatives and skips leading whitespace;
+    // the encoder emits bare digits only, so accept nothing else.
+    if (text.empty() || text[0] < '0' || text[0] > '9')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || !end || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+void
+encodeKernels(std::ostream &os,
+              const std::vector<sim::KernelCounters> &kernels)
+{
+    os << "[";
+    bool first = true;
+    for (const sim::KernelCounters &k : kernels) {
+        os << (first ? "" : ",") << "{\"n\":";
+        first = false;
+        sim::json::writeString(os, k.name);
+        os << ",\"c\":\"" << encodeU64(k.cycles) << "\",\"m\":\""
+           << encodeU64(k.memStallCycles) << "\",\"i\":\""
+           << encodeU64(k.instructions) << "\",\"cpi\":[";
+        for (std::size_t i = 0; i < sim::kNumCpiCats; ++i)
+            os << (i ? "," : "") << "\"" << encodeU64(k.cpi.cat[i])
+               << "\"";
+        os << "]}";
+    }
+    os << "]";
+}
+
+bool
+decodeKernels(const Value &arr, std::vector<sim::KernelCounters> &out)
+{
+    if (!arr.isArray())
+        return false;
+    out.clear();
+    out.reserve(arr.array.size());
+    for (const Value &row : arr.array) {
+        if (!row.isObject())
+            return false;
+        sim::KernelCounters k;
+        if (!memberString(row, "n", k.name, nullptr) ||
+            !memberU64(row, "c", k.cycles, nullptr) ||
+            !memberU64(row, "m", k.memStallCycles, nullptr) ||
+            !memberU64(row, "i", k.instructions, nullptr))
+            return false;
+        const Value *cpi = row.find("cpi");
+        if (!cpi || !cpi->isArray() ||
+            cpi->array.size() != sim::kNumCpiCats)
+            return false;
+        for (std::size_t i = 0; i < sim::kNumCpiCats; ++i) {
+            if (!cpi->array[i].isString() ||
+                !decodeU64(cpi->array[i].string, k.cpi.cat[i]))
+                return false;
+        }
+        out.push_back(std::move(k));
+    }
+    return true;
+}
+
+std::string
+encodeRunResult(const RunResult &res)
+{
+    std::ostringstream os;
+    os << "{\"v\":\"" << kCellCodecVersion << "\",\"tax\":\""
+       << sim::kCpiTaxonomyVersion << "\",\"robot\":";
+    sim::json::writeString(os, res.robot);
+    os << ",\"wall\":\"" << encodeU64(res.wallCycles) << "\""
+       << ",\"work\":\"" << encodeU64(res.workCycles) << "\""
+       << ",\"inst\":\"" << encodeU64(res.instructions) << "\""
+       << ",\"bk\":";
+    sim::json::writeString(os, res.bottleneckKernel);
+    os << ",\"bs\":\"" << encodeDouble(res.bottleneckShare) << "\""
+       << ",\"l1a\":\"" << encodeU64(res.l1Accesses) << "\""
+       << ",\"l1m\":\"" << encodeU64(res.l1Misses) << "\""
+       << ",\"l2m\":\"" << encodeU64(res.l2Misses) << "\""
+       << ",\"l2a\":\"" << encodeU64(res.l2Accesses) << "\""
+       << ",\"l3t\":\"" << encodeU64(res.l3Traffic) << "\""
+       << ",\"pfi\":\"" << encodeU64(res.pfIssued) << "\""
+       << ",\"pft\":\"" << encodeU64(res.pfHitsTimely) << "\""
+       << ",\"pfl\":\"" << encodeU64(res.pfHitsLate) << "\""
+       << ",\"udf\":\"" << encodeU64(res.udmFetchedBytes) << "\""
+       << ",\"udu\":\"" << encodeU64(res.udmUsedBytes) << "\""
+       << ",\"npi\":\"" << encodeU64(res.npuInvocations) << "\""
+       << ",\"npc\":\"" << encodeU64(res.npuCommCycles) << "\""
+       << ",\"kernels\":";
+    encodeKernels(os, res.kernels);
+    os << ",\"metrics\":{";
+    bool first = true;
+    for (const auto &[key, val] : res.metrics) {
+        os << (first ? "" : ",");
+        first = false;
+        sim::json::writeString(os, key);
+        os << ":\"" << encodeDouble(val) << "\"";
+    }
+    os << "}}";
+    return os.str();
+}
+
+bool
+decodeRunResult(const std::string &payload, RunResult &out,
+                std::string *err)
+{
+    Value doc;
+    std::string perr;
+    if (!sim::json::parse(payload, doc, &perr)) {
+        if (err)
+            *err = "parse error: " + perr;
+        return false;
+    }
+    if (!doc.isObject()) {
+        if (err)
+            *err = "payload is not an object";
+        return false;
+    }
+    std::string version, taxonomy;
+    if (!memberString(doc, "v", version, err) ||
+        !memberString(doc, "tax", taxonomy, err))
+        return false;
+    if (version != std::to_string(kCellCodecVersion) ||
+        taxonomy != std::to_string(sim::kCpiTaxonomyVersion)) {
+        if (err && err->empty())
+            *err = "foreign codec/taxonomy version " + version + "/" +
+                   taxonomy;
+        return false;
+    }
+
+    out = RunResult();
+    if (!memberString(doc, "robot", out.robot, err) ||
+        !memberU64(doc, "wall", out.wallCycles, err) ||
+        !memberU64(doc, "work", out.workCycles, err) ||
+        !memberU64(doc, "inst", out.instructions, err) ||
+        !memberString(doc, "bk", out.bottleneckKernel, err) ||
+        !memberDouble(doc, "bs", out.bottleneckShare, err) ||
+        !memberU64(doc, "l1a", out.l1Accesses, err) ||
+        !memberU64(doc, "l1m", out.l1Misses, err) ||
+        !memberU64(doc, "l2m", out.l2Misses, err) ||
+        !memberU64(doc, "l2a", out.l2Accesses, err) ||
+        !memberU64(doc, "l3t", out.l3Traffic, err) ||
+        !memberU64(doc, "pfi", out.pfIssued, err) ||
+        !memberU64(doc, "pft", out.pfHitsTimely, err) ||
+        !memberU64(doc, "pfl", out.pfHitsLate, err) ||
+        !memberU64(doc, "udf", out.udmFetchedBytes, err) ||
+        !memberU64(doc, "udu", out.udmUsedBytes, err) ||
+        !memberU64(doc, "npi", out.npuInvocations, err) ||
+        !memberU64(doc, "npc", out.npuCommCycles, err))
+        return false;
+
+    const Value *kernels = doc.find("kernels");
+    if (!kernels || !decodeKernels(*kernels, out.kernels)) {
+        if (err && err->empty())
+            *err = "bad 'kernels'";
+        return false;
+    }
+    const Value *metrics = doc.find("metrics");
+    if (!metrics || !metrics->isObject()) {
+        if (err && err->empty())
+            *err = "bad 'metrics'";
+        return false;
+    }
+    for (const auto &[key, val] : metrics->object) {
+        double d = 0.0;
+        if (!val.isString() || !decodeDouble(val.string, d)) {
+            if (err && err->empty())
+                *err = "bad metric '" + key + "'";
+            return false;
+        }
+        out.metrics[key] = d;
+    }
+    return true;
+}
+
+std::string
+describeCell(std::string_view robot, const MachineSpec &spec,
+             const WorkloadOptions &opt, std::string_view salt)
+{
+    const sim::SysConfig &sys = spec.sys;
+    std::ostringstream os;
+    os << "codec=" << kCellCodecVersion
+       << ";tax=" << sim::kCpiTaxonomyVersion << ";robot=" << robot
+       // Simulated hardware: every SysConfig field that shapes timing.
+       << ";line=" << sys.lineBytes << ";l1=" << sys.l1Size << "/"
+       << sys.l1Assoc << "/" << sys.l1Latency << ";l2=" << sys.l2Size
+       << "/" << sys.l2Assoc << "/" << sys.l2Latency
+       << ";l3=" << sys.l3Size << "/" << sys.l3Assoc << "/"
+       << sys.l3Latency << ";dram=" << sys.dramLatency
+       << ";cores=" << sys.numCores << ";issue=" << sys.core.issueWidth
+       << ";overlap=" << sys.core.missOverlap
+       << ";lanes=" << sys.core.vectorLanes
+       << ";pf=" << int(sys.prefetcher) << ";fcp=" << sys.fcpEnabled
+       << "/" << sys.fcpRegionBytes << "/" << sys.fcpXorBits << "/"
+       << int(sys.fcpFunc) << "/" << sys.fcpAtL3
+       << ";udm=" << sys.trackUdm
+       // Tartan units.
+       << ";anl=" << spec.useAnl << "/" << spec.anlCfg.entries << "/"
+       << spec.anlCfg.regionBytes << "/" << spec.anlCfg.lineBytes << "/"
+       << spec.anlCfg.maxDegree << ";ovec=" << spec.ovec
+       << ";npu=" << spec.npu << "/" << spec.npuCfg.pes << "/"
+       << spec.npuCfg.macDrainLatency << "/" << spec.npuCfg.commLatency
+       << "/" << spec.npuCfg.coprocCommLatency << "/"
+       << int(spec.npuCfg.placement) << ";wt=" << spec.wtQueues
+       // Workload options (observational hooks excluded: trace and
+       // hostProf never change results; fastAccessPath is proven
+       // equivalent but included for strictness).
+       << ";tier=" << int(opt.tier)
+       << ";scale=" << encodeDouble(opt.scale) << ";seed=" << opt.seed
+       << ";nns=" << int(opt.nns) << "/" << opt.nnsExplicit
+       << ";oriented=" << int(opt.oriented)
+       << ";swnn=" << opt.softwareNeural
+       << ";fast=" << opt.fastAccessPath;
+    if (!salt.empty())
+        os << ";salt=" << salt;
+    return os.str();
+}
+
+std::uint64_t
+cellConfigHash(std::string_view robot, const MachineSpec &spec,
+               const WorkloadOptions &opt, std::string_view salt)
+{
+    return sim::fnv1a64(describeCell(robot, spec, opt, salt));
+}
+
+} // namespace tartan::workloads

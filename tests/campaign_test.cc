@@ -1,0 +1,873 @@
+/**
+ * @file
+ * Campaign-resilience layer: the crash-tolerance guarantees the bench
+ * drivers rely on. The tests pin down (1) the cell codec's exactness —
+ * decode(encode(x)) bit-identical, including nan/inf metrics and
+ * full-width uint64 counters; (2) the run journal's corruption policy —
+ * truncated tails, bit-flipped payloads and foreign schema versions
+ * never resurrect bad rows, and the valid prefix always replays;
+ * (3) the result cache's verify-on-load — corrupt entries are evicted
+ * and re-simulated, hits skip simulation and return identical bytes;
+ * (4) the retry/quarantine machinery's determinism — identical
+ * outcomes with a serial and a parallel pool, timeouts classified by
+ * the watchdog, all failures of a sweep collected with cell identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hh"
+#include "sim/journal.hh"
+#include "sim/json.hh"
+#include "sim/result_cache.hh"
+#include "sim/runpool.hh"
+#include "sim/watchdog.hh"
+#include "workloads/cellcodec.hh"
+#include "workloads/common.hh"
+
+namespace fs = std::filesystem;
+
+using tartan::sim::CampaignConfig;
+using tartan::sim::CampaignRunner;
+using tartan::sim::CellOutcome;
+using tartan::sim::CellSpec;
+using tartan::sim::JournalRecord;
+using tartan::sim::ResultCache;
+using tartan::sim::RunJournal;
+using tartan::sim::RunPool;
+using tartan::workloads::MachineSpec;
+using tartan::workloads::RunResult;
+using tartan::workloads::SoftwareTier;
+using tartan::workloads::WorkloadOptions;
+
+namespace {
+
+/** A fresh, empty scratch directory under the test temp root. */
+fs::path
+scratchDir(const std::string &name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) /
+                         ("campaign_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+spit(const fs::path &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+/** Bit-level double equality (distinguishes -0.0, compares NaNs). */
+bool
+sameBits(double a, double b)
+{
+    std::uint64_t ba, bb;
+    std::memcpy(&ba, &a, sizeof ba);
+    std::memcpy(&bb, &b, sizeof bb);
+    return ba == bb;
+}
+
+/** A RunResult with every field populated, including hostile values. */
+RunResult
+sampleResult()
+{
+    RunResult res;
+    res.robot = "TestBot";
+    res.wallCycles = 123456789;
+    res.workCycles = 98765432101234ull;
+    res.instructions = std::numeric_limits<std::uint64_t>::max();
+    res.bottleneckKernel = "raycast";
+    res.bottleneckShare = 1.0 / 3.0;
+    res.l1Accesses = (1ull << 53) + 1; // not representable as a double
+    res.l1Misses = 17;
+    res.l2Misses = 0;
+    res.l2Accesses = 42;
+    res.l3Traffic = 1ull << 40;
+    res.pfIssued = 7;
+    res.pfHitsTimely = 6;
+    res.pfHitsLate = 1;
+    res.udmFetchedBytes = 4096;
+    res.udmUsedBytes = 512;
+    res.npuInvocations = 3;
+    res.npuCommCycles = 99;
+
+    tartan::sim::KernelCounters k;
+    k.name = "kernel \"quoted\"\tand\ttabbed";
+    k.cycles = 1000;
+    k.memStallCycles = 250;
+    k.instructions = 800;
+    for (std::size_t c = 0; c < tartan::sim::kNumCpiCats; ++c)
+        k.cpi.cat[c] = tartan::sim::Cycles(c * 11);
+    res.kernels.push_back(k);
+    k.name = "plain";
+    res.kernels.push_back(k);
+
+    res.metrics["planCost"] = 2.5000000000000004;
+    res.metrics["ekfError"] = std::nan("");
+    res.metrics["blownUp"] = HUGE_VAL;
+    res.metrics["negInf"] = -HUGE_VAL;
+    res.metrics["negZero"] = -0.0;
+    res.metrics["denormal"] = std::numeric_limits<double>::denorm_min();
+    return res;
+}
+
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.robot, b.robot);
+    EXPECT_EQ(a.wallCycles, b.wallCycles);
+    EXPECT_EQ(a.workCycles, b.workCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.bottleneckKernel, b.bottleneckKernel);
+    EXPECT_TRUE(sameBits(a.bottleneckShare, b.bottleneckShare));
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.l3Traffic, b.l3Traffic);
+    EXPECT_EQ(a.pfIssued, b.pfIssued);
+    EXPECT_EQ(a.pfHitsTimely, b.pfHitsTimely);
+    EXPECT_EQ(a.pfHitsLate, b.pfHitsLate);
+    EXPECT_EQ(a.udmFetchedBytes, b.udmFetchedBytes);
+    EXPECT_EQ(a.udmUsedBytes, b.udmUsedBytes);
+    EXPECT_EQ(a.npuInvocations, b.npuInvocations);
+    EXPECT_EQ(a.npuCommCycles, b.npuCommCycles);
+    ASSERT_EQ(a.kernels.size(), b.kernels.size());
+    for (std::size_t i = 0; i < a.kernels.size(); ++i) {
+        EXPECT_EQ(a.kernels[i].name, b.kernels[i].name);
+        EXPECT_EQ(a.kernels[i].cycles, b.kernels[i].cycles);
+        EXPECT_EQ(a.kernels[i].memStallCycles,
+                  b.kernels[i].memStallCycles);
+        EXPECT_EQ(a.kernels[i].instructions, b.kernels[i].instructions);
+        for (std::size_t c = 0; c < tartan::sim::kNumCpiCats; ++c)
+            EXPECT_EQ(a.kernels[i].cpi.cat[c], b.kernels[i].cpi.cat[c]);
+    }
+    ASSERT_EQ(a.metrics.size(), b.metrics.size());
+    for (const auto &[key, val] : a.metrics) {
+        const auto it = b.metrics.find(key);
+        ASSERT_NE(it, b.metrics.end()) << key;
+        EXPECT_TRUE(sameBits(val, it->second)) << key;
+    }
+}
+
+/** Resilience config pointed at a scratch journal dir, fast backoff. */
+CampaignConfig
+testConfig(const fs::path &dir)
+{
+    CampaignConfig cfg;
+    cfg.retries = 1;
+    cfg.backoffMs = 1;
+    cfg.resume = true;
+    cfg.journalDir = dir.string();
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Cell codec: exact round-trips
+// ---------------------------------------------------------------------------
+
+TEST(CellCodec, U64RoundTripsFullRange)
+{
+    using tartan::workloads::decodeU64;
+    using tartan::workloads::encodeU64;
+    const std::uint64_t values[] = {
+        0, 1, (1ull << 53) + 1, // breaks a double-typed encoding
+        std::numeric_limits<std::uint64_t>::max()};
+    for (std::uint64_t v : values) {
+        std::uint64_t back = 0;
+        ASSERT_TRUE(decodeU64(encodeU64(v), back)) << v;
+        EXPECT_EQ(back, v);
+    }
+    std::uint64_t out = 0;
+    EXPECT_FALSE(decodeU64("", out));
+    EXPECT_FALSE(decodeU64("12x", out));
+    EXPECT_FALSE(decodeU64("-1", out));
+    EXPECT_FALSE(decodeU64("99999999999999999999999", out)); // overflow
+}
+
+TEST(CellCodec, DoubleRoundTripsBitExactly)
+{
+    using tartan::workloads::decodeDouble;
+    using tartan::workloads::encodeDouble;
+    const double values[] = {0.0,
+                             -0.0,
+                             1.0 / 3.0,
+                             2.5000000000000004,
+                             std::numeric_limits<double>::max(),
+                             std::numeric_limits<double>::denorm_min(),
+                             std::nan(""),
+                             HUGE_VAL,
+                             -HUGE_VAL};
+    for (double v : values) {
+        double back = 0;
+        ASSERT_TRUE(decodeDouble(encodeDouble(v), back))
+            << encodeDouble(v);
+        if (std::isnan(v))
+            EXPECT_TRUE(std::isnan(back));
+        else
+            EXPECT_TRUE(sameBits(v, back)) << encodeDouble(v);
+    }
+    double out = 0;
+    EXPECT_FALSE(decodeDouble("", out));
+    EXPECT_FALSE(decodeDouble("0x1.8p+0 trailing", out));
+}
+
+TEST(CellCodec, RunResultRoundTripsBitExactly)
+{
+    const RunResult res = sampleResult();
+    const std::string payload = tartan::workloads::encodeRunResult(res);
+    // The journal and cache require single-line payloads.
+    EXPECT_EQ(payload.find('\n'), std::string::npos);
+
+    RunResult back;
+    std::string err;
+    ASSERT_TRUE(tartan::workloads::decodeRunResult(payload, back, &err))
+        << err;
+    expectIdentical(res, back);
+
+    // Encoding is a pure function of the value: re-encoding the
+    // decoded result reproduces the payload byte for byte.
+    EXPECT_EQ(tartan::workloads::encodeRunResult(back), payload);
+}
+
+TEST(CellCodec, RunResultDecodeRejectsForeignVersionsAndGarbage)
+{
+    const std::string payload =
+        tartan::workloads::encodeRunResult(sampleResult());
+    RunResult out;
+    std::string err;
+
+    // Foreign codec version.
+    std::string tampered = payload;
+    const auto vpos = tampered.find("\"v\":\"");
+    ASSERT_NE(vpos, std::string::npos);
+    tampered[vpos + 5] = '9';
+    EXPECT_FALSE(
+        tartan::workloads::decodeRunResult(tampered, out, &err));
+    EXPECT_FALSE(err.empty());
+
+    // Truncated payload and non-JSON garbage.
+    err.clear();
+    EXPECT_FALSE(tartan::workloads::decodeRunResult(
+        payload.substr(0, payload.size() / 2), out, &err));
+    err.clear();
+    EXPECT_FALSE(tartan::workloads::decodeRunResult("not json", out,
+                                                    &err));
+}
+
+TEST(CellCodec, ConfigHashSeparatesLabelsMachinesAndSalt)
+{
+    using tartan::workloads::cellConfigHash;
+    const MachineSpec tartan_spec = MachineSpec::tartan();
+    const MachineSpec base_spec = MachineSpec::baseline();
+    WorkloadOptions opt;
+    opt.tier = SoftwareTier::Optimized;
+    opt.scale = 0.5;
+    opt.seed = 42;
+
+    const std::uint64_t h = cellConfigHash("A", tartan_spec, opt);
+    // Stable across calls...
+    EXPECT_EQ(h, cellConfigHash("A", tartan_spec, opt));
+    // ...but sensitive to every identity dimension.
+    EXPECT_NE(h, cellConfigHash("B", tartan_spec, opt));
+    EXPECT_NE(h, cellConfigHash("A", base_spec, opt));
+    EXPECT_NE(h, cellConfigHash("A", tartan_spec, opt, "fault:x"));
+    WorkloadOptions opt2 = opt;
+    opt2.seed = 43;
+    EXPECT_NE(h, cellConfigHash("A", tartan_spec, opt2));
+    WorkloadOptions opt3 = opt;
+    opt3.scale = 0.25;
+    EXPECT_NE(h, cellConfigHash("A", tartan_spec, opt3));
+}
+
+// ---------------------------------------------------------------------------
+// Durable writer
+// ---------------------------------------------------------------------------
+
+TEST(DurableWrite, WritesAtomicallyAndCreatesParents)
+{
+    const fs::path dir = scratchDir("durable");
+    const fs::path target = dir / "nested" / "out.json";
+    ASSERT_TRUE(tartan::sim::json::writeFileDurable(
+        target.string(), [](std::ostream &os) { os << "{\"a\":1}"; },
+        "test"));
+    EXPECT_EQ(slurp(target), "{\"a\":1}");
+
+    // Overwrite replaces the whole file, never appends or tears.
+    ASSERT_TRUE(tartan::sim::json::writeFileDurable(
+        target.string(), [](std::ostream &os) { os << "{}"; }, "test"));
+    EXPECT_EQ(slurp(target), "{}");
+
+    // No stray temporaries left next to the target.
+    std::size_t entries = 0;
+    for (const auto &e : fs::directory_iterator(target.parent_path())) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Run journal: replay and corruption policy
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const std::uint64_t kSchema = 1001;
+
+fs::path
+journalPath(const fs::path &dir)
+{
+    return dir / "JOURNAL_test.tjl";
+}
+
+/** Write @p n records through the real journal, then close it. */
+void
+writeJournal(const fs::path &dir, std::size_t n,
+             std::uint64_t schema = kSchema)
+{
+    RunJournal j(journalPath(dir).string(), "test", schema);
+    ASSERT_TRUE(j.ok());
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_TRUE(j.append(JournalRecord{
+            i, 0x1000 + i, 42 + i, "cell" + std::to_string(i),
+            "{\"v\":\"1\",\"row\":\"" + std::to_string(i) + "\"}"}));
+}
+
+} // namespace
+
+TEST(RunJournal, AppendsReplayAndLatestDuplicateWins)
+{
+    const fs::path dir = scratchDir("journal_replay");
+    writeJournal(dir, 3);
+
+    RunJournal j(journalPath(dir).string(), "test", kSchema);
+    ASSERT_TRUE(j.ok());
+    ASSERT_EQ(j.records().size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        const JournalRecord *rec =
+            j.find(i, 0x1000 + i, 42 + i, "cell" + std::to_string(i));
+        ASSERT_NE(rec, nullptr) << i;
+        EXPECT_EQ(rec->payload, "{\"v\":\"1\",\"row\":\"" +
+                                    std::to_string(i) + "\"}");
+    }
+    // Any key component mismatch is a miss, never a near-match replay.
+    EXPECT_EQ(j.find(0, 0x1000, 42, "cellX"), nullptr);
+    EXPECT_EQ(j.find(0, 0x1001, 42, "cell0"), nullptr);
+    EXPECT_EQ(j.find(0, 0x1000, 43, "cell0"), nullptr);
+    EXPECT_EQ(j.find(1, 0x1000, 42, "cell0"), nullptr);
+
+    // A re-run overwriting a row (same key, new payload): latest wins.
+    ASSERT_TRUE(j.append(
+        JournalRecord{0, 0x1000, 42, "cell0", "{\"v\":\"1\",\"row\":\"0b\"}"}));
+    const JournalRecord *latest = j.find(0, 0x1000, 42, "cell0");
+    ASSERT_NE(latest, nullptr);
+    EXPECT_EQ(latest->payload, "{\"v\":\"1\",\"row\":\"0b\"}");
+}
+
+TEST(RunJournal, TruncatedTailKeepsTheValidPrefix)
+{
+    const fs::path dir = scratchDir("journal_trunc");
+    writeJournal(dir, 3);
+
+    // SIGKILL mid-append: chop the last record in half.
+    std::string bytes = slurp(journalPath(dir));
+    const auto last = bytes.rfind("\nR ");
+    ASSERT_NE(last, std::string::npos);
+    spit(journalPath(dir), bytes.substr(0, last + 10));
+
+    RunJournal j(journalPath(dir).string(), "test", kSchema);
+    ASSERT_TRUE(j.ok());
+    ASSERT_EQ(j.records().size(), 2u);
+    EXPECT_NE(j.find(0, 0x1000, 42, "cell0"), nullptr);
+    EXPECT_NE(j.find(1, 0x1001, 43, "cell1"), nullptr);
+    EXPECT_EQ(j.find(2, 0x1002, 44, "cell2"), nullptr);
+
+    // The truncated suffix was cut away, so new appends extend a
+    // clean file that replays whole on the next open.
+    ASSERT_TRUE(j.append(
+        JournalRecord{2, 0x1002, 44, "cell2", "{\"v\":\"1\",\"row\":\"2\"}"}));
+    RunJournal j2(journalPath(dir).string(), "test", kSchema);
+    EXPECT_EQ(j2.records().size(), 3u);
+}
+
+TEST(RunJournal, CorruptPayloadEndsTheReplayablePrefix)
+{
+    const fs::path dir = scratchDir("journal_crc");
+    writeJournal(dir, 3);
+
+    // Bit rot inside record 1's payload: its CRC no longer matches, so
+    // replay must stop *before* it even though record 2 is intact —
+    // trusting anything after a corrupt row would reorder the resume.
+    std::string bytes = slurp(journalPath(dir));
+    const auto pos = bytes.find("\"row\":\"1\"");
+    ASSERT_NE(pos, std::string::npos);
+    bytes[pos + 8] = '9';
+    spit(journalPath(dir), bytes);
+
+    RunJournal j(journalPath(dir).string(), "test", kSchema);
+    ASSERT_TRUE(j.ok());
+    ASSERT_EQ(j.records().size(), 1u);
+    EXPECT_NE(j.find(0, 0x1000, 42, "cell0"), nullptr);
+    EXPECT_EQ(j.find(1, 0x1001, 43, "cell1"), nullptr);
+    EXPECT_EQ(j.find(2, 0x1002, 44, "cell2"), nullptr);
+}
+
+TEST(RunJournal, ForeignSchemaVersionDiscardsTheWholeFile)
+{
+    const fs::path dir = scratchDir("journal_schema");
+    writeJournal(dir, 2, kSchema);
+
+    // A journal written by an older codec/taxonomy must re-simulate:
+    // its rows decode differently, replaying them would be corruption.
+    RunJournal j(journalPath(dir).string(), "test", kSchema + 1);
+    ASSERT_TRUE(j.ok());
+    EXPECT_TRUE(j.records().empty());
+    ASSERT_TRUE(j.append(
+        JournalRecord{0, 1, 2, "fresh", "{\"v\":\"2\"}"}));
+
+    // The restart rewrote the header, so the new schema's rows replay.
+    RunJournal j2(journalPath(dir).string(), "test", kSchema + 1);
+    ASSERT_EQ(j2.records().size(), 1u);
+    EXPECT_NE(j2.find(0, 1, 2, "fresh"), nullptr);
+}
+
+TEST(RunJournal, ForeignDriverDiscardsTheWholeFile)
+{
+    const fs::path dir = scratchDir("journal_driver");
+    writeJournal(dir, 2);
+
+    RunJournal j(journalPath(dir).string(), "other_driver", kSchema);
+    ASSERT_TRUE(j.ok());
+    EXPECT_TRUE(j.records().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Result cache: verified load, eviction
+// ---------------------------------------------------------------------------
+
+TEST(ResultCache, StoreLoadRoundTripAndKeySeparation)
+{
+    const fs::path dir = scratchDir("cache_roundtrip");
+    ResultCache cache(dir.string(), kSchema);
+    const std::string payload = "{\"v\":\"1\",\"x\":\"0x1.8p+0\"}";
+    ASSERT_TRUE(cache.store(0xabc, 42, "cellA", payload));
+
+    const auto hit = cache.load(0xabc, 42, "cellA");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload);
+
+    EXPECT_FALSE(cache.load(0xabd, 42, "cellA").has_value());
+    EXPECT_FALSE(cache.load(0xabc, 43, "cellA").has_value());
+
+    // A different schema version addresses different entries even for
+    // the same (hash, seed): stale codecs can never serve a hit.
+    ResultCache stale(dir.string(), kSchema + 1);
+    EXPECT_FALSE(stale.load(0xabc, 42, "cellA").has_value());
+}
+
+TEST(ResultCache, CorruptEntryIsEvictedAndMissed)
+{
+    const fs::path dir = scratchDir("cache_corrupt");
+    ResultCache cache(dir.string(), kSchema);
+    ASSERT_TRUE(cache.store(0xdef, 7, "cellB", "{\"v\":\"1\"}"));
+    const fs::path entry = cache.entryPath(0xdef, 7);
+    ASSERT_TRUE(fs::exists(entry));
+
+    // Flip payload bytes on disk: the CRC check must catch it.
+    std::string bytes = slurp(entry);
+    const auto pos = bytes.find("\\\"v\\\"");
+    ASSERT_NE(pos, std::string::npos) << bytes;
+    bytes[pos + 2] = 'w';
+    spit(entry, bytes);
+
+    EXPECT_FALSE(cache.load(0xdef, 7, "cellB").has_value());
+    // Evicted: the bad file is gone, and a fresh store replaces it.
+    EXPECT_FALSE(fs::exists(entry));
+    ASSERT_TRUE(cache.store(0xdef, 7, "cellB", "{\"v\":\"1\"}"));
+    EXPECT_TRUE(cache.load(0xdef, 7, "cellB").has_value());
+}
+
+TEST(ResultCache, UnparsableEntryIsEvicted)
+{
+    const fs::path dir = scratchDir("cache_garbage");
+    ResultCache cache(dir.string(), kSchema);
+    ASSERT_TRUE(cache.store(0x11, 1, "cellC", "{\"v\":\"1\"}"));
+    spit(cache.entryPath(0x11, 1), "not json at all");
+    EXPECT_FALSE(cache.load(0x11, 1, "cellC").has_value());
+    EXPECT_FALSE(fs::exists(cache.entryPath(0x11, 1)));
+}
+
+// ---------------------------------------------------------------------------
+// CampaignRunner: retry, quarantine, resume, cache integration
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Submit flaky/fatal/ok cells and gather; shared by both pool widths. */
+std::vector<CellOutcome>
+runFlakySweep(RunPool &pool, const CampaignConfig &cfg,
+              std::vector<int> &attempt_log)
+{
+    static std::atomic<int> flaky_attempts;
+    flaky_attempts = 0;
+    CampaignRunner runner("flaky", pool, cfg, kSchema);
+    runner.submit(CellSpec{"ok", 1, 1, true},
+                  []() { return std::string("{\"r\":\"ok\"}"); });
+    runner.submit(CellSpec{"flaky", 2, 1, true}, []() {
+        if (flaky_attempts.fetch_add(1) == 0)
+            throw std::runtime_error("transient");
+        return std::string("{\"r\":\"flaky\"}");
+    });
+    runner.submit(CellSpec{"fatal", 3, 1, true}, []() -> std::string {
+        throw std::runtime_error("always dies");
+    });
+    runner.submit(CellSpec{"after", 4, 1, true},
+                  []() { return std::string("{\"r\":\"after\"}"); });
+    auto outcomes = runner.gather();
+    attempt_log.push_back(flaky_attempts.load());
+    return outcomes;
+}
+
+} // namespace
+
+TEST(CampaignRunner, RetryAndQuarantineAreDeterministicAcrossPoolWidths)
+{
+    CampaignConfig cfg;
+    cfg.retries = 1;
+    cfg.backoffMs = 1;
+
+    std::vector<std::vector<CellOutcome>> sweeps;
+    std::vector<int> attempt_log;
+    for (unsigned jobs : {1u, 4u}) {
+        RunPool pool(jobs);
+        sweeps.push_back(runFlakySweep(pool, cfg, attempt_log));
+    }
+
+    for (const auto &outcomes : sweeps) {
+        ASSERT_EQ(outcomes.size(), 4u);
+        EXPECT_EQ(outcomes[0].status, CellOutcome::Status::Ok);
+        EXPECT_EQ(outcomes[0].payload, "{\"r\":\"ok\"}");
+        EXPECT_EQ(outcomes[0].attempts, 1u);
+
+        // The flaky cell failed once and succeeded on the retry.
+        EXPECT_EQ(outcomes[1].status, CellOutcome::Status::Ok);
+        EXPECT_EQ(outcomes[1].payload, "{\"r\":\"flaky\"}");
+        EXPECT_EQ(outcomes[1].attempts, 2u);
+
+        // The fatal cell exhausted retries and was quarantined with
+        // its identity and classification — the sweep continued.
+        EXPECT_EQ(outcomes[2].status, CellOutcome::Status::Failed);
+        EXPECT_EQ(outcomes[2].label, "fatal");
+        EXPECT_EQ(outcomes[2].errorClass, "exception");
+        EXPECT_EQ(outcomes[2].errorDetail, "always dies");
+        EXPECT_EQ(outcomes[2].attempts, 2u);
+
+        EXPECT_EQ(outcomes[3].status, CellOutcome::Status::Ok);
+        EXPECT_EQ(outcomes[3].payload, "{\"r\":\"after\"}");
+    }
+    // Identical retry behaviour serial vs parallel.
+    EXPECT_EQ(attempt_log[0], 2);
+    EXPECT_EQ(attempt_log[1], 2);
+}
+
+TEST(CampaignRunner, StatsAndFailureReportCoverEveryCell)
+{
+    CampaignConfig cfg;
+    cfg.retries = 0;
+    RunPool pool(2);
+    CampaignRunner runner("stats", pool, cfg, kSchema);
+    runner.submit(CellSpec{"good", 1, 1, true},
+                  []() { return std::string("{}"); });
+    runner.submit(CellSpec{"bad1", 2, 1, true}, []() -> std::string {
+        throw std::runtime_error("first failure");
+    });
+    runner.submit(CellSpec{"bad2", 3, 1, true}, []() -> std::string {
+        throw tartan::sim::CellCrashError("second failure");
+    });
+    runner.gather();
+
+    const auto &stats = runner.stats();
+    EXPECT_EQ(stats.simulated, 1u);
+    EXPECT_EQ(stats.failed, 2u);
+    // *All* failures are collected with cell identity, not just the
+    // first to surface.
+    ASSERT_EQ(stats.failures.size(), 2u);
+    EXPECT_EQ(stats.failures[0].index, 1u);
+    EXPECT_EQ(stats.failures[0].label, "bad1");
+    EXPECT_EQ(stats.failures[0].errorClass, "exception");
+    EXPECT_EQ(stats.failures[1].index, 2u);
+    EXPECT_EQ(stats.failures[1].label, "bad2");
+    EXPECT_EQ(stats.failures[1].errorClass, "crash");
+
+    // The aggregate error the strict runAll throws names every cell.
+    const tartan::sim::RunPoolError err(stats.failures);
+    const std::string what = err.what();
+    EXPECT_NE(what.find("bad1"), std::string::npos);
+    EXPECT_NE(what.find("bad2"), std::string::npos);
+    EXPECT_NE(what.find("2 cell(s) failed"), std::string::npos);
+}
+
+TEST(CampaignRunner, WatchdogTimesOutHungCellsDeterministically)
+{
+    CampaignConfig cfg;
+    cfg.timeoutSec = 0.05;
+    cfg.retries = 1;
+    cfg.backoffMs = 1;
+
+    for (unsigned jobs : {1u, 4u}) {
+        RunPool pool(jobs);
+        CampaignRunner runner("hang", pool, cfg, kSchema);
+        runner.submit(CellSpec{"hung", 1, 1, true}, []() -> std::string {
+            tartan::sim::hangUntilWatchdog();
+        });
+        runner.submit(CellSpec{"quick", 2, 1, true},
+                      []() { return std::string("{}"); });
+        const auto outcomes = runner.gather();
+
+        ASSERT_EQ(outcomes.size(), 2u);
+        EXPECT_EQ(outcomes[0].status, CellOutcome::Status::Failed);
+        EXPECT_EQ(outcomes[0].errorClass, "timeout");
+        EXPECT_EQ(outcomes[0].attempts, 2u); // retried, then quarantined
+        EXPECT_EQ(outcomes[1].status, CellOutcome::Status::Ok);
+        EXPECT_EQ(runner.stats().failed, 1u);
+    }
+}
+
+TEST(CampaignRunner, ResumeReplaysJournaledCellsWithoutSimulating)
+{
+    const fs::path dir = scratchDir("runner_resume");
+    const CampaignConfig cfg = testConfig(dir);
+
+    // First sweep: everything simulates and lands in the journal.
+    std::vector<std::string> payloads;
+    {
+        RunPool pool(1);
+        CampaignRunner runner("resume_demo", pool, cfg, kSchema);
+        runner.submit(CellSpec{"a", 10, 1, true},
+                      []() { return std::string("{\"r\":\"a\"}"); });
+        runner.submit(CellSpec{"b", 20, 2, true},
+                      []() { return std::string("{\"r\":\"b\"}"); });
+        for (const auto &out : runner.gather())
+            payloads.push_back(out.payload);
+        EXPECT_EQ(runner.stats().simulated, 2u);
+        EXPECT_EQ(runner.stats().journalHits, 0u);
+    }
+
+    // Second sweep, same identities: both cells replay; the run
+    // closure must never execute.
+    {
+        RunPool pool(1);
+        CampaignRunner runner("resume_demo", pool, cfg, kSchema);
+        runner.submit(CellSpec{"a", 10, 1, true}, []() -> std::string {
+            ADD_FAILURE() << "journal hit must not re-simulate";
+            return "{}";
+        });
+        runner.submit(CellSpec{"b", 20, 2, true}, []() -> std::string {
+            ADD_FAILURE() << "journal hit must not re-simulate";
+            return "{}";
+        });
+        const auto outcomes = runner.gather();
+        EXPECT_EQ(runner.stats().simulated, 0u);
+        EXPECT_EQ(runner.stats().journalHits, 2u);
+        ASSERT_EQ(outcomes.size(), 2u);
+        EXPECT_EQ(outcomes[0].payload, payloads[0]);
+        EXPECT_EQ(outcomes[1].payload, payloads[1]);
+        EXPECT_EQ(outcomes[0].source, CellOutcome::Source::Journal);
+    }
+
+    // A changed configuration hash is a different cell: it must
+    // re-simulate even at the same index/label.
+    {
+        RunPool pool(1);
+        CampaignRunner runner("resume_demo", pool, cfg, kSchema);
+        runner.submit(CellSpec{"a", 11, 1, true},
+                      []() { return std::string("{\"r\":\"a2\"}"); });
+        const auto outcomes = runner.gather();
+        EXPECT_EQ(runner.stats().simulated, 1u);
+        EXPECT_EQ(outcomes[0].payload, "{\"r\":\"a2\"}");
+    }
+}
+
+TEST(CampaignRunner, InterruptedSweepResumesOnlyTheRemainder)
+{
+    const fs::path dir = scratchDir("runner_partial");
+    const CampaignConfig cfg = testConfig(dir);
+
+    // Model a sweep killed after two of three cells: journal only the
+    // completed prefix (what a real kill -9 leaves behind).
+    {
+        RunPool pool(1);
+        CampaignRunner runner("partial", pool, cfg, kSchema);
+        runner.submit(CellSpec{"c0", 1, 1, true},
+                      []() { return std::string("{\"r\":\"0\"}"); });
+        runner.submit(CellSpec{"c1", 2, 2, true},
+                      []() { return std::string("{\"r\":\"1\"}"); });
+        runner.gather();
+    }
+
+    // The rerun submits all three; the first two replay, the third
+    // simulates, and the combined payload sequence matches an
+    // uninterrupted run.
+    {
+        RunPool pool(1);
+        CampaignRunner runner("partial", pool, cfg, kSchema);
+        runner.submit(CellSpec{"c0", 1, 1, true}, []() -> std::string {
+            ADD_FAILURE() << "completed cell re-simulated";
+            return "{}";
+        });
+        runner.submit(CellSpec{"c1", 2, 2, true}, []() -> std::string {
+            ADD_FAILURE() << "completed cell re-simulated";
+            return "{}";
+        });
+        runner.submit(CellSpec{"c2", 3, 3, true},
+                      []() { return std::string("{\"r\":\"2\"}"); });
+        const auto outcomes = runner.gather();
+        EXPECT_EQ(runner.stats().journalHits, 2u);
+        EXPECT_EQ(runner.stats().simulated, 1u);
+        ASSERT_EQ(outcomes.size(), 3u);
+        EXPECT_EQ(outcomes[0].payload, "{\"r\":\"0\"}");
+        EXPECT_EQ(outcomes[1].payload, "{\"r\":\"1\"}");
+        EXPECT_EQ(outcomes[2].payload, "{\"r\":\"2\"}");
+    }
+}
+
+TEST(CampaignRunner, CacheHitsSkipSimulationAndSurviveCorruption)
+{
+    const fs::path dir = scratchDir("runner_cache");
+    CampaignConfig cfg;
+    cfg.cacheDir = (dir / "cache").string();
+
+    std::atomic<int> simulations{0};
+    const auto sim_cell = [&simulations]() {
+        simulations.fetch_add(1);
+        return std::string("{\"r\":\"cached\"}");
+    };
+
+    // First sweep populates the cache.
+    {
+        RunPool pool(1);
+        CampaignRunner runner("cachey", pool, cfg, kSchema);
+        runner.submit(CellSpec{"x", 100, 5, true}, sim_cell);
+        runner.gather();
+        EXPECT_EQ(runner.stats().simulated, 1u);
+        EXPECT_EQ(runner.stats().cacheHits, 0u);
+    }
+    EXPECT_EQ(simulations.load(), 1);
+
+    // Second sweep: zero simulations, identical payload.
+    {
+        RunPool pool(1);
+        CampaignRunner runner("cachey", pool, cfg, kSchema);
+        runner.submit(CellSpec{"x", 100, 5, true}, sim_cell);
+        const auto outcomes = runner.gather();
+        EXPECT_EQ(runner.stats().cacheHits, 1u);
+        EXPECT_EQ(runner.stats().simulated, 0u);
+        EXPECT_EQ(outcomes[0].payload, "{\"r\":\"cached\"}");
+        EXPECT_EQ(outcomes[0].source, CellOutcome::Source::Cache);
+    }
+    EXPECT_EQ(simulations.load(), 1);
+
+    // Corrupt the entry on disk: the third sweep detects it, evicts,
+    // and re-simulates — a corrupt cache costs time, not correctness.
+    ResultCache cache(cfg.cacheDir, kSchema);
+    const fs::path entry = cache.entryPath(100, 5);
+    ASSERT_TRUE(fs::exists(entry));
+    std::string bytes = slurp(entry);
+    const auto pos = bytes.find("cached");
+    ASSERT_NE(pos, std::string::npos) << bytes;
+    bytes[pos] = 'C'; // payload bit-flip: the CRC must catch it
+    spit(entry, bytes);
+    {
+        RunPool pool(1);
+        CampaignRunner runner("cachey", pool, cfg, kSchema);
+        runner.submit(CellSpec{"x", 100, 5, true}, sim_cell);
+        const auto outcomes = runner.gather();
+        EXPECT_EQ(runner.stats().simulated, 1u);
+        EXPECT_EQ(runner.stats().cacheHits, 0u);
+        EXPECT_EQ(outcomes[0].payload, "{\"r\":\"cached\"}");
+    }
+    EXPECT_EQ(simulations.load(), 2);
+    // The re-simulated result was re-stored; the cache serves again.
+    EXPECT_TRUE(cache.load(100, 5, "x").has_value());
+}
+
+TEST(CampaignRunner, NonCacheableCellsAlwaysResimulate)
+{
+    const fs::path dir = scratchDir("runner_nocodec");
+    CampaignConfig cfg = testConfig(dir);
+    cfg.cacheDir = (dir / "cache").string();
+
+    std::atomic<int> simulations{0};
+    for (int sweep = 0; sweep < 2; ++sweep) {
+        RunPool pool(1);
+        CampaignRunner runner("nocodec", pool, cfg, kSchema);
+        runner.submit(CellSpec{"side", 1, 1, /*cacheable=*/false},
+                      [&simulations]() {
+                          simulations.fetch_add(1);
+                          return std::string();
+                      });
+        runner.gather();
+        EXPECT_EQ(runner.stats().simulated, 1u);
+        EXPECT_EQ(runner.stats().journalHits, 0u);
+        EXPECT_EQ(runner.stats().cacheHits, 0u);
+    }
+    EXPECT_EQ(simulations.load(), 2);
+}
+
+TEST(CampaignRunner, FailedCellsAreNeverJournaledOrCached)
+{
+    const fs::path dir = scratchDir("runner_nofail");
+    CampaignConfig cfg = testConfig(dir);
+    cfg.cacheDir = (dir / "cache").string();
+    cfg.retries = 0;
+
+    {
+        RunPool pool(1);
+        CampaignRunner runner("nofail", pool, cfg, kSchema);
+        runner.submit(CellSpec{"dies", 1, 1, true}, []() -> std::string {
+            throw std::runtime_error("boom");
+        });
+        runner.gather();
+        EXPECT_EQ(runner.stats().failed, 1u);
+    }
+
+    // The rerun must retry the cell (no journal row, no cache entry
+    // poisoned by the failure) and can now succeed.
+    {
+        RunPool pool(1);
+        CampaignRunner runner("nofail", pool, cfg, kSchema);
+        runner.submit(CellSpec{"dies", 1, 1, true},
+                      []() { return std::string("{\"r\":\"ok\"}"); });
+        const auto outcomes = runner.gather();
+        EXPECT_EQ(runner.stats().simulated, 1u);
+        EXPECT_EQ(runner.stats().journalHits, 0u);
+        EXPECT_EQ(outcomes[0].status, CellOutcome::Status::Ok);
+    }
+}
