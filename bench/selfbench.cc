@@ -12,6 +12,13 @@
  * host-time breakdown (translate / cache / prefetch / other) from a
  * profiled run.
  *
+ * It also measures the capture-once/replay-many engine: each robot is
+ * captured once, then the replay of its op stream is timed against
+ * the direct run. The ratio is the host-time win of one additional
+ * sweep point once a capture exists (what TARTAN_REPLAY buys per
+ * replayed cell), and the replayed result shares the same
+ * observational-equivalence gate as the fast/slow pair.
+ *
  * Runs are strictly serial (this bench measures host time; concurrent
  * runs would contend for the same cores). Knobs: TARTAN_SELFBENCH_REPS
  * timing repetitions per cell (best-of, default 3),
@@ -30,8 +37,10 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "sim/capture.hh"
 #include "sim/env.hh"
 #include "sim/hostprof.hh"
+#include "workloads/replay.hh"
 
 using namespace tartan::bench;
 using namespace tartan::workloads;
@@ -146,7 +155,7 @@ main()
                 "accesses", "miss", "fast M/s", "slow M/s", "speedup",
                 "host-time breakdown (slow path)");
 
-    std::vector<double> fast_tp, slow_tp, ratios;
+    std::vector<double> fast_tp, slow_tp, ratios, replay_ratios;
     bool all_equivalent = true;
     for (const auto &robot : robotSuite()) {
         // Interleave fast/slow repetitions so slow ambient drift of the
@@ -186,6 +195,41 @@ main()
         // Close the per-layer breakdown: 'other' becomes the explicit
         // remainder and the five buckets sum to the wall exactly.
         prof.finalizeWall(prof_wall);
+
+        // Capture once, then time the replay of the op stream: the
+        // host cost of one more sweep point once a capture exists.
+        tartan::sim::CaptureSession session(0, fast_opt.seed);
+        WorkloadOptions cap_opt = fast_opt;
+        cap_opt.capture = &session;
+        const std::uint64_t c0 = HostProfiler::now();
+        RunResult cap_res = robot.run(spec, cap_opt);
+        const double capture_sec =
+            double(HostProfiler::now() - c0) * 1e-9;
+        session.setRobot(cap_res.robot);
+        for (const auto &[mname, mvalue] : cap_res.metrics)
+            session.addMetric(mname, mvalue);
+        const tartan::sim::CaptureTrace trace = session.take();
+        TimedRun replay;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            const std::uint64_t r0 = HostProfiler::now();
+            RunResult res = replayTrace(trace, spec, fast_opt);
+            const double sec = double(HostProfiler::now() - r0) * 1e-9;
+            if (rep == 0 || sec < replay.bestSeconds)
+                replay.bestSeconds = sec;
+            replay.result = std::move(res);
+        }
+        const std::string replay_diff =
+            diffResults(fast.result, replay.result);
+        if (!replay_diff.empty()) {
+            all_equivalent = false;
+            std::fprintf(stderr,
+                         "selfbench: %s replay diverges from direct "
+                         "run:\n%s",
+                         robot.name, replay_diff.c_str());
+        }
+        const double replay_ratio =
+            speedup(fast.bestSeconds, replay.bestSeconds);
+        replay_ratios.push_back(replay_ratio);
 
         const double accesses = double(fast.result.l1Accesses);
         const double miss_pct =
@@ -228,15 +272,27 @@ main()
         rep.kernelMetric(row, "fillShare", pct(prof.fillNs) / 100.0);
         rep.kernelMetric(row, "otherShare", pct(prof.otherNs) / 100.0);
         rep.kernelMetric(row, "equivalent", diff.empty() ? 1.0 : 0.0);
+        rep.kernelMetric(row, "captureSeconds", capture_sec);
+        rep.kernelMetric(row, "directSeconds", fast.bestSeconds);
+        rep.kernelMetric(row, "replaySeconds", replay.bestSeconds);
+        rep.kernelMetric(row, "replaySpeedup", replay_ratio);
+        rep.kernelMetric(row, "replayEquivalent",
+                         replay_diff.empty() ? 1.0 : 0.0);
         reportCpi(rep, row, fast.result);
+        std::printf("%-10s capture %.3fs direct %.3fs replay %.3fs "
+                    "(%.2fx per replayed sweep point)\n",
+                    robot.name, capture_sec, fast.bestSeconds,
+                    replay.bestSeconds, replay_ratio);
     }
 
     const double gm_fast = geomean(fast_tp);
     const double gm_slow = geomean(slow_tp);
     const double gm_ratio = geomean(ratios);
+    const double gm_replay = geomean(replay_ratios);
     rep.metric("gmeanFastMaccPerSec", gm_fast);
     rep.metric("gmeanSlowMaccPerSec", gm_slow);
     rep.metric("gmeanSpeedup", gm_ratio);
+    rep.metric("gmeanReplaySpeedup", gm_replay);
     // The floor this run was gated against, recorded machine-readably
     // so the committed baseline payload *is* the regression threshold
     // CI re-applies to future runs.
@@ -246,8 +302,8 @@ main()
              "speedup tracked across PRs");
 
     std::printf("\ngeomean: fast %.2f M acc/s, slow %.2f M acc/s, "
-                "speedup %.2fx\n",
-                gm_fast, gm_slow, gm_ratio);
+                "speedup %.2fx, replay vs direct %.2fx\n",
+                gm_fast, gm_slow, gm_ratio, gm_replay);
     if (!all_equivalent) {
         std::fprintf(stderr, "selfbench: FAST/SLOW DIVERGENCE\n");
         return 1;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sim/capture.hh"
 #include "sim/fault.hh"
 #include "sim/stats.hh"
 
@@ -16,10 +17,10 @@ using tartan::sim::Core;
 using tartan::sim::Cycles;
 
 void
-NpuModel::configure(Core &core, const tartan::nn::Mlp &mlp)
+NpuModel::chargeConfigure(Core &core, std::uint64_t param_count)
 {
     ++statsData.configUploads;
-    const std::size_t bytes = mlp.parameterCount() * sizeof(float);
+    const std::uint64_t bytes = param_count * sizeof(float);
     const std::uint64_t messages =
         (bytes + 63) / 64 + 1;  // weights plus the topology descriptor
     const Cycles comm_each = cfg.placement == NpuPlacement::Integrated
@@ -33,10 +34,21 @@ NpuModel::configure(Core &core, const tartan::nn::Mlp &mlp)
     core.countInstructions(messages);
 }
 
-Cycles
-NpuModel::inferenceCycles(const tartan::nn::Mlp &mlp) const
+void
+NpuModel::configure(Core &core, const tartan::nn::Mlp &mlp)
 {
-    const auto &layers = mlp.config().layers;
+    // The stalls below depend on this NPU's configuration, so a capture
+    // records the semantic event (parameter count) and suppresses the
+    // raw charges; replay recomputes them from the replay-side config.
+    if (auto *cap = core.captureSession())
+        cap->npuConfigure(mlp.parameterCount());
+    tartan::sim::CaptureSuppress guard(core.captureSession());
+    chargeConfigure(core, mlp.parameterCount());
+}
+
+Cycles
+NpuModel::inferenceCycles(std::span<const std::uint32_t> layers) const
+{
     Cycles cycles = 0;
     for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
         const std::uint64_t macs =
@@ -51,33 +63,51 @@ NpuModel::inferenceCycles(const tartan::nn::Mlp &mlp) const
     return cycles;
 }
 
+Cycles
+NpuModel::inferenceCycles(const tartan::nn::Mlp &mlp) const
+{
+    return inferenceCycles(mlp.config().layers);
+}
+
 void
-NpuModel::infer(Core &core, const tartan::nn::Mlp &mlp,
-                std::span<const float> input, std::span<float> output)
+NpuModel::chargeInfer(Core &core, std::uint64_t in_floats,
+                      std::uint64_t out_floats,
+                      std::span<const std::uint32_t> layers)
 {
     ++statsData.invocations;
-    mlp.forwardLut(input, output, lut);
-    if (faults)
-        faults->corruptSurrogate(output);
-
     const Cycles comm_each = cfg.placement == NpuPlacement::Integrated
                                  ? cfg.commLatency
                                  : cfg.coprocCommLatency;
     // One message per 64 B of payload in each direction.
-    const std::uint64_t in_msgs =
-        (input.size() * sizeof(float) + 63) / 64;
+    const std::uint64_t in_msgs = (in_floats * sizeof(float) + 63) / 64;
     const std::uint64_t out_msgs =
-        (output.size() * sizeof(float) + 63) / 64;
+        (out_floats * sizeof(float) + 63) / 64;
     const Cycles comm =
         comm_each * (std::max<std::uint64_t>(in_msgs, 1) +
                      std::max<std::uint64_t>(out_msgs, 1));
     const Cycles exec = cfg.placement == NpuPlacement::Integrated
-                            ? inferenceCycles(mlp)
+                            ? inferenceCycles(layers)
                             : 0;  // optimistic off-die array
     statsData.commCycles += comm;
     statsData.inferenceCycles += exec;
     core.stall(comm + exec, tartan::sim::CpiCat::Npu);
     core.countInstructions(4);  // enqueue inputs, dequeue outputs
+}
+
+void
+NpuModel::infer(Core &core, const tartan::nn::Mlp &mlp,
+                std::span<const float> input, std::span<float> output)
+{
+    mlp.forwardLut(input, output, lut);
+    if (faults)
+        faults->corruptSurrogate(output);
+
+    // As in configure(): semantic capture event, raw charges
+    // suppressed, so replay can rescale them to its own NpuConfig.
+    if (auto *cap = core.captureSession())
+        cap->npuInfer(input.size(), output.size(), mlp.config().layers);
+    tartan::sim::CaptureSuppress guard(core.captureSession());
+    chargeInfer(core, input.size(), output.size(), mlp.config().layers);
 }
 
 double

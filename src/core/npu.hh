@@ -73,6 +73,30 @@ class NpuModel
 
     /** PE-array cycles for one inference of @p mlp. */
     tartan::sim::Cycles inferenceCycles(const tartan::nn::Mlp &mlp) const;
+    /** PE-array cycles for one inference over raw layer widths. */
+    tartan::sim::Cycles
+    inferenceCycles(std::span<const std::uint32_t> layers) const;
+
+    /**
+     * Timing/accounting half of configure(): charge the upload of
+     * @p param_count parameters to @p core and update the stats. The
+     * live path calls it after recording a semantic capture event;
+     * replay calls it directly with the captured parameter count, so a
+     * replayed run recomputes these charges from *its* NpuConfig (the
+     * one sweepable knob that shapes op arguments).
+     */
+    void chargeConfigure(tartan::sim::Core &core,
+                         std::uint64_t param_count);
+
+    /**
+     * Timing/accounting half of infer(): charge one inference with
+     * @p in_floats inputs, @p out_floats outputs and the given layer
+     * widths. Shared by the live path (after the functional forward
+     * pass) and replay (which has no functional state to forward).
+     */
+    void chargeInfer(tartan::sim::Core &core, std::uint64_t in_floats,
+                     std::uint64_t out_floats,
+                     std::span<const std::uint32_t> layers);
 
     /** SRAM footprint in KB (Table III). */
     double memoryKB() const;

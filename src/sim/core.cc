@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sim/capture.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -89,6 +90,8 @@ Core::registerStats(StatsGroup &group)
 std::uint32_t
 Core::registerKernel(const std::string &name)
 {
+    if (capture)
+        capture->registerKernel(name);
     kernelData.push_back(KernelCounters{name, 0, 0, 0});
     return static_cast<std::uint32_t>(kernelData.size() - 1);
 }
@@ -99,6 +102,8 @@ Core::setKernel(std::uint32_t id)
     TARTAN_ASSERT(id < kernelData.size(), "unknown kernel id");
     if (id == kernelId)
         return;
+    if (capture)
+        capture->setKernel(id);
     // Flush the sub-issue-width op remainder into the outgoing kernel
     // (rounded up to a full issue cycle): leaving it to carry over
     // would charge this kernel's fractional cycles to the next one.
@@ -191,6 +196,8 @@ Core::addInstructions(std::uint64_t n)
 void
 Core::exec(std::uint64_t ops, OpClass cls)
 {
+    if (capture)
+        capture->exec(ops, std::uint8_t(cls));
     (void)cls;  // all scalar classes share the issue width in this model
     addInstructions(ops);
     opCarry += ops;
@@ -203,12 +210,16 @@ Core::exec(std::uint64_t ops, OpClass cls)
 void
 Core::stall(Cycles cycles, CpiCat cat)
 {
+    if (capture)
+        capture->stall(cycles, std::uint8_t(cat));
     addCycles(cycles, cat);
 }
 
 void
 Core::countInstructions(std::uint64_t n)
 {
+    if (capture)
+        capture->countInstructions(n);
     addInstructions(n);
 }
 
@@ -274,6 +285,8 @@ Core::stallComponents(const AccessResult &res, CpiStack &comp) const
 void
 Core::load(Addr addr, PcId pc, MemDep dep, std::uint32_t size)
 {
+    if (capture)
+        capture->load(addr, pc, std::uint8_t(dep), size);
     addInstructions(1);
     auto res = memPath->access(addr, AccessType::Load, size, pc,
                                totalCycles);
@@ -288,6 +301,8 @@ Core::load(Addr addr, PcId pc, MemDep dep, std::uint32_t size)
 void
 Core::store(Addr addr, PcId pc, std::uint32_t size)
 {
+    if (capture)
+        capture->store(addr, pc, size);
     addInstructions(1);
     // Stores retire through the write buffer; cache state is still
     // updated so that later loads and traffic statistics are correct.
@@ -297,6 +312,8 @@ Core::store(Addr addr, PcId pc, std::uint32_t size)
 void
 Core::vecOp(std::uint64_t n)
 {
+    if (capture)
+        capture->vecOp(n);
     addInstructions(n);
     // Vector units sustain one op per cycle in this model.
     addCycles(n, CpiCat::Issue);
@@ -306,6 +323,9 @@ void
 Core::deviceLoadLanes(std::span<const Addr> lanes, PcId pc,
                       Cycles device_cycles, CpiCat device_cat)
 {
+    if (capture)
+        capture->deviceLoadLanes(lanes, pc, device_cycles,
+                                 std::uint8_t(device_cat));
     if (device_cycles)
         addCycles(device_cycles, device_cat);
     // The accelerator streams the lanes through the same bandwidth-
@@ -330,6 +350,9 @@ void
 Core::vecLoadLanes(std::span<const Addr> lanes, PcId pc, Cycles ag_latency,
                    std::uint32_t lane_size, CpiCat ag_cat)
 {
+    if (capture)
+        capture->vecLoadLanes(lanes, pc, ag_latency, lane_size,
+                              std::uint8_t(ag_cat));
     addInstructions(1);
     if (ag_latency)
         addCycles(ag_latency, ag_cat);
@@ -359,6 +382,8 @@ Core::vecLoadLanes(std::span<const Addr> lanes, PcId pc, Cycles ag_latency,
 void
 Core::vecLoadContiguous(Addr base, std::uint32_t bytes, PcId pc)
 {
+    if (capture)
+        capture->vecLoadContiguous(base, bytes, pc);
     addInstructions(1);
     addCycles(1, CpiCat::Issue);
     // The path walks the span line by line; the worst per-line latency

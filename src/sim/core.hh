@@ -28,6 +28,7 @@
 
 namespace tartan::sim {
 
+class CaptureSession;
 class TraceSession;
 
 /** Core configuration. */
@@ -78,6 +79,15 @@ class Core
      */
     void attachTrace(TraceSession *session);
     bool traceAttached() const { return trace != nullptr; }
+
+    /**
+     * Attach (or detach, with nullptr) a capture session: every public
+     * op of this core is recorded for later replay (sim/capture).
+     * Purely observational — recording never changes simulated timing.
+     */
+    void attachCapture(CaptureSession *session) { capture = session; }
+    /** The attached capture session, or null (NPU/Pipeline hooks). */
+    CaptureSession *captureSession() const { return capture; }
 
     /** Open a workload ROI phase on the trace (no-op when untraced). */
     void phaseBegin(const std::string &name);
@@ -179,6 +189,7 @@ class Core
     CoreParams config;
     MemPath *memPath;
     TraceSession *trace = nullptr;  //!< observability hook (not owned)
+    CaptureSession *capture = nullptr;  //!< capture hook (not owned)
 
     Cycles totalCycles = 0;
     Cycles totalMemStall = 0;

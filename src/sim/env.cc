@@ -117,6 +117,12 @@ RunEnv::parse()
     }
     if (const char *dir = std::getenv("TARTAN_CACHE_DIR"))
         env.cacheDir = dir;
+    if (const char *replay = std::getenv("TARTAN_REPLAY")) {
+        const std::string v = replay;
+        env.replay = v == "1" || v == "on" || v == "true";
+    }
+    if (const char *dir = std::getenv("TARTAN_CAPTURE_DIR"))
+        env.captureDir = dir;
     return env;
 }
 

@@ -95,6 +95,22 @@ struct RunEnv {
      * already have a verified entry load it instead of re-simulating.
      */
     std::string cacheDir;
+    /**
+     * $TARTAN_REPLAY: when truthy ("1"/"on"/"true"), sweep drivers
+     * built on replayCell() run each robot once to capture its
+     * Core-boundary op stream and replay that capture through the
+     * remaining configurations instead of re-executing the robot.
+     * Results are byte-identical either way (the CI capture-replay job
+     * enforces it); off by default so a plain build changes nothing.
+     */
+    bool replay = false;
+    /**
+     * $TARTAN_CAPTURE_DIR: directory for persisted capture traces
+     * ("" = keep captures in memory only). Files are content-addressed
+     * by (capture config hash, seed), so re-runs of the same sweep
+     * reload the capture instead of re-executing the robot.
+     */
+    std::string captureDir;
 
     /**
      * The process-wide snapshot. Parsed exactly once (thread-safe

@@ -6,6 +6,7 @@
 
 #include "sim/memsystem.hh"
 
+#include "sim/capture.hh"
 #include "sim/fault.hh"
 #include "sim/hostprof.hh"
 #include "sim/logging.hh"
@@ -30,6 +31,8 @@ MemPath::MemPath(const MemPathParams &params, Cache *shared_l3)
 void
 MemPath::addWriteThroughRange(Addr base, std::size_t bytes)
 {
+    if (capture)
+        capture->writeThroughRange(base, bytes);
     wtRanges.push_back(Range{base, base + bytes});
 }
 
@@ -47,12 +50,16 @@ MemPath::mapSegment(Addr base, std::size_t bytes)
 {
     TARTAN_ASSERT(addrMap,
                   "mapSegment requires deterministic addressing");
+    if (capture)
+        capture->mapSegment(base, bytes);
     addrMap->addSegment(base, bytes);
 }
 
 void
 MemPath::addNoAllocateRange(Addr base, std::size_t bytes)
 {
+    if (capture)
+        capture->noAllocateRange(base, bytes);
     noAllocRanges.push_back(Range{base, base + bytes});
 }
 

@@ -34,6 +34,7 @@
 
 namespace tartan::sim {
 
+class CaptureSession;
 class FaultInjector;
 class StatsGroup;
 class TraceSession;
@@ -175,6 +176,13 @@ class MemPath
      * path's timing is bit-identical to an unfaulted build.
      */
     void setFaultInjector(FaultInjector *inj) { faults = inj; }
+
+    /**
+     * Attach (or detach, with nullptr) a capture session: address-space
+     * registrations (mapSegment, write-through and no-allocate ranges)
+     * are recorded in stream order for replay. Purely observational.
+     */
+    void setCapture(CaptureSession *session) { capture = session; }
 
     /**
      * Attach (or detach, with nullptr) a host-time profiler: every
@@ -323,6 +331,7 @@ class MemPath
     TraceSession *trace = nullptr;  //!< observability hook (not owned)
     FaultInjector *faults = nullptr;  //!< fault-injection hook (not owned)
     HostProfiler *hostProf = nullptr; //!< self-profiling hook (not owned)
+    CaptureSession *capture = nullptr; //!< capture hook (not owned)
     bool fastPath = true;  //!< inline memo + TLB + span hoist enabled
     std::unique_ptr<Prefetcher> pf;
     std::unique_ptr<AddrMap> addrMap;  //!< null = host addresses pass through

@@ -6,6 +6,7 @@
 #include "workloads/cellcodec.hh"
 
 #include <cerrno>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -95,20 +96,58 @@ encodeDouble(double v)
 {
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%a", v);
-    return buf;
+    // %a is locale-dependent in exactly one place: the radix character
+    // (e.g. ',' under de_DE). Journals and caches must be portable
+    // across processes with different LC_NUMERIC, so normalise to '.'
+    // — a byte-identity no-op under the "C" locale the baselines were
+    // recorded with.
+    std::string s = buf;
+    for (char &ch : s)
+        if (ch == ',')
+            ch = '.';
+    return s;
 }
 
 bool
 decodeDouble(const std::string &text, double &out)
 {
-    if (text.empty())
+    // std::from_chars, unlike the historical strtod here, is locale-
+    // independent: a journal written under the "C" locale decodes
+    // identically in a process running under de_DE (where strtod would
+    // stop at the '.' radix and reject the payload). from_chars does
+    // not accept a sign or a "0x" prefix itself, so strip them first.
+    // Normalise a ','-radix spelling first: payloads written by the
+    // pre-fix encoder under a comma-decimal LC_NUMERIC carry e.g.
+    // "0x1,8p+1", and rejecting them would invalidate otherwise-good
+    // journals recorded on such hosts.
+    std::string normalized;
+    if (text.find(',') != std::string::npos) {
+        normalized = text;
+        for (char &ch : normalized)
+            if (ch == ',')
+                ch = '.';
+    }
+    const std::string &src = normalized.empty() ? text : normalized;
+    const char *first = src.data();
+    const char *last = first + src.size();
+    if (first == last)
         return false;
-    errno = 0;
-    char *end = nullptr;
-    const double v = std::strtod(text.c_str(), &end);
-    if (errno == ERANGE || !end || *end != '\0')
+    bool negative = false;
+    if (*first == '-' || *first == '+') {
+        negative = *first == '-';
+        ++first;
+    }
+    std::chars_format fmt = std::chars_format::general;
+    if (last - first > 2 && first[0] == '0' &&
+        (first[1] == 'x' || first[1] == 'X')) {
+        fmt = std::chars_format::hex;
+        first += 2;
+    }
+    double v = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, v, fmt);
+    if (ec != std::errc() || ptr != last)
         return false;
-    out = v;
+    out = negative ? -v : v;
     return true;
 }
 

@@ -83,6 +83,10 @@ Machine::Machine(const MachineSpec &spec, const WorkloadOptions &opt)
 {
     sys->mem().setFastPath(opt.fastAccessPath);
     sys->mem().setHostProfiler(opt.hostProf);
+    if (opt.capture) {
+        sys->core().attachCapture(opt.capture);
+        sys->mem().setCapture(opt.capture);
+    }
 }
 
 robotics::OrientedEngine &
@@ -185,8 +189,33 @@ Machine::finish(RunResult &result)
 void
 summarize(Machine &machine, Pipeline &pipeline, RunResult &result)
 {
+    summarize(machine, pipeline.wallCycles(), result);
+}
+
+void
+discountKernels(tartan::sim::Core &core, RunResult &result,
+                std::initializer_list<std::uint32_t> kernels,
+                tartan::sim::Cycles divisor)
+{
+    tartan::sim::Cycles sum = 0;
+    for (std::uint32_t id : kernels)
+        if (id < result.kernels.size())
+            sum += result.kernels[id].cycles;
+    // Sum first, divide once: divide-per-kernel would round differently
+    // and break bit-identity with the historical arithmetic.
+    result.wallCycles -= sum - sum / divisor;
+    if (auto *cap = core.captureSession()) {
+        std::vector<std::uint32_t> ids(kernels);
+        cap->discountKernels(ids, divisor);
+    }
+}
+
+void
+summarize(Machine &machine, tartan::sim::Cycles wall_cycles,
+          RunResult &result)
+{
     auto &core = machine.core();
-    result.wallCycles = pipeline.wallCycles();
+    result.wallCycles = wall_cycles;
     result.workCycles = core.cycles();
     result.instructions = core.instructions();
     result.kernels = core.kernels();

@@ -18,6 +18,7 @@
 #include "core/ovec.hh"
 #include "robotics/oriented.hh"
 #include "sim/arena.hh"
+#include "sim/capture.hh"
 #include "sim/fault.hh"
 #include "sim/hostprof.hh"
 #include "sim/system.hh"
@@ -108,6 +109,14 @@ struct WorkloadOptions {
      * runs and equivalence tests.
      */
     bool fastAccessPath = true;
+
+    /**
+     * Capture session recording this run's Core-boundary op stream for
+     * later replay (not owned; null = no capture). Wired into the core
+     * and memory path by Machine. Purely observational: a captured run
+     * produces bit-identical results to an uncaptured one.
+     */
+    tartan::sim::CaptureSession *capture = nullptr;
 };
 
 /** Outcome of one robot run. */
@@ -210,14 +219,22 @@ class Pipeline
     void
     stage(std::uint32_t threads, std::uint32_t items, Fn &&fn)
     {
+        tartan::sim::CaptureSession *cap = coreRef.captureSession();
+        if (cap)
+            cap->stageBegin(threads);
         tartan::sim::StageTimer timer(coreRef);
         for (std::uint32_t i = 0; i < items; ++i) {
+            if (cap)
+                cap->itemBegin();
             timer.beginItem();
             fn(i);
             timer.endItem();
+            if (cap)
+                cap->itemEnd();
         }
-        const std::uint32_t cores = 4;
-        wall += timer.makespan(std::min(threads, cores));
+        if (cap)
+            cap->stageEnd();
+        wall += timer.makespan(std::min(threads, kModelCores));
     }
 
     /** Run a serial section. */
@@ -225,10 +242,18 @@ class Pipeline
     void
     serial(Fn &&fn)
     {
+        tartan::sim::CaptureSession *cap = coreRef.captureSession();
+        if (cap)
+            cap->serialBegin();
         const tartan::sim::Cycles before = coreRef.cycles();
         fn();
         wall += coreRef.cycles() - before;
+        if (cap)
+            cap->serialEnd();
     }
+
+    /** Physical cores of the pipeline thread model (paper platform). */
+    static constexpr std::uint32_t kModelCores = 4;
 
     tartan::sim::Cycles wallCycles() const { return wall; }
 
@@ -237,8 +262,76 @@ class Pipeline
     tartan::sim::Cycles wall = 0;
 };
 
+/**
+ * Accumulates the core-cycle footprint of overlapped regions — code
+ * the host robot runs on extra threads whose wall-clock share must be
+ * discounted after summarize(). Mirrors the historical hand-rolled
+ * `work += core.cycles() - before` bookkeeping exactly (same deltas,
+ * same single integer division at apply time), and additionally
+ * records the region boundaries and the discount as semantic capture
+ * events so a replay reproduces the identical wall arithmetic on its
+ * own clock. One tracker per robot: the capture stream models a single
+ * region accumulator.
+ */
+class OverlapTracker
+{
+  public:
+    explicit OverlapTracker(tartan::sim::Core &core) : coreRef(core) {}
+
+    void
+    begin()
+    {
+        if (auto *cap = coreRef.captureSession())
+            cap->overlapBegin();
+        start = coreRef.cycles();
+    }
+
+    void
+    end()
+    {
+        acc += coreRef.cycles() - start;
+        if (auto *cap = coreRef.captureSession())
+            cap->overlapEnd();
+    }
+
+    /** Keep only a 1/@p divisor wall share of the accumulated work. */
+    void
+    apply(RunResult &result, tartan::sim::Cycles divisor)
+    {
+        result.wallCycles -= acc - acc / divisor;
+        if (auto *cap = coreRef.captureSession())
+            cap->discountRegion(divisor);
+    }
+
+    tartan::sim::Cycles accumulated() const { return acc; }
+
+  private:
+    tartan::sim::Core &coreRef;
+    tartan::sim::Cycles acc = 0;
+    tartan::sim::Cycles start = 0;
+};
+
+/**
+ * Discount the wall-clock share of the named kernels to 1/@p divisor —
+ * the post-summarize idiom for robot stages that run data-parallel on
+ * extra threads. Call after summarize(); records the discount as a
+ * semantic capture event so replay applies the identical arithmetic to
+ * its own (bit-identical) kernel cycle totals.
+ */
+void discountKernels(tartan::sim::Core &core, RunResult &result,
+                     std::initializer_list<std::uint32_t> kernels,
+                     tartan::sim::Cycles divisor);
+
 /** Fill the kernel table, bottleneck and totals of a result. */
 void summarize(Machine &machine, Pipeline &pipeline, RunResult &result);
+
+/**
+ * summarize() with an explicit wall-cycle count instead of a live
+ * Pipeline — the replay engine reconstructs the wall clock from
+ * captured stage markers and lands here.
+ */
+void summarize(Machine &machine, tartan::sim::Cycles wall_cycles,
+               RunResult &result);
 
 } // namespace tartan::workloads
 

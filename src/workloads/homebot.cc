@@ -333,9 +333,7 @@ runHomeBot(const MachineSpec &spec, const WorkloadOptions &opt)
     summarize(machine, pipeline, result);
     // Perception runs on 8 threads over 4 cores: discount its wall
     // share (T prediction plus fusion are data-parallel over points).
-    const tartan::sim::Cycles perception =
-        result.kernels[k_tpred].cycles + result.kernels[k_fuse].cycles;
-    result.wallCycles -= perception - perception / 4;
+    discountKernels(core, result, {k_tpred, k_fuse}, 4);
 
     result.metrics["meanResidual"] =
         use_surrogate ? 0.0 : residual_acc / frames;

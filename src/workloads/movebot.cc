@@ -231,8 +231,7 @@ runMoveBot(const MachineSpec &spec, const WorkloadOptions &opt)
 
     // The planning stage runs CCCD on 8 threads (4 cores): discount
     // its wall-clock contribution accordingly.
-    const tartan::sim::Cycles cccd = result.kernels[k_cccd].cycles;
-    result.wallCycles -= cccd - cccd / 4;
+    discountKernels(core, result, {k_cccd}, 4);
 
     result.metrics["reachedGoals"] = reached;
     result.metrics["treeNodes"] = total_nodes;

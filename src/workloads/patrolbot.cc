@@ -131,7 +131,7 @@ runPatrolBot(const MachineSpec &spec, const WorkloadOptions &opt)
 
     const std::uint32_t frames = std::max<std::uint32_t>(
         2, static_cast<std::uint32_t>(4 * opt.scale));
-    tartan::sim::Cycles inference_work = 0;
+    OverlapTracker inference(core);
     std::uint32_t detections = 0;
 
     // Degradation bookkeeping: camera frames can be dropped or pixel-
@@ -162,7 +162,7 @@ runPatrolBot(const MachineSpec &spec, const WorkloadOptions &opt)
         }
 
         // --- Perception: the detector (4 threads, overlapped) --------
-        const tartan::sim::Cycles before_inf = core.cycles();
+        inference.begin();
         pipeline.serial([&] {
             ScopedKernel scope(core, k_cnn);
             float score[1];
@@ -195,7 +195,7 @@ runPatrolBot(const MachineSpec &spec, const WorkloadOptions &opt)
             if (score[0] > 0.5f)
                 ++detections;
         });
-        inference_work += core.cycles() - before_inf;
+        inference.end();
 
         // --- Localisation: EKF predict + landmark corrections -------
         pipeline.serial([&] {
@@ -230,7 +230,7 @@ runPatrolBot(const MachineSpec &spec, const WorkloadOptions &opt)
     // Inference runs on 4 dedicated threads overlapping the pipeline:
     // wall = max(inference / 4, rest) approximated by discounting the
     // inference work to a quarter.
-    result.wallCycles -= inference_work - inference_work / 4;
+    inference.apply(result, 4);
 
     result.metrics["detections"] = detections;
     result.metrics["ekfError"] =

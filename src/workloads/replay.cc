@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Replay drain loop: captured op stream -> fresh Machine -> RunResult.
+ */
+
+#include "workloads/replay.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/watchdog.hh"
+
+namespace tartan::workloads {
+
+using tartan::sim::Addr;
+using tartan::sim::CapOp;
+using tartan::sim::CapRecord;
+using tartan::sim::CaptureTrace;
+using tartan::sim::CpiCat;
+using tartan::sim::Cycles;
+using tartan::sim::MemDep;
+using tartan::sim::OpClass;
+using tartan::sim::PcId;
+
+bool
+replayCompatible(const MachineSpec &cap_spec,
+                 const WorkloadOptions &cap_opt, const MachineSpec &spec,
+                 const WorkloadOptions &opt)
+{
+    // Sequence-shaping machine knobs must match the capture.
+    if (cap_spec.sys.core.vectorLanes != spec.sys.core.vectorLanes)
+        return false;
+    if (cap_spec.ovec != spec.ovec || cap_spec.npu != spec.npu ||
+        cap_spec.wtQueues != spec.wtQueues)
+        return false;
+    // Workload identity must match: a different tier/scale/seed runs
+    // different code, a different capture.
+    if (cap_opt.tier != opt.tier || cap_opt.scale != opt.scale ||
+        cap_opt.seed != opt.seed)
+        return false;
+    if (cap_opt.nns != opt.nns || cap_opt.nnsExplicit != opt.nnsExplicit)
+        return false;
+    if (cap_opt.oriented != opt.oriented ||
+        cap_opt.softwareNeural != opt.softwareNeural)
+        return false;
+    // Observation hooks see events replay does not re-raise (per-PC
+    // timelines, sensor faults, host-layer profiles); a hooked cell
+    // must run directly.
+    if (cap_opt.trace || cap_opt.faults || cap_opt.hostProf)
+        return false;
+    if (opt.trace || opt.faults || opt.hostProf)
+        return false;
+    return true;
+}
+
+RunResult
+replayTrace(const CaptureTrace &trace, const MachineSpec &spec,
+            const WorkloadOptions &opt)
+{
+    WorkloadOptions ropt = opt;
+    ropt.trace = nullptr;
+    ropt.faults = nullptr;
+    ropt.hostProf = nullptr;
+    ropt.capture = nullptr;
+
+    Machine machine(spec, ropt);
+    tartan::sim::Core &core = machine.core();
+    tartan::sim::MemPath &mem = machine.system().mem();
+
+    RunResult result;
+    tartan::sim::StageTimer timer(core);
+    std::uint32_t stageThreads = 0;
+    Cycles wall = 0;
+    Cycles serialStart = 0;
+    std::vector<Addr> lanes;
+    std::vector<std::uint32_t> layers;
+
+    // Post-summarize wall discounts (thread-overlap modelling). Region
+    // discounts consume the Overlap* accumulator; kernel discounts read
+    // the final kernel table, so both apply after summarize().
+    Cycles overlapStart = 0;
+    Cycles overlapAcc = 0;
+    struct PendingDiscount {
+        std::uint8_t kind;              // 0 = region, 1 = kernel list
+        Cycles divisor;
+        Cycles regionCycles;            // kind 0
+        std::vector<std::uint64_t> kernelIds; // kind 1
+    };
+    std::vector<PendingDiscount> discounts;
+    std::vector<std::uint64_t> ids;
+
+    for (const CapRecord &r : trace.records) {
+        // The replay worker is its own campaign cell: keep its watchdog
+        // beating even through stretches of non-cycle-sink records.
+        tartan::sim::heartbeat();
+        switch (CapOp(r.op)) {
+          case CapOp::RegisterKernel:
+            core.registerKernel(std::string(trace.auxString(r.d, r.a32)));
+            break;
+          case CapOp::SetKernel:
+            core.setKernel(r.a32);
+            break;
+          case CapOp::Exec:
+            core.exec(r.b, OpClass(r.a8));
+            break;
+          case CapOp::Stall:
+            core.stall(r.b, CpiCat(r.a8));
+            break;
+          case CapOp::CountInstructions:
+            core.countInstructions(r.b);
+            break;
+          case CapOp::Load:
+            core.load(r.b, PcId(r.c), MemDep(r.a8), r.a32);
+            break;
+          case CapOp::Store:
+            core.store(r.b, PcId(r.c), r.a32);
+            break;
+          case CapOp::VecOp:
+            core.vecOp(r.b);
+            break;
+          case CapOp::DeviceLoadLanes:
+            trace.auxU64s(r.d, r.a32, lanes);
+            core.deviceLoadLanes(lanes, PcId(r.b), r.c, CpiCat(r.a8));
+            break;
+          case CapOp::VecLoadLanes:
+            trace.auxU64s(r.d, r.a32, lanes);
+            core.vecLoadLanes(lanes, PcId(r.b), r.c, r.a16,
+                              CpiCat(r.a8));
+            break;
+          case CapOp::VecLoadContiguous:
+            core.vecLoadContiguous(r.b, r.a32, PcId(r.c));
+            break;
+          case CapOp::MapSegment:
+            mem.mapSegment(r.b, r.c);
+            break;
+          case CapOp::WriteThroughRange:
+            mem.addWriteThroughRange(r.b, r.c);
+            break;
+          case CapOp::NoAllocateRange:
+            mem.addNoAllocateRange(r.b, r.c);
+            break;
+          case CapOp::StageBegin:
+            timer.reset();
+            stageThreads = r.a32;
+            break;
+          case CapOp::ItemBegin:
+            timer.beginItem();
+            break;
+          case CapOp::ItemEnd:
+            timer.endItem();
+            break;
+          case CapOp::StageEnd:
+            wall += timer.makespan(
+                std::min(stageThreads, Pipeline::kModelCores));
+            break;
+          case CapOp::SerialBegin:
+            serialStart = core.cycles();
+            break;
+          case CapOp::SerialEnd:
+            wall += core.cycles() - serialStart;
+            break;
+          case CapOp::NpuConfigure:
+            if (machine.npu())
+                machine.npu()->chargeConfigure(core, r.b);
+            break;
+          case CapOp::NpuInfer:
+            if (machine.npu()) {
+                trace.auxU64s(r.d, r.a32, layers);
+                machine.npu()->chargeInfer(core, r.b, r.c, layers);
+            }
+            break;
+          case CapOp::Metric: {
+            double value = 0.0;
+            std::memcpy(&value, &r.b, 8);
+            result.metrics[std::string(trace.auxString(r.d, r.a32))] =
+                value;
+            break;
+          }
+          case CapOp::RobotName:
+            result.robot = std::string(trace.auxString(r.d, r.a32));
+            break;
+          case CapOp::OverlapBegin:
+            overlapStart = core.cycles();
+            break;
+          case CapOp::OverlapEnd:
+            overlapAcc += core.cycles() - overlapStart;
+            break;
+          case CapOp::Discount:
+            if (r.b == 0)
+                break;  // defensive: a zero divisor would trap
+            if (r.a8 == 0) {
+                discounts.push_back({0, r.b, overlapAcc, {}});
+                overlapAcc = 0;
+            } else {
+                trace.auxU64s(r.d, r.a32, ids);
+                discounts.push_back({1, r.b, 0, ids});
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    summarize(machine, wall, result);
+
+    for (const PendingDiscount &d : discounts) {
+        Cycles sum = d.regionCycles;
+        for (std::uint64_t id : d.kernelIds)
+            if (id < result.kernels.size())
+                sum += result.kernels[id].cycles;
+        result.wallCycles -= sum - sum / d.divisor;
+    }
+    return result;
+}
+
+} // namespace tartan::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Replay half of the capture-once / replay-many engine.
+ *
+ * replayTrace() streams a captured Core-boundary op stream (see
+ * sim/capture.hh) through a fresh Machine built from an arbitrary
+ * timing configuration and produces the same RunResult a direct robot
+ * run under that configuration would — byte-identical counters, CPI
+ * stacks and metrics — without executing any robot code. A sweep of N
+ * configurations over one (robot, seed) thus costs one robot execution
+ * plus N cheap replays.
+ *
+ * The soundness argument: deterministic addressing makes every
+ * cache/prefetcher/FCP decision a pure function of the op *sequence*,
+ * which the capture preserves exactly; all timing is recomputed by the
+ * replay machine, and the only config-dependent op *arguments* (the
+ * NPU's stall amounts) are captured as semantic events and re-expanded
+ * against the replay-side NpuConfig. replayCompatible() guards the
+ * boundary of that argument: knobs that change the op sequence itself
+ * (vector lanes, tier, scale, seed, NPU presence, ...) must match the
+ * capture; knobs that only change timing (cache geometry, prefetcher,
+ * FCP, issue width, NPU sizing) may differ freely.
+ */
+
+#ifndef TARTAN_WORKLOADS_REPLAY_HH
+#define TARTAN_WORKLOADS_REPLAY_HH
+
+#include "sim/capture.hh"
+#include "workloads/common.hh"
+
+namespace tartan::workloads {
+
+/**
+ * True when a capture recorded under (@p cap_spec, @p cap_opt) can be
+ * replayed under (@p spec, @p opt): every knob that shapes the op
+ * sequence — vector lanes, OVEC/NPU/WT availability, software tier,
+ * scale, seed, NNS and oriented-engine selection, software-neural mode
+ * — matches, and neither side wires observation hooks (trace, faults,
+ * host profiler) that replay cannot honour. Timing-only knobs (cache
+ * geometry, line size, prefetcher, FCP, issue width, miss overlap, NPU
+ * sizing/placement) are deliberately not compared.
+ */
+bool replayCompatible(const MachineSpec &cap_spec,
+                      const WorkloadOptions &cap_opt,
+                      const MachineSpec &spec,
+                      const WorkloadOptions &opt);
+
+/**
+ * Re-issue @p trace against a fresh Machine built from (@p spec,
+ * @p opt) and return the reconstructed RunResult. The drain loop ticks
+ * the watchdog heartbeat once per record, so a replayed cell under a
+ * TARTAN_TIMEOUT campaign stays live-monitored exactly like a direct
+ * run (replay issues no robot code, hence no cycle-sink heartbeats of
+ * its own between memory ops).
+ */
+RunResult replayTrace(const tartan::sim::CaptureTrace &trace,
+                      const MachineSpec &spec,
+                      const WorkloadOptions &opt);
+
+} // namespace tartan::workloads
+
+#endif // TARTAN_WORKLOADS_REPLAY_HH

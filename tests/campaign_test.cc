@@ -16,6 +16,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <clocale>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -26,9 +28,11 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/campaign.hh"
+#include "sim/capture.hh"
 #include "sim/journal.hh"
 #include "sim/json.hh"
 #include "sim/result_cache.hh"
@@ -36,6 +40,7 @@
 #include "sim/watchdog.hh"
 #include "workloads/cellcodec.hh"
 #include "workloads/common.hh"
+#include "workloads/replay.hh"
 
 namespace fs = std::filesystem;
 
@@ -236,6 +241,57 @@ TEST(CellCodec, DoubleRoundTripsBitExactly)
     double out = 0;
     EXPECT_FALSE(decodeDouble("", out));
     EXPECT_FALSE(decodeDouble("0x1.8p+0 trailing", out));
+}
+
+TEST(CellCodec, DoubleCodecIsLocaleIndependent)
+{
+    using tartan::workloads::decodeDouble;
+    using tartan::workloads::encodeDouble;
+
+    // Comma-decimal locales (de_DE, fr_FR) make printf("%a") emit
+    // "0x1,8p+1" and make strtod reject "0x1.8p+1" — which silently
+    // corrupted journals written on one machine and read on another.
+    // The codec must round-trip bit-exactly regardless of LC_NUMERIC.
+    const char *current = std::setlocale(LC_NUMERIC, nullptr);
+    const std::string saved = current ? current : "C";
+    const char *candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                                "fr_FR.UTF-8", "fr_FR.utf8", "fr_FR"};
+    const char *active = nullptr;
+    for (const char *cand : candidates) {
+        if (std::setlocale(LC_NUMERIC, cand)) {
+            active = cand;
+            break;
+        }
+    }
+    if (!active) {
+        // Decoding must still accept both radix spellings even when no
+        // comma locale is installed to prove the encoder side.
+        double out = 0;
+        ASSERT_TRUE(decodeDouble("0x1,8p+1", out));
+        EXPECT_EQ(out, 3.0);
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    }
+
+    const double values[] = {1.0 / 3.0, 2.5000000000000004, -0.0,
+                             std::numeric_limits<double>::denorm_min(),
+                             6.25e9};
+    for (double v : values) {
+        const std::string text = encodeDouble(v);
+        // The wire format is locale-independent: always '.'-radix.
+        EXPECT_EQ(text.find(','), std::string::npos) << text;
+        double back = 0;
+        ASSERT_TRUE(decodeDouble(text, back)) << text;
+        EXPECT_TRUE(sameBits(v, back)) << text;
+    }
+    // Payloads written by the pre-fix encoder under a comma locale
+    // carry ','-radix hexfloats; decode must accept them too.
+    double out = 0;
+    ASSERT_TRUE(decodeDouble("0x1,8p+1", out));
+    EXPECT_EQ(out, 3.0);
+    ASSERT_TRUE(decodeDouble("-0x1,0p-1074", out));
+    EXPECT_TRUE(sameBits(out, -std::numeric_limits<double>::denorm_min()));
+
+    std::setlocale(LC_NUMERIC, saved.c_str());
 }
 
 TEST(CellCodec, RunResultRoundTripsBitExactly)
@@ -658,6 +714,68 @@ TEST(CampaignRunner, WatchdogTimesOutHungCellsDeterministically)
         EXPECT_EQ(outcomes[1].status, CellOutcome::Status::Ok);
         EXPECT_EQ(runner.stats().failed, 1u);
     }
+}
+
+TEST(CampaignRunner, WatchdogUnwindsHungReplayWorkers)
+{
+    // Regression: the replay drain loop issues no robot-side heartbeats
+    // of its own, so a replayed cell that exceeded its budget used to
+    // starve the watchdog and hang the sweep instead of timing out.
+    // replayTrace() now beats per record; a tight deadline must unwind
+    // the worker with the usual "timeout" classification.
+    CampaignConfig cfg;
+    cfg.timeoutSec = 0.05;
+    cfg.retries = 0;
+
+    tartan::sim::CaptureSession session(1, 1);
+    for (int i = 0; i < 64; ++i)
+        session.exec(10, 0);
+    const tartan::sim::CaptureTrace trace = session.take();
+    const MachineSpec spec = MachineSpec::baseline();
+    WorkloadOptions opt;
+
+    RunPool pool(1);
+    CampaignRunner runner("replay_hang", pool, cfg, kSchema);
+    runner.submit(CellSpec{"replay_forever", 1, 1, true},
+                  [&]() -> std::string {
+                      // A replay loop that would never finish: only the
+                      // in-loop heartbeat can end it.
+                      for (;;)
+                          tartan::workloads::replayTrace(trace, spec,
+                                                         opt);
+                  });
+    const auto outcomes = runner.gather();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, CellOutcome::Status::Failed);
+    EXPECT_EQ(outcomes[0].errorClass, "timeout");
+}
+
+TEST(CampaignRunner, SuspendedWaitsDoNotEatTheCellBudget)
+{
+    // Replayed siblings queue behind the first cell's capture under
+    // ScopedWatchSuspend: the wait must not count against their own
+    // TARTAN_TIMEOUT budget. Model the wait with a sleep longer than
+    // the whole deadline — suspended, the cell still completes.
+    CampaignConfig cfg;
+    cfg.timeoutSec = 0.1;
+    cfg.retries = 0;
+
+    RunPool pool(1);
+    CampaignRunner runner("suspend", pool, cfg, kSchema);
+    runner.submit(CellSpec{"waits", 1, 1, true}, []() {
+        {
+            tartan::sim::ScopedWatchSuspend suspend;
+            std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        }
+        // Back on the clock: the extended deadline must have room left.
+        for (int i = 0; i < 4096; ++i)
+            tartan::sim::heartbeat();
+        return std::string("{}");
+    });
+    const auto outcomes = runner.gather();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, CellOutcome::Status::Ok)
+        << outcomes[0].errorClass << ": " << outcomes[0].errorDetail;
 }
 
 TEST(CampaignRunner, ResumeReplaysJournaledCellsWithoutSimulating)

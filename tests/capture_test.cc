@@ -1,0 +1,644 @@
+/**
+ * @file
+ * Capture-once / replay-many engine: the byte-identity contract the
+ * converted sweep drivers rely on. The tests pin down (1) the capture
+ * file's corruption policy — truncated tails, bit-flipped bodies,
+ * foreign format versions and implausible headers never load, mirroring
+ * the run journal; (2) replay-vs-direct equivalence — for every robot
+ * in the suite, a replayed capture reproduces the direct run's counters
+ * and per-kernel CPI stacks exactly, both at the capture configuration
+ * and across timing-only machine changes; (3) the capture accounting —
+ * one robot execution serves N replays, with persisted captures
+ * reloaded (and re-captured when corrupt) on later runs; (4) the
+ * resume-mode mix — journaled replayed cells resume byte-identically.
+ *
+ * The static initializer below pins TARTAN_REPLAY / TARTAN_CAPTURE_DIR
+ * for this whole binary: RunEnv snapshots the environment on first use,
+ * so the variables must be set before any simulator code runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_util.hh"
+#include "sim/campaign.hh"
+#include "sim/capture.hh"
+#include "sim/runpool.hh"
+#include "workloads/cellcodec.hh"
+#include "workloads/common.hh"
+#include "workloads/replay.hh"
+#include "workloads/robots.hh"
+
+namespace fs = std::filesystem;
+
+using tartan::bench::CaptureSource;
+using tartan::sim::CapOp;
+using tartan::sim::CapRecord;
+using tartan::sim::CaptureSession;
+using tartan::sim::CaptureTrace;
+using tartan::workloads::MachineSpec;
+using tartan::workloads::RunResult;
+using tartan::workloads::SoftwareTier;
+using tartan::workloads::WorkloadOptions;
+
+namespace {
+
+/** Capture-dir root for the whole binary (set before RunEnv parses). */
+std::string
+captureRoot()
+{
+    static const std::string root = "/tmp/tartan_capture_test_" +
+                                    std::to_string(::getpid());
+    return root;
+}
+
+/**
+ * RunEnv::get() snapshots the environment exactly once; pin the
+ * replay configuration before any test (or static simulator state)
+ * can trigger that parse.
+ */
+const bool envPinned = [] {
+    ::setenv("TARTAN_REPLAY", "1", 1);
+    ::setenv("TARTAN_CAPTURE_DIR", captureRoot().c_str(), 1);
+    fs::remove_all(captureRoot());
+    fs::create_directories(captureRoot());
+    return true;
+}();
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+spit(const fs::path &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+fs::path
+scratchDir(const std::string &name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) /
+                         ("capture_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/** A small synthetic capture exercising every aux-bearing record. */
+CaptureTrace
+sampleTrace()
+{
+    CaptureSession session(0xfeedc0de, 7);
+    session.registerKernel("raycast");
+    session.setKernel(0);
+    session.exec(120, 1);
+    session.stall(35, 2);
+    session.countInstructions(99);
+    session.load(0x1000, 3, 1, 8);
+    session.store(0x2000, 4, 16);
+    session.vecOp(5);
+    const std::uint64_t lanes[] = {0x3000, 0x3040, 0x3080};
+    session.vecLoadLanes(lanes, 5, 2, 4, 1);
+    session.deviceLoadLanes(lanes, 6, 10, 1);
+    session.mapSegment(0x4000, 4096);
+    session.serialBegin();
+    session.serialEnd();
+    session.overlapBegin();
+    session.overlapEnd();
+    session.discountRegion(4);
+    const std::uint32_t ids[] = {0, 2};
+    session.discountKernels(ids, 4);
+    const std::uint32_t layers[] = {50, 256, 1};
+    session.npuInfer(50, 1, layers);
+    session.addMetric("planCost", 2.5);
+    session.setRobot("TestBot");
+    return session.take();
+}
+
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.robot, b.robot);
+    EXPECT_EQ(a.wallCycles, b.wallCycles);
+    EXPECT_EQ(a.workCycles, b.workCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.bottleneckKernel, b.bottleneckKernel);
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.l3Traffic, b.l3Traffic);
+    EXPECT_EQ(a.pfIssued, b.pfIssued);
+    EXPECT_EQ(a.pfHitsTimely, b.pfHitsTimely);
+    EXPECT_EQ(a.pfHitsLate, b.pfHitsLate);
+    EXPECT_EQ(a.udmFetchedBytes, b.udmFetchedBytes);
+    EXPECT_EQ(a.udmUsedBytes, b.udmUsedBytes);
+    EXPECT_EQ(a.npuInvocations, b.npuInvocations);
+    EXPECT_EQ(a.npuCommCycles, b.npuCommCycles);
+    ASSERT_EQ(a.kernels.size(), b.kernels.size());
+    for (std::size_t i = 0; i < a.kernels.size(); ++i) {
+        EXPECT_EQ(a.kernels[i].name, b.kernels[i].name) << i;
+        EXPECT_EQ(a.kernels[i].cycles, b.kernels[i].cycles)
+            << a.kernels[i].name;
+        EXPECT_EQ(a.kernels[i].memStallCycles,
+                  b.kernels[i].memStallCycles)
+            << a.kernels[i].name;
+        EXPECT_EQ(a.kernels[i].instructions, b.kernels[i].instructions)
+            << a.kernels[i].name;
+        for (std::size_t c = 0; c < tartan::sim::kNumCpiCats; ++c)
+            EXPECT_EQ(a.kernels[i].cpi.cat[c], b.kernels[i].cpi.cat[c])
+                << a.kernels[i].name << " cat " << c;
+    }
+    ASSERT_EQ(a.metrics.size(), b.metrics.size());
+    for (const auto &[key, val] : a.metrics) {
+        const auto it = b.metrics.find(key);
+        ASSERT_NE(it, b.metrics.end()) << key;
+        std::uint64_t av, bv;
+        std::memcpy(&av, &val, 8);
+        std::memcpy(&bv, &it->second, 8);
+        EXPECT_EQ(av, bv) << key;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Capture files: round-trip and corruption policy
+// ---------------------------------------------------------------------------
+
+TEST(CaptureFile, RoundTripsExactly)
+{
+    const fs::path dir = scratchDir("roundtrip");
+    const fs::path path = dir / "t.tcap";
+    const CaptureTrace trace = sampleTrace();
+    ASSERT_TRUE(trace.validate());
+
+    std::string err;
+    ASSERT_TRUE(trace.save(path.string(), &err)) << err;
+    // Atomic save leaves no temp sibling behind.
+    EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+
+    CaptureTrace back;
+    ASSERT_TRUE(CaptureTrace::load(path.string(), back, &err)) << err;
+    EXPECT_EQ(back.configHash, trace.configHash);
+    EXPECT_EQ(back.seed, trace.seed);
+    ASSERT_EQ(back.records.size(), trace.records.size());
+    EXPECT_EQ(std::memcmp(back.records.data(), trace.records.data(),
+                          trace.records.size() * sizeof(CapRecord)),
+              0);
+    ASSERT_EQ(back.aux.size(), trace.aux.size());
+    EXPECT_EQ(std::memcmp(back.aux.data(), trace.aux.data(),
+                          trace.aux.size()),
+              0);
+}
+
+TEST(CaptureFile, AbsentFileIsAMissNotCorruption)
+{
+    CaptureTrace out;
+    std::string err = "sentinel";
+    err.clear();
+    EXPECT_FALSE(CaptureTrace::load("/nonexistent/nowhere.tcap", out,
+                                    &err));
+    EXPECT_TRUE(err.empty());
+}
+
+TEST(CaptureFile, TruncatedTailRejected)
+{
+    const fs::path dir = scratchDir("trunc");
+    const fs::path path = dir / "t.tcap";
+    ASSERT_TRUE(sampleTrace().save(path.string()));
+
+    // SIGKILL mid-write: chop bytes off the end.
+    const std::string bytes = slurp(path);
+    spit(path, bytes.substr(0, bytes.size() - 5));
+
+    CaptureTrace out;
+    std::string err;
+    EXPECT_FALSE(CaptureTrace::load(path.string(), out, &err));
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+}
+
+TEST(CaptureFile, TrailingGarbageRejected)
+{
+    const fs::path dir = scratchDir("trailing");
+    const fs::path path = dir / "t.tcap";
+    ASSERT_TRUE(sampleTrace().save(path.string()));
+    spit(path, slurp(path) + "junk");
+
+    CaptureTrace out;
+    std::string err;
+    EXPECT_FALSE(CaptureTrace::load(path.string(), out, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(CaptureFile, BitFlippedBodyRejectedByCrc)
+{
+    const fs::path dir = scratchDir("bitflip");
+    const fs::path path = dir / "t.tcap";
+    ASSERT_TRUE(sampleTrace().save(path.string()));
+
+    std::string bytes = slurp(path);
+    bytes[bytes.size() - 3] ^= 0x40; // bit rot inside the aux stream
+    spit(path, bytes);
+
+    CaptureTrace out;
+    std::string err;
+    EXPECT_FALSE(CaptureTrace::load(path.string(), out, &err));
+    EXPECT_NE(err.find("CRC"), std::string::npos) << err;
+}
+
+TEST(CaptureFile, ForeignFormatVersionRejected)
+{
+    const fs::path dir = scratchDir("version");
+    const fs::path path = dir / "t.tcap";
+    ASSERT_TRUE(sampleTrace().save(path.string()));
+
+    // The version field sits right after the 8-byte magic.
+    std::string bytes = slurp(path);
+    const std::uint32_t foreign = 999;
+    std::memcpy(bytes.data() + 8, &foreign, 4);
+    spit(path, bytes);
+
+    CaptureTrace out;
+    std::string err;
+    EXPECT_FALSE(CaptureTrace::load(path.string(), out, &err));
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+TEST(CaptureFile, BadMagicRejected)
+{
+    const fs::path dir = scratchDir("magic");
+    const fs::path path = dir / "t.tcap";
+    ASSERT_TRUE(sampleTrace().save(path.string()));
+    std::string bytes = slurp(path);
+    bytes[0] = 'X';
+    spit(path, bytes);
+
+    CaptureTrace out;
+    std::string err;
+    EXPECT_FALSE(CaptureTrace::load(path.string(), out, &err));
+    EXPECT_NE(err.find("magic"), std::string::npos) << err;
+}
+
+TEST(CaptureFile, ImplausibleRecordCountRejectedBeforeAllocation)
+{
+    const fs::path dir = scratchDir("hugecount");
+    const fs::path path = dir / "t.tcap";
+    ASSERT_TRUE(sampleTrace().save(path.string()));
+
+    // A corrupt header claiming 2^60 records must be rejected by the
+    // file-size check, never turned into a giant allocation.
+    std::string bytes = slurp(path);
+    const std::uint64_t huge = 1ull << 60;
+    std::memcpy(bytes.data() + 32, &huge, 8); // recordCount field
+    spit(path, bytes);
+
+    CaptureTrace out;
+    std::string err;
+    EXPECT_FALSE(CaptureTrace::load(path.string(), out, &err));
+    EXPECT_NE(err.find("truncated or oversized"), std::string::npos)
+        << err;
+}
+
+TEST(CaptureTrace, ValidateRejectsBadOpsAndAuxOverruns)
+{
+    CaptureTrace trace = sampleTrace();
+    ASSERT_TRUE(trace.validate());
+
+    // Unknown op tag.
+    CaptureTrace bad_op = sampleTrace();
+    bad_op.records[0].op = std::uint8_t(CapOp::NumOps);
+    std::string err;
+    EXPECT_FALSE(bad_op.validate(&err));
+    EXPECT_NE(err.find("op tag"), std::string::npos) << err;
+
+    // Aux reference past the end of the aux stream (the RegisterKernel
+    // record is aux-bearing).
+    CaptureTrace bad_aux = sampleTrace();
+    ASSERT_EQ(CapOp(bad_aux.records[0].op), CapOp::RegisterKernel);
+    bad_aux.records[0].d = bad_aux.aux.size();
+    bad_aux.records[0].a32 = 1;
+    err.clear();
+    EXPECT_FALSE(bad_aux.validate(&err));
+    EXPECT_NE(err.find("aux"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------------
+// Replay-vs-direct equivalence
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Capture @p run at (@p spec, @p opt) exactly as CaptureSource does. */
+CaptureTrace
+captureRun(tartan::workloads::RobotFn run, const MachineSpec &spec,
+           const WorkloadOptions &opt)
+{
+    CaptureSession session(1, opt.seed);
+    WorkloadOptions copt = opt;
+    copt.capture = &session;
+    const RunResult res = run(spec, copt);
+    session.setRobot(res.robot);
+    for (const auto &[name, value] : res.metrics)
+        session.addMetric(name, value);
+    return session.take();
+}
+
+} // namespace
+
+TEST(ReplayEquivalence, EveryRobotReplaysExactlyAtTheCaptureConfig)
+{
+    // Randomised (but reproducible) workload seeds: equivalence must
+    // hold for arbitrary seeds, not just the suite default.
+    std::mt19937_64 rng(20260809);
+    for (const auto &robot : tartan::workloads::robotSuite()) {
+        WorkloadOptions opt;
+        opt.tier = SoftwareTier::Optimized;
+        opt.scale = 0.25;
+        opt.seed = rng() % 10000;
+        const MachineSpec spec = MachineSpec::baseline();
+
+        const RunResult direct = robot.run(spec, opt);
+        const CaptureTrace trace = captureRun(robot.run, spec, opt);
+        ASSERT_TRUE(trace.validate());
+        const RunResult replayed =
+            tartan::workloads::replayTrace(trace, spec, opt);
+
+        SCOPED_TRACE(std::string(robot.name) + " seed " +
+                     std::to_string(opt.seed));
+        expectIdentical(direct, replayed);
+
+        // Payload byte-identity is the CI contract, so assert exactly
+        // that — the encoded cell payloads must match bit for bit.
+        EXPECT_EQ(tartan::workloads::encodeRunResult(replayed),
+                  tartan::workloads::encodeRunResult(direct));
+    }
+}
+
+TEST(ReplayEquivalence, TimingOnlyMachineChangesReplayExactly)
+{
+    // The point of the engine: capture once, sweep timing knobs. An
+    // ANL-equipped machine reorders nothing in the op stream, so the
+    // replay must match a direct run on that machine exactly.
+    WorkloadOptions opt;
+    opt.tier = SoftwareTier::Optimized;
+    opt.scale = 0.25;
+    opt.seed = 123;
+    const MachineSpec base = MachineSpec::baseline();
+
+    MachineSpec anl = base;
+    anl.useAnl = true;
+    anl.anlCfg.lineBytes = anl.sys.lineBytes;
+
+    for (const auto &robot : tartan::workloads::robotSuite()) {
+        if (std::string(robot.name) != "MoveBot" &&
+            std::string(robot.name) != "CarriBot")
+            continue; // two representatives keep the test fast
+        ASSERT_TRUE(tartan::workloads::replayCompatible(base, opt, anl,
+                                                        opt));
+        const CaptureTrace trace = captureRun(robot.run, base, opt);
+        const RunResult direct = robot.run(anl, opt);
+        const RunResult replayed =
+            tartan::workloads::replayTrace(trace, anl, opt);
+        SCOPED_TRACE(robot.name);
+        expectIdentical(direct, replayed);
+    }
+}
+
+TEST(ReplayEquivalence, NpuConfigSweepsReplayExactly)
+{
+    // NPU stall charges depend on NpuConfig, the one sweepable knob
+    // that shapes op *arguments*: the capture records semantic
+    // configure/infer events and replay recomputes the charges, so a
+    // PE-count sweep must still match direct runs exactly.
+    WorkloadOptions opt;
+    opt.tier = SoftwareTier::Approximate;
+    opt.scale = 0.25;
+    opt.seed = 99;
+    const MachineSpec cap_spec = MachineSpec::tartan();
+    const CaptureTrace trace =
+        captureRun(tartan::workloads::runPatrolBot, cap_spec, opt);
+
+    for (std::uint32_t pes : {2u, 8u}) {
+        MachineSpec swept = cap_spec;
+        swept.npuCfg.pes = pes;
+        ASSERT_TRUE(tartan::workloads::replayCompatible(cap_spec, opt,
+                                                        swept, opt));
+        const RunResult direct =
+            tartan::workloads::runPatrolBot(swept, opt);
+        const RunResult replayed =
+            tartan::workloads::replayTrace(trace, swept, opt);
+        SCOPED_TRACE("pes " + std::to_string(pes));
+        expectIdentical(direct, replayed);
+    }
+}
+
+TEST(ReplayEquivalence, SequenceShapingChangesAreIncompatible)
+{
+    const MachineSpec base = MachineSpec::baseline();
+    WorkloadOptions opt;
+    opt.tier = SoftwareTier::Optimized;
+
+    using tartan::workloads::replayCompatible;
+    EXPECT_TRUE(replayCompatible(base, opt, base, opt));
+
+    MachineSpec ovec = base;
+    ovec.ovec = true; // different kernels run: different op stream
+    EXPECT_FALSE(replayCompatible(base, opt, ovec, opt));
+
+    WorkloadOptions other_seed = opt;
+    other_seed.seed = opt.seed + 1;
+    EXPECT_FALSE(replayCompatible(base, opt, base, other_seed));
+
+    WorkloadOptions other_tier = opt;
+    other_tier.tier = SoftwareTier::Legacy;
+    EXPECT_FALSE(replayCompatible(base, opt, base, other_tier));
+
+    // Observation hooks see events replay does not re-raise.
+    WorkloadOptions faulted = opt;
+    tartan::sim::FaultInjector injector(tartan::sim::FaultPlan{}, 1);
+    faulted.faults = &injector;
+    EXPECT_FALSE(replayCompatible(base, opt, base, faulted));
+}
+
+// ---------------------------------------------------------------------------
+// Capture accounting: one execution, many replays
+// ---------------------------------------------------------------------------
+
+TEST(CaptureAccounting, OneExecutionServesManyReplays)
+{
+    ASSERT_TRUE(envPinned);
+    ASSERT_TRUE(tartan::sim::RunEnv::get().replay);
+
+    WorkloadOptions opt;
+    opt.tier = SoftwareTier::Optimized;
+    opt.scale = 0.25;
+    opt.seed = 4242;
+    const MachineSpec base = MachineSpec::baseline();
+
+    auto &stats = tartan::sim::captureStats();
+    const std::uint64_t captures0 = stats.captures.load();
+
+    CaptureSource src("DeliBot", tartan::workloads::runDeliBot, base,
+                      opt);
+    const RunResult direct = tartan::workloads::runDeliBot(base, opt);
+
+    // Three timing sweeps off one acquisition: exactly one execution.
+    std::vector<RunResult> replays;
+    for (int i = 0; i < 3; ++i) {
+        MachineSpec swept = base;
+        swept.useAnl = (i > 0);
+        swept.anlCfg.entries = 8u << i;
+        swept.anlCfg.lineBytes = swept.sys.lineBytes;
+        auto trace = src.acquire();
+        replays.push_back(
+            tartan::workloads::replayTrace(*trace, swept, opt));
+    }
+    EXPECT_EQ(stats.captures.load(), captures0 + 1);
+    expectIdentical(direct, replays[0]);
+
+    // The capture persisted under its content address; a fresh source
+    // (a later process, modelled by a new object) loads the file
+    // instead of re-executing the robot.
+    const std::uint64_t hits0 = stats.fileHits.load();
+    CaptureSource fresh("DeliBot", tartan::workloads::runDeliBot, base,
+                        opt);
+    auto loaded = fresh.acquire();
+    EXPECT_EQ(stats.fileHits.load(), hits0 + 1);
+    EXPECT_EQ(stats.captures.load(), captures0 + 1);
+    expectIdentical(direct, tartan::workloads::replayTrace(*loaded, base,
+                                                           opt));
+}
+
+TEST(CaptureAccounting, CorruptPersistedCaptureIsRecaptured)
+{
+    ASSERT_TRUE(envPinned);
+    WorkloadOptions opt;
+    opt.tier = SoftwareTier::Optimized;
+    opt.scale = 0.25;
+    opt.seed = 777;
+    const MachineSpec base = MachineSpec::baseline();
+
+    auto &stats = tartan::sim::captureStats();
+    CaptureSource first("FlyBot", tartan::workloads::runFlyBot, base,
+                        opt);
+    (void)first.acquire();
+
+    // Find the persisted file and flip a body byte: the next source
+    // must reject it, warn, and re-execute the robot.
+    fs::path victim;
+    for (const auto &e : fs::directory_iterator(captureRoot()))
+        if (e.path().string().find("_777.tcap") != std::string::npos)
+            victim = e.path();
+    ASSERT_FALSE(victim.empty());
+    std::string bytes = slurp(victim);
+    bytes[bytes.size() / 2] ^= 0x01;
+    spit(victim, bytes);
+
+    const std::uint64_t captures0 = stats.captures.load();
+    const std::uint64_t hits0 = stats.fileHits.load();
+    CaptureSource second("FlyBot", tartan::workloads::runFlyBot, base,
+                         opt);
+    auto trace = second.acquire();
+    EXPECT_EQ(stats.fileHits.load(), hits0);
+    EXPECT_EQ(stats.captures.load(), captures0 + 1);
+
+    const RunResult direct = tartan::workloads::runFlyBot(base, opt);
+    expectIdentical(direct, tartan::workloads::replayTrace(*trace, base,
+                                                           opt));
+}
+
+// ---------------------------------------------------------------------------
+// Resume mix: replayed cells journal and resume byte-identically
+// ---------------------------------------------------------------------------
+
+TEST(ReplayEquivalence, ResumeMixReplaysJournaledCellsByteIdentically)
+{
+    const fs::path dir = scratchDir("resume_mix");
+    tartan::sim::CampaignConfig cfg;
+    cfg.resume = true;
+    cfg.journalDir = dir.string();
+    cfg.retries = 0;
+    const std::uint64_t schema =
+        tartan::workloads::cellSchemaVersion();
+
+    WorkloadOptions opt;
+    opt.tier = SoftwareTier::Optimized;
+    opt.scale = 0.25;
+    opt.seed = 31;
+    const MachineSpec base = MachineSpec::baseline();
+    MachineSpec anl = base;
+    anl.useAnl = true;
+    anl.anlCfg.lineBytes = anl.sys.lineBytes;
+
+    const auto direct_cell = [&] {
+        return tartan::workloads::encodeRunResult(
+            tartan::workloads::runCarriBot(base, opt));
+    };
+    CaptureSource src("CarriBot", tartan::workloads::runCarriBot, base,
+                      opt);
+    const auto replay_cell = [&] {
+        auto trace = src.acquire();
+        return tartan::workloads::encodeRunResult(
+            tartan::workloads::replayTrace(*trace, anl, opt));
+    };
+
+    // First sweep mixes a direct and a replayed cell.
+    std::vector<std::string> payloads;
+    {
+        tartan::sim::RunPool pool(1);
+        tartan::sim::CampaignRunner runner("mix", pool, cfg, schema);
+        runner.submit(tartan::sim::CellSpec{"direct", 1, opt.seed, true},
+                      direct_cell);
+        runner.submit(tartan::sim::CellSpec{"replayed", 2, opt.seed,
+                                            true},
+                      replay_cell);
+        for (const auto &out : runner.gather())
+            payloads.push_back(out.payload);
+        EXPECT_EQ(runner.stats().simulated, 2u);
+    }
+
+    // The replayed cell's payload must equal the direct run at the
+    // same machine config — replay is invisible to the journal.
+    EXPECT_EQ(payloads[1],
+              tartan::workloads::encodeRunResult(
+                  tartan::workloads::runCarriBot(anl, opt)));
+
+    // Resume: both cells replay from the journal, closures never run.
+    {
+        tartan::sim::RunPool pool(1);
+        tartan::sim::CampaignRunner runner("mix", pool, cfg, schema);
+        runner.submit(tartan::sim::CellSpec{"direct", 1, opt.seed, true},
+                      []() -> std::string {
+                          ADD_FAILURE() << "journal hit re-simulated";
+                          return "{}";
+                      });
+        runner.submit(tartan::sim::CellSpec{"replayed", 2, opt.seed,
+                                            true},
+                      []() -> std::string {
+                          ADD_FAILURE() << "journal hit re-simulated";
+                          return "{}";
+                      });
+        const auto outcomes = runner.gather();
+        EXPECT_EQ(runner.stats().journalHits, 2u);
+        ASSERT_EQ(outcomes.size(), 2u);
+        EXPECT_EQ(outcomes[0].payload, payloads[0]);
+        EXPECT_EQ(outcomes[1].payload, payloads[1]);
+    }
+}
