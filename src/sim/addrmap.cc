@@ -11,6 +11,17 @@
 namespace tartan::sim {
 
 void
+AddrMap::setSpaceBias(Addr bias)
+{
+    TARTAN_ASSERT(segments.empty() && grainCount() == 0,
+                  "setSpaceBias must precede registrations and "
+                  "translations");
+    spaceBias = bias;
+    nextSegmentBase = kSegmentSpace + bias;
+    nextGrain = (kFallbackSpace + bias) >> kGrainBits;
+}
+
+void
 AddrMap::addSegment(Addr host_base, std::size_t bytes)
 {
     if (!bytes)
@@ -27,7 +38,7 @@ AddrMap::addSegment(Addr host_base, std::size_t bytes)
     const Addr span = offset + bytes;
     nextSegmentBase +=
         (span + 2 * kSegmentAlign - 1) & ~(kSegmentAlign - 1);
-    TARTAN_ASSERT(nextSegmentBase < kFallbackSpace,
+    TARTAN_ASSERT(nextSegmentBase < kFallbackSpace + spaceBias,
                   "AddrMap segment space exhausted");
     // Grain translations cached before the segment existed would now
     // shadow it through the TLB fast path.

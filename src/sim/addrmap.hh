@@ -134,6 +134,18 @@ class AddrMap
      */
     void setFastPath(bool on);
 
+    /**
+     * Offset this map's entire simulated address space by @p bias
+     * (segments land at bias + 1<<40, fallback grains at bias + 1<<44).
+     * A multi-core Machine gives core i the bias i << 48, so the
+     * robots' address spaces stay disjoint in the shared L3 while
+     * set-index bits are untouched — honest capacity and bandwidth
+     * contention without fake sharing. Must be called before any
+     * segment registration or translation (asserted); the default bias
+     * of 0 is the historical single-core space.
+     */
+    void setSpaceBias(Addr bias);
+
     std::size_t segmentCount() const { return segments.size(); }
     /** Fallback grains mapped so far (16-byte units). */
     std::size_t
@@ -168,6 +180,8 @@ class AddrMap
     std::vector<Segment> segments;
     /** Index of the segment linearSpan matched last (MRU memo). */
     mutable std::size_t spanMemo = 0;
+    /** Whole-space offset (setSpaceBias); 0 = historical layout. */
+    Addr spaceBias = 0;
     Addr nextSegmentBase = kSegmentSpace;
     /** Historical first-touch backend (slow mode). */
     std::unordered_map<Addr, Addr> grains;

@@ -322,6 +322,70 @@ Cache::invalidate(Addr addr)
     }
 }
 
+std::size_t
+Cache::findWay(Addr addr) const
+{
+    const std::uint64_t line_number = addr >> lineBits;
+    const std::size_t base = setIndex(line_number) * config.assoc;
+    for (std::uint32_t way = 0; way < config.assoc; ++way)
+        if (tags[base + way] == line_number)
+            return base + way;
+    return kNoMemo;
+}
+
+MesiState
+Cache::lineState(Addr addr) const
+{
+    const std::size_t idx = findWay(addr);
+    if (idx == kNoMemo || !(flags[idx] & kValid))
+        return MesiState::Invalid;
+    if (flags[idx] & kDirty)
+        return MesiState::Modified;
+    return (flags[idx] & kShared) ? MesiState::Shared
+                                  : MesiState::Exclusive;
+}
+
+bool
+Cache::snoopInvalidate(Addr addr, bool *was_dirty)
+{
+    const std::size_t idx = findWay(addr);
+    if (idx == kNoMemo)
+        return false;
+    if (was_dirty)
+        *was_dirty = (flags[idx] & kDirty) != 0;
+    evictLine(idx);
+    return true;
+}
+
+bool
+Cache::snoopDowngrade(Addr addr, bool *was_dirty)
+{
+    const std::size_t idx = findWay(addr);
+    if (idx == kNoMemo)
+        return false;
+    if (was_dirty)
+        *was_dirty = (flags[idx] & kDirty) != 0;
+    flags[idx] = static_cast<std::uint8_t>(
+        (flags[idx] & ~kDirty) | kShared);
+    return true;
+}
+
+void
+Cache::markShared(Addr addr)
+{
+    const std::size_t idx = findWay(addr);
+    if (idx != kNoMemo)
+        flags[idx] |= kShared;
+}
+
+void
+Cache::clearShared(Addr addr)
+{
+    const std::size_t idx = findWay(addr);
+    if (idx != kNoMemo)
+        flags[idx] &= static_cast<std::uint8_t>(~kShared);
+}
+
 std::uint64_t
 Cache::dirtyLines() const
 {

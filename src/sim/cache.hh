@@ -36,6 +36,17 @@ namespace tartan::sim {
 class StatsGroup;
 
 /**
+ * MESI coherence state of one cache line, derived from the per-way
+ * flag bits: Invalid = not resident, Modified = valid+dirty, Shared =
+ * valid+clean+shared bit, Exclusive = valid+clean without it. The
+ * uncore's coherence fabric (sim/uncore) reads and manipulates these
+ * states across the private hierarchies; single-core machines never
+ * set the shared bit, so their lines only ever move through I/E/M —
+ * exactly the pre-coherence valid/dirty life cycle.
+ */
+enum class MesiState : std::uint8_t { Invalid, Shared, Exclusive, Modified };
+
+/**
  * FCP replacement-metadata manipulation (paper §VII-B).
  *
  * On a fill of line X, every resident line in the set that shares X's
@@ -349,6 +360,40 @@ class Cache
     /** Invalidate a line if present (used by write-through stores). */
     void invalidate(Addr addr);
 
+    /** @name MESI coherence hooks (driven by sim/uncore). */
+    ///@{
+
+    /** Coherence state of the line holding @p addr (no state change). */
+    MesiState lineState(Addr addr) const;
+
+    /**
+     * Snoop-invalidate: remove the line on a remote store (S/E/M → I).
+     * Retires through the same eviction bookkeeping as a capacity
+     * eviction (counters, UDM, eviction listener), so the cache-level
+     * stats invariants keep holding; the fabric counts the invalidation
+     * separately. Returns true when the line was resident; @p was_dirty
+     * (when non-null) reports whether it held modified data the fabric
+     * must forward.
+     */
+    bool snoopInvalidate(Addr addr, bool *was_dirty = nullptr);
+
+    /**
+     * Snoop-downgrade: demote the line on a remote load (M/E → S),
+     * clearing the dirty bit — the fabric forwards modified data into
+     * the shared L3 before the requester refetches it. Returns true
+     * when the line was resident; @p was_dirty (when non-null) reports
+     * whether modified data was surrendered.
+     */
+    bool snoopDowngrade(Addr addr, bool *was_dirty = nullptr);
+
+    /** Mark a resident line Shared (requester side of a shared fill). */
+    void markShared(Addr addr);
+
+    /** Clear the Shared mark (local store upgrade S → E, then → M). */
+    void clearShared(Addr addr);
+
+    ///@}
+
     /** Number of resident dirty lines (end-of-run drain accounting). */
     std::uint64_t dirtyLines() const;
 
@@ -390,6 +435,10 @@ class Cache
     static constexpr std::uint8_t kValid = 1;
     static constexpr std::uint8_t kDirty = 2;
     static constexpr std::uint8_t kPrefetched = 4;
+    static constexpr std::uint8_t kShared = 8;
+
+    /** Flat way index of @p addr's line, or kNoMemo when absent. */
+    std::size_t findWay(Addr addr) const;
 
     /** Tag-array value for ways holding no valid line. */
     static constexpr std::uint64_t kInvalidTag = ~std::uint64_t(0);

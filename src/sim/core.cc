@@ -251,6 +251,8 @@ Core::stallComponents(const AccessResult &res, CpiStack &comp) const
     rest -= fault;
     const Cycles late = std::min(res.lateCycles, rest);
     rest -= late;
+    const Cycles coher = std::min(res.coherenceCycles, rest);
+    rest -= coher;
     Cycles l2 = 0, l3 = 0, dram = 0;
     switch (res.level) {
       case MemLevel::L1:
@@ -279,6 +281,7 @@ Core::stallComponents(const AccessResult &res, CpiStack &comp) const
     comp[CpiCat::Dram] += dram;
     comp[CpiCat::PfLate] += late;
     comp[CpiCat::Fault] += fault;
+    comp[CpiCat::Coherence] += coher;
     return beyond;
 }
 

@@ -41,7 +41,7 @@ namespace tartan::sim {
  * added, removed or renamed; bench_diff and the schema validator use
  * it to refuse cross-version comparisons.
  */
-constexpr std::uint32_t kCpiTaxonomyVersion = 1;
+constexpr std::uint32_t kCpiTaxonomyVersion = 2;
 
 /**
  * The category a simulated core cycle is attributed to. Every cycle
@@ -61,6 +61,7 @@ enum class CpiCat : std::uint8_t {
     Npu,        //!< NPU configuration/inference device wait
     Ovec,       //!< OVEC/RACOD oriented-load engine wait
     Anl,        //!< reserved: the ANL only prefetches
+    Coherence,  //!< MESI snoop/upgrade/forward wait (multi-core uncore)
     NumCats     //!< category count (not a category)
 };
 
@@ -96,6 +97,8 @@ cpiCatName(CpiCat cat)
         return "ovec";
       case CpiCat::Anl:
         return "anl";
+      case CpiCat::Coherence:
+        return "coherence";
       case CpiCat::NumCats:
         break;
     }

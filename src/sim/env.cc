@@ -123,6 +123,41 @@ RunEnv::parse()
     }
     if (const char *dir = std::getenv("TARTAN_CAPTURE_DIR"))
         env.captureDir = dir;
+    if (const char *cores = std::getenv("TARTAN_CORES")) {
+        const long long v = std::atoll(cores);
+        if (v >= 1 && v <= 64)
+            env.cores = unsigned(v);
+        else
+            warn("env: ignoring invalid TARTAN_CORES '%s' (want 1..64)",
+                 cores);
+    }
+    if (const char *hop = std::getenv("TARTAN_XBAR_HOP")) {
+        const long long v = std::atoll(hop);
+        if (v >= 1)
+            env.xbarHop = Cycles(v);
+        else
+            warn("env: ignoring invalid TARTAN_XBAR_HOP '%s' "
+                 "(want >= 1)",
+                 hop);
+    }
+    if (const char *banks = std::getenv("TARTAN_DRAM_BANKS")) {
+        const long long v = std::atoll(banks);
+        if (v >= 1 && v <= 256)
+            env.dramBanks = unsigned(v);
+        else
+            warn("env: ignoring invalid TARTAN_DRAM_BANKS '%s' "
+                 "(want 1..256)",
+                 banks);
+    }
+    if (const char *lat = std::getenv("TARTAN_COHERENCE_LAT")) {
+        const long long v = std::atoll(lat);
+        if (v >= 1)
+            env.coherenceLat = Cycles(v);
+        else
+            warn("env: ignoring invalid TARTAN_COHERENCE_LAT '%s' "
+                 "(want >= 1)",
+                 lat);
+    }
     return env;
 }
 

@@ -111,6 +111,18 @@ struct RunEnv {
      * reload the capture instead of re-executing the robot.
      */
     std::string captureDir;
+    /**
+     * $TARTAN_CORES: instantiated core count for multi-core drivers
+     * (0 = driver default). fleet_contention uses it as the fleet
+     * size; drivers built on the single-core machine ignore it.
+     */
+    unsigned cores = 0;
+    /** $TARTAN_XBAR_HOP: crossbar per-hop latency override (0=default). */
+    Cycles xbarHop = 0;
+    /** $TARTAN_DRAM_BANKS: DRAM bank-count override (0 = default). */
+    unsigned dramBanks = 0;
+    /** $TARTAN_COHERENCE_LAT: snoop/upgrade latency override (0=dflt). */
+    Cycles coherenceLat = 0;
 
     /**
      * The process-wide snapshot. Parsed exactly once (thread-safe

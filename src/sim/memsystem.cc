@@ -12,6 +12,7 @@
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
+#include "sim/uncore.hh"
 
 namespace tartan::sim {
 
@@ -92,8 +93,11 @@ MemPath::writebackToL3(Addr line_addr, Cycles now)
         return;
     }
     auto ev = l3Cache->fill(line_addr, false, true);
-    if (ev.valid && ev.dirty)
+    if (ev.valid && ev.dirty) {
         ++stats.dramWrites;
+        if (uncoreHook)
+            uncoreHook->dramWrite(ev.lineAddr, now);
+    }
 }
 
 void
@@ -114,17 +118,34 @@ MemPath::writebackToL2(Addr line_addr, Cycles now)
 }
 
 Cycles
+MemPath::l3HitCeiling() const
+{
+    return config.l3Latency +
+           (uncoreHook ? uncoreHook->maxXbarCost() : 0);
+}
+
+Cycles
 MemPath::fetchThroughL3(Addr addr, Cycles now)
 {
     ++stats.l3Accesses;
     auto res = l3Cache->access(addr, AccessType::Load, 0, now);
+    // Coherent paths pay the crossbar traversal to the line's L3
+    // slice; an L3 miss then resolves DRAM timing through the banked
+    // memory controller instead of the flat dramLatency.
+    const Cycles l3_lat =
+        uncoreHook ? config.l3Latency + uncoreHook->xbarCost(pathId, addr)
+                   : config.l3Latency;
     if (res.hit)
-        return config.l3Latency;
+        return l3_lat;
     ++stats.dramReads;
     auto ev = l3Cache->fill(addr);
-    if (ev.valid && ev.dirty)
+    if (ev.valid && ev.dirty) {
         ++stats.dramWrites;
-    return config.l3Latency + config.dramLatency;
+        if (uncoreHook)
+            uncoreHook->dramWrite(ev.lineAddr, now);
+    }
+    return l3_lat + (uncoreHook ? uncoreHook->dramRead(addr, now)
+                                : config.dramLatency);
 }
 
 void
@@ -399,7 +420,7 @@ MemPath::accessRange(Addr base, std::uint32_t bytes, PcId pc, Cycles now)
     if (fastPath && !hostProf &&
         addrMap->linearSpan(first, end - first, &delta)) {
         const Addr line_mask = ~static_cast<Addr>(line - 1);
-        const bool inline_ok = !faults && !trace;
+        const bool inline_ok = !faults && !trace && !uncoreHook;
         const auto line_access = [&](Addr host, Addr sim) {
             if (inline_ok) {
                 std::uint32_t l1_victim = 0;
@@ -504,6 +525,20 @@ MemPath::accessImpl(Addr host, Addr sim, AccessType type,
     }
 
     result.latency = config.l1.latency;
+    if (uncoreHook && type == AccessType::Store) {
+        // A store landing on a line this hierarchy holds in Shared
+        // state must acquire ownership before it can dirty the line:
+        // the upgrade invalidates remote copies and clears the local
+        // Shared marks, so the access below performs the ordinary
+        // silent E -> M transition.
+        const Addr line = l1Cache.lineAddr(addr);
+        if (l1Cache.lineState(line) == MesiState::Shared ||
+            l2Cache.lineState(line) == MesiState::Shared) {
+            const Cycles up = uncoreHook->storeUpgrade(pathId, line);
+            result.latency += up;
+            result.coherenceCycles += up;
+        }
+    }
     auto l1_res = l1Cache.access(addr, type, size, now);
     if (l1_res.hit) {
         result.level = MemLevel::L1;
@@ -558,10 +593,24 @@ MemPath::accessBelowL1(Addr host, Addr sim, AccessType type,
         return result;
     }
 
+    bool fill_shared = false;
+    if (uncoreHook) {
+        // Both private levels missed: snoop the sibling hierarchies.
+        // A remote Modified line is forwarded into the shared L3 first,
+        // so the fetch below hits it there; remote clean copies are
+        // invalidated (store) or downgraded to Shared (load).
+        const auto act = uncoreHook->resolveMiss(
+            pathId, l2Cache.lineAddr(addr), type == AccessType::Store,
+            now);
+        result.latency += act.cycles;
+        result.coherenceCycles += act.cycles;
+        fill_shared = act.shared;
+    }
+
     const std::uint64_t f0 = hostProf ? HostProfiler::now() : 0;
     const Cycles below = fetchThroughL3(addr, now);
     result.latency += below;
-    result.level = below > config.l3Latency ? MemLevel::Dram : MemLevel::L3;
+    result.level = below > l3HitCeiling() ? MemLevel::Dram : MemLevel::L3;
 
     if (!no_alloc) {
         auto l2_ev = l2Cache.fill(addr);
@@ -570,6 +619,10 @@ MemPath::accessBelowL1(Addr host, Addr sim, AccessType type,
         auto l1_ev = l1Cache.fill(addr, false, type == AccessType::Store);
         if (l1_ev.valid && l1_ev.dirty)
             writebackToL2(l1_ev.lineAddr, now);
+        if (fill_shared) {
+            l2Cache.markShared(addr);
+            l1Cache.markShared(addr);
+        }
     }
     if (hostProf)
         hostProf->fillNs += HostProfiler::now() - f0;

@@ -38,6 +38,7 @@ class CaptureSession;
 class FaultInjector;
 class StatsGroup;
 class TraceSession;
+class Uncore;
 struct HostProfiler;
 
 /** Configuration of one core's memory path. */
@@ -104,7 +105,7 @@ class MemPath
         if (hostProf)
             return accessProfiled(addr, type, size, pc, now);
         const Addr sim = addrMap ? addrMap->translate(addr) : addr;
-        if (fastPath && !faults && !trace &&
+        if (fastPath && !faults && !trace && !uncoreHook &&
             (type != AccessType::Store || wtRanges.empty() ||
              !inRange(wtRanges, addr))) {
             std::uint32_t l1_victim = 0;
@@ -183,6 +184,24 @@ class MemPath
      * are recorded in stream order for replay. Purely observational.
      */
     void setCapture(CaptureSession *session) { capture = session; }
+
+    /**
+     * Attach this path to a shared uncore as core @p core_id (must
+     * match the id the uncore's attach() returned for this path). A
+     * coherent path takes the hooked hierarchy walk on every access —
+     * store upgrades, miss snoops, crossbar hops and banked DRAM
+     * timing all resolve through the uncore — while a path with no
+     * uncore runs the exact pre-multi-core code, fast paths included.
+     */
+    void
+    attachUncore(Uncore *uncore, std::uint32_t core_id)
+    {
+        uncoreHook = uncore;
+        pathId = core_id;
+    }
+
+    /** The attached uncore, or null on a single-core path. */
+    Uncore *uncore() { return uncoreHook; }
 
     /**
      * Attach (or detach, with nullptr) a host-time profiler: every
@@ -323,6 +342,8 @@ class MemPath
     /** Fetch a line into L3 if absent; returns latency beyond L2. */
     Cycles fetchThroughL3(Addr addr, Cycles now);
     void issuePrefetches(const std::vector<Addr> &targets, Cycles now);
+    /** Largest beyond-L2 latency an L3 hit can cost (level split). */
+    Cycles l3HitCeiling() const;
 
     MemPathParams config;
     Cache l1Cache;
@@ -332,6 +353,8 @@ class MemPath
     FaultInjector *faults = nullptr;  //!< fault-injection hook (not owned)
     HostProfiler *hostProf = nullptr; //!< self-profiling hook (not owned)
     CaptureSession *capture = nullptr; //!< capture hook (not owned)
+    Uncore *uncoreHook = nullptr;  //!< shared uncore (not owned)
+    std::uint32_t pathId = 0;      //!< this path's core id at the uncore
     bool fastPath = true;  //!< inline memo + TLB + span hoist enabled
     std::unique_ptr<Prefetcher> pf;
     std::unique_ptr<AddrMap> addrMap;  //!< null = host addresses pass through

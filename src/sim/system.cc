@@ -5,6 +5,8 @@
 
 #include "sim/system.hh"
 
+#include <string>
+
 #include "sim/bingo.hh"
 #include "sim/cpistack.hh"
 #include "sim/env.hh"
@@ -58,22 +60,45 @@ System::System(const SysConfig &config) : cfg(config)
     mp.l3Latency = cfg.l3Latency;
     mp.dramLatency = cfg.dramLatency;
 
-    path = std::make_unique<MemPath>(mp, l3Cache.get());
-
-    switch (cfg.prefetcher) {
-      case PrefetcherKind::None:
-        break;
-      case PrefetcherKind::NextLine:
-        path->setPrefetcher(
-            std::make_unique<NextLinePrefetcher>(cfg.lineBytes));
-        break;
-      case PrefetcherKind::Bingo:
-        path->setPrefetcher(std::make_unique<BingoPrefetcher>(
-            cfg.lineBytes));
-        break;
+    const std::uint32_t n = cfg.simCores > 0 ? cfg.simCores : 1;
+    if (n > 1) {
+        // The uncore exists only on a multi-core machine; single-core
+        // paths keep a null hook so their walk (and every historical
+        // payload) is byte-identical.
+        UncoreParams up = cfg.uncore;
+        up.lineBytes = cfg.lineBytes;
+        uncoreModel = std::make_unique<Uncore>(up, l3Cache.get());
     }
 
-    coreModel = std::make_unique<Core>(cfg.core, path.get());
+    for (std::uint32_t i = 0; i < n; ++i) {
+        auto p = std::make_unique<MemPath>(mp, l3Cache.get());
+
+        switch (cfg.prefetcher) {
+          case PrefetcherKind::None:
+            break;
+          case PrefetcherKind::NextLine:
+            p->setPrefetcher(
+                std::make_unique<NextLinePrefetcher>(cfg.lineBytes));
+            break;
+          case PrefetcherKind::Bingo:
+            p->setPrefetcher(std::make_unique<BingoPrefetcher>(
+                cfg.lineBytes));
+            break;
+        }
+
+        if (uncoreModel) {
+            const std::uint32_t id = uncoreModel->attach(p.get());
+            p->attachUncore(uncoreModel.get(), id);
+        }
+
+        cores.push_back(std::make_unique<Core>(cfg.core, p.get()));
+        paths.push_back(std::move(p));
+    }
+
+    // Observational hooks stay on core 0: tracing and fault plans are
+    // defined against the historical single-core timeline.
+    MemPath *path = paths[0].get();
+    Core *coreModel = cores[0].get();
 
     if (cfg.trace) {
         // Epoch-sampler probes reference the same live storage the
@@ -166,15 +191,36 @@ System::registerStats(StatsRegistry &registry)
     config.set("trackUdm", double(cfg.trackUdm));
     config.set("traceEnabled", double(cfg.trace != nullptr));
     config.set("faultsEnabled", double(cfg.faults != nullptr));
+    if (cores.size() > 1) {
+        // Uncore knobs are echoed only on a multi-core machine so
+        // single-core stats dumps stay byte-identical.
+        config.set("simCores", double(cores.size()));
+        config.set("l3Slices", double(cfg.uncore.l3Slices));
+        config.set("xbarHopLatency", double(cfg.uncore.xbarHopLatency));
+        config.set("dramBanks", double(cfg.uncore.dramBanks));
+        config.set("dramRowBytes", double(cfg.uncore.dramRowBytes));
+        config.set("coherenceLatency",
+                   double(cfg.uncore.coherenceLatency));
+    }
 
     // The CPI taxonomy is part of every manifest so a stats dump is
     // self-describing about which category schema its cpi groups use.
     registry.setMeta("cpiTaxonomyVersion", double(kCpiTaxonomyVersion));
     registry.setMeta("cpiCategories", cpiCategoryList());
 
-    coreModel->registerStats(registry.group("core"));
-    path->registerStats(registry.group("mem"));
+    // Core 0 keeps the historical group names; extra cores and the
+    // coherence fabric get their own groups only when they exist.
+    cores[0]->registerStats(registry.group("core"));
+    paths[0]->registerStats(registry.group("mem"));
     l3Cache->registerStats(registry.group("l3"));
+    for (std::size_t i = 1; i < cores.size(); ++i) {
+        cores[i]->registerStats(
+            registry.group("core" + std::to_string(i)));
+        paths[i]->registerStats(
+            registry.group("mem" + std::to_string(i)));
+    }
+    if (uncoreModel)
+        uncoreModel->registerStats(registry.group("uncore"));
 }
 
 } // namespace tartan::sim

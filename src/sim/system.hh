@@ -22,6 +22,7 @@
 #include "sim/memsystem.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "sim/uncore.hh"
 
 namespace tartan::sim {
 
@@ -33,31 +34,47 @@ enum class PrefetcherKind { None, NextLine, Bingo };
 
 /** Whole-system configuration. */
 struct SysConfig {
-    std::uint32_t lineBytes = 64;
+    std::uint32_t lineBytes = 64;  //!< cache-line size at every level
 
-    std::uint32_t l1Size = 32 * 1024;
-    std::uint32_t l1Assoc = 8;
-    Cycles l1Latency = 4;
+    std::uint32_t l1Size = 32 * 1024;  //!< private L1-D capacity (bytes)
+    std::uint32_t l1Assoc = 8;         //!< L1-D associativity (ways)
+    Cycles l1Latency = 4;              //!< L1-D hit latency
 
-    std::uint32_t l2Size = 256 * 1024;
-    std::uint32_t l2Assoc = 8;
-    Cycles l2Latency = 14;
+    std::uint32_t l2Size = 256 * 1024;  //!< private L2 capacity (bytes)
+    std::uint32_t l2Assoc = 8;          //!< L2 associativity (ways)
+    Cycles l2Latency = 14;              //!< L2 hit latency
 
-    std::uint32_t l3Size = 8 * 1024 * 1024;
-    std::uint32_t l3Assoc = 16;
-    Cycles l3Latency = 45;
+    std::uint32_t l3Size = 8 * 1024 * 1024;  //!< shared L3 capacity
+    std::uint32_t l3Assoc = 16;              //!< L3 associativity (ways)
+    Cycles l3Latency = 45;                   //!< L3 hit latency
 
-    Cycles dramLatency = 200;
+    Cycles dramLatency = 200;  //!< flat DRAM latency (single-core path)
 
+    /** Modelled platform's core count (config echo; see simCores). */
     std::uint32_t numCores = 4;
 
-    CoreParams core;
+    /**
+     * Cores actually instantiated. 1 builds the historical single-core
+     * machine — byte-identical to pre-multi-core builds (null-hook
+     * guarantee). Values > 1 build one private L1/L2 + core per slot
+     * behind a shared coherent uncore (MESI snooping, sliced-L3
+     * crossbar, banked DRAM controller). Distinct from numCores, which
+     * only echoes the modelled platform.
+     */
+    std::uint32_t simCores = 1;
+
+    /** Crossbar/coherence/DRAM-bank knobs; used only when simCores>1. */
+    UncoreParams uncore;
+
+    CoreParams core;  //!< core timing parameters (issue width, ...)
+    /** Hardware prefetcher wired into each private path. */
     PrefetcherKind prefetcher = PrefetcherKind::None;
 
     /** FCP at the private L2 (paper §VII). */
     bool fcpEnabled = false;
-    std::uint32_t fcpRegionBytes = 1024;
-    std::uint32_t fcpXorBits = 2;
+    std::uint32_t fcpRegionBytes = 1024;  //!< FCP partition region size
+    std::uint32_t fcpXorBits = 2;         //!< FCP index XOR-fold width
+    /** FCP insertion-priority decay function (paper Fig. 13). */
     FcpReplacement::Func fcpFunc = FcpReplacement::Func::XSquared;
     /**
      * Also partition the shared L3 (the paper's suggested extension for
@@ -87,21 +104,34 @@ struct SysConfig {
     FaultInjector *faults = nullptr;
 };
 
-/** One simulated machine: a core, its private caches, the shared L3. */
+/**
+ * One simulated machine: simCores cores with private L1/L2 paths, the
+ * shared L3, and (when simCores > 1) the coherent uncore tying them
+ * together. simCores == 1 is the historical single-core machine.
+ */
 class System
 {
   public:
     explicit System(const SysConfig &config);
 
-    Core &core() { return *coreModel; }
-    MemPath &mem() { return *path; }
-    Cache &l3() { return *l3Cache; }
-    const SysConfig &config() const { return cfg; }
+    /** Core @p i (default: core 0, the historical single core). */
+    Core &core(std::size_t i = 0) { return *cores[i]; }
+    /** Memory path of core @p i (default: core 0). */
+    MemPath &mem(std::size_t i = 0) { return *paths[i]; }
+    Cache &l3() { return *l3Cache; }  //!< the shared L3
+    /** Instantiated core count (== config().simCores, min 1). */
+    std::size_t coreCount() const { return cores.size(); }
+    /** Shared uncore; null on the single-core machine. */
+    Uncore *uncore() { return uncoreModel.get(); }
+    const SysConfig &config() const { return cfg; }  //!< as constructed
 
     /**
      * Register the whole machine into @p registry: a "config" group
      * echoing this SysConfig, plus "core", "mem" (l1/l2/prefetcher and
-     * the prefetch-accounting invariants) and "l3" subtrees.
+     * the prefetch-accounting invariants) and "l3" subtrees. Extra
+     * cores land under "core1"/"mem1", ..., and the coherence fabric
+     * under "uncore" — those groups exist only when simCores > 1, so
+     * single-core dumps are unchanged.
      */
     void registerStats(StatsRegistry &registry);
 
@@ -110,8 +140,9 @@ class System
     std::unique_ptr<FcpIndexing> fcpIndexing;
     std::unique_ptr<FcpReplacement> fcpReplacement;
     std::unique_ptr<Cache> l3Cache;
-    std::unique_ptr<MemPath> path;
-    std::unique_ptr<Core> coreModel;
+    std::unique_ptr<Uncore> uncoreModel;
+    std::vector<std::unique_ptr<MemPath>> paths;
+    std::vector<std::unique_ptr<Core>> cores;
 };
 
 /**

@@ -66,6 +66,8 @@ struct AccessResult {
     Cycles lateCycles = 0;
     /** Of latency: injected fault latency spike (sim/fault). */
     Cycles faultCycles = 0;
+    /** Of latency: coherence snoop/upgrade/forward wait (sim/uncore). */
+    Cycles coherenceCycles = 0;
 };
 
 } // namespace tartan::sim

@@ -60,13 +60,21 @@ Machine::Machine(const MachineSpec &spec, tartan::sim::TraceSession *trace,
     // space: host pointers are translated before they reach the
     // caches, so results are bit-identical whether the run executes
     // serially or on a RunPool worker (heap ASLR and per-thread malloc
-    // arenas shift host addresses between the two).
-    sys->mem().enableDeterministicAddressing();
-    if (spec.useAnl) {
-        core::AnlConfig anl = spec.anlCfg;
-        anl.lineBytes = spec.sys.lineBytes;
-        sys->mem().setPrefetcher(
-            std::make_unique<core::AnlPrefetcher>(anl));
+    // arenas shift host addresses between the two). On a multi-core
+    // machine every core gets its own translator, biased so the
+    // robots' simulated spaces are disjoint in the shared L3: honest
+    // capacity and bandwidth contention, no fake sharing.
+    for (std::size_t i = 0; i < sys->coreCount(); ++i) {
+        sys->mem(i).enableDeterministicAddressing();
+        if (i)
+            sys->mem(i).addrTranslator()->setSpaceBias(
+                tartan::sim::Addr(i) << 48);
+        if (spec.useAnl) {
+            core::AnlConfig anl = spec.anlCfg;
+            anl.lineBytes = spec.sys.lineBytes;
+            sys->mem(i).setPrefetcher(
+                std::make_unique<core::AnlPrefetcher>(anl));
+        }
     }
     if (spec.ovec)
         ovecEngine = std::make_unique<core::OvecEngine>(
@@ -81,7 +89,10 @@ Machine::Machine(const MachineSpec &spec, tartan::sim::TraceSession *trace,
 Machine::Machine(const MachineSpec &spec, const WorkloadOptions &opt)
     : Machine(spec, opt.trace, opt.faults)
 {
-    sys->mem().setFastPath(opt.fastAccessPath);
+    // Every path of a system must share one fast-path setting (the L3
+    // toggle is path-driven); observational hooks stay on core 0.
+    for (std::size_t i = 0; i < sys->coreCount(); ++i)
+        sys->mem(i).setFastPath(opt.fastAccessPath);
     sys->mem().setHostProfiler(opt.hostProf);
     if (opt.capture) {
         sys->core().attachCapture(opt.capture);
@@ -166,9 +177,9 @@ Machine::registerStats(tartan::sim::StatsRegistry &registry)
 }
 
 void
-Machine::finish(RunResult &result)
+Machine::finish(RunResult &result, std::size_t core_idx)
 {
-    auto &mem_path = sys->mem();
+    auto &mem_path = sys->mem(core_idx);
     mem_path.drainDirty();
     result.l1Accesses = mem_path.l1().stats().accesses();
     result.l1Misses = mem_path.l1().stats().misses;
@@ -212,9 +223,9 @@ discountKernels(tartan::sim::Core &core, RunResult &result,
 
 void
 summarize(Machine &machine, tartan::sim::Cycles wall_cycles,
-          RunResult &result)
+          RunResult &result, std::size_t core_idx)
 {
-    auto &core = machine.core();
+    auto &core = machine.core(core_idx);
     result.wallCycles = wall_cycles;
     result.workCycles = core.cycles();
     result.instructions = core.instructions();
@@ -232,7 +243,7 @@ summarize(Machine &machine, tartan::sim::Cycles wall_cycles,
             ? static_cast<double>(best) /
                   static_cast<double>(result.workCycles)
             : 0.0;
-    machine.finish(result);
+    machine.finish(result, core_idx);
 }
 
 } // namespace tartan::workloads

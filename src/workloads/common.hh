@@ -162,7 +162,10 @@ class Machine
     Machine(const MachineSpec &spec, const WorkloadOptions &opt);
 
     tartan::sim::System &system() { return *sys; }
-    tartan::sim::Core &core() { return sys->core(); }
+    /** Core @p i (default 0 — the core live robots execute on). */
+    tartan::sim::Core &core(std::size_t i = 0) { return sys->core(i); }
+    /** Instantiated core count (1 unless spec.sys.simCores > 1). */
+    std::size_t coreCount() const { return sys->coreCount(); }
     robotics::Mem &mem() { return memHandle; }
     const MachineSpec &spec() const { return specData; }
 
@@ -194,8 +197,8 @@ class Machine
      */
     void registerStats(tartan::sim::StatsRegistry &registry);
 
-    /** Snapshot memory-system statistics into @p result. */
-    void finish(RunResult &result);
+    /** Snapshot core @p core_idx's memory-system stats into @p result. */
+    void finish(RunResult &result, std::size_t core_idx = 0);
 
   private:
     MachineSpec specData;
@@ -328,10 +331,11 @@ void summarize(Machine &machine, Pipeline &pipeline, RunResult &result);
 /**
  * summarize() with an explicit wall-cycle count instead of a live
  * Pipeline — the replay engine reconstructs the wall clock from
- * captured stage markers and lands here.
+ * captured stage markers and lands here. @p core_idx selects which
+ * core of a multi-core machine to summarize (fleet replay).
  */
 void summarize(Machine &machine, tartan::sim::Cycles wall_cycles,
-               RunResult &result);
+               RunResult &result, std::size_t core_idx = 0);
 
 } // namespace tartan::workloads
 

@@ -1,12 +1,16 @@
 /**
  * @file
  * Replay drain loop: captured op stream -> fresh Machine -> RunResult.
+ * ReplayStream is the per-core incremental form; replayTrace() drains
+ * one stream on a single-core machine, replayFleet() interleaves one
+ * stream per core of a coherent multi-core machine.
  */
 
 #include "workloads/replay.hh"
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,6 +59,155 @@ replayCompatible(const MachineSpec &cap_spec,
     return true;
 }
 
+ReplayStream::ReplayStream(const CaptureTrace &trace, Machine &machine,
+                           std::size_t core_idx)
+    : traceRef(trace),
+      machineRef(machine),
+      coreIdx(core_idx),
+      timer(machine.core(core_idx))
+{
+}
+
+Cycles
+ReplayStream::cycles() const
+{
+    return machineRef.core(coreIdx).cycles();
+}
+
+void
+ReplayStream::step()
+{
+    tartan::sim::Core &core = machineRef.core(coreIdx);
+    tartan::sim::MemPath &mem = machineRef.system().mem(coreIdx);
+    const CapRecord &r = traceRef.records[next++];
+
+    // The replay worker is its own campaign cell: keep its watchdog
+    // beating even through stretches of non-cycle-sink records.
+    tartan::sim::heartbeat();
+    switch (CapOp(r.op)) {
+      case CapOp::RegisterKernel:
+        core.registerKernel(std::string(traceRef.auxString(r.d, r.a32)));
+        break;
+      case CapOp::SetKernel:
+        core.setKernel(r.a32);
+        break;
+      case CapOp::Exec:
+        core.exec(r.b, OpClass(r.a8));
+        break;
+      case CapOp::Stall:
+        core.stall(r.b, CpiCat(r.a8));
+        break;
+      case CapOp::CountInstructions:
+        core.countInstructions(r.b);
+        break;
+      case CapOp::Load:
+        core.load(r.b, PcId(r.c), MemDep(r.a8), r.a32);
+        break;
+      case CapOp::Store:
+        core.store(r.b, PcId(r.c), r.a32);
+        break;
+      case CapOp::VecOp:
+        core.vecOp(r.b);
+        break;
+      case CapOp::DeviceLoadLanes:
+        traceRef.auxU64s(r.d, r.a32, lanes);
+        core.deviceLoadLanes(lanes, PcId(r.b), r.c, CpiCat(r.a8));
+        break;
+      case CapOp::VecLoadLanes:
+        traceRef.auxU64s(r.d, r.a32, lanes);
+        core.vecLoadLanes(lanes, PcId(r.b), r.c, r.a16, CpiCat(r.a8));
+        break;
+      case CapOp::VecLoadContiguous:
+        core.vecLoadContiguous(r.b, r.a32, PcId(r.c));
+        break;
+      case CapOp::MapSegment:
+        mem.mapSegment(r.b, r.c);
+        break;
+      case CapOp::WriteThroughRange:
+        mem.addWriteThroughRange(r.b, r.c);
+        break;
+      case CapOp::NoAllocateRange:
+        mem.addNoAllocateRange(r.b, r.c);
+        break;
+      case CapOp::StageBegin:
+        timer.reset();
+        stageThreads = r.a32;
+        break;
+      case CapOp::ItemBegin:
+        timer.beginItem();
+        break;
+      case CapOp::ItemEnd:
+        timer.endItem();
+        break;
+      case CapOp::StageEnd:
+        wall += timer.makespan(
+            std::min(stageThreads, Pipeline::kModelCores));
+        break;
+      case CapOp::SerialBegin:
+        serialStart = core.cycles();
+        break;
+      case CapOp::SerialEnd:
+        wall += core.cycles() - serialStart;
+        break;
+      case CapOp::NpuConfigure:
+        if (machineRef.npu())
+            machineRef.npu()->chargeConfigure(core, r.b);
+        break;
+      case CapOp::NpuInfer:
+        if (machineRef.npu()) {
+            traceRef.auxU64s(r.d, r.a32, layers);
+            machineRef.npu()->chargeInfer(core, r.b, r.c, layers);
+        }
+        break;
+      case CapOp::Metric: {
+        double value = 0.0;
+        std::memcpy(&value, &r.b, 8);
+        result.metrics[std::string(traceRef.auxString(r.d, r.a32))] =
+            value;
+        break;
+      }
+      case CapOp::RobotName:
+        result.robot = std::string(traceRef.auxString(r.d, r.a32));
+        break;
+      case CapOp::OverlapBegin:
+        overlapStart = core.cycles();
+        break;
+      case CapOp::OverlapEnd:
+        overlapAcc += core.cycles() - overlapStart;
+        break;
+      case CapOp::Discount:
+        if (r.b == 0)
+            break;  // defensive: a zero divisor would trap
+        if (r.a8 == 0) {
+            discounts.push_back({0, r.b, overlapAcc, {}});
+            overlapAcc = 0;
+        } else {
+            traceRef.auxU64s(r.d, r.a32, ids);
+            discounts.push_back({1, r.b, 0, ids});
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+RunResult
+ReplayStream::finalize()
+{
+    // Post-summarize wall discounts (thread-overlap modelling). Region
+    // discounts consume the Overlap* accumulator; kernel discounts read
+    // the final kernel table, so both apply after summarize().
+    summarize(machineRef, wall, result, coreIdx);
+    for (const PendingDiscount &d : discounts) {
+        Cycles sum = d.regionCycles;
+        for (std::uint64_t id : d.kernelIds)
+            if (id < result.kernels.size())
+                sum += result.kernels[id].cycles;
+        result.wallCycles -= sum - sum / d.divisor;
+    }
+    return std::move(result);
+}
+
 RunResult
 replayTrace(const CaptureTrace &trace, const MachineSpec &spec,
             const WorkloadOptions &opt)
@@ -66,153 +219,63 @@ replayTrace(const CaptureTrace &trace, const MachineSpec &spec,
     ropt.capture = nullptr;
 
     Machine machine(spec, ropt);
-    tartan::sim::Core &core = machine.core();
-    tartan::sim::MemPath &mem = machine.system().mem();
+    ReplayStream stream(trace, machine);
+    while (!stream.done())
+        stream.step();
+    return stream.finalize();
+}
 
-    RunResult result;
-    tartan::sim::StageTimer timer(core);
-    std::uint32_t stageThreads = 0;
-    Cycles wall = 0;
-    Cycles serialStart = 0;
-    std::vector<Addr> lanes;
-    std::vector<std::uint32_t> layers;
+std::vector<RunResult>
+replayFleet(const std::vector<const CaptureTrace *> &traces,
+            const MachineSpec &spec, const WorkloadOptions &opt,
+            FleetUncoreSnapshot *uncore)
+{
+    WorkloadOptions ropt = opt;
+    ropt.trace = nullptr;
+    ropt.faults = nullptr;
+    ropt.hostProf = nullptr;
+    ropt.capture = nullptr;
 
-    // Post-summarize wall discounts (thread-overlap modelling). Region
-    // discounts consume the Overlap* accumulator; kernel discounts read
-    // the final kernel table, so both apply after summarize().
-    Cycles overlapStart = 0;
-    Cycles overlapAcc = 0;
-    struct PendingDiscount {
-        std::uint8_t kind;              // 0 = region, 1 = kernel list
-        Cycles divisor;
-        Cycles regionCycles;            // kind 0
-        std::vector<std::uint64_t> kernelIds; // kind 1
-    };
-    std::vector<PendingDiscount> discounts;
-    std::vector<std::uint64_t> ids;
+    MachineSpec fspec = spec;
+    fspec.sys.simCores = std::uint32_t(traces.size());
 
-    for (const CapRecord &r : trace.records) {
-        // The replay worker is its own campaign cell: keep its watchdog
-        // beating even through stretches of non-cycle-sink records.
-        tartan::sim::heartbeat();
-        switch (CapOp(r.op)) {
-          case CapOp::RegisterKernel:
-            core.registerKernel(std::string(trace.auxString(r.d, r.a32)));
+    Machine machine(fspec, ropt);
+    std::vector<std::unique_ptr<ReplayStream>> streams;
+    streams.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i)
+        streams.push_back(
+            std::make_unique<ReplayStream>(*traces[i], machine, i));
+
+    // Min-cycle-first: always advance the robot whose core clock is
+    // furthest behind, so cross-core contention (shared L3 capacity,
+    // crossbar slices, DRAM banks) is resolved in approximate global
+    // time order. Ties break toward the lower core index — the
+    // interleave is a pure function of the traces and configuration.
+    for (;;) {
+        ReplayStream *best = nullptr;
+        for (auto &s : streams)
+            if (!s->done() && (!best || s->cycles() < best->cycles()))
+                best = s.get();
+        if (!best)
             break;
-          case CapOp::SetKernel:
-            core.setKernel(r.a32);
-            break;
-          case CapOp::Exec:
-            core.exec(r.b, OpClass(r.a8));
-            break;
-          case CapOp::Stall:
-            core.stall(r.b, CpiCat(r.a8));
-            break;
-          case CapOp::CountInstructions:
-            core.countInstructions(r.b);
-            break;
-          case CapOp::Load:
-            core.load(r.b, PcId(r.c), MemDep(r.a8), r.a32);
-            break;
-          case CapOp::Store:
-            core.store(r.b, PcId(r.c), r.a32);
-            break;
-          case CapOp::VecOp:
-            core.vecOp(r.b);
-            break;
-          case CapOp::DeviceLoadLanes:
-            trace.auxU64s(r.d, r.a32, lanes);
-            core.deviceLoadLanes(lanes, PcId(r.b), r.c, CpiCat(r.a8));
-            break;
-          case CapOp::VecLoadLanes:
-            trace.auxU64s(r.d, r.a32, lanes);
-            core.vecLoadLanes(lanes, PcId(r.b), r.c, r.a16,
-                              CpiCat(r.a8));
-            break;
-          case CapOp::VecLoadContiguous:
-            core.vecLoadContiguous(r.b, r.a32, PcId(r.c));
-            break;
-          case CapOp::MapSegment:
-            mem.mapSegment(r.b, r.c);
-            break;
-          case CapOp::WriteThroughRange:
-            mem.addWriteThroughRange(r.b, r.c);
-            break;
-          case CapOp::NoAllocateRange:
-            mem.addNoAllocateRange(r.b, r.c);
-            break;
-          case CapOp::StageBegin:
-            timer.reset();
-            stageThreads = r.a32;
-            break;
-          case CapOp::ItemBegin:
-            timer.beginItem();
-            break;
-          case CapOp::ItemEnd:
-            timer.endItem();
-            break;
-          case CapOp::StageEnd:
-            wall += timer.makespan(
-                std::min(stageThreads, Pipeline::kModelCores));
-            break;
-          case CapOp::SerialBegin:
-            serialStart = core.cycles();
-            break;
-          case CapOp::SerialEnd:
-            wall += core.cycles() - serialStart;
-            break;
-          case CapOp::NpuConfigure:
-            if (machine.npu())
-                machine.npu()->chargeConfigure(core, r.b);
-            break;
-          case CapOp::NpuInfer:
-            if (machine.npu()) {
-                trace.auxU64s(r.d, r.a32, layers);
-                machine.npu()->chargeInfer(core, r.b, r.c, layers);
-            }
-            break;
-          case CapOp::Metric: {
-            double value = 0.0;
-            std::memcpy(&value, &r.b, 8);
-            result.metrics[std::string(trace.auxString(r.d, r.a32))] =
-                value;
-            break;
-          }
-          case CapOp::RobotName:
-            result.robot = std::string(trace.auxString(r.d, r.a32));
-            break;
-          case CapOp::OverlapBegin:
-            overlapStart = core.cycles();
-            break;
-          case CapOp::OverlapEnd:
-            overlapAcc += core.cycles() - overlapStart;
-            break;
-          case CapOp::Discount:
-            if (r.b == 0)
-                break;  // defensive: a zero divisor would trap
-            if (r.a8 == 0) {
-                discounts.push_back({0, r.b, overlapAcc, {}});
-                overlapAcc = 0;
-            } else {
-                trace.auxU64s(r.d, r.a32, ids);
-                discounts.push_back({1, r.b, 0, ids});
-            }
-            break;
-          default:
-            break;
+        best->step();
+    }
+
+    std::vector<RunResult> results;
+    results.reserve(streams.size());
+    for (auto &s : streams)
+        results.push_back(s->finalize());
+
+    if (uncore) {
+        if (tartan::sim::Uncore *u = machine.system().uncore()) {
+            uncore->coherence = u->coherence();
+            uncore->xbar = u->xbar();
+            uncore->memctrl = u->memctrl();
+        } else {
+            *uncore = FleetUncoreSnapshot{};
         }
     }
-
-    summarize(machine, wall, result);
-
-    for (const PendingDiscount &d : discounts) {
-        Cycles sum = d.regionCycles;
-        for (std::uint64_t id : d.kernelIds)
-            if (id < result.kernels.size())
-                sum += result.kernels[id].cycles;
-        result.wallCycles -= sum - sum / d.divisor;
-    }
-    return result;
+    return results;
 }
 
 } // namespace tartan::workloads

@@ -26,9 +26,17 @@
 #define TARTAN_WORKLOADS_REPLAY_HH
 
 #include "sim/capture.hh"
+#include "sim/uncore.hh"
 #include "workloads/common.hh"
 
 namespace tartan::workloads {
+
+/** End-of-run snapshot of a fleet machine's shared-fabric counters. */
+struct FleetUncoreSnapshot {
+    tartan::sim::CoherenceStats coherence;
+    tartan::sim::XbarStats xbar;
+    tartan::sim::MemCtrlStats memctrl;
+};
 
 /**
  * True when a capture recorded under (@p cap_spec, @p cap_opt) can be
@@ -56,6 +64,77 @@ bool replayCompatible(const MachineSpec &cap_spec,
 RunResult replayTrace(const tartan::sim::CaptureTrace &trace,
                       const MachineSpec &spec,
                       const WorkloadOptions &opt);
+
+/**
+ * Incremental replay of one captured op stream against one core of a
+ * (possibly multi-core) Machine. replayTrace() is the single-stream
+ * convenience wrapper; a fleet run holds one stream per core and
+ * interleaves step() calls min-cycle-first, so the cores' clocks
+ * advance together and contention in the shared L3 / crossbar / DRAM
+ * banks is resolved in (approximate) global time order.
+ */
+class ReplayStream
+{
+  public:
+    /** Bind @p trace to core @p core_idx of @p machine. */
+    ReplayStream(const tartan::sim::CaptureTrace &trace, Machine &machine,
+                 std::size_t core_idx = 0);
+
+    /** True once every record has been replayed. */
+    bool done() const { return next >= traceRef.records.size(); }
+
+    /** Replay the next record (must not be done()). */
+    void step();
+
+    /** The bound core's current cycle count (interleave key). */
+    tartan::sim::Cycles cycles() const;
+
+    /**
+     * Summarize the bound core into a RunResult and apply the pending
+     * wall discounts. Call once, after done().
+     */
+    RunResult finalize();
+
+  private:
+    struct PendingDiscount {
+        std::uint8_t kind;  //!< 0 = overlap region, 1 = kernel list
+        tartan::sim::Cycles divisor;
+        tartan::sim::Cycles regionCycles;        //!< kind 0
+        std::vector<std::uint64_t> kernelIds;    //!< kind 1
+    };
+
+    const tartan::sim::CaptureTrace &traceRef;
+    Machine &machineRef;
+    std::size_t coreIdx;
+    std::size_t next = 0;
+    tartan::sim::StageTimer timer;
+    std::uint32_t stageThreads = 0;
+    tartan::sim::Cycles wall = 0;
+    tartan::sim::Cycles serialStart = 0;
+    tartan::sim::Cycles overlapStart = 0;
+    tartan::sim::Cycles overlapAcc = 0;
+    std::vector<tartan::sim::Addr> lanes;    //!< reused aux scratch
+    std::vector<std::uint32_t> layers;       //!< reused aux scratch
+    std::vector<PendingDiscount> discounts;
+    std::vector<std::uint64_t> ids;          //!< reused aux scratch
+    RunResult result;
+};
+
+/**
+ * Replay @p traces as a robot fleet: one core per trace on a single
+ * coherent machine built from @p spec (simCores is forced to the fleet
+ * size), streams interleaved min-cycle-first so the robots contend for
+ * the shared L3, crossbar and DRAM banks in global time order. Returns
+ * one RunResult per trace, index-aligned. Results are deterministic:
+ * the interleave order is a pure function of the traces and the
+ * configuration (ties break toward the lower core index). When
+ * @p uncore is non-null it receives the shared fabric's end-of-run
+ * counters (coherence, crossbar, memory controller).
+ */
+std::vector<RunResult>
+replayFleet(const std::vector<const tartan::sim::CaptureTrace *> &traces,
+            const MachineSpec &spec, const WorkloadOptions &opt,
+            FleetUncoreSnapshot *uncore = nullptr);
 
 } // namespace tartan::workloads
 

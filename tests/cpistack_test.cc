@@ -111,8 +111,8 @@ TEST(CpiTaxonomy, CategoryListMatchesEnumOrder)
 {
     EXPECT_EQ(cpiCategoryList(),
               "issue,l1,l2,l3,dram,tlb,pfLate,writeback,fault,npu,"
-              "ovec,anl");
-    EXPECT_EQ(kCpiTaxonomyVersion, 1u);
+              "ovec,anl,coherence");
+    EXPECT_EQ(kCpiTaxonomyVersion, 2u);
 }
 
 TEST(CpiCore, DependentMissDecomposesByLevel)
@@ -233,7 +233,7 @@ namespace {
 /** Minimal schema-valid bench document with one CPI row. */
 std::string
 benchDocWithStack(const std::string &stack_json,
-                  const std::string &version = "1")
+                  const std::string &version = "2")
 {
     std::string cats;
     for (std::size_t i = 0; i < kNumCpiCats; ++i) {
